@@ -1,0 +1,71 @@
+//! E11: root-of-trust primitive costs (Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pda_crypto::hmac::hmac_sha256;
+use pda_crypto::lamport::{lamport_verify, LamportSecretKey};
+use pda_crypto::merkle::{merkle_verify, MerkleSigner, MerkleTree};
+use pda_crypto::sha256::Sha256;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 256, 1500, 9000] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| Sha256::digest(black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0xabu8; 1500];
+    c.bench_function("hmac_sha256_1500B", |b| {
+        b.iter(|| hmac_sha256(black_box(b"key"), black_box(&data)))
+    });
+}
+
+fn bench_lamport(c: &mut Criterion) {
+    let (sk, pk) = LamportSecretKey::derive(&[7u8; 32], 0);
+    let msg = vec![0xcdu8; 64];
+    let sig = sk.sign(&msg);
+    c.bench_function("lamport_keygen", |b| {
+        b.iter(|| LamportSecretKey::derive(black_box(&[7u8; 32]), black_box(1)))
+    });
+    c.bench_function("lamport_sign", |b| b.iter(|| sk.sign(black_box(&msg))));
+    c.bench_function("lamport_verify", |b| {
+        b.iter(|| lamport_verify(black_box(&pk), black_box(&msg), black_box(&sig)))
+    });
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let msg = vec![0xcdu8; 64];
+    c.bench_function("merkle_signer_setup_h6", |b| {
+        b.iter(|| MerkleSigner::new(black_box([9u8; 32]), 6))
+    });
+    let mut signer = MerkleSigner::new([9u8; 32], 10);
+    let root = signer.public_root();
+    let sig = signer.sign(&msg).unwrap();
+    c.bench_function("merkle_mss_verify", |b| {
+        b.iter(|| merkle_verify(black_box(&root), black_box(&msg), black_box(&sig)))
+    });
+    let leaves: Vec<Vec<u8>> = (0..256u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    c.bench_function("merkle_tree_build_256", |b| {
+        b.iter(|| MerkleTree::build(black_box(&leaves)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_sha256, bench_hmac, bench_lamport, bench_merkle
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E3 / equations (1)-(2): cost of the automated adversary analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_copland::adversary::{analyze, AdversaryModel};
+use pda_copland::ast::examples;
+use pda_copland::parser::parse_request;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let adversary = AdversaryModel::controlling(&["us"]);
+    let mut g = c.benchmark_group("eqn12_adversary_analysis");
+    let wide = parse_request(
+        "*rp : ((@us [m1 us t1] -~- @us [m2 us t2]) -~- @us [m3 us t3]) -~- @us [m4 us t4]",
+    )
+    .unwrap();
+    for (label, req) in [
+        ("eq1", examples::bank_eq1()),
+        ("eq2", examples::bank_eq2()),
+        ("par4", wide),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &req, |b, r| {
+            b.iter(|| black_box(analyze(r, &adversary, "exts").verdict))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parse_and_eval(c: &mut Criterion) {
+    let src = "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]";
+    c.bench_function("copland_parse_eq2", |b| {
+        b.iter(|| parse_request(black_box(src)).unwrap())
+    });
+    let req = parse_request(src).unwrap();
+    c.bench_function("copland_eval_eq2", |b| {
+        b.iter(|| pda_copland::eval_request(black_box(&req)))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_analysis, bench_parse_and_eval
+}
+criterion_main!(benches);

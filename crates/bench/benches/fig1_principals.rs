@@ -1,0 +1,55 @@
+//! E1 / Fig. 1: one full RA round (claim → evidence → appraisal) per
+//! signing backend.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_copland::ast::examples;
+use pda_copland::evidence::eval_request;
+use pda_core::prelude::*;
+use pda_ra::appraise::appraise;
+use std::hint::black_box;
+
+fn env_for(scheme: SigScheme) -> Environment {
+    let mut env = Environment::new();
+    env.add_place(PlaceRuntime::new("RP1"));
+    env.add_place(
+        PlaceRuntime::new("Switch")
+            .with_scheme(scheme, 10)
+            .with_source("Hardware", b"hw")
+            .with_source("Program", b"fw.p4"),
+    );
+    env.add_place(PlaceRuntime::new("Appraiser"));
+    env
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_ra_round");
+    for scheme in SigScheme::ALL {
+        let req = examples::pera_out_of_band();
+        let shape = eval_request(&req);
+        g.bench_with_input(BenchmarkId::from_parameter(scheme), &scheme, |b, &s| {
+            let mut env = env_for(s);
+            let mut n = 0u64;
+            b.iter(|| {
+                n += 1;
+                let report = run_request(&req, &mut env, Some(Nonce(n))).unwrap();
+                let result = appraise(&report.evidence, &shape, &env, Some(Nonce(n)));
+                black_box(result.ok)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_round
+}
+criterion_main!(benches);

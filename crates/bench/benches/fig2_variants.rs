@@ -1,0 +1,44 @@
+//! E2 / Fig. 2: in-band vs out-of-band evidence over growing paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_evidence_flow");
+    let config = PeraConfig::default()
+        .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+        .with_sampling(Sampling::PerPacket);
+    for hops in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("in_band", hops), &hops, |b, &n| {
+            b.iter(|| {
+                let mut net = linear_path(n, &config, &[]);
+                net.send_attested(Nonce(1), EvidenceMode::InBand, b"payload!");
+                black_box(net.sim.stats.wire_bytes)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("out_of_band", hops), &hops, |b, &n| {
+            b.iter(|| {
+                let mut net = linear_path(n, &config, &[]);
+                let appraiser = net.appraiser;
+                net.send_attested(Nonce(1), EvidenceMode::OutOfBand { appraiser }, b"payload!");
+                black_box(net.sim.stats.control_bytes)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E7 / Fig. 3: per-packet cost of the PERA pipeline vs plain PISA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_core::prelude::*;
+use pda_crypto::digest::Digest;
+use pda_dataplane::{build_udp_packet, programs};
+use std::hint::black_box;
+
+fn packet(i: u32) -> Vec<u8> {
+    build_udp_packet(0xa, 0xb, 0x0a000000 + (i % 64), 0x0a00ffff, 40000, 443, b"payload!")
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let prog = programs::forwarding(&[(0, 0, 1)]);
+    let mut regs = prog.make_registers();
+    let pkt = packet(1);
+    c.bench_function("pisa_baseline_per_packet", |b| {
+        b.iter(|| black_box(prog.process(&pkt, 0, &mut regs).unwrap().egress_port))
+    });
+}
+
+fn bench_pera(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pera_per_packet");
+    let cases: Vec<(&str, SigScheme, Sampling)> = vec![
+        ("hmac_per_packet", SigScheme::Hmac, Sampling::PerPacket),
+        ("hmac_per_flow", SigScheme::Hmac, Sampling::PerFlow),
+        ("hmac_every100", SigScheme::Hmac, Sampling::EveryN(100)),
+        ("lamport_per_flow", SigScheme::LamportOts, Sampling::PerFlow),
+        ("merkle_per_flow", SigScheme::MerkleMss, Sampling::PerFlow),
+    ];
+    for (label, scheme, sampling) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            let config = PeraConfig::default()
+                .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+                .with_sampling(sampling);
+            let mut sw =
+                PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
+                    .with_scheme(scheme, 12);
+            let mut i = 0u32;
+            let mut prev = Digest::ZERO;
+            b.iter(|| {
+                i += 1;
+                let out = sw
+                    .process_packet(&packet(i), 0, Some((Nonce(1), prev)))
+                    .unwrap();
+                if let Some(r) = out.evidence {
+                    prev = r.chain;
+                }
+                black_box(out.forward.egress_port)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_baseline, bench_pera
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E8 / Fig. 4: evidence-engine cost across the inertia/detail/
+//! composition design space, including the cache ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_core::prelude::*;
+use pda_crypto::digest::Digest;
+use pda_dataplane::{build_udp_packet, programs};
+use std::hint::black_box;
+
+fn bench_detail_levels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_detail_levels");
+    let detail_sets: [(&str, &[DetailLevel]); 3] = [
+        ("hw_only", &[DetailLevel::Hardware]),
+        ("hw_prog", &[DetailLevel::Hardware, DetailLevel::Program]),
+        ("all", &DetailLevel::ALL),
+    ];
+    let pkt = build_udp_packet(0xa, 0xb, 1, 2, 10, 20, b"payload!");
+    for (label, details) in detail_sets {
+        for cache in [true, false] {
+            let id = format!("{label}/cache={cache}");
+            g.bench_with_input(BenchmarkId::from_parameter(id), &(), |b, ()| {
+                let config = PeraConfig::default()
+                    .with_details(details)
+                    .with_sampling(Sampling::PerPacket)
+                    .with_cache(cache);
+                let mut sw =
+                    PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config);
+                let mut prev = Digest::ZERO;
+                b.iter(|| {
+                    let out = sw.process_packet(&pkt, 0, Some((Nonce(1), prev))).unwrap();
+                    if let Some(r) = out.evidence {
+                        prev = r.chain;
+                    }
+                    black_box(prev)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_detail_levels
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! E4-E6 / Table 1: parse, resolve, and serialize AP1-AP3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pda_hybrid::ast::table1;
+use pda_hybrid::parser::parse_hybrid;
+use pda_hybrid::resolve::{resolve, Composition, NodeInfo};
+use pda_hybrid::wire;
+use std::hint::black_box;
+
+const AP1_SRC: &str = "*bank<n, X> : forall hop, client : \
+    (@hop [K |> attest(n, X) -> !] -+> @Appraiser [appraise -> store(n)]) \
+    *=> @client [K |> @ks [av us bmon -> !] -<- @us [bmon us exts -> !]]";
+
+fn path(n: usize) -> Vec<NodeInfo> {
+    let mut p: Vec<NodeInfo> = (1..=n).map(|i| NodeInfo::pera(format!("sw{i}"))).collect();
+    p.push(NodeInfo::pera("client"));
+    p
+}
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("ap1_parse", |b| {
+        b.iter(|| parse_hybrid(black_box(AP1_SRC)).unwrap())
+    });
+}
+
+fn bench_resolve(c: &mut Criterion) {
+    let ap1 = table1::ap1();
+    let mut g = c.benchmark_group("ap1_resolve");
+    for hops in [2usize, 8, 32] {
+        let p = path(hops);
+        g.bench_with_input(BenchmarkId::from_parameter(hops), &p, |b, p| {
+            b.iter(|| {
+                resolve(
+                    black_box(&ap1),
+                    black_box(p),
+                    &[("n", "1"), ("X", "x")],
+                    Composition::Chained,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ap3_resolve(c: &mut Criterion) {
+    let ap3 = table1::ap3();
+    let mut p = vec![
+        NodeInfo::pera("alice").with_test("Peer1"),
+        NodeInfo::pera("fw").with_function("firewall_v5.p4"),
+        NodeInfo::pera("ids").with_function("ids_v3.p4"),
+    ];
+    for i in 0..8 {
+        p.push(NodeInfo::legacy(format!("t{i}")));
+    }
+    p.push(NodeInfo::pera("edge").with_test("Q"));
+    p.push(NodeInfo::pera("bob").with_test("Peer2"));
+    c.bench_function("ap3_resolve_8transit", |b| {
+        b.iter(|| {
+            resolve(
+                black_box(&ap3),
+                black_box(&p),
+                &[
+                    ("F1", "firewall_v5.p4"),
+                    ("F2", "ids_v3.p4"),
+                    ("Peer1", "Peer1"),
+                    ("Peer2", "Peer2"),
+                ],
+                Composition::Chained,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let ap1 = table1::ap1();
+    let r = resolve(&ap1, &path(8), &[("n", "1"), ("X", "x")], Composition::Chained).unwrap();
+    let policy = wire::WirePolicy {
+        nonce: 1,
+        flags: wire::Flags::default(),
+        directives: r.directives,
+    };
+    let bytes = wire::encode(&policy);
+    c.bench_function("wire_encode_8hops", |b| b.iter(|| wire::encode(black_box(&policy))));
+    c.bench_function("wire_decode_8hops", |b| {
+        b.iter(|| wire::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_parse, bench_resolve, bench_ap3_resolve, bench_wire
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E9 / UC3: throughput of the evidence gate under attack mix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pda_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_gate(c: &mut Criterion) {
+    let config = PeraConfig::default().with_sampling(Sampling::PerPacket);
+    let mut net = linear_path(3, &config, &[]);
+    let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
+    net.send_attested(Nonce(1), EvidenceMode::InBand, b"payload!");
+    let chain = net.server_chains()[0].chain.clone();
+    let mut gate = EvidenceGate::new(golden, net.sim.registry);
+
+    c.bench_function("uc3_gate_admit_valid_chain", |b| {
+        b.iter(|| black_box(gate.admit(Some(&chain), Nonce(1))))
+    });
+    c.bench_function("uc3_gate_reject_bare_packet", |b| {
+        b.iter(|| black_box(gate.admit(None, Nonce(1))))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_gate
+}
+criterion_main!(benches);

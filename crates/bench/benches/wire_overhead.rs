@@ -1,0 +1,76 @@
+//! E12: options-header encode/decode and evidence-record size scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pda_crypto::digest::Digest;
+use pda_crypto::nonce::Nonce;
+use pda_crypto::sig::{SigScheme, Signer};
+use pda_pera::config::DetailLevel;
+use pda_pera::evidence::{verify_chain, EvidenceRecord};
+use std::hint::black_box;
+
+fn chain(n: usize) -> (Vec<EvidenceRecord>, pda_crypto::keyreg::KeyRegistry) {
+    let mut reg = pda_crypto::keyreg::KeyRegistry::new();
+    let mut prev = Digest::ZERO;
+    let mut out = Vec::new();
+    for i in 0..n {
+        let name = format!("sw{i}");
+        let mut s = Signer::new(SigScheme::Hmac, Digest::of(name.as_bytes()).0, 0);
+        reg.register(name.as_str().into(), s.verify_key(0));
+        let r = EvidenceRecord::create(
+            &name,
+            vec![
+                (DetailLevel::Hardware, Digest::of(b"hw")),
+                (DetailLevel::Program, Digest::of(b"pg")),
+            ],
+            Nonce(1),
+            prev,
+            &mut s,
+        )
+        .unwrap();
+        prev = r.chain;
+        out.push(r);
+    }
+    (out, reg)
+}
+
+fn bench_chain_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_verify");
+    for n in [2usize, 8, 32] {
+        let (records, reg) = chain(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| black_box(verify_chain(&records, &reg, Nonce(1), true).is_ok()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_record_create(c: &mut Criterion) {
+    let mut s = Signer::new(SigScheme::Hmac, [1u8; 32], 0);
+    c.bench_function("evidence_record_create", |b| {
+        b.iter(|| {
+            EvidenceRecord::create(
+                "sw",
+                vec![(DetailLevel::Program, Digest::of(b"p"))],
+                Nonce(1),
+                Digest::ZERO,
+                &mut s,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_chain_verify, bench_record_create
+}
+criterion_main!(benches);

@@ -1,0 +1,981 @@
+//! Experiment implementations shared by the Criterion benches and the
+//! `harness` binary. Each `exp_*` function regenerates one paper
+//! artifact (figure, equation, or table row set) and returns structured
+//! rows; the harness prints them, EXPERIMENTS.md records them.
+
+use pda_copland::adversary::{analyze, AdversaryModel};
+use pda_copland::ast::examples as copland_examples;
+use pda_copland::parser::parse_request;
+use pda_core::prelude::*;
+use pda_core::usecases::enroll_golden;
+use pda_crypto::digest::Digest;
+use pda_crypto::lamport::LamportSecretKey;
+use pda_crypto::merkle::{merkle_verify, MerkleSigner};
+use pda_crypto::sha256::Sha256;
+use pda_crypto::sig::{verify as sig_verify, SigScheme, Signer};
+use pda_dataplane::programs;
+use pda_hybrid::ast::table1;
+use pda_hybrid::resolve::{resolve as hybrid_resolve, Composition as HComposition, NodeInfo};
+use pda_hybrid::wire;
+use pda_netkat::ast::{Field, Packet, Policy, Pred};
+use pda_netkat::reach::{can_reach, link, witness_path};
+use pda_netsim::{linear_path, linear_path_bw, EvidenceMode};
+use pda_pera::config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
+use pda_pera::switch::PeraSwitch;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// E1 / Fig. 1 — RA principals round trip
+// ---------------------------------------------------------------------
+
+/// One row of the Fig. 1 experiment.
+#[derive(Debug)]
+pub struct Fig1Row {
+    /// Signing backend used by the attester.
+    pub scheme: SigScheme,
+    /// Protocol messages in one claim→evidence→result round.
+    pub messages: u64,
+    /// Evidence bytes transferred.
+    pub bytes: u64,
+    /// Appraisal checks performed.
+    pub checks: u64,
+    /// Did appraisal pass?
+    pub ok: bool,
+}
+
+/// Fig. 1: run the out-of-band PERA attestation (eq 3) once per signing
+/// backend and report the message/byte/check shape.
+pub fn exp_fig1() -> Vec<Fig1Row> {
+    SigScheme::ALL
+        .iter()
+        .map(|&scheme| {
+            let mut env = Environment::new();
+            env.add_place(PlaceRuntime::new("RP1"));
+            env.add_place(
+                PlaceRuntime::new("Switch")
+                    .with_scheme(scheme, 6)
+                    .with_source("Hardware", b"tofino-sim-v1")
+                    .with_source("Program", b"firewall_v5.p4"),
+            );
+            env.add_place(PlaceRuntime::new("Appraiser"));
+            let req = copland_examples::pera_out_of_band();
+            let shape = pda_copland::eval_request(&req);
+            let report = run_request(&req, &mut env, Some(Nonce(1))).expect("runs");
+            let result = pda_ra::appraise(&report.evidence, &shape, &env, Some(Nonce(1)));
+            Fig1Row {
+                scheme,
+                messages: report.stats.messages,
+                bytes: report.stats.bytes,
+                checks: result.checks,
+                ok: result.ok,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E2 / Fig. 2 — in-band vs out-of-band evidence
+// ---------------------------------------------------------------------
+
+/// One row of the Fig. 2 experiment.
+#[derive(Debug)]
+pub struct Fig2Row {
+    /// "in-band" or "out-of-band".
+    pub variant: &'static str,
+    /// PERA hops on the path.
+    pub hops: usize,
+    /// Data-plane wire bytes (bytes × links).
+    pub wire_bytes: u64,
+    /// Control-plane messages.
+    pub control_messages: u64,
+    /// Control-plane bytes.
+    pub control_bytes: u64,
+    /// End-to-end packet latency (ns).
+    pub latency_ns: u64,
+    /// Evidence records available to the relying party.
+    pub records: usize,
+    /// Whether the chain appraised clean.
+    pub ok: bool,
+}
+
+/// Fig. 2: drive one attested packet over paths of increasing length in
+/// both evidence modes. Links are 1 Gbit/s (8 ns/byte), so the in-band
+/// chain's growth shows up as end-to-end latency.
+pub fn exp_fig2(path_lengths: &[usize]) -> Vec<Fig2Row> {
+    let mut rows = Vec::new();
+    for &n in path_lengths {
+        let config = PeraConfig::default()
+            .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+            .with_sampling(Sampling::PerPacket);
+        // In-band.
+        {
+            let mut net = linear_path_bw(n, &config, &[], 8);
+            let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
+            net.send_attested(Nonce(1), EvidenceMode::InBand, b"payload!");
+            let chain = &net.server_chains()[0].chain;
+            rows.push(Fig2Row {
+                variant: "in-band",
+                hops: n,
+                wire_bytes: net.sim.stats.wire_bytes,
+                control_messages: net.sim.stats.control_messages,
+                control_bytes: net.sim.stats.control_bytes,
+                latency_ns: net.sim.deliveries[0].time,
+                records: chain.len(),
+                ok: pda_core::appraise_chain(chain, &net.sim.registry, &golden, Nonce(1), true)
+                    .is_ok(),
+            });
+        }
+        // Out-of-band.
+        {
+            let mut net = linear_path_bw(n, &config, &[], 8);
+            let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
+            let appraiser = net.appraiser;
+            net.send_attested(Nonce(1), EvidenceMode::OutOfBand { appraiser }, b"payload!");
+            let recs = net.sim.evidence_at(appraiser);
+            rows.push(Fig2Row {
+                variant: "out-of-band",
+                hops: n,
+                wire_bytes: net.sim.stats.wire_bytes,
+                control_messages: net.sim.stats.control_messages,
+                control_bytes: net.sim.stats.control_bytes,
+                latency_ns: net
+                    .sim
+                    .deliveries
+                    .first()
+                    .map(|d| d.time)
+                    .unwrap_or_default(),
+                records: recs.len(),
+                ok: pda_core::appraise_chain(recs, &net.sim.registry, &golden, Nonce(1), true)
+                    .is_ok(),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E3 / equations (1)-(2) — adversary analysis
+// ---------------------------------------------------------------------
+
+/// One row of the adversary-analysis experiment.
+#[derive(Debug)]
+pub struct Eq12Row {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Analysis verdict (rendered).
+    pub verdict: String,
+    /// Corruptions in the cheapest evasion (0 when secure).
+    pub corruptions: usize,
+    /// Recent (mid-protocol) corruptions required.
+    pub recent: usize,
+    /// Repairs required.
+    pub repairs: usize,
+    /// Number of measurement linearizations admitting evasion.
+    pub evadable_linearizations: usize,
+}
+
+/// Equations (1)-(2) plus a re-measurement hardening, analyzed against a
+/// userspace adversary targeting `exts`.
+pub fn exp_eqn12() -> Vec<Eq12Row> {
+    let adversary = AdversaryModel::controlling(&["us"]);
+    let hardened = parse_request(
+        "*bank : @ks [av us bmon] -<- (@us [bmon us exts] -<- @ks [av us bmon])",
+    )
+    .expect("hardened variant parses");
+    [
+        ("eq (1) parallel", copland_examples::bank_eq1()),
+        ("eq (2) sequenced", copland_examples::bank_eq2()),
+        ("eq (2) + re-measure", hardened),
+    ]
+    .into_iter()
+    .map(|(label, req)| {
+        let a = analyze(&req, &adversary, "exts");
+        let (c, r, rep) = a
+            .best_strategy
+            .as_ref()
+            .map(|s| (s.corruptions, s.recent_corruptions, s.repairs))
+            .unwrap_or((0, 0, 0));
+        Eq12Row {
+            policy: label,
+            verdict: a.verdict.to_string(),
+            corruptions: c,
+            recent: r,
+            repairs: rep,
+            evadable_linearizations: a.strategies.len(),
+        }
+    })
+    .collect()
+}
+
+// ---------------------------------------------------------------------
+// E4-E6 / Table 1 — the three attestation policies
+// ---------------------------------------------------------------------
+
+/// One row of the Table 1 experiment.
+#[derive(Debug)]
+pub struct Table1Row {
+    /// Policy id.
+    pub policy: &'static str,
+    /// Path length used.
+    pub path_len: usize,
+    /// Clauses in the policy.
+    pub clauses: usize,
+    /// Directives after resolution.
+    pub directives: usize,
+    /// Abstract variables bound.
+    pub bindings: usize,
+    /// Non-attesting elements skipped.
+    pub skipped: usize,
+    /// Serialized options-header bytes.
+    pub wire_bytes: usize,
+    /// Resolution time (ns, single shot — indicative only).
+    pub resolve_ns: u128,
+}
+
+fn ap1_path(n: usize) -> Vec<NodeInfo> {
+    let mut path: Vec<NodeInfo> = (1..=n).map(|i| NodeInfo::pera(format!("sw{i}"))).collect();
+    path.push(NodeInfo::pera("client-host"));
+    path
+}
+
+fn ap3_path(transit: usize) -> Vec<NodeInfo> {
+    let mut path = vec![
+        NodeInfo::pera("alice").with_test("Peer1"),
+        NodeInfo::pera("fw-switch").with_function("firewall_v5.p4"),
+        NodeInfo::pera("ids-switch").with_function("ids_v3.p4"),
+    ];
+    for i in 0..transit {
+        path.push(NodeInfo::legacy(format!("transit-{i}")));
+    }
+    path.push(NodeInfo::pera("edge").with_test("Q"));
+    path.push(NodeInfo::pera("bob").with_test("Peer2"));
+    path
+}
+
+/// Table 1: compile AP1-AP3 against representative paths; report
+/// structure and wire cost.
+pub fn exp_table1(path_lengths: &[usize]) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for &n in path_lengths {
+        let ap1 = table1::ap1();
+        let path = ap1_path(n);
+        let t0 = Instant::now();
+        let r = hybrid_resolve(
+            &ap1,
+            &path,
+            &[("n", "1"), ("X", "prog")],
+            HComposition::Chained,
+        )
+        .expect("ap1 resolves");
+        let dt = t0.elapsed().as_nanos();
+        let bytes = wire::encode(&wire::WirePolicy {
+            nonce: 1,
+            flags: wire::Flags::default(),
+            directives: r.directives.clone(),
+        })
+        .len();
+        rows.push(Table1Row {
+            policy: "AP1",
+            path_len: path.len(),
+            clauses: ap1.body.clause_count(),
+            directives: r.directives.len(),
+            bindings: r.bindings.len(),
+            skipped: r.skipped.len(),
+            wire_bytes: bytes,
+            resolve_ns: dt,
+        });
+    }
+    // AP2: no path needed.
+    {
+        let ap2 = table1::ap2();
+        let t0 = Instant::now();
+        let r = hybrid_resolve(&ap2, &[], &[("P", "c2_beacon")], HComposition::Chained)
+            .expect("ap2 resolves");
+        let dt = t0.elapsed().as_nanos();
+        let bytes = wire::encode(&wire::WirePolicy {
+            nonce: 1,
+            flags: wire::Flags::default(),
+            directives: r.directives.clone(),
+        })
+        .len();
+        rows.push(Table1Row {
+            policy: "AP2",
+            path_len: 0,
+            clauses: ap2.body.clause_count(),
+            directives: r.directives.len(),
+            bindings: r.bindings.len(),
+            skipped: r.skipped.len(),
+            wire_bytes: bytes,
+            resolve_ns: dt,
+        });
+    }
+    // AP3 with growing non-attesting segments.
+    for transit in [0usize, 2, 6] {
+        let ap3 = table1::ap3();
+        let path = ap3_path(transit);
+        let t0 = Instant::now();
+        let r = hybrid_resolve(
+            &ap3,
+            &path,
+            &[
+                ("F1", "firewall_v5.p4"),
+                ("F2", "ids_v3.p4"),
+                ("Peer1", "Peer1"),
+                ("Peer2", "Peer2"),
+            ],
+            HComposition::Chained,
+        )
+        .expect("ap3 resolves");
+        let dt = t0.elapsed().as_nanos();
+        let bytes = wire::encode(&wire::WirePolicy {
+            nonce: 1,
+            flags: wire::Flags::default(),
+            directives: r.directives.clone(),
+        })
+        .len();
+        rows.push(Table1Row {
+            policy: "AP3",
+            path_len: path.len(),
+            clauses: ap3.body.clause_count(),
+            directives: r.directives.len(),
+            bindings: r.bindings.len(),
+            skipped: r.skipped.len(),
+            wire_bytes: bytes,
+            resolve_ns: dt,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E7 / Fig. 3 — PERA pipeline cost
+// ---------------------------------------------------------------------
+
+/// One row of the pipeline-cost experiment.
+#[derive(Debug)]
+pub struct Fig3Row {
+    /// Configuration label.
+    pub config: String,
+    /// Packets pushed through.
+    pub packets: u64,
+    /// Nanoseconds per packet (wall clock, single-threaded).
+    pub ns_per_packet: f64,
+    /// Evidence records produced.
+    pub records: u64,
+    /// Slowdown vs the no-RA baseline.
+    pub slowdown: f64,
+}
+
+/// Build the packets for the pipeline experiment.
+fn pipeline_packets(count: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|i| {
+            pda_dataplane::build_udp_packet(
+                0xa,
+                0xb,
+                0x0a00_0000 + (i as u32 % 64),
+                0x0a00_ffff,
+                40_000 + (i as u16 % 16),
+                443,
+                b"payload!",
+            )
+        })
+        .collect()
+}
+
+/// Fig. 3: packets/sec through the PISA pipeline alone vs PERA with
+/// different signing backends and sampling rates.
+pub fn exp_fig3(packets: usize) -> Vec<Fig3Row> {
+    let pkts = pipeline_packets(packets);
+    let mut rows: Vec<Fig3Row> = Vec::new();
+
+    // Baseline: plain PISA, no RA.
+    let baseline_ns = {
+        let prog = programs::forwarding(&[(0, 0, 1)]);
+        let mut regs = prog.make_registers();
+        let t0 = Instant::now();
+        for p in &pkts {
+            let _ = prog.process(p, 0, &mut regs).expect("parses");
+        }
+        t0.elapsed().as_nanos() as f64 / pkts.len() as f64
+    };
+    rows.push(Fig3Row {
+        config: "PISA baseline (no RA)".into(),
+        packets: pkts.len() as u64,
+        ns_per_packet: baseline_ns,
+        records: 0,
+        slowdown: 1.0,
+    });
+
+    let variants: Vec<(String, SigScheme, Sampling)> = vec![
+        ("PERA hmac / per-packet".into(), SigScheme::Hmac, Sampling::PerPacket),
+        ("PERA hmac / per-flow".into(), SigScheme::Hmac, Sampling::PerFlow),
+        ("PERA hmac / every-100".into(), SigScheme::Hmac, Sampling::EveryN(100)),
+        ("PERA lamport / per-flow".into(), SigScheme::LamportOts, Sampling::PerFlow),
+        ("PERA merkle / per-flow".into(), SigScheme::MerkleMss, Sampling::PerFlow),
+    ];
+    for (label, scheme, sampling) in variants {
+        let config = PeraConfig::default()
+            .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+            .with_sampling(sampling);
+        let mut sw = PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
+            .with_scheme(scheme, 10);
+        let t0 = Instant::now();
+        let mut prev = Digest::ZERO;
+        for p in &pkts {
+            let out = sw
+                .process_packet(p, 0, Some((Nonce(1), prev)))
+                .expect("parses");
+            if let Some(r) = out.evidence {
+                prev = r.chain;
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / pkts.len() as f64;
+        rows.push(Fig3Row {
+            config: label,
+            packets: pkts.len() as u64,
+            ns_per_packet: ns,
+            records: sw.stats.records,
+            slowdown: ns / baseline_ns,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E8 / Fig. 4 — the design space: inertia × detail × composition
+// ---------------------------------------------------------------------
+
+/// One row of the design-space sweep.
+#[derive(Debug)]
+pub struct Fig4Row {
+    /// Detail levels attested.
+    pub details: String,
+    /// Sampling mode.
+    pub sampling: String,
+    /// Composition mode.
+    pub composition: String,
+    /// Cache on?
+    pub cache: bool,
+    /// Evidence records per 1000 packets.
+    pub records: u64,
+    /// Evidence bytes per packet (average).
+    pub bytes_per_packet: f64,
+    /// Cache hit rate.
+    pub cache_hit_rate: f64,
+}
+
+/// Fig. 4: sweep the three axes (plus the cache ablation) over a fixed
+/// 1000-packet, 32-flow workload.
+pub fn exp_fig4() -> Vec<Fig4Row> {
+    let detail_sets: [(&str, &[DetailLevel]); 4] = [
+        ("hw", &[DetailLevel::Hardware]),
+        ("hw+prog", &[DetailLevel::Hardware, DetailLevel::Program]),
+        (
+            "hw+prog+tables",
+            &[DetailLevel::Hardware, DetailLevel::Program, DetailLevel::Tables],
+        ),
+        ("all", &DetailLevel::ALL),
+    ];
+    let samplings = [
+        Sampling::PerPacket,
+        Sampling::EveryN(10),
+        Sampling::PerFlow,
+        Sampling::PerEpoch(100),
+    ];
+    let compositions = [EvidenceComposition::Chained, EvidenceComposition::Pointwise];
+    let pkts = pipeline_packets(1000);
+
+    let mut rows = Vec::new();
+    for (dlabel, details) in detail_sets {
+        for sampling in samplings {
+            for composition in compositions {
+                for cache in [true, false] {
+                    let config = PeraConfig::default()
+                        .with_details(details)
+                        .with_sampling(sampling)
+                        .with_composition(composition)
+                        .with_cache(cache);
+                    let mut sw =
+                        PeraSwitch::new("sw", "hw", programs::flow_monitor(64, 1), config);
+                    let mut prev = Digest::ZERO;
+                    for p in &pkts {
+                        let out = sw
+                            .process_packet(p, 0, Some((Nonce(1), prev)))
+                            .expect("parses");
+                        if let Some(r) = out.evidence {
+                            prev = r.chain;
+                        }
+                    }
+                    rows.push(Fig4Row {
+                        details: dlabel.to_string(),
+                        sampling: sampling.to_string(),
+                        composition: composition.to_string(),
+                        cache,
+                        records: sw.stats.records,
+                        bytes_per_packet: sw.stats.evidence_bytes as f64 / pkts.len() as f64,
+                        cache_hit_rate: sw.cache.stats.hit_rate(),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E9 / UC3 — DDoS mitigation
+// ---------------------------------------------------------------------
+
+/// Result of the DDoS-gate experiment.
+#[derive(Debug)]
+pub struct Uc3Row {
+    /// Legitimate flows presented.
+    pub legit: u64,
+    /// Attack packets presented.
+    pub attack: u64,
+    /// Legitimate flows admitted (recall numerator).
+    pub legit_admitted: u64,
+    /// Attack packets admitted (false positives).
+    pub attack_admitted: u64,
+    /// Precision of admission.
+    pub precision: f64,
+    /// Recall of legitimate traffic.
+    pub recall: f64,
+}
+
+/// UC3: legitimate flows carry valid chains; the botnet sends bare or
+/// forged evidence. Measure the gate's precision/recall.
+pub fn exp_uc3(legit: u64, attack: u64) -> Uc3Row {
+    let config = PeraConfig::default().with_sampling(Sampling::PerPacket);
+    let net = linear_path(3, &config, &[]);
+    let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
+    let mut gate = EvidenceGate::new(golden, net.sim.registry);
+
+    let mut legit_admitted = 0;
+    for i in 0..legit {
+        let mut net = linear_path(3, &config, &[]);
+        net.send_attested(Nonce(100 + i), EvidenceMode::InBand, b"legit!!!");
+        let chain = net.server_chains()[0].chain.clone();
+        if gate.admit(Some(&chain), Nonce(100 + i)) {
+            legit_admitted += 1;
+        }
+    }
+    let mut attack_admitted = 0;
+    for i in 0..attack {
+        // Attackers alternate: no evidence / forged self-signed chain.
+        let admitted = if i % 2 == 0 {
+            gate.admit(None, Nonce(0))
+        } else {
+            let mut signer = Signer::new(SigScheme::Hmac, [0xEE; 32], 0);
+            let forged = pda_pera::evidence::EvidenceRecord::create(
+                "sw1",
+                vec![(DetailLevel::Program, Digest::of(b"claimed-clean"))],
+                Nonce(9999 + i),
+                Digest::ZERO,
+                &mut signer,
+            )
+            .unwrap();
+            gate.admit(Some(&[forged]), Nonce(9999 + i))
+        };
+        if admitted {
+            attack_admitted += 1;
+        }
+    }
+    let admitted_total = legit_admitted + attack_admitted;
+    Uc3Row {
+        legit,
+        attack,
+        legit_admitted,
+        attack_admitted,
+        precision: if admitted_total == 0 {
+            1.0
+        } else {
+            legit_admitted as f64 / admitted_total as f64
+        },
+        recall: legit_admitted as f64 / legit as f64,
+    }
+}
+
+// ---------------------------------------------------------------------
+// E10 / UC1 — detection latency vs sampling frequency
+// ---------------------------------------------------------------------
+
+/// One row of the detection-latency experiment.
+#[derive(Debug)]
+pub struct Uc1Row {
+    /// Sampling mode.
+    pub sampling: String,
+    /// Packets until the rogue program is first detected.
+    pub packets_to_detection: Option<u64>,
+    /// Evidence records produced in that window.
+    pub records: u64,
+}
+
+/// UC1: swap a rogue program mid-stream; how many packets pass before
+/// the appraiser sees a mismatching record under each sampling mode?
+pub fn exp_uc1_detection(samplings: &[Sampling]) -> Vec<Uc1Row> {
+    samplings
+        .iter()
+        .map(|&sampling| {
+            let config = PeraConfig::default()
+                .with_details(&[DetailLevel::Program])
+                .with_sampling(sampling);
+            let mut sw =
+                PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config);
+            let golden = sw.program.digest();
+            let pkts = pipeline_packets(1);
+            // Warm up with 10 clean packets.
+            let mut prev = Digest::ZERO;
+            for _ in 0..10 {
+                if let Some(r) = sw
+                    .process_packet(&pkts[0], 0, Some((Nonce(1), prev)))
+                    .unwrap()
+                    .evidence
+                {
+                    prev = r.chain;
+                }
+            }
+            // The swap.
+            sw.load_program(programs::rogue_wiretap(&[(0, 0, 1)], &[1], 31));
+            // Same-flow traffic continues; count packets until a record
+            // with a mismatching digest shows up.
+            let mut detection = None;
+            let mut records = 0;
+            for i in 0..1000u64 {
+                let out = sw
+                    .process_packet(&pkts[0], 0, Some((Nonce(1), prev)))
+                    .unwrap();
+                if let Some(r) = out.evidence {
+                    records += 1;
+                    prev = r.chain;
+                    if r.detail(DetailLevel::Program) != Some(golden) {
+                        detection = Some(i + 1);
+                        break;
+                    }
+                }
+            }
+            Uc1Row {
+                sampling: sampling.to_string(),
+                packets_to_detection: detection,
+                records,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E11 — crypto primitive costs
+// ---------------------------------------------------------------------
+
+/// One row of the crypto-cost experiment.
+#[derive(Debug)]
+pub struct CryptoRow {
+    /// Operation label.
+    pub op: &'static str,
+    /// Mean nanoseconds per operation (single shot loop).
+    pub ns_per_op: f64,
+    /// Output/signature size in bytes where applicable.
+    pub size_bytes: usize,
+}
+
+/// E11: rough single-threaded costs of the root-of-trust primitives
+/// (Criterion benches give the rigorous numbers; this feeds the harness
+/// table).
+pub fn exp_crypto(iters: u32) -> Vec<CryptoRow> {
+    let mut rows = Vec::new();
+    let data = vec![0xabu8; 1500]; // one MTU
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(Sha256::digest(&data));
+    }
+    rows.push(CryptoRow {
+        op: "sha256 (1500B)",
+        ns_per_op: t0.elapsed().as_nanos() as f64 / f64::from(iters),
+        size_bytes: 32,
+    });
+
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(pda_crypto::hmac::hmac_sha256(b"key", &data));
+    }
+    rows.push(CryptoRow {
+        op: "hmac-sha256 (1500B)",
+        ns_per_op: t0.elapsed().as_nanos() as f64 / f64::from(iters),
+        size_bytes: 32,
+    });
+
+    let (sk, pk) = LamportSecretKey::derive(&[7u8; 32], 0);
+    let t0 = Instant::now();
+    for _ in 0..iters.min(64) {
+        std::hint::black_box(sk.sign(&data));
+    }
+    let sig = sk.sign(&data);
+    rows.push(CryptoRow {
+        op: "lamport sign",
+        ns_per_op: t0.elapsed().as_nanos() as f64 / f64::from(iters.min(64)),
+        size_bytes: pda_crypto::lamport::LamportSignature::SIZE,
+    });
+    let t0 = Instant::now();
+    for _ in 0..iters.min(64) {
+        std::hint::black_box(pda_crypto::lamport::lamport_verify(&pk, &data, &sig));
+    }
+    rows.push(CryptoRow {
+        op: "lamport verify",
+        ns_per_op: t0.elapsed().as_nanos() as f64 / f64::from(iters.min(64)),
+        size_bytes: 0,
+    });
+
+    let mut signer = MerkleSigner::new([9u8; 32], 6);
+    let root = signer.public_root();
+    let t0 = Instant::now();
+    let sig = signer.sign(&data).unwrap();
+    rows.push(CryptoRow {
+        op: "merkle-mss sign",
+        ns_per_op: t0.elapsed().as_nanos() as f64,
+        size_bytes: sig.wire_size(),
+    });
+    let t0 = Instant::now();
+    for _ in 0..iters.min(64) {
+        std::hint::black_box(merkle_verify(&root, &data, &sig));
+    }
+    rows.push(CryptoRow {
+        op: "merkle-mss verify",
+        ns_per_op: t0.elapsed().as_nanos() as f64 / f64::from(iters.min(64)),
+        size_bytes: 0,
+    });
+
+    // Signature sizes across schemes (the wire-cost axis).
+    for scheme in SigScheme::ALL {
+        let mut s = Signer::new(scheme, [3u8; 32], 6);
+        let vk = s.verify_key(4);
+        let sig = s.sign(&data).unwrap();
+        assert!(sig_verify(&vk, &data, &sig));
+        rows.push(CryptoRow {
+            op: match scheme {
+                SigScheme::Hmac => "sig size: hmac",
+                SigScheme::LamportOts => "sig size: lamport",
+                SigScheme::MerkleMss => "sig size: merkle",
+            },
+            ns_per_op: 0.0,
+            size_bytes: sig.wire_size(),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// E12 — wire overhead vs path length
+// ---------------------------------------------------------------------
+
+/// One row of the wire-overhead experiment.
+#[derive(Debug)]
+pub struct WireRow {
+    /// PERA hops.
+    pub hops: usize,
+    /// Policy options-header bytes.
+    pub policy_bytes: usize,
+    /// In-band evidence bytes at the receiver.
+    pub evidence_bytes: usize,
+}
+
+/// E12: serialized policy size and accumulated in-band evidence size as
+/// the path grows.
+pub fn exp_wire(path_lengths: &[usize]) -> Vec<WireRow> {
+    path_lengths
+        .iter()
+        .map(|&n| {
+            let ap1 = table1::ap1();
+            let path = ap1_path(n);
+            let r = hybrid_resolve(
+                &ap1,
+                &path,
+                &[("n", "1"), ("X", "prog")],
+                HComposition::Chained,
+            )
+            .expect("resolves");
+            let policy_bytes = wire::encode(&wire::WirePolicy {
+                nonce: 1,
+                flags: wire::Flags {
+                    in_band_evidence: true,
+                },
+                directives: r.directives,
+            })
+            .len();
+            let config = PeraConfig::default()
+                .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+                .with_sampling(Sampling::PerPacket);
+            let mut net = linear_path(n, &config, &[]);
+            net.send_attested(Nonce(1), EvidenceMode::InBand, b"payload!");
+            let evidence_bytes = net.server_chains()[0].in_band_bytes();
+            WireRow {
+                hops: n,
+                policy_bytes,
+                evidence_bytes,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// NetKAT analysis cost (supporting experiment)
+// ---------------------------------------------------------------------
+
+/// One row of the NetKAT-scaling experiment.
+#[derive(Debug)]
+pub struct NetkatRow {
+    /// Line-topology length.
+    pub switches: usize,
+    /// Reachability check time (ns).
+    pub reach_ns: u128,
+    /// Witness-path extraction time (ns).
+    pub witness_ns: u128,
+    /// Was the goal reachable?
+    pub reachable: bool,
+}
+
+/// Reachability and witness extraction on line topologies of growing
+/// size (the resolver's place-binding backend).
+pub fn exp_netkat(sizes: &[usize]) -> Vec<NetkatRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let step = Policy::assign(Field::Port, 1).seq(Policy::any(
+                (1..n as u32).map(|i| link(i, 1, i + 1, 0)),
+            ));
+            let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1)])]);
+            let goal = Pred::test(Field::Switch, n as u32);
+            let t0 = Instant::now();
+            let reachable = can_reach(&step, &init, &goal);
+            let reach_ns = t0.elapsed().as_nanos();
+            let t0 = Instant::now();
+            let w = witness_path(&step, &init, &goal);
+            let witness_ns = t0.elapsed().as_nanos();
+            assert_eq!(w.is_some(), reachable);
+            NetkatRow {
+                switches: n,
+                reach_ns,
+                witness_ns,
+                reachable,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E13 — in-dataplane enforcement (Fig. 3's verify unit, UC3 in-network)
+// ---------------------------------------------------------------------
+
+/// One row of the in-network enforcement experiment.
+#[derive(Debug)]
+pub struct EnforceRow {
+    /// Enforcement on?
+    pub enforce: bool,
+    /// Legitimate packets delivered to the victim.
+    pub legit_delivered: u64,
+    /// Attack packets delivered to the victim.
+    pub attack_delivered: u64,
+    /// Packets dropped by the verify unit.
+    pub enforcement_drops: u64,
+}
+
+/// E13: the UC3 DDoS scenario executed inside the simulator — an edge
+/// switch's verify unit drops traffic lacking a valid ≥2-hop evidence
+/// chain, with and without enforcement.
+pub fn exp_enforcement(legit: u64, attack: u64) -> Vec<EnforceRow> {
+    [false, true]
+        .into_iter()
+        .map(|enforce| {
+            let mut s = pda_netsim::ddos::build(enforce);
+            let out = s.run(legit, attack);
+            EnforceRow {
+                enforce,
+                legit_delivered: out.legit_delivered,
+                attack_delivered: out.attack_delivered,
+                enforcement_drops: out.enforcement_drops,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// E14 / UC4 — C2-scanner fidelity over a generated workload
+// ---------------------------------------------------------------------
+
+/// Result of the UC4 scanner experiment.
+#[derive(Debug)]
+pub struct Uc4Row {
+    /// Flows in the workload.
+    pub flows: u32,
+    /// Flows carrying the beacon (ground truth).
+    pub beacon_flows: usize,
+    /// Beacon packets flagged by the dataplane scanner.
+    pub flagged_packets: u64,
+    /// Beacon packets present (ground truth).
+    pub beacon_packets: u64,
+    /// Audit-trail entries committed.
+    pub audit_entries: usize,
+    /// Scanner accuracy: flagged == present and nothing else flagged.
+    pub exact: bool,
+}
+
+/// E14: generate a seeded workload with a known beacon fraction, run it
+/// through the `c2scan_v1.p4` PERA switch, commit every flagged packet
+/// to the audit trail, and compare against ground truth.
+pub fn exp_uc4(flows: u32, beacon_percent: u32, seed: u64) -> Uc4Row {
+    use pda_core::usecases::AuditTrail;
+    use pda_netsim::traffic::{self, WorkloadSpec, BEACON};
+
+    let spec = WorkloadSpec {
+        flows,
+        packets_per_flow: (1, 8),
+        beacon_percent,
+        ..WorkloadSpec::default()
+    };
+    let workload = traffic::generate(&spec, seed);
+    let beacon_flows = workload.iter().filter(|f| f.payload == BEACON).count();
+    let beacon_packets: u64 = workload
+        .iter()
+        .filter(|f| f.payload == BEACON)
+        .map(|f| u64::from(f.packets))
+        .sum();
+
+    let beacon_sig = u64::from_be_bytes(BEACON);
+    let mut sw = PeraSwitch::new(
+        "scanner",
+        "hw-edge",
+        programs::c2_scanner(&[beacon_sig], 1, 7),
+        PeraConfig::default()
+            .with_details(&[DetailLevel::Program, DetailLevel::Packets])
+            .with_sampling(Sampling::PerPacket),
+    );
+    let mut trail = AuditTrail::new();
+    let mut flagged = 0u64;
+    let mut prev = Digest::ZERO;
+    for flow in &workload {
+        for pkt in traffic::flow_packets(flow) {
+            let out = sw
+                .process_packet(&pkt, 0, Some((Nonce(4), prev)))
+                .expect("parses");
+            if out.forward.phv.get("meta.c2_hit") == 1 {
+                flagged += 1;
+                let record = out.evidence.expect("per-packet sampling");
+                prev = record.chain;
+                trail.append(&record, format!("beacon from {:#010x}", flow.src));
+            } else if let Some(r) = out.evidence {
+                prev = r.chain;
+            }
+        }
+    }
+    let audit_entries = if trail.is_empty() { 0 } else { trail.commit().entries };
+    Uc4Row {
+        flows,
+        beacon_flows,
+        flagged_packets: flagged,
+        beacon_packets,
+        audit_entries,
+        exact: flagged == beacon_packets && audit_entries as u64 == flagged,
+    }
+}

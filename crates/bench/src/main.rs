@@ -1,0 +1,223 @@
+//! The experiment harness: regenerates every figure/table artifact of
+//! the paper as text tables. `cargo run -p bench --bin harness --release`
+//!
+//! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 crypto
+//! wire netkat`) to run a subset; no arguments runs everything.
+
+use bench::*;
+use pda_pera::config::Sampling;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    if want("fig1") {
+        println!("== E1 / Fig. 1: RA principals round (eq 3, out-of-band) ==");
+        println!(
+            "{:<14} {:>9} {:>12} {:>8} {:>6}",
+            "scheme", "messages", "bytes", "checks", "ok"
+        );
+        for r in exp_fig1() {
+            println!(
+                "{:<14} {:>9} {:>12} {:>8} {:>6}",
+                r.scheme.to_string(),
+                r.messages,
+                r.bytes,
+                r.checks,
+                r.ok
+            );
+        }
+        println!();
+    }
+
+    if want("fig2") {
+        println!("== E2 / Fig. 2: in-band vs out-of-band evidence ==");
+        println!(
+            "{:<12} {:>5} {:>12} {:>9} {:>10} {:>11} {:>8} {:>4}",
+            "variant", "hops", "wire-bytes", "ctl-msgs", "ctl-bytes", "latency-ns", "records", "ok"
+        );
+        for r in exp_fig2(&[2, 4, 8, 16]) {
+            println!(
+                "{:<12} {:>5} {:>12} {:>9} {:>10} {:>11} {:>8} {:>4}",
+                r.variant,
+                r.hops,
+                r.wire_bytes,
+                r.control_messages,
+                r.control_bytes,
+                r.latency_ns,
+                r.records,
+                r.ok
+            );
+        }
+        println!();
+    }
+
+    if want("eq12") {
+        println!("== E3 / equations (1)-(2): adversary analysis ==");
+        println!(
+            "{:<22} {:<52} {:>7} {:>7} {:>8} {:>7}",
+            "policy", "verdict", "corrupt", "recent", "repairs", "lins"
+        );
+        for r in exp_eqn12() {
+            println!(
+                "{:<22} {:<52} {:>7} {:>7} {:>8} {:>7}",
+                r.policy, r.verdict, r.corruptions, r.recent, r.repairs, r.evadable_linearizations
+            );
+        }
+        println!();
+    }
+
+    if want("table1") {
+        println!("== E4-E6 / Table 1: attestation policies AP1-AP3 ==");
+        println!(
+            "{:<6} {:>8} {:>8} {:>10} {:>9} {:>8} {:>10} {:>12}",
+            "policy", "path", "clauses", "directives", "bindings", "skipped", "wire-B", "resolve-ns"
+        );
+        for r in exp_table1(&[2, 4, 8]) {
+            println!(
+                "{:<6} {:>8} {:>8} {:>10} {:>9} {:>8} {:>10} {:>12}",
+                r.policy,
+                r.path_len,
+                r.clauses,
+                r.directives,
+                r.bindings,
+                r.skipped,
+                r.wire_bytes,
+                r.resolve_ns
+            );
+        }
+        println!();
+    }
+
+    if want("fig3") {
+        println!("== E7 / Fig. 3: PERA pipeline cost (10k packets, 64 flows) ==");
+        println!(
+            "{:<28} {:>9} {:>12} {:>9} {:>9}",
+            "config", "packets", "ns/packet", "records", "slowdown"
+        );
+        for r in exp_fig3(10_000) {
+            println!(
+                "{:<28} {:>9} {:>12.1} {:>9} {:>8.2}x",
+                r.config, r.packets, r.ns_per_packet, r.records, r.slowdown
+            );
+        }
+        println!();
+    }
+
+    if want("fig4") {
+        println!("== E8 / Fig. 4: design space (1000 packets, 64 flows) ==");
+        println!(
+            "{:<16} {:<14} {:<10} {:>6} {:>8} {:>10} {:>9}",
+            "details", "sampling", "compose", "cache", "records", "B/packet", "hit-rate"
+        );
+        for r in exp_fig4() {
+            println!(
+                "{:<16} {:<14} {:<10} {:>6} {:>8} {:>10.1} {:>9.3}",
+                r.details, r.sampling, r.composition, r.cache, r.records, r.bytes_per_packet,
+                r.cache_hit_rate
+            );
+        }
+        println!();
+    }
+
+    if want("uc1") {
+        println!("== E10 / UC1: detection latency vs sampling ==");
+        println!(
+            "{:<16} {:>22} {:>9}",
+            "sampling", "packets-to-detection", "records"
+        );
+        for r in exp_uc1_detection(&[
+            Sampling::PerPacket,
+            Sampling::EveryN(10),
+            Sampling::EveryN(100),
+            Sampling::PerFlow,
+            Sampling::PerFlowEpoch(50),
+            Sampling::PerEpoch(50),
+        ]) {
+            println!(
+                "{:<16} {:>22} {:>9}",
+                r.sampling,
+                r.packets_to_detection
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "never".into()),
+                r.records
+            );
+        }
+        println!();
+    }
+
+    if want("uc3") {
+        println!("== E9 / UC3: DDoS mitigation gate ==");
+        let r = exp_uc3(20, 200);
+        println!(
+            "legit {}/{} admitted, attack {}/{} admitted → precision {:.3}, recall {:.3}",
+            r.legit_admitted, r.legit, r.attack_admitted, r.attack, r.precision, r.recall
+        );
+        println!();
+    }
+
+    if want("uc4") {
+        println!("== E14 / UC4: C2-scanner fidelity (seeded workload) ==");
+        println!(
+            "{:<7} {:>13} {:>15} {:>15} {:>14} {:>6}",
+            "flows", "beacon-flows", "beacon-packets", "flagged-packets", "audit-entries", "exact"
+        );
+        for (flows, pct, seed) in [(64u32, 10u32, 1u64), (128, 25, 2), (256, 5, 3)] {
+            let r = exp_uc4(flows, pct, seed);
+            println!(
+                "{:<7} {:>13} {:>15} {:>15} {:>14} {:>6}",
+                r.flows, r.beacon_flows, r.beacon_packets, r.flagged_packets, r.audit_entries,
+                r.exact
+            );
+        }
+        println!();
+    }
+
+    if want("enforce") {
+        println!("== E13 / UC3 in-network: edge verify unit (Fig. 3) ==");
+        println!(
+            "{:<9} {:>16} {:>17} {:>18}",
+            "enforce", "legit-delivered", "attack-delivered", "enforcement-drops"
+        );
+        for r in exp_enforcement(10, 100) {
+            println!(
+                "{:<9} {:>16} {:>17} {:>18}",
+                r.enforce, r.legit_delivered, r.attack_delivered, r.enforcement_drops
+            );
+        }
+        println!();
+    }
+
+    if want("crypto") {
+        println!("== E11: root-of-trust primitive costs ==");
+        println!("{:<22} {:>14} {:>10}", "op", "ns/op", "size-B");
+        for r in exp_crypto(256) {
+            println!("{:<22} {:>14.0} {:>10}", r.op, r.ns_per_op, r.size_bytes);
+        }
+        println!();
+    }
+
+    if want("wire") {
+        println!("== E12: wire overhead vs path length ==");
+        println!("{:<6} {:>12} {:>15}", "hops", "policy-B", "evidence-B");
+        for r in exp_wire(&[2, 4, 8, 16]) {
+            println!("{:<6} {:>12} {:>15}", r.hops, r.policy_bytes, r.evidence_bytes);
+        }
+        println!();
+    }
+
+    if want("netkat") {
+        println!("== NetKAT reachability scaling (resolver backend) ==");
+        println!(
+            "{:<10} {:>12} {:>12} {:>10}",
+            "switches", "reach-ns", "witness-ns", "reachable"
+        );
+        for r in exp_netkat(&[4, 8, 16, 32, 64]) {
+            println!(
+                "{:<10} {:>12} {:>12} {:>10}",
+                r.switches, r.reach_ns, r.witness_ns, r.reachable
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,518 @@
+//! Adversary (trust) analysis for Copland phrases.
+//!
+//! Implements an executable version of the corruption/repair analysis of
+//! Ramsdell et al. (*Orchestrating Layered Attestations*) and Rowe et al.
+//! (*Automated Trust Analysis of Copland Specifications*), which the
+//! paper invokes in §4.2: an active adversary who controls userspace can
+//! cheat equation (1) by measuring with a corrupt `bmon`, *repairing*
+//! `bmon`, and only then allowing `av` to measure it. Sequencing the
+//! measurements (equation (2)) forces the corruption into the window
+//! between the two measurements — a *recent* attack that demands a much
+//! faster adversary.
+//!
+//! ## Model
+//!
+//! * Components (measurers and targets) live at places.
+//! * The adversary controls a set of places; components at controlled
+//!   places can be *corrupted* and *repaired* at any point in the event
+//!   order. Components elsewhere are out of reach.
+//! * The adversary's goal: keep a chosen component (e.g. `exts`,
+//!   harbouring malware) corrupted for the whole run, while every
+//!   measurement reports clean.
+//! * A measurement `m measures t` reports *corrupt* iff `t` is corrupted
+//!   at that moment and `m` is clean. A corrupted measurer lies.
+//!
+//! ## Output
+//!
+//! For every linearization of the measurement events the analysis finds
+//! the cheapest adversary action schedule (if any) via dynamic
+//! programming over corruption-state subsets, then classifies the overall
+//! phrase:
+//!
+//! * [`Verdict::Detects`] — no schedule avoids detection: the protocol
+//!   catches this adversary.
+//! * [`Verdict::RecentAttackOnly`] — avoidance is possible but every
+//!   schedule corrupts a component *between* measurement events (the
+//!   hardened, eq-(2) situation).
+//! * [`Verdict::PriorAttackFeasible`] — some schedule only needs
+//!   corruptions set up before the first measurement (the eq-(1)
+//!   situation; repairs during the run are allowed — that is exactly the
+//!   corrupt-measure-repair trick).
+
+use crate::ast::{Phrase, Place, Request};
+use crate::events::{EventKind, EventSystem};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Adversary capability: the set of places the adversary controls.
+#[derive(Clone, Debug, Default)]
+pub struct AdversaryModel {
+    /// Places fully under adversary control.
+    pub controlled_places: Vec<Place>,
+}
+
+impl AdversaryModel {
+    /// Adversary controlling the given places.
+    pub fn controlling(places: &[&str]) -> AdversaryModel {
+        AdversaryModel {
+            controlled_places: places.iter().map(|p| Place::new(*p)).collect(),
+        }
+    }
+
+    fn controls(&self, p: &Place) -> bool {
+        self.controlled_places.contains(p)
+    }
+}
+
+/// One adversary action in a schedule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Corrupt `component` before measurement-event slot `before_slot`
+    /// (slot 0 = before the first measurement).
+    Corrupt {
+        /// Component being corrupted.
+        component: String,
+        /// Measurement slot the action precedes.
+        before_slot: usize,
+    },
+    /// Repair `component` before measurement-event slot `before_slot`.
+    Repair {
+        /// Component being repaired.
+        component: String,
+        /// Measurement slot the action precedes.
+        before_slot: usize,
+    },
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Corrupt {
+                component,
+                before_slot,
+            } => write!(f, "corrupt({component}) before slot {before_slot}"),
+            Action::Repair {
+                component,
+                before_slot,
+            } => write!(f, "repair({component}) before slot {before_slot}"),
+        }
+    }
+}
+
+/// A successful evasion strategy for one linearization.
+#[derive(Clone, Debug)]
+pub struct Strategy {
+    /// The measurement linearization (rendered events).
+    pub linearization: Vec<String>,
+    /// Adversary actions, in order.
+    pub actions: Vec<Action>,
+    /// Number of corruptions performed at slot > 0 (i.e. *after* some
+    /// measurement has already happened) — "recent" corruptions.
+    pub recent_corruptions: usize,
+    /// Total corruptions (including the initial goal corruption).
+    pub corruptions: usize,
+    /// Total repairs.
+    pub repairs: usize,
+}
+
+impl Strategy {
+    /// Total adversary actions.
+    pub fn cost(&self) -> usize {
+        self.corruptions + self.repairs
+    }
+}
+
+/// Overall verdict for a phrase against an adversary model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every adversary schedule is detected.
+    Detects,
+    /// Evasion is possible, but only with corruption *during* the
+    /// protocol run (between measurement events).
+    RecentAttackOnly,
+    /// Evasion is possible with all corruptions staged before any
+    /// measurement runs (repairs during the run permitted).
+    PriorAttackFeasible,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Detects => write!(f, "detects adversary"),
+            Verdict::RecentAttackOnly => write!(f, "vulnerable only to recent-corruption attacks"),
+            Verdict::PriorAttackFeasible => {
+                write!(f, "vulnerable to prior-corruption (corrupt-and-repair) attacks")
+            }
+        }
+    }
+}
+
+/// Full analysis result.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Verdict over all linearizations.
+    pub verdict: Verdict,
+    /// The cheapest evasion strategy found, if any.
+    pub best_strategy: Option<Strategy>,
+    /// All evasion strategies (one per linearization that admits one).
+    pub strategies: Vec<Strategy>,
+}
+
+/// Analyze a request: can `model` keep `goal` corrupted end-to-end while
+/// all measurements report clean?
+pub fn analyze(req: &Request, model: &AdversaryModel, goal: &str) -> Analysis {
+    analyze_phrase(&req.phrase, &req.rp, model, goal)
+}
+
+/// Analyze a bare phrase executing at `place`.
+pub fn analyze_phrase(
+    phrase: &Phrase,
+    place: &Place,
+    model: &AdversaryModel,
+    goal: &str,
+) -> Analysis {
+    let sys = EventSystem::of_phrase(phrase, place);
+    let meas = sys.measurement_events();
+
+    // Component universe: goal + every measurer/target at a controlled
+    // place (only those states matter). Each component maps to a bit.
+    let mut components: BTreeMap<String, Place> = BTreeMap::new();
+    components.insert(goal.to_string(), goal_place(&sys, goal));
+    for &m in &meas {
+        if let EventKind::Measure {
+            measurer,
+            target_place,
+            target,
+        } = &sys.events[m].kind
+        {
+            // The measurer runs at the event's place; the target lives at
+            // target_place.
+            components
+                .entry(measurer.clone())
+                .or_insert_with(|| sys.events[m].place.clone());
+            components
+                .entry(target.clone())
+                .or_insert_with(|| target_place.clone());
+        }
+    }
+    let names: Vec<String> = components.keys().cloned().collect();
+    let idx: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let corruptible: Vec<bool> = names
+        .iter()
+        .map(|n| model.controls(&components[n]) || n == goal)
+        .collect();
+    let goal_bit = idx[goal];
+
+    let mut strategies = Vec::new();
+    for lin in sys.linearizations_of(&meas) {
+        if let Some(s) = best_schedule(&sys, &lin, &names, &idx, &corruptible, goal_bit) {
+            strategies.push(s);
+        }
+    }
+
+    strategies.sort_by_key(|s| (s.recent_corruptions, s.cost()));
+    let best = strategies.first().cloned();
+    let verdict = match &best {
+        None => Verdict::Detects,
+        Some(s) if s.recent_corruptions == 0 => Verdict::PriorAttackFeasible,
+        Some(_) => Verdict::RecentAttackOnly,
+    };
+    Analysis {
+        verdict,
+        best_strategy: best,
+        strategies,
+    }
+}
+
+/// Where does the goal component live? If it is never a measurement
+/// target we place it nowhere-in-particular (it cannot be detected
+/// anyway).
+fn goal_place(sys: &EventSystem, goal: &str) -> Place {
+    for e in &sys.events {
+        if let EventKind::Measure {
+            target, target_place, ..
+        } = &e.kind
+        {
+            if target == goal {
+                return target_place.clone();
+            }
+        }
+    }
+    Place::new("unmeasured")
+}
+
+/// DP over corruption-state subsets for one linearization. State = bitmask
+/// of corrupted components. Between consecutive measurement slots the
+/// adversary may flip any corruptible component (cost 1 per flip; flips of
+/// non-corruptible components are forbidden). Constraint at each
+/// measurement: report must be clean. The goal component must be corrupt
+/// from slot 0 through the end.
+fn best_schedule(
+    sys: &EventSystem,
+    lin: &[usize],
+    names: &[String],
+    idx: &HashMap<&str, usize>,
+    corruptible: &[bool],
+    goal_bit: usize,
+) -> Option<Strategy> {
+    let k = names.len();
+    assert!(k <= 16, "component universe too large for bitmask DP");
+    let nstates = 1usize << k;
+    let goal_mask = 1usize << goal_bit;
+
+    // Initial state: clean everywhere, then the adversary stages slot-0
+    // flips (counted as prior corruptions). Objective minimized
+    // lexicographically: (recent corruptions, total actions) — recency
+    // first, because the verdict asks whether a zero-recent strategy
+    // exists at all.
+    const INF: usize = usize::MAX / 2;
+    let mut cost = vec![(INF, INF); nstates]; // (recent, total)
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; nstates]; // (slot, prev_state)
+    // Slot 0 staging from all-clean:
+    for s in 0..nstates {
+        if s & goal_mask == 0 {
+            continue; // goal must be corrupt from the start
+        }
+        if !reachable_flips(0, s, corruptible) {
+            continue;
+        }
+        cost[s] = (0, s.count_ones() as usize);
+    }
+
+    let mut states = cost;
+    let mut trace: Vec<Vec<Option<(usize, usize)>>> = vec![parent.clone()];
+
+    for (slot, &ev) in lin.iter().enumerate() {
+        let EventKind::Measure {
+            measurer, target, ..
+        } = &sys.events[ev].kind
+        else {
+            unreachable!("linearization contains only measurement events")
+        };
+        let m_bit = 1usize << idx[measurer.as_str()];
+        let t_bit = 1usize << idx[target.as_str()];
+
+        // Filter: measurement must report clean.
+        let mut after_meas = states.clone();
+        for (s, c) in after_meas.iter_mut().enumerate() {
+            let target_corrupt = s & t_bit != 0;
+            let measurer_corrupt = s & m_bit != 0;
+            if target_corrupt && !measurer_corrupt {
+                *c = (INF, INF); // detected
+            }
+        }
+
+        // Transition: adversary flips corruptible bits before next slot.
+        let mut next = vec![(INF, INF); nstates];
+        parent = vec![None; nstates];
+        for (s, &(rc, c)) in after_meas.iter().enumerate() {
+            if c >= INF {
+                continue;
+            }
+            for t in 0..nstates {
+                if t & goal_mask == 0 {
+                    continue; // goal stays corrupt
+                }
+                let flips = s ^ t;
+                if !reachable_flips(s, t, corruptible) {
+                    continue;
+                }
+                let nflips = flips.count_ones() as usize;
+                // Recent corruptions: bits flipped 0→1 after slot 0.
+                let recent = (flips & t).count_ones() as usize;
+                let cand = (rc + recent, c + nflips);
+                if cand < next[t] {
+                    next[t] = cand;
+                    parent[t] = Some((slot + 1, s));
+                }
+            }
+        }
+        states = next;
+        trace.push(parent.clone());
+    }
+
+    // Accept any final state with the goal still corrupt.
+    let (final_state, &(recent, total_cost)) = states
+        .iter()
+        .enumerate()
+        .filter(|(s, c)| s & goal_mask != 0 && c.1 < INF)
+        .min_by_key(|(_, c)| **c)?;
+
+    // Reconstruct the action schedule.
+    let mut actions = Vec::new();
+    let mut state_at = vec![0usize; lin.len() + 1];
+    state_at[lin.len()] = final_state;
+    let mut s = final_state;
+    for slot in (1..=lin.len()).rev() {
+        let (_, prev) = trace[slot][s].expect("parent recorded along optimal path");
+        state_at[slot - 1] = prev;
+        s = prev;
+    }
+    // Slot-0 staging actions:
+    emit_flips(0, 0, state_at[0], names, &mut actions);
+    for slot in 1..=lin.len() {
+        emit_flips(slot, state_at[slot - 1], state_at[slot], names, &mut actions);
+    }
+
+    let corruptions = actions
+        .iter()
+        .filter(|a| matches!(a, Action::Corrupt { .. }))
+        .count();
+    let repairs = actions
+        .iter()
+        .filter(|a| matches!(a, Action::Repair { .. }))
+        .count();
+    debug_assert_eq!(corruptions + repairs, total_cost);
+
+    Some(Strategy {
+        linearization: lin.iter().map(|&e| sys.events[e].to_string()).collect(),
+        actions,
+        recent_corruptions: recent,
+        corruptions,
+        repairs,
+    })
+}
+
+/// Are all bits flipped between `from` and `to` corruptible?
+fn reachable_flips(from: usize, to: usize, corruptible: &[bool]) -> bool {
+    let flips = from ^ to;
+    (0..corruptible.len()).all(|b| flips & (1 << b) == 0 || corruptible[b])
+}
+
+fn emit_flips(slot: usize, from: usize, to: usize, names: &[String], out: &mut Vec<Action>) {
+    // Wait-state bookkeeping: bits going 0→1 are corruptions, 1→0 repairs.
+    for (b, name) in names.iter().enumerate() {
+        let bit = 1usize << b;
+        let was = from & bit != 0;
+        let is = to & bit != 0;
+        match (was, is) {
+            (false, true) => out.push(Action::Corrupt {
+                component: name.clone(),
+                before_slot: slot,
+            }),
+            (true, false) => out.push(Action::Repair {
+                component: name.clone(),
+                before_slot: slot,
+            }),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::examples;
+
+    fn userspace_adversary() -> AdversaryModel {
+        AdversaryModel::controlling(&["us"])
+    }
+
+    /// The paper's core claim about eq (1): a userspace adversary can
+    /// cheat via corrupt-measure-repair without any mid-protocol
+    /// corruption.
+    #[test]
+    fn eq1_vulnerable_to_prior_corruption() {
+        let analysis = analyze(&examples::bank_eq1(), &userspace_adversary(), "exts");
+        assert_eq!(analysis.verdict, Verdict::PriorAttackFeasible);
+        let best = analysis.best_strategy.unwrap();
+        assert_eq!(best.recent_corruptions, 0);
+        // The trick needs bmon corrupted up front and repaired before av
+        // looks at it: ≥2 corruptions (exts + bmon) and ≥1 repair.
+        assert!(best.corruptions >= 2, "{best:?}");
+        assert!(best.repairs >= 1, "{best:?}");
+    }
+
+    /// The paper's core claim about eq (2): sequencing forces a recent
+    /// corruption.
+    #[test]
+    fn eq2_requires_recent_corruption() {
+        let analysis = analyze(&examples::bank_eq2(), &userspace_adversary(), "exts");
+        assert_eq!(analysis.verdict, Verdict::RecentAttackOnly);
+        let best = analysis.best_strategy.unwrap();
+        assert!(best.recent_corruptions >= 1, "{best:?}");
+    }
+
+    /// With no controlled places the adversary cannot even hold the goal
+    /// corrupted invisibly — wait: the goal itself is always corruptible
+    /// (the malware is *in* exts); detection then hinges on measurers.
+    #[test]
+    fn powerless_adversary_detected() {
+        let model = AdversaryModel::controlling(&[]);
+        let analysis = analyze(&examples::bank_eq1(), &model, "exts");
+        // bmon (at us, uncontrolled) is clean and measures the corrupt
+        // exts → detection is certain.
+        assert_eq!(analysis.verdict, Verdict::Detects);
+        assert!(analysis.best_strategy.is_none());
+    }
+
+    /// Kernel-space control breaks everything: av itself can lie.
+    #[test]
+    fn kernel_adversary_beats_eq2() {
+        let model = AdversaryModel::controlling(&["us", "ks"]);
+        let analysis = analyze(&examples::bank_eq2(), &model, "exts");
+        assert_eq!(analysis.verdict, Verdict::PriorAttackFeasible);
+    }
+
+    /// A phrase with no measurements trivially never detects.
+    #[test]
+    fn no_measurements_no_detection() {
+        let p = crate::parser::parse_phrase("! -> #").unwrap();
+        let analysis = analyze_phrase(&p, &Place::new("p"), &userspace_adversary(), "mal");
+        assert_eq!(analysis.verdict, Verdict::PriorAttackFeasible);
+        let best = analysis.best_strategy.unwrap();
+        assert_eq!(best.corruptions, 1); // just corrupt the goal
+        assert_eq!(best.repairs, 0);
+    }
+
+    /// Re-measuring the measurer after its work (av bmon; bmon exts;
+    /// av bmon again) still only forces a recent attack, but a longer
+    /// chain of strictly ordered measurements drives the cost up.
+    #[test]
+    fn remeasurement_increases_attack_cost() {
+        let base = crate::parser::parse_request(
+            "*bank : @ks [av us bmon] -<- @us [bmon us exts]",
+        )
+        .unwrap();
+        let hardened = crate::parser::parse_request(
+            "*bank : @ks [av us bmon] -<- (@us [bmon us exts] -<- @ks [av us bmon])",
+        )
+        .unwrap();
+        let m = userspace_adversary();
+        let a_base = analyze(&base, &m, "exts");
+        let a_hard = analyze(&hardened, &m, "exts");
+        let c_base = a_base.best_strategy.as_ref().unwrap().cost();
+        let c_hard = a_hard.best_strategy.as_ref().unwrap().cost();
+        assert!(
+            c_hard > c_base,
+            "hardened cost {c_hard} should exceed base cost {c_base}"
+        );
+        // And the hardened version needs a repair *and* a recent corruption.
+        let s = a_hard.best_strategy.unwrap();
+        assert!(s.recent_corruptions >= 1);
+        assert!(s.repairs >= 1);
+    }
+
+    #[test]
+    fn strategies_sorted_best_first() {
+        let analysis = analyze(&examples::bank_eq1(), &userspace_adversary(), "exts");
+        for w in analysis.strategies.windows(2) {
+            assert!(
+                (w[0].recent_corruptions, w[0].cost()) <= (w[1].recent_corruptions, w[1].cost())
+            );
+        }
+    }
+
+    #[test]
+    fn actions_render() {
+        let a = Action::Corrupt {
+            component: "bmon".into(),
+            before_slot: 1,
+        };
+        assert_eq!(a.to_string(), "corrupt(bmon) before slot 1");
+    }
+}

@@ -1,0 +1,397 @@
+//! Abstract syntax for the Copland attestation-protocol language.
+//!
+//! Follows the core calculus of Helble et al., *Flexible Mechanisms for
+//! Remote Attestation* (TOPS 2021), which the paper builds on (§4.2):
+//!
+//! ```text
+//! Phrase ::= ASP
+//!          | @P [Phrase]              place annotation
+//!          | Phrase -> Phrase         linear sequence (evidence flows)
+//!          | Phrase l<r Phrase        branch sequence,  l,r ∈ {+,-}
+//!          | Phrase l~r Phrase        branch parallel,  l,r ∈ {+,-}
+//! ASP    ::= m target targetPlace     measurement
+//!          | !                        sign accrued evidence
+//!          | #                        hash accrued evidence
+//!          | _                        copy (pass evidence through)
+//!          | {}                       null (drop evidence)
+//!          | f(args…)                 named service (appraise, certify,
+//!                                     store, retrieve, attest, …)
+//! ```
+//!
+//! A top-level [`Request`] wraps a phrase with the relying party and its
+//! parameters: `*bank<n, X> : C` (paper's `∗bank⟨n, X⟩ : …`).
+
+use std::fmt;
+
+/// A place: where a phrase executes (host, address space, switch, …).
+///
+/// Examples from the paper: `ks` (kernel space), `us` (user space),
+/// `Switch`, `Appraiser`, `hop`, `client`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Place(pub String);
+
+impl Place {
+    /// Construct from anything string-like.
+    pub fn new(s: impl Into<String>) -> Place {
+        Place(s.into())
+    }
+}
+
+impl fmt::Debug for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Place({})", self.0)
+    }
+}
+
+impl fmt::Display for Place {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Place {
+    fn from(s: &str) -> Self {
+        Place(s.to_string())
+    }
+}
+
+/// Evidence-splitting annotation on one arm of a branch: does the arm
+/// receive the evidence accrued so far (`+`) or start empty (`-`)?
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sp {
+    /// Pass accrued evidence into the arm.
+    Pass,
+    /// Give the arm empty initial evidence.
+    Drop,
+}
+
+impl Sp {
+    /// Render as the paper's `+`/`-`.
+    pub fn symbol(self) -> char {
+        match self {
+            Sp::Pass => '+',
+            Sp::Drop => '-',
+        }
+    }
+}
+
+/// Atomic service procedures (ASPs) — the leaves of a phrase.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Asp {
+    /// `m target tplace`: measurer ASP `m` measures `target` residing at
+    /// `tplace`. Example: `av us bmon` — wait, in Copland concrete syntax
+    /// the order is `measurer targetPlace target`; the paper writes
+    /// `av us bmon`: av measures bmon which is in us.
+    Measure {
+        /// The measuring component (e.g. `av`, `bmon`, `attest`).
+        measurer: String,
+        /// Place where the target resides (e.g. `us`).
+        target_place: Place,
+        /// The measured component (e.g. `bmon`, `exts`).
+        target: String,
+    },
+    /// `!` — sign the accrued evidence at the current place.
+    Sign,
+    /// `#` — hash (and thereby compact/redact) the accrued evidence.
+    Hash,
+    /// `_` — copy: pass evidence through unchanged.
+    Copy,
+    /// `{}` — null: produce empty evidence.
+    Null,
+    /// A named service applied to the accrued evidence, e.g.
+    /// `appraise`, `certify(n)`, `store(n)`, `retrieve(n)`,
+    /// `attest(Hardware)`. The paper's `C -> D` operator is sugar for
+    /// sequencing into such a service.
+    Service {
+        /// Service name.
+        name: String,
+        /// Literal or parameter arguments.
+        args: Vec<String>,
+    },
+}
+
+impl Asp {
+    /// Convenience constructor for measurements.
+    pub fn measure(
+        measurer: impl Into<String>,
+        target_place: impl Into<String>,
+        target: impl Into<String>,
+    ) -> Asp {
+        Asp::Measure {
+            measurer: measurer.into(),
+            target_place: Place::new(target_place.into()),
+            target: target.into(),
+        }
+    }
+
+    /// Convenience constructor for services.
+    pub fn service(name: impl Into<String>, args: Vec<&str>) -> Asp {
+        Asp::Service {
+            name: name.into(),
+            args: args.into_iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// A Copland phrase.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Phrase {
+    /// An atomic service procedure.
+    Asp(Asp),
+    /// `@P [C]` — run `C` at place `P`.
+    At(Place, Box<Phrase>),
+    /// `C -> D` — linear sequence: evidence from `C` flows into `D`.
+    Arrow(Box<Phrase>, Box<Phrase>),
+    /// `C l<r D` — branch sequence: both arms run, strictly in order
+    /// (all events of `C` precede all events of `D`).
+    BrSeq(Sp, Sp, Box<Phrase>, Box<Phrase>),
+    /// `C l~r D` — branch parallel: arms may interleave arbitrarily.
+    BrPar(Sp, Sp, Box<Phrase>, Box<Phrase>),
+}
+
+impl Phrase {
+    /// `@P [C]` helper.
+    pub fn at(place: impl Into<String>, inner: Phrase) -> Phrase {
+        Phrase::At(Place::new(place.into()), Box::new(inner))
+    }
+
+    /// `C -> D` helper.
+    pub fn then(self, next: Phrase) -> Phrase {
+        Phrase::Arrow(Box::new(self), Box::new(next))
+    }
+
+    /// `C l<r D` helper.
+    pub fn br_seq(self, l: Sp, r: Sp, right: Phrase) -> Phrase {
+        Phrase::BrSeq(l, r, Box::new(self), Box::new(right))
+    }
+
+    /// `C l~r D` helper.
+    pub fn br_par(self, l: Sp, r: Sp, right: Phrase) -> Phrase {
+        Phrase::BrPar(l, r, Box::new(self), Box::new(right))
+    }
+
+    /// All places mentioned anywhere in the phrase, in first-occurrence
+    /// order, deduplicated.
+    pub fn places(&self) -> Vec<Place> {
+        let mut out = Vec::new();
+        self.collect_places(&mut out);
+        out
+    }
+
+    fn collect_places(&self, out: &mut Vec<Place>) {
+        let mut push = |p: &Place| {
+            if !out.contains(p) {
+                out.push(p.clone());
+            }
+        };
+        match self {
+            Phrase::Asp(Asp::Measure { target_place, .. }) => push(target_place),
+            Phrase::Asp(_) => {}
+            Phrase::At(p, inner) => {
+                push(p);
+                inner.collect_places(out);
+            }
+            Phrase::Arrow(l, r) | Phrase::BrSeq(_, _, l, r) | Phrase::BrPar(_, _, l, r) => {
+                l.collect_places(out);
+                r.collect_places(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes (used for cost accounting and fuzz bounds).
+    pub fn size(&self) -> usize {
+        match self {
+            Phrase::Asp(_) => 1,
+            Phrase::At(_, inner) => 1 + inner.size(),
+            Phrase::Arrow(l, r) | Phrase::BrSeq(_, _, l, r) | Phrase::BrPar(_, _, l, r) => {
+                1 + l.size() + r.size()
+            }
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            Phrase::Asp(_) => 1,
+            Phrase::At(_, inner) => 1 + inner.depth(),
+            Phrase::Arrow(l, r) | Phrase::BrSeq(_, _, l, r) | Phrase::BrPar(_, _, l, r) => {
+                1 + l.depth().max(r.depth())
+            }
+        }
+    }
+
+    /// Does the phrase contain any signature (`!`) operation?
+    pub fn has_signature(&self) -> bool {
+        match self {
+            Phrase::Asp(Asp::Sign) => true,
+            Phrase::Asp(_) => false,
+            Phrase::At(_, inner) => inner.has_signature(),
+            Phrase::Arrow(l, r) | Phrase::BrSeq(_, _, l, r) | Phrase::BrPar(_, _, l, r) => {
+                l.has_signature() || r.has_signature()
+            }
+        }
+    }
+}
+
+/// A top-level attestation request: `*rp<params…> : phrase`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// The relying party issuing the request.
+    pub rp: Place,
+    /// Request parameters (`n` nonce, `X` property, …). Parameter names
+    /// are free variables usable in service arguments inside the phrase.
+    pub params: Vec<String>,
+    /// The phrase to execute.
+    pub phrase: Phrase,
+}
+
+impl Request {
+    /// Construct a request.
+    pub fn new(rp: impl Into<String>, params: Vec<&str>, phrase: Phrase) -> Request {
+        Request {
+            rp: Place::new(rp.into()),
+            params: params.into_iter().map(|s| s.to_string()).collect(),
+            phrase,
+        }
+    }
+}
+
+/// Builders for the paper's running examples — used by tests, examples,
+/// and benchmarks, and kept here so every layer agrees on the exact AST.
+pub mod examples {
+    use super::*;
+
+    /// Equation (1): `* bank : @ks [av us bmon] +~+ @us [bmon us exts]`
+    /// (the cheatable parallel version).
+    pub fn bank_eq1() -> Request {
+        let c1 = Phrase::at("ks", Phrase::Asp(Asp::measure("av", "us", "bmon")));
+        let c2 = Phrase::at("us", Phrase::Asp(Asp::measure("bmon", "us", "exts")));
+        Request::new("bank", vec![], c1.br_par(Sp::Pass, Sp::Pass, c2))
+    }
+
+    /// Equation (2): `*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]`
+    /// (sequenced + signed hardening).
+    pub fn bank_eq2() -> Request {
+        let c1 = Phrase::at(
+            "ks",
+            Phrase::Asp(Asp::measure("av", "us", "bmon")).then(Phrase::Asp(Asp::Sign)),
+        );
+        let c2 = Phrase::at(
+            "us",
+            Phrase::Asp(Asp::measure("bmon", "us", "exts")).then(Phrase::Asp(Asp::Sign)),
+        );
+        Request::new("bank", vec![], c1.br_seq(Sp::Drop, Sp::Drop, c2))
+    }
+
+    /// Equation (3), first expression: out-of-band PERA attestation.
+    ///
+    /// ```text
+    /// *RP1<n> : @Switch [attest(Hardware) -~- attest(Program) -> # -> !]
+    ///           +>+ @Appraiser [appraise -> certify(n) -> ! -> store(n)]
+    /// ```
+    /// (The paper writes `attest(Hardware -~- Program)`; we model the two
+    /// attestations as parallel service invocations whose joint evidence
+    /// is hashed and signed.)
+    pub fn pera_out_of_band() -> Request {
+        let claim = Phrase::Asp(Asp::service("attest", vec!["Hardware"]))
+            .br_par(Sp::Drop, Sp::Drop, Phrase::Asp(Asp::service("attest", vec!["Program"])))
+            .then(Phrase::Asp(Asp::Hash))
+            .then(Phrase::Asp(Asp::Sign));
+        let switch = Phrase::at("Switch", claim);
+        let appraiser = Phrase::at(
+            "Appraiser",
+            Phrase::Asp(Asp::service("appraise", vec![]))
+                .then(Phrase::Asp(Asp::service("certify", vec!["n"])))
+                .then(Phrase::Asp(Asp::Sign))
+                .then(Phrase::Asp(Asp::service("store", vec!["n"]))),
+        );
+        Request::new(
+            "RP1",
+            vec!["n"],
+            switch.br_seq(Sp::Pass, Sp::Pass, appraiser),
+        )
+    }
+
+    /// Equation (3), second expression: RP2 retrieves the certificate.
+    pub fn pera_retrieve() -> Request {
+        Request::new(
+            "RP2",
+            vec!["n"],
+            Phrase::at("Appraiser", Phrase::Asp(Asp::service("retrieve", vec!["n"]))),
+        )
+    }
+
+    /// Equation (4): in-band PERA attestation.
+    ///
+    /// ```text
+    /// *RP1 : @Switch [attest(Hardware) -~- attest(Program) -> # -> !]
+    ///        -> @RP2 [@Appraiser [appraise -> certify -> !]]
+    /// ```
+    pub fn pera_in_band() -> Request {
+        let claim = Phrase::Asp(Asp::service("attest", vec!["Hardware"]))
+            .br_par(Sp::Drop, Sp::Drop, Phrase::Asp(Asp::service("attest", vec!["Program"])))
+            .then(Phrase::Asp(Asp::Hash))
+            .then(Phrase::Asp(Asp::Sign));
+        let switch = Phrase::at("Switch", claim);
+        let inner = Phrase::at(
+            "Appraiser",
+            Phrase::Asp(Asp::service("appraise", vec![]))
+                .then(Phrase::Asp(Asp::service("certify", vec![])))
+                .then(Phrase::Asp(Asp::Sign)),
+        );
+        let rp2 = Phrase::at("RP2", inner);
+        Request::new("RP1", vec![], switch.then(rp2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn places_deduplicated_in_order() {
+        let req = examples::bank_eq1();
+        let places = req.phrase.places();
+        assert_eq!(
+            places,
+            vec![Place::new("ks"), Place::new("us")],
+            "ks first (outer @), then us"
+        );
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let p = Phrase::Asp(Asp::Sign);
+        assert_eq!(p.size(), 1);
+        assert_eq!(p.depth(), 1);
+        let q = Phrase::at("x", Phrase::Asp(Asp::Copy).then(Phrase::Asp(Asp::Sign)));
+        assert_eq!(q.size(), 4);
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn eq1_has_no_signature_eq2_does() {
+        assert!(!examples::bank_eq1().phrase.has_signature());
+        assert!(examples::bank_eq2().phrase.has_signature());
+    }
+
+    #[test]
+    fn example_requests_well_formed() {
+        for (name, req) in [
+            ("eq1", examples::bank_eq1()),
+            ("eq2", examples::bank_eq2()),
+            ("oob", examples::pera_out_of_band()),
+            ("ret", examples::pera_retrieve()),
+            ("inband", examples::pera_in_band()),
+        ] {
+            assert!(req.phrase.size() > 0, "{name}");
+            assert!(!req.rp.0.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn sp_symbols() {
+        assert_eq!(Sp::Pass.symbol(), '+');
+        assert_eq!(Sp::Drop.symbol(), '-');
+    }
+}

@@ -1,0 +1,395 @@
+//! Event semantics: a Copland phrase denotes a partially ordered set of
+//! events (Petz & Alexander's event-system view). The ordering is what
+//! distinguishes branch-*sequence* from branch-*parallel*: `<` forces all
+//! events of the left arm before all events of the right, `~` leaves the
+//! arms unordered. The adversary analysis ([`crate::adversary`]) works
+//! over linearizations of this poset.
+
+use crate::ast::{Asp, Phrase, Place, Request};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An event identifier (index into [`EventSystem::events`]).
+pub type EventId = usize;
+
+/// What happened at an event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A measurement: `measurer` measured `target` (at `target_place`).
+    Measure {
+        /// Measuring component.
+        measurer: String,
+        /// Place of the target.
+        target_place: Place,
+        /// Measured component.
+        target: String,
+    },
+    /// Evidence signed.
+    Sign,
+    /// Evidence hashed.
+    Hash,
+    /// Evidence copied.
+    Copy,
+    /// Evidence dropped.
+    Null,
+    /// Named service invoked.
+    Service {
+        /// Service name.
+        name: String,
+    },
+    /// Attestation request sent from the parent place into `to`.
+    Req {
+        /// Destination place.
+        to: Place,
+    },
+    /// Reply (evidence) returned from a remote place to `to`.
+    Rpy {
+        /// Destination place.
+        to: Place,
+    },
+    /// Branch fork.
+    Split,
+    /// Branch join.
+    Join,
+}
+
+/// An event: a kind located at a place.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Where it happened.
+    pub place: Place,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::Measure {
+                measurer,
+                target_place,
+                target,
+            } => write!(f, "meas({measurer},{target_place},{target})@{}", self.place),
+            EventKind::Sign => write!(f, "sig@{}", self.place),
+            EventKind::Hash => write!(f, "hsh@{}", self.place),
+            EventKind::Copy => write!(f, "cpy@{}", self.place),
+            EventKind::Null => write!(f, "nul@{}", self.place),
+            EventKind::Service { name } => write!(f, "{name}@{}", self.place),
+            EventKind::Req { to } => write!(f, "req({}→{to})", self.place),
+            EventKind::Rpy { to } => write!(f, "rpy({}→{to})", self.place),
+            EventKind::Split => write!(f, "split@{}", self.place),
+            EventKind::Join => write!(f, "join@{}", self.place),
+        }
+    }
+}
+
+/// A partially ordered event system.
+#[derive(Clone, Debug, Default)]
+pub struct EventSystem {
+    /// All events; `EventId` indexes into this.
+    pub events: Vec<Event>,
+    /// Direct precedence edges `(a, b)`: a happens before b.
+    pub edges: Vec<(EventId, EventId)>,
+}
+
+/// A fragment under construction: its entry and exit event ids.
+struct Frag {
+    entries: Vec<EventId>,
+    exits: Vec<EventId>,
+}
+
+impl EventSystem {
+    /// Compile a request into its event system. Events are generated in a
+    /// deterministic order so analyses are reproducible.
+    pub fn of_request(req: &Request) -> EventSystem {
+        let mut sys = EventSystem::default();
+        sys.compile(&req.phrase, &req.rp);
+        sys
+    }
+
+    /// Compile a phrase executing at `place`.
+    pub fn of_phrase(phrase: &Phrase, place: &Place) -> EventSystem {
+        let mut sys = EventSystem::default();
+        sys.compile(phrase, place);
+        sys
+    }
+
+    fn push(&mut self, kind: EventKind, place: &Place) -> EventId {
+        self.events.push(Event {
+            kind,
+            place: place.clone(),
+        });
+        self.events.len() - 1
+    }
+
+    fn compile(&mut self, phrase: &Phrase, place: &Place) -> Frag {
+        match phrase {
+            Phrase::Asp(asp) => {
+                let kind = match asp {
+                    Asp::Measure {
+                        measurer,
+                        target_place,
+                        target,
+                    } => EventKind::Measure {
+                        measurer: measurer.clone(),
+                        target_place: target_place.clone(),
+                        target: target.clone(),
+                    },
+                    Asp::Sign => EventKind::Sign,
+                    Asp::Hash => EventKind::Hash,
+                    Asp::Copy => EventKind::Copy,
+                    Asp::Null => EventKind::Null,
+                    Asp::Service { name, .. } => EventKind::Service { name: name.clone() },
+                };
+                let id = self.push(kind, place);
+                Frag {
+                    entries: vec![id],
+                    exits: vec![id],
+                }
+            }
+            Phrase::At(q, inner) => {
+                let req = self.push(EventKind::Req { to: q.clone() }, place);
+                let body = self.compile(inner, q);
+                let rpy = self.push(EventKind::Rpy { to: place.clone() }, q);
+                for e in &body.entries {
+                    self.edges.push((req, *e));
+                }
+                for x in &body.exits {
+                    self.edges.push((*x, rpy));
+                }
+                Frag {
+                    entries: vec![req],
+                    exits: vec![rpy],
+                }
+            }
+            Phrase::Arrow(l, r) => {
+                let lf = self.compile(l, place);
+                let rf = self.compile(r, place);
+                for x in &lf.exits {
+                    for e in &rf.entries {
+                        self.edges.push((*x, *e));
+                    }
+                }
+                Frag {
+                    entries: lf.entries,
+                    exits: rf.exits,
+                }
+            }
+            Phrase::BrSeq(_, _, l, r) => {
+                let split = self.push(EventKind::Split, place);
+                let lf = self.compile(l, place);
+                let rf = self.compile(r, place);
+                let join = self.push(EventKind::Join, place);
+                for e in &lf.entries {
+                    self.edges.push((split, *e));
+                }
+                // Strict sequencing: every left exit precedes every right entry.
+                for x in &lf.exits {
+                    for e in &rf.entries {
+                        self.edges.push((*x, *e));
+                    }
+                }
+                for x in &rf.exits {
+                    self.edges.push((*x, join));
+                }
+                Frag {
+                    entries: vec![split],
+                    exits: vec![join],
+                }
+            }
+            Phrase::BrPar(_, _, l, r) => {
+                let split = self.push(EventKind::Split, place);
+                let lf = self.compile(l, place);
+                let rf = self.compile(r, place);
+                let join = self.push(EventKind::Join, place);
+                for e in lf.entries.iter().chain(&rf.entries) {
+                    self.edges.push((split, *e));
+                }
+                for x in lf.exits.iter().chain(&rf.exits) {
+                    self.edges.push((*x, join));
+                }
+                Frag {
+                    entries: vec![split],
+                    exits: vec![join],
+                }
+            }
+        }
+    }
+
+    /// Transitive "happens-before": does `a` necessarily precede `b`?
+    pub fn precedes(&self, a: EventId, b: EventId) -> bool {
+        let mut seen = HashSet::new();
+        let mut stack = vec![a];
+        while let Some(x) = stack.pop() {
+            if x == b && x != a {
+                return true;
+            }
+            for &(u, v) in &self.edges {
+                if u == x && seen.insert(v) {
+                    if v == b {
+                        return true;
+                    }
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// Ids of all measurement events.
+    pub fn measurement_events(&self) -> Vec<EventId> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Measure { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Enumerate every linearization of the given `subset` of events,
+    /// respecting the poset order projected onto them. Intended for the
+    /// (small) sets of measurement events; panics if `subset.len() > 10`
+    /// to avoid factorial blowups.
+    pub fn linearizations_of(&self, subset: &[EventId]) -> Vec<Vec<EventId>> {
+        assert!(
+            subset.len() <= 10,
+            "linearization enumeration limited to 10 events"
+        );
+        // Precompute pairwise order among subset members.
+        let n = subset.len();
+        let mut before = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    before[i][j] = self.precedes(subset[i], subset[j]);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut used = vec![false; n];
+        let mut cur = Vec::with_capacity(n);
+        fn rec(
+            n: usize,
+            before: &[Vec<bool>],
+            used: &mut Vec<bool>,
+            cur: &mut Vec<usize>,
+            out: &mut Vec<Vec<usize>>,
+        ) {
+            if cur.len() == n {
+                out.push(cur.clone());
+                return;
+            }
+            for cand in 0..n {
+                if used[cand] {
+                    continue;
+                }
+                // cand is eligible if every not-yet-placed event that must
+                // precede it is already placed.
+                let blocked = (0..n).any(|other| !used[other] && before[other][cand]);
+                if blocked {
+                    continue;
+                }
+                used[cand] = true;
+                cur.push(cand);
+                rec(n, before, used, cur, out);
+                cur.pop();
+                used[cand] = false;
+            }
+        }
+        rec(n, &before, &mut used, &mut cur, &mut out);
+        out.into_iter()
+            .map(|idxs| idxs.into_iter().map(|i| subset[i]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::examples;
+
+    #[test]
+    fn eq1_measurements_unordered() {
+        let sys = EventSystem::of_request(&examples::bank_eq1());
+        let meas = sys.measurement_events();
+        assert_eq!(meas.len(), 2);
+        assert!(!sys.precedes(meas[0], meas[1]));
+        assert!(!sys.precedes(meas[1], meas[0]));
+        assert_eq!(sys.linearizations_of(&meas).len(), 2);
+    }
+
+    #[test]
+    fn eq2_measurements_strictly_ordered() {
+        let sys = EventSystem::of_request(&examples::bank_eq2());
+        let meas = sys.measurement_events();
+        assert_eq!(meas.len(), 2);
+        // av-measures-bmon (generated first) precedes bmon-measures-exts.
+        assert!(sys.precedes(meas[0], meas[1]));
+        assert!(!sys.precedes(meas[1], meas[0]));
+        assert_eq!(sys.linearizations_of(&meas).len(), 1);
+    }
+
+    #[test]
+    fn arrow_orders_events() {
+        let p = crate::parser::parse_phrase("! -> #").unwrap();
+        let sys = EventSystem::of_phrase(&p, &Place::new("p"));
+        assert_eq!(sys.events.len(), 2);
+        assert!(sys.precedes(0, 1));
+    }
+
+    #[test]
+    fn at_wraps_with_req_rpy() {
+        let p = crate::parser::parse_phrase("@q [!]").unwrap();
+        let sys = EventSystem::of_phrase(&p, &Place::new("p"));
+        assert_eq!(sys.events.len(), 3);
+        assert!(matches!(sys.events[0].kind, EventKind::Req { .. }));
+        assert!(matches!(sys.events[1].kind, EventKind::Sign));
+        assert_eq!(sys.events[1].place.0, "q");
+        assert!(matches!(sys.events[2].kind, EventKind::Rpy { .. }));
+        assert!(sys.precedes(0, 1));
+        assert!(sys.precedes(1, 2));
+        assert!(sys.precedes(0, 2));
+    }
+
+    #[test]
+    fn parallel_sign_events_unordered_across_arms() {
+        let p = crate::parser::parse_phrase("(! -> #) -~- (! -> #)").unwrap();
+        let sys = EventSystem::of_phrase(&p, &Place::new("p"));
+        let signs: Vec<_> = sys
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Sign))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(signs.len(), 2);
+        assert!(!sys.precedes(signs[0], signs[1]));
+        assert!(!sys.precedes(signs[1], signs[0]));
+    }
+
+    #[test]
+    fn three_parallel_measurements_have_six_linearizations() {
+        let p = crate::parser::parse_phrase("(a x t1 -~- b x t2) -~- c x t3").unwrap();
+        let sys = EventSystem::of_phrase(&p, &Place::new("p"));
+        let meas = sys.measurement_events();
+        assert_eq!(meas.len(), 3);
+        assert_eq!(sys.linearizations_of(&meas).len(), 6);
+    }
+
+    #[test]
+    fn mixed_order_linearizations() {
+        // (m1 ; m2) ~ m3 : m1 < m2, m3 free → 3 linearizations.
+        let p = crate::parser::parse_phrase("(a x t1 -<- b x t2) -~- c x t3").unwrap();
+        let sys = EventSystem::of_phrase(&p, &Place::new("p"));
+        let meas = sys.measurement_events();
+        assert_eq!(sys.linearizations_of(&meas).len(), 3);
+    }
+
+    #[test]
+    fn display_of_events() {
+        let sys = EventSystem::of_request(&examples::bank_eq2());
+        let rendered: Vec<String> = sys.events.iter().map(|e| e.to_string()).collect();
+        assert!(rendered.iter().any(|s| s.contains("meas(av,us,bmon)@ks")));
+        assert!(rendered.iter().any(|s| s.contains("sig@us")));
+    }
+}

@@ -1,0 +1,342 @@
+//! Denotational evidence semantics for Copland.
+//!
+//! Evaluating a phrase transforms evidence accrued so far into composite
+//! evidence (§4.2: "The evaluation of a Copland expression takes in
+//! evidence that has been accrued so far and transforms it into composite
+//! evidence"). This module gives the *symbolic* semantics: the result
+//! describes the exact shape of evidence a compliant attester must
+//! produce. Appraisers use this shape as the expected "evidence type";
+//! the concrete, crypto-backed evaluator lives in `pda-ra` and produces
+//! bytes whose structure mirrors these terms.
+
+use crate::ast::{Asp, Phrase, Place, Request, Sp};
+use std::fmt;
+
+/// Symbolic evidence terms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Evidence {
+    /// `mt` — empty evidence.
+    Empty,
+    /// A relying-party nonce (value abstracted symbolically).
+    Nonce,
+    /// Result of measurement `measurer target_place target`, taken at
+    /// `place`, extending `sub`.
+    Measurement {
+        /// Measuring component.
+        measurer: String,
+        /// Place of the measured target.
+        target_place: Place,
+        /// Measured component.
+        target: String,
+        /// Place where the measurement ASP ran.
+        place: Place,
+        /// Evidence accrued before this measurement.
+        sub: Box<Evidence>,
+    },
+    /// `!` — `sub` signed by `place`.
+    Signature {
+        /// Signing place.
+        place: Place,
+        /// Signed evidence.
+        sub: Box<Evidence>,
+    },
+    /// `#` — `sub` hashed at `place`. The appraiser knows the expected
+    /// pre-image shape; on the wire only the digest travels.
+    Hashed {
+        /// Hashing place.
+        place: Place,
+        /// Shape of the hashed evidence.
+        sub: Box<Evidence>,
+    },
+    /// A named service applied at `place` (attest, appraise, certify,
+    /// store, retrieve, …).
+    Service {
+        /// Service name.
+        name: String,
+        /// Service arguments (request parameters or literals).
+        args: Vec<String>,
+        /// Place where the service ran.
+        place: Place,
+        /// Input evidence.
+        sub: Box<Evidence>,
+    },
+    /// Branch-sequence composite.
+    Seq(Box<Evidence>, Box<Evidence>),
+    /// Branch-parallel composite.
+    Par(Box<Evidence>, Box<Evidence>),
+}
+
+impl Evidence {
+    /// Number of evidence nodes (cost proxy for appraisal effort).
+    pub fn size(&self) -> usize {
+        match self {
+            Evidence::Empty | Evidence::Nonce => 1,
+            Evidence::Measurement { sub, .. }
+            | Evidence::Signature { sub, .. }
+            | Evidence::Hashed { sub, .. }
+            | Evidence::Service { sub, .. } => 1 + sub.size(),
+            Evidence::Seq(l, r) | Evidence::Par(l, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// All measurement records in the evidence, outside-in.
+    pub fn measurements(&self) -> Vec<(&str, &Place, &str)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Evidence::Measurement {
+                measurer,
+                target_place,
+                target,
+                ..
+            } = e
+            {
+                out.push((measurer.as_str(), target_place, target.as_str()));
+            }
+        });
+        out
+    }
+
+    /// Count of signature wrappers.
+    pub fn signature_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |e| {
+            if matches!(e, Evidence::Signature { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Evidence)) {
+        f(self);
+        match self {
+            Evidence::Empty | Evidence::Nonce => {}
+            Evidence::Measurement { sub, .. }
+            | Evidence::Signature { sub, .. }
+            | Evidence::Hashed { sub, .. }
+            | Evidence::Service { sub, .. } => sub.walk(f),
+            Evidence::Seq(l, r) | Evidence::Par(l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Evidence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Evidence::Empty => write!(f, "mt"),
+            Evidence::Nonce => write!(f, "n"),
+            Evidence::Measurement {
+                measurer,
+                target_place,
+                target,
+                place,
+                sub,
+            } => write!(f, "meas({measurer},{target_place},{target})@{place}[{sub}]"),
+            Evidence::Signature { place, sub } => write!(f, "sig@{place}[{sub}]"),
+            Evidence::Hashed { place, sub } => write!(f, "hsh@{place}[{sub}]"),
+            Evidence::Service {
+                name, args, place, sub, ..
+            } => {
+                if args.is_empty() {
+                    write!(f, "{name}@{place}[{sub}]")
+                } else {
+                    write!(f, "{name}({})@{place}[{sub}]", args.join(","))
+                }
+            }
+            Evidence::Seq(l, r) => write!(f, "seq({l}; {r})"),
+            Evidence::Par(l, r) => write!(f, "par({l} || {r})"),
+        }
+    }
+}
+
+fn split(sp: Sp, e: &Evidence) -> Evidence {
+    match sp {
+        Sp::Pass => e.clone(),
+        Sp::Drop => Evidence::Empty,
+    }
+}
+
+/// Evaluate `phrase` at `place` with initial evidence `e`.
+pub fn eval(phrase: &Phrase, place: &Place, e: Evidence) -> Evidence {
+    match phrase {
+        Phrase::Asp(asp) => eval_asp(asp, place, e),
+        Phrase::At(q, inner) => eval(inner, q, e),
+        Phrase::Arrow(l, r) => {
+            let mid = eval(l, place, e);
+            eval(r, place, mid)
+        }
+        Phrase::BrSeq(sl, sr, l, r) => {
+            let le = eval(l, place, split(*sl, &e));
+            let re = eval(r, place, split(*sr, &e));
+            Evidence::Seq(Box::new(le), Box::new(re))
+        }
+        Phrase::BrPar(sl, sr, l, r) => {
+            let le = eval(l, place, split(*sl, &e));
+            let re = eval(r, place, split(*sr, &e));
+            Evidence::Par(Box::new(le), Box::new(re))
+        }
+    }
+}
+
+fn eval_asp(asp: &Asp, place: &Place, e: Evidence) -> Evidence {
+    match asp {
+        Asp::Measure {
+            measurer,
+            target_place,
+            target,
+        } => Evidence::Measurement {
+            measurer: measurer.clone(),
+            target_place: target_place.clone(),
+            target: target.clone(),
+            place: place.clone(),
+            sub: Box::new(e),
+        },
+        Asp::Sign => Evidence::Signature {
+            place: place.clone(),
+            sub: Box::new(e),
+        },
+        Asp::Hash => Evidence::Hashed {
+            place: place.clone(),
+            sub: Box::new(e),
+        },
+        Asp::Copy => e,
+        Asp::Null => Evidence::Empty,
+        Asp::Service { name, args } => Evidence::Service {
+            name: name.clone(),
+            args: args.clone(),
+            place: place.clone(),
+            sub: Box::new(e),
+        },
+    }
+}
+
+/// Evaluate a full request. The phrase starts executing at the relying
+/// party's place; initial evidence is the nonce when the request has a
+/// nonce parameter (`n`), empty otherwise (Helble et al.'s convention).
+pub fn eval_request(req: &Request) -> Evidence {
+    let init = if req.params.iter().any(|p| p == "n") {
+        Evidence::Nonce
+    } else {
+        Evidence::Empty
+    };
+    eval(&req.phrase, &req.rp, init)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::examples;
+
+    #[test]
+    fn eq1_evidence_shape() {
+        let ev = eval_request(&examples::bank_eq1());
+        // par( meas(av,us,bmon)@ks[mt] || meas(bmon,us,exts)@us[mt] )
+        let Evidence::Par(l, r) = &ev else {
+            panic!("expected Par, got {ev}")
+        };
+        assert!(matches!(**l, Evidence::Measurement { .. }));
+        assert!(matches!(**r, Evidence::Measurement { .. }));
+        assert_eq!(ev.measurements().len(), 2);
+        assert_eq!(ev.signature_count(), 0);
+    }
+
+    #[test]
+    fn eq2_evidence_shape() {
+        let ev = eval_request(&examples::bank_eq2());
+        let Evidence::Seq(l, r) = &ev else {
+            panic!("expected Seq, got {ev}")
+        };
+        // Each arm: sig@place[ meas(...)[mt] ]
+        for (arm, place) in [(l.as_ref(), "ks"), (r.as_ref(), "us")] {
+            let Evidence::Signature { place: p, sub } = arm else {
+                panic!("expected Signature arm")
+            };
+            assert_eq!(p.0, place);
+            assert!(matches!(sub.as_ref(), Evidence::Measurement { .. }));
+        }
+        assert_eq!(ev.signature_count(), 2);
+    }
+
+    #[test]
+    fn out_of_band_evidence_shape() {
+        let ev = eval_request(&examples::pera_out_of_band());
+        // seq( sig@Switch[hsh@Switch[par(attest(H), attest(P))]],
+        //      store(n)@Appraiser[sig[certify(n)[appraise[...]]]] )
+        let Evidence::Seq(switch_arm, appr_arm) = &ev else {
+            panic!("expected Seq, got {ev}")
+        };
+        assert!(matches!(**switch_arm, Evidence::Signature { .. }));
+        let Evidence::Service { name, .. } = &**appr_arm else {
+            panic!("appraiser arm should end in store(n)")
+        };
+        assert_eq!(name, "store");
+        // The nonce flows in: evidence contains Nonce leaves because the
+        // split flags are `+`.
+        let rendered = ev.to_string();
+        assert!(rendered.contains('n'), "{rendered}");
+    }
+
+    #[test]
+    fn in_band_final_service_is_signature_by_appraiser() {
+        let ev = eval_request(&examples::pera_in_band());
+        let Evidence::Signature { place, .. } = &ev else {
+            panic!("in-band result should be appraiser-signed, got {ev}")
+        };
+        assert_eq!(place.0, "Appraiser");
+    }
+
+    #[test]
+    fn copy_passes_null_drops() {
+        use crate::ast::{Asp, Phrase};
+        let place = Place::new("p");
+        let e = Evidence::Nonce;
+        assert_eq!(eval(&Phrase::Asp(Asp::Copy), &place, e.clone()), e);
+        assert_eq!(
+            eval(&Phrase::Asp(Asp::Null), &place, e),
+            Evidence::Empty
+        );
+    }
+
+    #[test]
+    fn split_flags_control_evidence_flow() {
+        use crate::ast::{Asp, Phrase};
+        let place = Place::new("p");
+        let phrase = Phrase::Asp(Asp::Copy).br_seq(Sp::Pass, Sp::Drop, Phrase::Asp(Asp::Copy));
+        let ev = eval(&phrase, &place, Evidence::Nonce);
+        assert_eq!(
+            ev,
+            Evidence::Seq(Box::new(Evidence::Nonce), Box::new(Evidence::Empty))
+        );
+    }
+
+    #[test]
+    fn at_changes_place_for_inner_asps() {
+        use crate::ast::{Asp, Phrase};
+        let phrase = Phrase::at("remote", Phrase::Asp(Asp::Sign));
+        let ev = eval(&phrase, &Place::new("local"), Evidence::Empty);
+        let Evidence::Signature { place, .. } = ev else {
+            panic!()
+        };
+        assert_eq!(place.0, "remote");
+    }
+
+    #[test]
+    fn evidence_size_and_display() {
+        let ev = eval_request(&examples::bank_eq2());
+        assert!(ev.size() >= 5);
+        let s = ev.to_string();
+        assert!(s.contains("sig@ks"), "{s}");
+        assert!(s.contains("meas(bmon,us,exts)"), "{s}");
+    }
+
+    #[test]
+    fn nonce_initial_evidence_only_with_n_param() {
+        let with_n = examples::pera_out_of_band(); // has param n
+        let without = examples::bank_eq1();
+        assert!(eval_request(&with_n).to_string().contains('n'));
+        assert!(!eval_request(&without).to_string().contains("[n]"));
+    }
+}

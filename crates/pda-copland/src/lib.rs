@@ -1,0 +1,44 @@
+//! # pda-copland
+//!
+//! A complete implementation of the **Copland** remote-attestation policy
+//! language (Helble et al., TOPS 2021) as used by the paper's §4.2:
+//! abstract syntax, a concrete-syntax parser and pretty-printer,
+//! denotational *evidence* semantics, partially-ordered *event*
+//! semantics, and an automated adversary (trust) analysis reproducing the
+//! corrupt-and-repair reasoning of Ramsdell et al. / Rowe et al.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use pda_copland::parser::parse_request;
+//! use pda_copland::evidence::eval_request;
+//! use pda_copland::adversary::{analyze, AdversaryModel, Verdict};
+//!
+//! // Equation (2) of the paper: sequenced, signed measurements.
+//! let req = parse_request(
+//!     "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]",
+//! ).unwrap();
+//!
+//! // What evidence must a compliant attester produce?
+//! let shape = eval_request(&req);
+//! assert_eq!(shape.signature_count(), 2);
+//!
+//! // Can a userspace adversary hide malware in `exts`?
+//! let a = analyze(&req, &AdversaryModel::controlling(&["us"]), "exts");
+//! assert_eq!(a.verdict, Verdict::RecentAttackOnly);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod ast;
+pub mod events;
+pub mod evidence;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::{Asp, Phrase, Place, Request, Sp};
+pub use evidence::{eval, eval_request, Evidence};
+pub use parser::{parse_phrase, parse_request, ParseError};
+pub use pretty::{pretty_phrase, pretty_request};

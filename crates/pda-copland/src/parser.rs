@@ -1,0 +1,415 @@
+//! Recursive-descent parser for the concrete Copland syntax.
+//!
+//! Grammar (see [`crate::lexer`] for tokens):
+//!
+//! ```text
+//! request  := '*' IDENT params? ':' phrase
+//! params   := '<' IDENT (',' IDENT)* '>'
+//! phrase   := branch
+//! branch   := seq ( BROP seq )*            // left-assoc, loosest
+//! seq      := atom ( '->' atom )*          // left-assoc
+//! atom     := '@' IDENT '[' phrase ']'
+//!           | '(' phrase ')'
+//!           | '!' | '#' | '_' | '{}'
+//!           | IDENT '(' args? ')'          // service with args
+//!           | IDENT IDENT IDENT            // measurement m P t
+//!           | IDENT                        // service, no args
+//! args     := IDENT (',' IDENT)*
+//! ```
+//!
+//! Disambiguation of the three `IDENT` forms is by lookahead: a `(`
+//! directly after the identifier makes it a service; two following
+//! identifiers make it a measurement; otherwise it is an argument-less
+//! service.
+
+use crate::ast::{Asp, Phrase, Place, Request, Sp};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use std::fmt;
+
+/// Parse error with source offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset (or source length for unexpected end of input).
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            offset: e.offset,
+            message: e.message,
+        }
+    }
+}
+
+/// Parse a full request: `*rp<params> : phrase`.
+pub fn parse_request(src: &str) -> Result<Request, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    p.expect(&Token::Star)?;
+    let rp = p.ident()?;
+    let mut params = Vec::new();
+    if p.eat(&Token::LAngle) {
+        loop {
+            params.push(p.ident()?);
+            if !p.eat(&Token::Comma) {
+                break;
+            }
+        }
+        p.expect(&Token::RAngle)?;
+    }
+    p.expect(&Token::Colon)?;
+    let phrase = p.phrase()?;
+    p.expect_end()?;
+    Ok(Request {
+        rp: Place::new(rp),
+        params,
+        phrase,
+    })
+}
+
+/// Parse a bare phrase (no `*rp :` head).
+pub fn parse_phrase(src: &str) -> Result<Phrase, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        toks: &tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let phrase = p.phrase()?;
+    p.expect_end()?;
+    Ok(phrase)
+}
+
+struct Parser<'a> {
+    toks: &'a [Spanned],
+    pos: usize,
+    src_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek_at(&self, n: usize) -> Option<&Token> {
+        self.toks.get(self.pos + n).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|s| s.offset)
+            .unwrap_or(self.src_len)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{t}`, found {}",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {}", self.describe_current())))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("`{t}`"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message,
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!(
+                "expected identifier, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+
+    /// branch := seq ( BROP seq )*
+    fn phrase(&mut self) -> Result<Phrase, ParseError> {
+        let mut left = self.seq()?;
+        loop {
+            match self.peek() {
+                Some(&Token::BrSeq(l, r)) => {
+                    self.pos += 1;
+                    let right = self.seq()?;
+                    left = Phrase::BrSeq(sp(l), sp(r), Box::new(left), Box::new(right));
+                }
+                Some(&Token::BrPar(l, r)) => {
+                    self.pos += 1;
+                    let right = self.seq()?;
+                    left = Phrase::BrPar(sp(l), sp(r), Box::new(left), Box::new(right));
+                }
+                _ => break,
+            }
+        }
+        Ok(left)
+    }
+
+    /// seq := atom ( '->' atom )*
+    fn seq(&mut self) -> Result<Phrase, ParseError> {
+        let mut left = self.atom()?;
+        while self.eat(&Token::Arrow) {
+            let right = self.atom()?;
+            left = Phrase::Arrow(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn atom(&mut self) -> Result<Phrase, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::At) => {
+                self.pos += 1;
+                let place = self.ident()?;
+                self.expect(&Token::LBracket)?;
+                let inner = self.phrase()?;
+                self.expect(&Token::RBracket)?;
+                Ok(Phrase::At(Place::new(place), Box::new(inner)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.phrase()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Bang) => {
+                self.pos += 1;
+                Ok(Phrase::Asp(Asp::Sign))
+            }
+            Some(Token::Hash) => {
+                self.pos += 1;
+                Ok(Phrase::Asp(Asp::Hash))
+            }
+            Some(Token::Underscore) => {
+                self.pos += 1;
+                Ok(Phrase::Asp(Asp::Copy))
+            }
+            Some(Token::Null) => {
+                self.pos += 1;
+                Ok(Phrase::Asp(Asp::Null))
+            }
+            Some(Token::Ident(first)) => {
+                self.pos += 1;
+                // Service with explicit argument list?
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.ident()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(Phrase::Asp(Asp::Service { name: first, args }));
+                }
+                // Measurement `m P t`: exactly two more identifiers follow.
+                if let (Some(Token::Ident(_)), Some(Token::Ident(_))) =
+                    (self.peek(), self.peek_at(1))
+                {
+                    let tplace = self.ident()?;
+                    let target = self.ident()?;
+                    return Ok(Phrase::Asp(Asp::Measure {
+                        measurer: first,
+                        target_place: Place::new(tplace),
+                        target,
+                    }));
+                }
+                // Argument-less service.
+                Ok(Phrase::Asp(Asp::Service {
+                    name: first,
+                    args: Vec::new(),
+                }))
+            }
+            _ => Err(self.err(format!(
+                "expected a phrase, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+}
+
+fn sp(pass: bool) -> Sp {
+    if pass {
+        Sp::Pass
+    } else {
+        Sp::Drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::examples;
+
+    #[test]
+    fn parse_eq1() {
+        let src = "*bank : @ks [av us bmon] +~+ @us [bmon us exts]";
+        assert_eq!(parse_request(src).unwrap(), examples::bank_eq1());
+    }
+
+    #[test]
+    fn parse_eq2() {
+        let src = "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]";
+        assert_eq!(parse_request(src).unwrap(), examples::bank_eq2());
+    }
+
+    #[test]
+    fn parse_out_of_band() {
+        let src = "*RP1<n> : @Switch [(attest(Hardware) -~- attest(Program)) -> # -> !] \
+                   +<+ @Appraiser [appraise -> certify(n) -> ! -> store(n)]";
+        assert_eq!(parse_request(src).unwrap(), examples::pera_out_of_band());
+    }
+
+    #[test]
+    fn parse_in_band() {
+        let src = "*RP1 : @Switch [(attest(Hardware) -~- attest(Program)) -> # -> !] \
+                   -> @RP2 [@Appraiser [appraise -> certify() -> !]]";
+        assert_eq!(parse_request(src).unwrap(), examples::pera_in_band());
+    }
+
+    #[test]
+    fn parse_retrieve() {
+        let src = "*RP2<n> : @Appraiser [retrieve(n)]";
+        assert_eq!(parse_request(src).unwrap(), examples::pera_retrieve());
+    }
+
+    #[test]
+    fn arrow_is_left_assoc() {
+        let p = parse_phrase("! -> # -> _").unwrap();
+        let expected = Phrase::Asp(Asp::Sign)
+            .then(Phrase::Asp(Asp::Hash))
+            .then(Phrase::Asp(Asp::Copy));
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn branch_binds_looser_than_arrow() {
+        let p = parse_phrase("! -> # +<+ _").unwrap();
+        let expected = Phrase::Asp(Asp::Sign)
+            .then(Phrase::Asp(Asp::Hash))
+            .br_seq(Sp::Pass, Sp::Pass, Phrase::Asp(Asp::Copy));
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = parse_phrase("! -> (# +<+ _)").unwrap();
+        let expected = Phrase::Asp(Asp::Sign).then(
+            Phrase::Asp(Asp::Hash).br_seq(Sp::Pass, Sp::Pass, Phrase::Asp(Asp::Copy)),
+        );
+        assert_eq!(p, expected);
+    }
+
+    #[test]
+    fn measurement_vs_service_disambiguation() {
+        // Three identifiers = measurement.
+        assert_eq!(
+            parse_phrase("av us bmon").unwrap(),
+            Phrase::Asp(Asp::measure("av", "us", "bmon"))
+        );
+        // One identifier = no-arg service.
+        assert_eq!(
+            parse_phrase("appraise").unwrap(),
+            Phrase::Asp(Asp::service("appraise", vec![]))
+        );
+        // Identifier + parens = service with args.
+        assert_eq!(
+            parse_phrase("store(n)").unwrap(),
+            Phrase::Asp(Asp::service("store", vec!["n"]))
+        );
+    }
+
+    #[test]
+    fn two_identifiers_is_an_error() {
+        // `a b` is neither a measurement (needs 3) nor two atoms
+        // (atoms must be joined by an operator).
+        let err = parse_phrase("a b").unwrap_err();
+        assert!(err.message.contains("trailing input"), "{err}");
+    }
+
+    #[test]
+    fn error_on_unclosed_bracket() {
+        let err = parse_phrase("@p [!").unwrap_err();
+        assert!(err.message.contains("expected `]`"), "{err}");
+    }
+
+    #[test]
+    fn error_on_empty_input() {
+        let err = parse_phrase("").unwrap_err();
+        assert!(err.message.contains("expected a phrase"), "{err}");
+    }
+
+    #[test]
+    fn error_offsets_point_into_source() {
+        let src = "*bank @ks";
+        let err = parse_request(src).unwrap_err();
+        assert!(err.offset <= src.len());
+        assert!(err.message.contains("expected `:`"), "{err}");
+    }
+
+    #[test]
+    fn params_parse() {
+        let req = parse_request("*bank<n, X> : !").unwrap();
+        assert_eq!(req.params, vec!["n".to_string(), "X".to_string()]);
+    }
+
+    #[test]
+    fn nested_places() {
+        let p = parse_phrase("@a [@b [@c [!]]]").unwrap();
+        assert_eq!(p.depth(), 4);
+        assert_eq!(
+            p.places(),
+            vec![Place::new("a"), Place::new("b"), Place::new("c")]
+        );
+    }
+}

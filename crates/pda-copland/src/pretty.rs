@@ -1,0 +1,150 @@
+//! Pretty-printer for Copland phrases and requests.
+//!
+//! Emits the concrete syntax accepted by [`crate::parser`]; the
+//! `parse(pretty(x)) == x` round-trip is property-tested in
+//! `tests/proptest_roundtrip.rs`.
+
+use crate::ast::{Asp, Phrase, Request, Sp};
+use std::fmt::Write;
+
+/// Render a request in concrete syntax.
+pub fn pretty_request(req: &Request) -> String {
+    let mut out = String::new();
+    write!(out, "*{}", req.rp).unwrap();
+    if !req.params.is_empty() {
+        write!(out, "<{}>", req.params.join(", ")).unwrap();
+    }
+    write!(out, " : {}", pretty_phrase(&req.phrase)).unwrap();
+    out
+}
+
+/// Render a phrase in concrete syntax.
+pub fn pretty_phrase(p: &Phrase) -> String {
+    render(p, Prec::Branch)
+}
+
+/// Precedence context for parenthesization: branch < arrow < atom.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Branch,
+    Arrow,
+    Atom,
+}
+
+fn render(p: &Phrase, ctx: Prec) -> String {
+    match p {
+        Phrase::Asp(asp) => render_asp(asp),
+        Phrase::At(place, inner) => {
+            format!("@{place} [{}]", render(inner, Prec::Branch))
+        }
+        Phrase::Arrow(l, r) => {
+            // Left-assoc: the left child may be another arrow without
+            // parens, the right child must be an atom-level term.
+            let s = format!("{} -> {}", render(l, Prec::Arrow), render(r, Prec::Atom));
+            if ctx > Prec::Arrow {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Phrase::BrSeq(sl, sr, l, r) => render_branch('<', *sl, *sr, l, r, ctx),
+        Phrase::BrPar(sl, sr, l, r) => render_branch('~', *sl, *sr, l, r, ctx),
+    }
+}
+
+fn render_branch(op: char, sl: Sp, sr: Sp, l: &Phrase, r: &Phrase, ctx: Prec) -> String {
+    // Left-assoc: left child may be a branch, right child must be tighter.
+    let s = format!(
+        "{} {}{}{} {}",
+        render(l, Prec::Branch),
+        sl.symbol(),
+        op,
+        sr.symbol(),
+        render(r, Prec::Arrow)
+    );
+    if ctx > Prec::Branch {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+fn render_asp(asp: &Asp) -> String {
+    match asp {
+        Asp::Measure {
+            measurer,
+            target_place,
+            target,
+        } => format!("{measurer} {target_place} {target}"),
+        Asp::Sign => "!".to_string(),
+        Asp::Hash => "#".to_string(),
+        Asp::Copy => "_".to_string(),
+        Asp::Null => "{}".to_string(),
+        Asp::Service { name, args } => {
+            if args.is_empty() {
+                name.clone()
+            } else {
+                format!("{name}({})", args.join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::examples;
+    use crate::parser::{parse_phrase, parse_request};
+
+    fn round_trip_request(req: &Request) {
+        let printed = pretty_request(req);
+        let reparsed = parse_request(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(&reparsed, req, "printed form: {printed}");
+    }
+
+    #[test]
+    fn round_trip_paper_examples() {
+        round_trip_request(&examples::bank_eq1());
+        round_trip_request(&examples::bank_eq2());
+        round_trip_request(&examples::pera_out_of_band());
+        round_trip_request(&examples::pera_retrieve());
+        round_trip_request(&examples::pera_in_band());
+    }
+
+    #[test]
+    fn eq2_prints_as_in_paper() {
+        assert_eq!(
+            pretty_request(&examples::bank_eq2()),
+            "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]"
+        );
+    }
+
+    #[test]
+    fn nested_branches_parenthesized_correctly() {
+        // A branch as right arm of an arrow needs parens.
+        let src = "! -> (# +~+ _)";
+        let p = parse_phrase(src).unwrap();
+        assert_eq!(parse_phrase(&pretty_phrase(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn right_nested_branch_keeps_parens() {
+        // a +<+ (b +<+ c) must not print as a +<+ b +<+ c (left-assoc).
+        let right_nested = Phrase::Asp(Asp::Sign).br_seq(
+            Sp::Pass,
+            Sp::Pass,
+            Phrase::Asp(Asp::Hash).br_seq(Sp::Pass, Sp::Pass, Phrase::Asp(Asp::Copy)),
+        );
+        let printed = pretty_phrase(&right_nested);
+        assert_eq!(parse_phrase(&printed).unwrap(), right_nested, "{printed}");
+    }
+
+    #[test]
+    fn no_arg_service_prints_bare() {
+        assert_eq!(
+            pretty_phrase(&Phrase::Asp(Asp::service("appraise", vec![]))),
+            "appraise"
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! `pda` — command-line front end for the attestation stack.
+//!
+//! ```text
+//! pda parse    '<copland request>'            parse + evidence shape
+//! pda analyze  '<copland request>' --control us[,ks] --goal exts
+//! pda hybrid   '<hybrid policy>'              parse a §5.1 policy
+//! pda resolve  '<hybrid policy>' --path 'sw1:ra,key;legacy;sw2:ra,key'
+//!              [--param n=1] [--pointwise]    bind abstract places
+//! pda wire     '<hybrid policy>' --path … --nonce N
+//!              encode the §5.2 options header (hex on stdout)
+//! pda decode   <hex>                          decode an options header
+//! pda simulate --hops N [--legacy i,j] [--oob] [--packets P]
+//!              run the linear scenario and appraise
+//! pda netkat   '<policy>' [--equiv '<policy>']  parse / compare NetKAT
+//! ```
+
+use pda_core::prelude::*;
+use pda_hybrid::wire;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "parse" => cmd_parse(rest),
+        "analyze" => cmd_analyze(rest),
+        "hybrid" => cmd_hybrid(rest),
+        "resolve" => cmd_resolve(rest),
+        "wire" => cmd_wire(rest),
+        "decode" => cmd_decode(rest),
+        "simulate" => cmd_simulate(rest),
+        "netkat" => cmd_netkat(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pda parse    '<copland request>'
+  pda analyze  '<copland request>' --control <places> --goal <component>
+  pda hybrid   '<hybrid policy>'
+  pda resolve  '<hybrid policy>' --path '<spec>' [--param k=v]... [--pointwise]
+  pda wire     '<hybrid policy>' --path '<spec>' [--param k=v]... [--nonce N]
+  pda decode   <hex-bytes>
+  pda simulate --hops N [--legacy i,j] [--oob] [--packets P]
+  pda netkat   '<policy>' [--equiv '<policy>']
+
+path spec: semicolon-separated nodes, each `name[:prop,...]` with props
+  ra | key | runs=<fn> | test=<name>   (no props = legacy node)";
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.as_str());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn first_positional(args: &[String]) -> Result<&str, String> {
+    args.iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .ok_or_else(|| "missing input".to_string())
+}
+
+fn cmd_parse(args: &[String]) -> Result<(), String> {
+    let src = first_positional(args)?;
+    let req = parse_request(src).map_err(|e| e.to_string())?;
+    println!("parsed:   {}", pretty_request(&req));
+    println!("rp:       {}", req.rp);
+    println!("params:   {:?}", req.params);
+    println!("size:     {} nodes, depth {}", req.phrase.size(), req.phrase.depth());
+    println!("evidence: {}", eval_request(&req));
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let src = first_positional(args)?;
+    let control = flag_value(args, "--control").unwrap_or("us");
+    let goal = flag_value(args, "--goal").unwrap_or("exts");
+    let req = parse_request(src).map_err(|e| e.to_string())?;
+    let places: Vec<&str> = control.split(',').collect();
+    let analysis = analyze(&req, &AdversaryModel::controlling(&places), goal);
+    println!("policy:  {}", pretty_request(&req));
+    println!("goal:    keep `{goal}` corrupted, adversary controls {places:?}");
+    println!("verdict: {}", analysis.verdict);
+    if let Some(s) = &analysis.best_strategy {
+        println!(
+            "cheapest evasion: {} corruptions ({} recent), {} repairs",
+            s.corruptions, s.recent_corruptions, s.repairs
+        );
+        for a in &s.actions {
+            println!("  - {a}");
+        }
+        println!("  measurement order: {}", s.linearization.join(" → "));
+    }
+    Ok(())
+}
+
+fn cmd_hybrid(args: &[String]) -> Result<(), String> {
+    let src = first_positional(args)?;
+    let p = parse_hybrid(src).map_err(|e| e.to_string())?;
+    println!("rp:         {}", p.rp);
+    println!("params:     {:?}", p.params);
+    println!("forall:     {:?}", p.quantified);
+    println!("clauses:    {}", p.body.clause_count());
+    println!("place vars: {:?}", p.body.place_vars());
+    Ok(())
+}
+
+fn parse_path(spec: &str) -> Result<Vec<NodeInfo>, String> {
+    spec.split(';')
+        .filter(|s| !s.trim().is_empty())
+        .map(|node| {
+            let mut parts = node.trim().splitn(2, ':');
+            let name = parts.next().unwrap().trim();
+            if name.is_empty() {
+                return Err(format!("empty node name in `{node}`"));
+            }
+            let mut info = NodeInfo::legacy(name);
+            if let Some(props) = parts.next() {
+                for prop in props.split(',') {
+                    let prop = prop.trim();
+                    match prop {
+                        "ra" => info.supports_ra = true,
+                        "key" => info.has_key = true,
+                        _ if prop.starts_with("runs=") => {
+                            info.functions.push(prop["runs=".len()..].to_string())
+                        }
+                        _ if prop.starts_with("test=") => {
+                            info.passing_tests.push(prop["test=".len()..].to_string())
+                        }
+                        other => return Err(format!("unknown node property `{other}`")),
+                    }
+                }
+            }
+            Ok(info)
+        })
+        .collect()
+}
+
+fn parse_params(args: &[String]) -> Vec<(String, String)> {
+    flag_values(args, "--param")
+        .into_iter()
+        .filter_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            Some((k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+fn do_resolve(args: &[String]) -> Result<pda_hybrid::Resolved, String> {
+    let src = first_positional(args)?;
+    let policy = parse_hybrid(src).map_err(|e| e.to_string())?;
+    let path = parse_path(flag_value(args, "--path").unwrap_or(""))?;
+    let params = parse_params(args);
+    let params_ref: Vec<(&str, &str)> = params
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    let composition = if has_flag(args, "--pointwise") {
+        Composition::Pointwise
+    } else {
+        Composition::Chained
+    };
+    resolve(&policy, &path, &params_ref, composition).map_err(|e| e.to_string())
+}
+
+fn cmd_resolve(args: &[String]) -> Result<(), String> {
+    let r = do_resolve(args)?;
+    println!("request:  {}", pretty_request(&r.request));
+    println!("bindings: {:?}", r.bindings);
+    println!("skipped:  {:?}", r.skipped);
+    println!("directives:");
+    for d in &r.directives {
+        match &d.guard {
+            Some(g) => println!("  @{} [{} |> …]", d.node, g),
+            None => println!("  @{} […]", d.node),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_wire(args: &[String]) -> Result<(), String> {
+    let r = do_resolve(args)?;
+    let nonce: u64 = flag_value(args, "--nonce")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --nonce".to_string())?;
+    let bytes = wire::encode(&wire::WirePolicy {
+        nonce,
+        flags: wire::Flags {
+            in_band_evidence: !has_flag(args, "--oob"),
+        },
+        directives: r.directives,
+    });
+    println!("{}", hex(&bytes));
+    eprintln!("({} bytes)", bytes.len());
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let hex_in = first_positional(args)?;
+    let bytes = unhex(hex_in)?;
+    let p = wire::decode(&bytes).map_err(|e| e.to_string())?;
+    println!("nonce:      {:#018x}", p.nonce);
+    println!("in-band:    {}", p.flags.in_band_evidence);
+    println!("directives: {}", p.directives.len());
+    for d in &p.directives {
+        let body = pda_copland::pretty_phrase(&d.body);
+        match &d.guard {
+            Some(g) => println!("  @{} [{} |> {}]", d.node, g, body),
+            None => println!("  @{} [{}]", d.node, body),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let hops: usize = flag_value(args, "--hops")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|_| "bad --hops".to_string())?;
+    let packets: u64 = flag_value(args, "--packets")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --packets".to_string())?;
+    let legacy: Vec<usize> = flag_value(args, "--legacy")
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    let config = PeraConfig::default()
+        .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+        .with_sampling(Sampling::PerPacket);
+    let mut net = linear_path(hops, &config, &legacy);
+    let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
+    let appraiser = net.appraiser;
+    let oob = has_flag(args, "--oob");
+    for i in 0..packets {
+        let mode = if oob {
+            EvidenceMode::OutOfBand { appraiser }
+        } else {
+            EvidenceMode::InBand
+        };
+        net.send_attested(Nonce(1 + i), mode, b"payload!");
+    }
+    println!("stats: {:?}", net.sim.stats);
+    let verdict = if oob {
+        let recs = net.sim.evidence_at(appraiser);
+        appraise_chain(
+            &recs[..recs.len().min(hops - legacy.len())],
+            &net.sim.registry,
+            &golden,
+            Nonce(1),
+            true,
+        )
+    } else {
+        let chains = net.server_chains();
+        appraise_chain(&chains[0].chain, &net.sim.registry, &golden, Nonce(1), true)
+    };
+    match verdict {
+        Ok(()) => println!("appraisal: PASS"),
+        Err(fails) => {
+            println!("appraisal: FAIL");
+            for f in fails {
+                println!("  {f}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_netkat(args: &[String]) -> Result<(), String> {
+    let src = first_positional(args)?;
+    let p = pda_netkat::parse_policy(src).map_err(|e| e.to_string())?;
+    println!("parsed: {p}");
+    println!("size:   {} nodes, dup: {}", p.size(), p.has_dup());
+    if let Some(other) = flag_value(args, "--equiv") {
+        let q = pda_netkat::parse_policy(other).map_err(|e| e.to_string())?;
+        if p.has_dup() || q.has_dup() {
+            return Err("equivalence works on the dup-free fragment".into());
+        }
+        match pda_netkat::counterexample(&p, &q) {
+            None => println!("equivalent: yes"),
+            Some(cx) => println!("equivalent: NO — counterexample {cx:?}"),
+        }
+    }
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    if s.len() % 2 != 0 {
+        return Err("odd-length hex".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}

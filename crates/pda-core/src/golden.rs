@@ -1,0 +1,199 @@
+//! Golden-value appraisal of hop-evidence chains: the relying-party
+//! side checks that verify not just *who* signed, but *what* they
+//! attested — detecting the UC1 program swap.
+
+use pda_crypto::digest::Digest;
+use pda_crypto::keyreg::KeyRegistry;
+use pda_crypto::nonce::Nonce;
+use pda_pera::config::DetailLevel;
+use pda_pera::evidence::{verify_chain, ChainFailure, EvidenceRecord};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Expected attestation values per switch.
+#[derive(Clone, Debug, Default)]
+pub struct GoldenStore {
+    /// (switch, detail) → expected digest.
+    expected: HashMap<(String, DetailLevel), Digest>,
+}
+
+impl GoldenStore {
+    /// Empty store.
+    pub fn new() -> GoldenStore {
+        GoldenStore::default()
+    }
+
+    /// Record the expected digest for a switch's detail level.
+    pub fn expect(&mut self, switch: &str, level: DetailLevel, digest: Digest) {
+        self.expected.insert((switch.to_string(), level), digest);
+    }
+
+    /// Look up an expectation.
+    pub fn expected(&self, switch: &str, level: DetailLevel) -> Option<Digest> {
+        self.expected.get(&(switch.to_string(), level)).copied()
+    }
+}
+
+/// Chain appraisal failures (superset of [`ChainFailure`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainAppraisalFailure {
+    /// Cryptographic chain failure.
+    Chain(ChainFailure),
+    /// A switch attested a digest different from the golden value — the
+    /// UC1 "wrong dataplane program" detection.
+    ValueMismatch {
+        /// The switch.
+        switch: String,
+        /// Which detail level disagreed.
+        level: DetailLevel,
+        /// What it attested.
+        observed: Digest,
+        /// What the operator expected.
+        expected: Digest,
+    },
+    /// A switch on the path has no golden record at a required level.
+    NoExpectation {
+        /// The switch.
+        switch: String,
+        /// The unset level.
+        level: DetailLevel,
+    },
+}
+
+impl fmt::Display for ChainAppraisalFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainAppraisalFailure::Chain(c) => write!(f, "{c}"),
+            ChainAppraisalFailure::ValueMismatch {
+                switch,
+                level,
+                observed,
+                expected,
+            } => write!(
+                f,
+                "{switch}: attested {level} {} but golden is {}",
+                observed.short(),
+                expected.short()
+            ),
+            ChainAppraisalFailure::NoExpectation { switch, level } => {
+                write!(f, "{switch}: no golden value for {level}")
+            }
+        }
+    }
+}
+
+/// Appraise an evidence chain end-to-end: cryptographic validity
+/// (linkage, signatures, nonce) plus golden-value comparison for every
+/// detail each record carries.
+pub fn appraise_chain(
+    records: &[EvidenceRecord],
+    registry: &KeyRegistry,
+    golden: &GoldenStore,
+    nonce: Nonce,
+    chained: bool,
+) -> Result<(), Vec<ChainAppraisalFailure>> {
+    let mut failures: Vec<ChainAppraisalFailure> = Vec::new();
+    if let Err(errs) = verify_chain(records, registry, nonce, chained) {
+        failures.extend(errs.into_iter().map(ChainAppraisalFailure::Chain));
+    }
+    for r in records {
+        for (level, observed) in &r.details {
+            match golden.expected(&r.switch, *level) {
+                None if *level == DetailLevel::Packets || *level == DetailLevel::ProgState => {
+                    // Zero/low-inertia values have no stable golden form;
+                    // their presence in the signed chain is the guarantee.
+                }
+                None => failures.push(ChainAppraisalFailure::NoExpectation {
+                    switch: r.switch.clone(),
+                    level: *level,
+                }),
+                Some(expected) if expected != *observed => {
+                    failures.push(ChainAppraisalFailure::ValueMismatch {
+                        switch: r.switch.clone(),
+                        level: *level,
+                        observed: *observed,
+                        expected,
+                    })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_crypto::sig::{SigScheme, Signer};
+
+    fn mk_record(switch: &str, program: Digest, prev: Digest, nonce: Nonce) -> EvidenceRecord {
+        let mut s = Signer::new(SigScheme::Hmac, Digest::of(switch.as_bytes()).0, 0);
+        EvidenceRecord::create(
+            switch,
+            vec![(DetailLevel::Program, program)],
+            nonce,
+            prev,
+            &mut s,
+        )
+        .unwrap()
+    }
+
+    fn registry_for(names: &[&str]) -> KeyRegistry {
+        let mut reg = KeyRegistry::new();
+        for n in names {
+            let s = Signer::new(SigScheme::Hmac, Digest::of(n.as_bytes()).0, 0);
+            reg.register(n.to_string().as_str().into(), s.verify_key(0));
+        }
+        reg
+    }
+
+    #[test]
+    fn matching_golden_values_pass() {
+        let d = Digest::of(b"fw.p4");
+        let r = mk_record("sw1", d, Digest::ZERO, Nonce(1));
+        let mut golden = GoldenStore::new();
+        golden.expect("sw1", DetailLevel::Program, d);
+        let reg = registry_for(&["sw1"]);
+        assert_eq!(appraise_chain(&[r], &reg, &golden, Nonce(1), true), Ok(()));
+    }
+
+    #[test]
+    fn swapped_program_detected() {
+        let r = mk_record("sw1", Digest::of(b"rogue.p4"), Digest::ZERO, Nonce(1));
+        let mut golden = GoldenStore::new();
+        golden.expect("sw1", DetailLevel::Program, Digest::of(b"fw.p4"));
+        let reg = registry_for(&["sw1"]);
+        let errs = appraise_chain(&[r], &reg, &golden, Nonce(1), true).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainAppraisalFailure::ValueMismatch { .. })));
+    }
+
+    #[test]
+    fn missing_expectation_flagged() {
+        let r = mk_record("sw1", Digest::of(b"x"), Digest::ZERO, Nonce(1));
+        let reg = registry_for(&["sw1"]);
+        let errs = appraise_chain(&[r], &reg, &GoldenStore::new(), Nonce(1), true).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainAppraisalFailure::NoExpectation { .. })));
+    }
+
+    #[test]
+    fn chain_failures_propagate() {
+        let d = Digest::of(b"fw.p4");
+        let r = mk_record("sw1", d, Digest::of(b"wrong-prev"), Nonce(1));
+        let mut golden = GoldenStore::new();
+        golden.expect("sw1", DetailLevel::Program, d);
+        let reg = registry_for(&["sw1"]);
+        let errs = appraise_chain(&[r], &reg, &golden, Nonce(1), true).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainAppraisalFailure::Chain(ChainFailure::BrokenLink { .. }))));
+    }
+}

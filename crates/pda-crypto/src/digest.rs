@@ -1,0 +1,131 @@
+//! 32-byte digest newtype used throughout the attestation stack.
+
+use crate::sha256::Sha256;
+use std::fmt;
+
+/// A 256-bit digest value.
+///
+/// Wraps `[u8; 32]` to give hashes a distinct type from raw byte strings,
+/// with hex formatting, parsing, and chaining helpers. All evidence
+/// hash-chains and program measurements are expressed in terms of this
+/// type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the root of fresh hash chains.
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Hash arbitrary bytes.
+    pub fn of(data: &[u8]) -> Digest {
+        Digest(Sha256::digest(data))
+    }
+
+    /// Hash the concatenation of several parts.
+    pub fn of_parts(parts: &[&[u8]]) -> Digest {
+        Digest(Sha256::digest_parts(parts))
+    }
+
+    /// Chain this digest with new data: `H(self || data)`.
+    ///
+    /// This is the primitive behind tamper-evident evidence chains — each
+    /// hop's evidence folds the previous accumulated digest so removal or
+    /// reordering of a link changes every later value.
+    pub fn chain(&self, data: &[u8]) -> Digest {
+        Digest(Sha256::digest_parts(&[&self.0, data]))
+    }
+
+    /// Combine two digests: `H(left || right)` (Merkle node rule).
+    pub fn combine(left: &Digest, right: &Digest) -> Digest {
+        Digest(Sha256::digest_parts(&[&left.0, &right.0]))
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Lower-case hex rendering.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parse a 64-character hex string.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).ok()?;
+        }
+        Some(Digest(out))
+    }
+
+    /// Short prefix for logs and pseudonyms (first 8 hex chars).
+    pub fn short(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(b: [u8; 32]) -> Self {
+        Digest(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let d = Digest::of(b"round trip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&"0".repeat(63)), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn chain_is_order_sensitive() {
+        let a = Digest::ZERO.chain(b"a").chain(b"b");
+        let b = Digest::ZERO.chain(b"b").chain(b"a");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let x = Digest::of(b"x");
+        let y = Digest::of(b"y");
+        assert_ne!(Digest::combine(&x, &y), Digest::combine(&y, &x));
+    }
+
+    #[test]
+    fn display_matches_to_hex() {
+        let d = Digest::of(b"display");
+        assert_eq!(format!("{d}"), d.to_hex());
+    }
+}

@@ -1,0 +1,248 @@
+//! Lamport one-time signatures over SHA-256.
+//!
+//! Hash-based signatures stand in for the signing primitive a hardware
+//! root of trust would provide (see DESIGN.md §1). They are real
+//! public-key signatures — unforgeable under the one-wayness of the hash —
+//! implementable without any bignum dependency, which is what makes them
+//! the right substitution in this offline build.
+//!
+//! A Lamport key signs **one** message. The [`crate::merkle`] module
+//! lifts this to a many-time scheme by committing a tree of one-time
+//! public keys.
+
+use crate::hmac::hmac_sha256;
+use crate::sha256::Sha256;
+use rand::RngCore;
+
+/// Number of message bits covered (SHA-256 of the message is signed).
+const BITS: usize = 256;
+
+/// A Lamport one-time *secret* key: 2×256 random 32-byte preimages.
+#[derive(Clone)]
+pub struct LamportSecretKey {
+    /// `pre[b][i]` is revealed when bit `i` of the message digest is `b`.
+    pre: Box<[[u8; 32]]>, // length 512: [bit0 of pos0, bit1 of pos0, ...]
+}
+
+/// A Lamport one-time *public* key: hashes of all 512 preimages.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportPublicKey {
+    img: Box<[[u8; 32]]>, // length 512, same layout as the secret key
+}
+
+/// A Lamport signature: the 256 preimages selected by the digest bits.
+#[derive(Clone, PartialEq, Eq)]
+pub struct LamportSignature {
+    reveal: Box<[[u8; 32]]>, // length 256
+}
+
+impl LamportSignature {
+    /// Size of the serialized signature in bytes.
+    pub const SIZE: usize = BITS * 32;
+
+    /// Serialize to a flat byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::SIZE);
+        for r in self.reveal.iter() {
+            out.extend_from_slice(r);
+        }
+        out
+    }
+
+    /// Parse from bytes produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SIZE {
+            return None;
+        }
+        let mut reveal = Vec::with_capacity(BITS);
+        for chunk in bytes.chunks_exact(32) {
+            let mut r = [0u8; 32];
+            r.copy_from_slice(chunk);
+            reveal.push(r);
+        }
+        Some(LamportSignature {
+            reveal: reveal.into_boxed_slice(),
+        })
+    }
+}
+
+impl LamportPublicKey {
+    /// Size of the serialized public key in bytes.
+    pub const SIZE: usize = 2 * BITS * 32;
+
+    /// A compact 32-byte commitment to this public key (hash of all
+    /// images). This is what gets put into key registries and Merkle
+    /// leaves.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        for img in self.img.iter() {
+            h.update(img);
+        }
+        h.finalize()
+    }
+
+    /// Serialize to a flat byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::SIZE);
+        for i in self.img.iter() {
+            out.extend_from_slice(i);
+        }
+        out
+    }
+
+    /// Parse from bytes produced by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SIZE {
+            return None;
+        }
+        let mut img = Vec::with_capacity(2 * BITS);
+        for chunk in bytes.chunks_exact(32) {
+            let mut r = [0u8; 32];
+            r.copy_from_slice(chunk);
+            img.push(r);
+        }
+        Some(LamportPublicKey {
+            img: img.into_boxed_slice(),
+        })
+    }
+}
+
+impl LamportSecretKey {
+    /// Generate a key pair from an RNG.
+    pub fn generate<R: RngCore>(rng: &mut R) -> (LamportSecretKey, LamportPublicKey) {
+        let mut pre = vec![[0u8; 32]; 2 * BITS];
+        for p in pre.iter_mut() {
+            rng.fill_bytes(p);
+        }
+        Self::finish(pre)
+    }
+
+    /// Derive a key pair deterministically from a 32-byte seed and an
+    /// index. This is how PERA switches mint per-epoch one-time keys
+    /// without storing them all: `HMAC(seed, index || position)` expands
+    /// the seed into the 512 preimages.
+    pub fn derive(seed: &[u8; 32], index: u64) -> (LamportSecretKey, LamportPublicKey) {
+        let mut pre = vec![[0u8; 32]; 2 * BITS];
+        for (pos, p) in pre.iter_mut().enumerate() {
+            let mut msg = [0u8; 16];
+            msg[..8].copy_from_slice(&index.to_be_bytes());
+            msg[8..].copy_from_slice(&(pos as u64).to_be_bytes());
+            *p = hmac_sha256(seed, &msg);
+        }
+        Self::finish(pre)
+    }
+
+    fn finish(pre: Vec<[u8; 32]>) -> (LamportSecretKey, LamportPublicKey) {
+        let img: Vec<[u8; 32]> = pre.iter().map(|p| Sha256::digest(p)).collect();
+        (
+            LamportSecretKey {
+                pre: pre.into_boxed_slice(),
+            },
+            LamportPublicKey {
+                img: img.into_boxed_slice(),
+            },
+        )
+    }
+
+    /// Sign a message (its SHA-256 digest is what is actually covered).
+    ///
+    /// One-time property: signing two *different* messages with the same
+    /// key reveals preimages for both bit values at differing positions
+    /// and breaks security. Callers must enforce single use; the
+    /// [`crate::merkle::MerkleSigner`] does so automatically.
+    pub fn sign(&self, msg: &[u8]) -> LamportSignature {
+        let digest = Sha256::digest(msg);
+        let mut reveal = Vec::with_capacity(BITS);
+        for i in 0..BITS {
+            let bit = (digest[i / 8] >> (7 - (i % 8))) & 1;
+            reveal.push(self.pre[2 * i + bit as usize]);
+        }
+        LamportSignature {
+            reveal: reveal.into_boxed_slice(),
+        }
+    }
+}
+
+/// Verify `sig` on `msg` under `pk`.
+pub fn lamport_verify(pk: &LamportPublicKey, msg: &[u8], sig: &LamportSignature) -> bool {
+    if sig.reveal.len() != BITS {
+        return false;
+    }
+    let digest = Sha256::digest(msg);
+    for i in 0..BITS {
+        let bit = (digest[i / 8] >> (7 - (i % 8))) & 1;
+        let expect = &pk.img[2 * i + bit as usize];
+        if &Sha256::digest(&sig.reveal[i]) != expect {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let (sk, pk) = LamportSecretKey::generate(&mut rng());
+        let sig = sk.sign(b"evidence blob");
+        assert!(lamport_verify(&pk, b"evidence blob", &sig));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (sk, pk) = LamportSecretKey::generate(&mut rng());
+        let sig = sk.sign(b"evidence blob");
+        assert!(!lamport_verify(&pk, b"different blob", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (sk, _) = LamportSecretKey::generate(&mut rng());
+        let (_, pk2) = LamportSecretKey::generate(&mut StdRng::seed_from_u64(8));
+        let sig = sk.sign(b"msg");
+        assert!(!lamport_verify(&pk2, b"msg", &sig));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (sk, pk) = LamportSecretKey::generate(&mut rng());
+        let mut sig = sk.sign(b"msg");
+        sig.reveal[17][0] ^= 1;
+        assert!(!lamport_verify(&pk, b"msg", &sig));
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_index_separated() {
+        let seed = [42u8; 32];
+        let (_, pk_a) = LamportSecretKey::derive(&seed, 3);
+        let (_, pk_b) = LamportSecretKey::derive(&seed, 3);
+        let (_, pk_c) = LamportSecretKey::derive(&seed, 4);
+        assert_eq!(pk_a.fingerprint(), pk_b.fingerprint());
+        assert_ne!(pk_a.fingerprint(), pk_c.fingerprint());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let (sk, pk) = LamportSecretKey::generate(&mut rng());
+        let sig = sk.sign(b"serialize me");
+        let pk2 = LamportPublicKey::from_bytes(&pk.to_bytes()).unwrap();
+        let sig2 = LamportSignature::from_bytes(&sig.to_bytes()).unwrap();
+        assert!(lamport_verify(&pk2, b"serialize me", &sig2));
+        assert!(LamportSignature::from_bytes(&[0u8; 3]).is_none());
+        assert!(LamportPublicKey::from_bytes(&[0u8; 3]).is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        let (_, pk) = LamportSecretKey::derive(&[1u8; 32], 0);
+        assert_eq!(pk.fingerprint(), pk.fingerprint());
+    }
+}

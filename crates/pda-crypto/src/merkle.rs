@@ -1,0 +1,337 @@
+//! Merkle trees and a Merkle signature scheme (MSS) over Lamport leaves.
+//!
+//! Two exports:
+//!
+//! * [`MerkleTree`] — a general-purpose binary hash tree with membership
+//!   proofs, reused by the evidence store for audit-trail commitments
+//!   (UC4: "evidence as documentation").
+//! * [`MerkleSigner`] / [`merkle_verify`] — a many-time signature scheme:
+//!   the public key is the root of a tree of Lamport one-time public-key
+//!   fingerprints; each signature carries the leaf index, the one-time
+//!   public key, and the authentication path. This models a device
+//!   identity key that signs many evidence bundles over its lifetime.
+
+use crate::digest::Digest;
+use crate::lamport::{lamport_verify, LamportPublicKey, LamportSecretKey, LamportSignature};
+
+/// A binary Merkle hash tree over arbitrary leaf values.
+///
+/// Leaves are hashed with a `0x00` domain-separation prefix and interior
+/// nodes with `0x01`, preventing leaf/node confusion attacks. Odd nodes
+/// are promoted (not duplicated), so trees of any size are well defined.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// `levels[0]` = leaf hashes, last level = single root.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// A membership proof: sibling hashes from leaf to root plus the leaf index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling digest at each level, `None` when the node was promoted.
+    pub siblings: Vec<Option<Digest>>,
+}
+
+fn leaf_hash(data: &[u8]) -> Digest {
+    Digest::of_parts(&[&[0x00], data])
+}
+
+fn node_hash(l: &Digest, r: &Digest) -> Digest {
+    Digest::of_parts(&[&[0x01], l.as_bytes(), r.as_bytes()])
+}
+
+impl MerkleTree {
+    /// Build a tree over `leaves` (raw leaf byte strings). Panics on empty
+    /// input — an empty audit log has no root to commit to.
+    pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
+        assert!(!leaves.is_empty(), "MerkleTree::build on empty leaf set");
+        let mut levels = vec![leaves.iter().map(|l| leaf_hash(l.as_ref())).collect::<Vec<_>>()];
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+            for pair in prev.chunks(2) {
+                next.push(match pair {
+                    [l, r] => node_hash(l, r),
+                    [only] => *only, // promote odd node
+                    _ => unreachable!(),
+                });
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root commitment.
+    pub fn root(&self) -> Digest {
+        self.levels.last().unwrap()[0]
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// True when the tree has exactly one leaf.
+    pub fn is_empty(&self) -> bool {
+        false // build() rejects empty input; a tree always has leaves
+    }
+
+    /// Produce a membership proof for leaf `index`.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sib = idx ^ 1;
+            siblings.push(level.get(sib).copied());
+            idx /= 2;
+        }
+        Some(MerkleProof { index, siblings })
+    }
+}
+
+/// Verify that `leaf_data` is the leaf at `proof.index` of the tree with
+/// the given `root`.
+pub fn merkle_proof_verify(root: &Digest, leaf_data: &[u8], proof: &MerkleProof) -> bool {
+    let mut acc = leaf_hash(leaf_data);
+    let mut idx = proof.index;
+    for sib in &proof.siblings {
+        acc = match sib {
+            Some(s) if idx % 2 == 0 => node_hash(&acc, s),
+            Some(s) => node_hash(s, &acc),
+            None => acc, // promoted
+        };
+        idx /= 2;
+    }
+    acc == *root
+}
+
+/// A many-time signer: `2^height` Lamport one-time keys committed under a
+/// single Merkle root. Keys are derived lazily from a seed, so keygen cost
+/// is one pass to compute fingerprints and memory stays O(tree).
+pub struct MerkleSigner {
+    seed: [u8; 32],
+    tree: MerkleTree,
+    next: usize,
+    capacity: usize,
+}
+
+/// A many-time signature: one-time signature + key disclosure + path.
+#[derive(Clone)]
+pub struct MerkleSignature {
+    /// Which one-time key was used.
+    pub index: usize,
+    /// The disclosed one-time public key (verifier checks its fingerprint
+    /// against the Merkle path).
+    pub ots_public: LamportPublicKey,
+    /// The Lamport signature itself.
+    pub ots_sig: LamportSignature,
+    /// Membership proof of `ots_public`'s fingerprint under the root.
+    pub proof: MerkleProof,
+}
+
+impl std::fmt::Debug for MerkleSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MerkleSignature(index={}, {}B)",
+            self.index,
+            self.wire_size()
+        )
+    }
+}
+
+impl MerkleSignature {
+    /// Approximate wire size in bytes (used by overhead experiments).
+    pub fn wire_size(&self) -> usize {
+        8 + LamportPublicKey::SIZE
+            + LamportSignature::SIZE
+            + self.proof.siblings.len() * 33
+    }
+}
+
+/// Errors from the many-time signer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MssError {
+    /// All one-time keys have been consumed.
+    Exhausted,
+}
+
+impl std::fmt::Display for MssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MssError::Exhausted => write!(f, "Merkle signer key supply exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MssError {}
+
+impl MerkleSigner {
+    /// Create a signer with `2^height` one-time keys derived from `seed`.
+    pub fn new(seed: [u8; 32], height: u32) -> MerkleSigner {
+        let capacity = 1usize << height;
+        let fingerprints: Vec<[u8; 32]> = (0..capacity)
+            .map(|i| {
+                let (_, pk) = LamportSecretKey::derive(&seed, i as u64);
+                pk.fingerprint()
+            })
+            .collect();
+        let tree = MerkleTree::build(&fingerprints);
+        MerkleSigner {
+            seed,
+            tree,
+            next: 0,
+            capacity,
+        }
+    }
+
+    /// The long-lived public key (Merkle root) to register for this
+    /// device identity.
+    pub fn public_root(&self) -> Digest {
+        self.tree.root()
+    }
+
+    /// Remaining one-time keys.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.next
+    }
+
+    /// Sign `msg`, consuming the next one-time key.
+    pub fn sign(&mut self, msg: &[u8]) -> Result<MerkleSignature, MssError> {
+        if self.next >= self.capacity {
+            return Err(MssError::Exhausted);
+        }
+        let index = self.next;
+        self.next += 1;
+        let (sk, pk) = LamportSecretKey::derive(&self.seed, index as u64);
+        let ots_sig = sk.sign(msg);
+        let proof = self
+            .tree
+            .prove(index)
+            .expect("index < capacity implies provable");
+        Ok(MerkleSignature {
+            index,
+            ots_public: pk,
+            ots_sig,
+            proof,
+        })
+    }
+}
+
+/// Verify a many-time signature against the long-lived `root`.
+pub fn merkle_verify(root: &Digest, msg: &[u8], sig: &MerkleSignature) -> bool {
+    // 1. The one-time signature must check out under the disclosed key.
+    if !lamport_verify(&sig.ots_public, msg, &sig.ots_sig) {
+        return false;
+    }
+    // 2. The disclosed key's fingerprint must be committed under the root.
+    if sig.proof.index != sig.index {
+        return false;
+    }
+    merkle_proof_verify(root, &sig.ots_public.fingerprint(), &sig.proof)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_root_is_deterministic() {
+        let t1 = MerkleTree::build(&[b"a", b"b", b"c"]);
+        let t2 = MerkleTree::build(&[b"a", b"b", b"c"]);
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn tree_root_depends_on_leaves_and_order() {
+        let base = MerkleTree::build(&[b"a", b"b", b"c"]).root();
+        assert_ne!(base, MerkleTree::build(&[b"a", b"b", b"d"]).root());
+        assert_ne!(base, MerkleTree::build(&[b"b", b"a", b"c"]).root());
+        assert_ne!(base, MerkleTree::build(&[b"a", b"b"]).root());
+    }
+
+    #[test]
+    fn proofs_verify_for_all_sizes() {
+        for n in 1..=17 {
+            let leaves: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 3]).collect();
+            let tree = MerkleTree::build(&leaves);
+            for (i, leaf) in leaves.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(
+                    merkle_proof_verify(&tree.root(), leaf, &proof),
+                    "n={n} i={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_or_index_rejected() {
+        let leaves: Vec<&[u8]> = vec![b"w", b"x", b"y", b"z"];
+        let tree = MerkleTree::build(&leaves);
+        let proof = tree.prove(1).unwrap();
+        assert!(!merkle_proof_verify(&tree.root(), b"not-x", &proof));
+        let mut bad = proof.clone();
+        bad.index = 2;
+        assert!(!merkle_proof_verify(&tree.root(), b"x", &bad));
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn leaf_node_domain_separation() {
+        // A single-leaf tree whose leaf equals an interior-node encoding of
+        // another tree must not collide, thanks to prefix separation.
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        let mut fake_leaf = vec![0x01u8];
+        fake_leaf.extend_from_slice(a.as_bytes());
+        fake_leaf.extend_from_slice(b.as_bytes());
+        let t_fake = MerkleTree::build(&[fake_leaf]);
+        let t_real = MerkleTree::build(&[a.as_bytes().to_vec(), b.as_bytes().to_vec()]);
+        assert_ne!(t_fake.root(), t_real.root());
+    }
+
+    #[test]
+    fn mss_sign_verify() {
+        let mut signer = MerkleSigner::new([9u8; 32], 3);
+        let root = signer.public_root();
+        for i in 0..8 {
+            let msg = format!("evidence {i}");
+            let sig = signer.sign(msg.as_bytes()).unwrap();
+            assert!(merkle_verify(&root, msg.as_bytes(), &sig));
+            assert!(!merkle_verify(&root, b"other", &sig));
+        }
+        assert_eq!(signer.sign(b"ninth").unwrap_err(), MssError::Exhausted);
+    }
+
+    #[test]
+    fn mss_signature_under_wrong_root_rejected() {
+        let mut s1 = MerkleSigner::new([1u8; 32], 2);
+        let s2 = MerkleSigner::new([2u8; 32], 2);
+        let sig = s1.sign(b"msg").unwrap();
+        assert!(!merkle_verify(&s2.public_root(), b"msg", &sig));
+    }
+
+    #[test]
+    fn mss_index_mismatch_rejected() {
+        let mut signer = MerkleSigner::new([3u8; 32], 2);
+        let root = signer.public_root();
+        let mut sig = signer.sign(b"msg").unwrap();
+        sig.index = 1; // claim a different key slot than the proof shows
+        assert!(!merkle_verify(&root, b"msg", &sig));
+    }
+
+    #[test]
+    fn mss_keys_not_reused() {
+        let mut signer = MerkleSigner::new([4u8; 32], 2);
+        let a = signer.sign(b"one").unwrap();
+        let b = signer.sign(b"two").unwrap();
+        assert_ne!(a.index, b.index);
+        assert_eq!(signer.remaining(), 2);
+    }
+}

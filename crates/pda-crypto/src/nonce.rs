@@ -1,0 +1,149 @@
+//! Nonce generation and freshness tracking.
+//!
+//! Copland phrases are bound by a nonce parameter `n` (following Helble
+//! et al., as used in the paper's equation (3)). The relying party mints
+//! a nonce per attestation request; the appraiser tracks seen nonces to
+//! reject replays, and certificates are stored and retrieved keyed by
+//! nonce (`store(n)` / `retrieve(n)`).
+
+use rand::RngCore;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A 64-bit attestation nonce.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Nonce(pub u64);
+
+impl Nonce {
+    /// Mint a fresh random nonce.
+    pub fn random<R: RngCore>(rng: &mut R) -> Nonce {
+        Nonce(rng.next_u64())
+    }
+
+    /// Big-endian byte encoding (what gets hashed into evidence).
+    pub fn to_bytes(&self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Decode from bytes.
+    pub fn from_bytes(b: [u8; 8]) -> Nonce {
+        Nonce(u64::from_be_bytes(b))
+    }
+}
+
+impl fmt::Debug for Nonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nonce({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for Nonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// Replay window: tracks nonces already accepted by an appraiser.
+///
+/// Bounded: once `capacity` is reached the *entire* window is rotated out
+/// after being summarized. Rotation trades perfect replay detection for
+/// bounded memory; the rotation epoch is part of the appraisal context,
+/// so a replay across epochs is still detectable as "unknown nonce" (the
+/// appraiser no longer has the original request open).
+#[derive(Debug)]
+pub struct ReplayWindow {
+    seen: HashSet<Nonce>,
+    capacity: usize,
+    /// How many rotations have happened (exposed for audit).
+    epochs: u64,
+}
+
+impl ReplayWindow {
+    /// Create a window holding up to `capacity` nonces.
+    pub fn new(capacity: usize) -> ReplayWindow {
+        assert!(capacity > 0, "replay window capacity must be positive");
+        ReplayWindow {
+            seen: HashSet::new(),
+            capacity,
+            epochs: 0,
+        }
+    }
+
+    /// Record `n`; returns `false` if it was already seen (replay).
+    pub fn check_and_record(&mut self, n: Nonce) -> bool {
+        if self.seen.contains(&n) {
+            return false;
+        }
+        if self.seen.len() >= self.capacity {
+            self.seen.clear();
+            self.epochs += 1;
+        }
+        self.seen.insert(n);
+        true
+    }
+
+    /// Has `n` been recorded in the current epoch?
+    pub fn contains(&self, n: Nonce) -> bool {
+        self.seen.contains(&n)
+    }
+
+    /// Number of completed rotations.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Nonces currently tracked.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if no nonces are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_nonce_accepted_replay_rejected() {
+        let mut w = ReplayWindow::new(8);
+        let n = Nonce(42);
+        assert!(w.check_and_record(n));
+        assert!(!w.check_and_record(n));
+    }
+
+    #[test]
+    fn rotation_bounds_memory() {
+        let mut w = ReplayWindow::new(4);
+        for i in 0..10 {
+            assert!(w.check_and_record(Nonce(i)));
+        }
+        assert!(w.len() <= 4);
+        assert!(w.epochs() >= 1);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let n = Nonce(0xdead_beef_cafe_f00d);
+        assert_eq!(Nonce::from_bytes(n.to_bytes()), n);
+    }
+
+    #[test]
+    fn random_nonces_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Nonce::random(&mut rng);
+        let b = Nonce::random(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        ReplayWindow::new(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! SHA-256 (FIPS 180-4), implemented from scratch.
+//!
+//! This is the measurement/hash primitive for the whole attestation stack:
+//! program digests, evidence hash-chains (Copland's `#` operator), HMAC,
+//! and the hash-based signature schemes are all built on it.
+//!
+//! The implementation is a straightforward, allocation-free rendition of
+//! the FIPS 180-4 specification and is validated against the NIST
+//! short-message test vectors in the unit tests below.
+
+/// Initial hash values: first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+    0x5be0cd19,
+];
+
+/// Round constants: first 32 bits of the fractional parts of the cube
+/// roots of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// ```
+/// use pda_crypto::sha256::Sha256;
+/// let mut h = Sha256::new();
+/// h.update(b"abc");
+/// let d = h.finalize();
+/// assert_eq!(
+///     hex(&d),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// fn hex(b: &[u8]) -> String {
+///     b.iter().map(|x| format!("{x:02x}")).collect()
+/// }
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes processed so far (used for the length suffix in padding).
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+
+        // Fill a partial block first.
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+
+        // Whole blocks straight from the input.
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+
+        // Stash the remainder.
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finish and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian message length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Manual: appending length must not double-count into self.len,
+        // but at this point the length suffix no longer matters.
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot convenience.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Hash the concatenation of several byte slices without allocating.
+    pub fn digest_parts(parts: &[&[u8]]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        for p in parts {
+            h.update(p);
+        }
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // NIST FIPS 180-4 / CAVP short-message vectors.
+    #[test]
+    fn empty_message() {
+        assert_eq!(
+            hex(&Sha256::digest(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(&Sha256::digest(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(&Sha256::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn four_block_message() {
+        let m = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex(&Sha256::digest(m)),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let m = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&Sha256::digest(&m)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = (0u8..=255).cycle().take(10_000).collect::<Vec<_>>();
+        let oneshot = Sha256::digest(&data);
+        // Feed in irregular chunk sizes to exercise buffering.
+        for chunk in [1usize, 3, 7, 63, 64, 65, 127, 1000] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn digest_parts_equals_concat() {
+        let a = b"hello ";
+        let b = b"world";
+        assert_eq!(
+            Sha256::digest_parts(&[a, b]),
+            Sha256::digest(b"hello world")
+        );
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Message lengths around the padding boundary (55/56/57 and 63/64/65)
+        // are the classic off-by-one spots for padding bugs. Compare digests
+        // for distinctness and stability under incremental feeding.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let m = vec![0xa5u8; len];
+            let d1 = Sha256::digest(&m);
+            let mut h = Sha256::new();
+            for byte in &m {
+                h.update(std::slice::from_ref(byte));
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+}

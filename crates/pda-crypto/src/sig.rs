@@ -1,0 +1,346 @@
+//! Pluggable signing backends for attestation evidence.
+//!
+//! Fig. 3's caption says evidence-handling is "tuned to balance
+//! performance and security"; this module is the tuning knob for the
+//! signing axis. Three backends with very different cost/size/security
+//! profiles share one interface:
+//!
+//! * [`SigScheme::Hmac`] — symmetric, 32-byte tags, cheapest; models a
+//!   shared-key deployment where the appraiser also holds the key.
+//! * [`SigScheme::LamportOts`] — one derived key per signature, public
+//!   verification, 8 KiB signatures; models a hardware OTS unit whose
+//!   epoch keys are pre-registered with the appraiser.
+//! * [`SigScheme::MerkleMss`] — long-lived device identity: one 32-byte
+//!   root verifies many signatures via authentication paths.
+//!
+//! The ablation experiments E7/E11 (DESIGN.md §4) sweep these backends.
+
+use crate::digest::Digest;
+use crate::hmac::{ct_eq, hmac_sha256};
+use crate::lamport::{lamport_verify, LamportPublicKey, LamportSecretKey, LamportSignature};
+use crate::merkle::{merkle_verify, MerkleSignature, MerkleSigner, MssError};
+use std::fmt;
+
+/// Which signing backend a device uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SigScheme {
+    /// HMAC-SHA-256 with a key shared with the appraiser.
+    Hmac,
+    /// Per-message Lamport one-time signatures (key derived per epoch,
+    /// epoch public keys pre-registered with verifiers).
+    LamportOts,
+    /// Merkle many-time signatures under one long-lived root.
+    MerkleMss,
+}
+
+impl SigScheme {
+    /// All backends, for parameter sweeps.
+    pub const ALL: [SigScheme; 3] = [SigScheme::Hmac, SigScheme::LamportOts, SigScheme::MerkleMss];
+}
+
+impl fmt::Display for SigScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SigScheme::Hmac => write!(f, "hmac"),
+            SigScheme::LamportOts => write!(f, "lamport-ots"),
+            SigScheme::MerkleMss => write!(f, "merkle-mss"),
+        }
+    }
+}
+
+/// A signature value from any backend.
+#[derive(Clone)]
+pub enum Signature {
+    /// 32-byte HMAC tag.
+    Hmac([u8; 32]),
+    /// Lamport signature plus the index of the derived epoch key used.
+    Lamport {
+        /// Epoch/index of the derived one-time key.
+        index: u64,
+        /// The one-time signature.
+        sig: LamportSignature,
+    },
+    /// Merkle many-time signature.
+    Merkle(Box<MerkleSignature>),
+}
+
+impl Signature {
+    /// Bytes this signature occupies on the wire — the quantity the
+    /// overhead experiments track.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Signature::Hmac(_) => 32,
+            Signature::Lamport { .. } => 8 + LamportSignature::SIZE,
+            Signature::Merkle(m) => m.wire_size(),
+        }
+    }
+
+    /// The scheme this signature belongs to.
+    pub fn scheme(&self) -> SigScheme {
+        match self {
+            Signature::Hmac(_) => SigScheme::Hmac,
+            Signature::Lamport { .. } => SigScheme::LamportOts,
+            Signature::Merkle(_) => SigScheme::MerkleMss,
+        }
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}, {}B)", self.scheme(), self.wire_size())
+    }
+}
+
+/// A signing identity owned by one device/principal.
+pub struct Signer {
+    scheme: SigScheme,
+    /// Secret seed: HMAC key, or Lamport/Merkle derivation seed.
+    seed: [u8; 32],
+    /// Next Lamport epoch index (LamportOts only).
+    next_epoch: u64,
+    /// Merkle signer state (MerkleMss only).
+    mss: Option<MerkleSigner>,
+}
+
+/// The verification-side key material, safe to hand to appraisers.
+///
+/// For `LamportOts` the registered material is the list of pre-committed
+/// epoch public keys. This trades registry size for simplicity — a real
+/// deployment would register fingerprints and have the signer disclose
+/// keys in-band; the *security argument is identical* (the appraiser pins
+/// exactly the same key bits either way), so the simulation keeps the
+/// simpler form and accounts wire size via [`Signature::wire_size`].
+#[derive(Clone)]
+pub enum VerifyKey {
+    /// HMAC shares the secret.
+    Hmac([u8; 32]),
+    /// Pre-committed epoch public keys, index = epoch.
+    Lamport(Vec<LamportPublicKey>),
+    /// Merkle root of the device identity tree.
+    Merkle(Digest),
+}
+
+impl VerifyKey {
+    /// A compact digest identifying this key (usable as a key ID).
+    pub fn key_id(&self) -> Digest {
+        match self {
+            VerifyKey::Hmac(k) => Digest::of_parts(&[b"hmac-key-id", k]),
+            VerifyKey::Lamport(keys) => {
+                let mut acc = Digest::of(b"lamport-key-id");
+                for k in keys {
+                    acc = acc.chain(&k.fingerprint());
+                }
+                acc
+            }
+            VerifyKey::Merkle(root) => Digest::of_parts(&[b"merkle-key-id", root.as_bytes()]),
+        }
+    }
+}
+
+/// Errors from signing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignError {
+    /// One-time/many-time key supply exhausted.
+    KeysExhausted,
+}
+
+impl fmt::Display for SignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignError::KeysExhausted => write!(f, "signing keys exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+impl From<MssError> for SignError {
+    fn from(_: MssError) -> Self {
+        SignError::KeysExhausted
+    }
+}
+
+impl Signer {
+    /// Create a signer. `mss_height` controls the Merkle tree size for
+    /// [`SigScheme::MerkleMss`] (2^height signatures); ignored otherwise.
+    pub fn new(scheme: SigScheme, seed: [u8; 32], mss_height: u32) -> Signer {
+        let mss = match scheme {
+            SigScheme::MerkleMss => Some(MerkleSigner::new(seed, mss_height)),
+            _ => None,
+        };
+        Signer {
+            scheme,
+            seed,
+            next_epoch: 0,
+            mss,
+        }
+    }
+
+    /// The scheme in use.
+    pub fn scheme(&self) -> SigScheme {
+        self.scheme
+    }
+
+    /// Produce the verification key to register with appraisers.
+    ///
+    /// `epochs` bounds how many Lamport epoch keys are pre-committed
+    /// (ignored for the other schemes). Signatures past that epoch will
+    /// not verify until the key is re-registered.
+    pub fn verify_key(&self, epochs: u64) -> VerifyKey {
+        match self.scheme {
+            SigScheme::Hmac => VerifyKey::Hmac(self.seed),
+            SigScheme::LamportOts => VerifyKey::Lamport(
+                (0..epochs)
+                    .map(|i| LamportSecretKey::derive(&self.seed, i).1)
+                    .collect(),
+            ),
+            SigScheme::MerkleMss => VerifyKey::Merkle(
+                self.mss
+                    .as_ref()
+                    .expect("MerkleMss signer has mss state")
+                    .public_root(),
+            ),
+        }
+    }
+
+    /// Sign a message.
+    pub fn sign(&mut self, msg: &[u8]) -> Result<Signature, SignError> {
+        match self.scheme {
+            SigScheme::Hmac => Ok(Signature::Hmac(hmac_sha256(&self.seed, msg))),
+            SigScheme::LamportOts => {
+                let index = self.next_epoch;
+                self.next_epoch += 1;
+                let (sk, _) = LamportSecretKey::derive(&self.seed, index);
+                Ok(Signature::Lamport {
+                    index,
+                    sig: sk.sign(msg),
+                })
+            }
+            SigScheme::MerkleMss => {
+                let mss = self.mss.as_mut().expect("MerkleMss signer has mss state");
+                Ok(Signature::Merkle(Box::new(mss.sign(msg)?)))
+            }
+        }
+    }
+
+    /// Remaining signatures before key exhaustion (`None` = unlimited).
+    pub fn remaining(&self) -> Option<usize> {
+        self.mss.as_ref().map(|m| m.remaining())
+    }
+}
+
+/// Verify a signature against a registered verification key.
+pub fn verify(key: &VerifyKey, msg: &[u8], sig: &Signature) -> bool {
+    match (key, sig) {
+        (VerifyKey::Hmac(k), Signature::Hmac(tag)) => ct_eq(&hmac_sha256(k, msg), tag),
+        (VerifyKey::Lamport(keys), Signature::Lamport { index, sig }) => keys
+            .get(*index as usize)
+            .is_some_and(|pk| lamport_verify(pk, msg, sig)),
+        (VerifyKey::Merkle(root), Signature::Merkle(m)) => merkle_verify(root, msg, m),
+        _ => false, // scheme mismatch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmac_round_trip() {
+        let mut s = Signer::new(SigScheme::Hmac, [5u8; 32], 0);
+        let vk = s.verify_key(0);
+        let sig = s.sign(b"msg").unwrap();
+        assert!(verify(&vk, b"msg", &sig));
+        assert!(!verify(&vk, b"other", &sig));
+    }
+
+    #[test]
+    fn hmac_wrong_key_rejected() {
+        let mut s = Signer::new(SigScheme::Hmac, [5u8; 32], 0);
+        let other = Signer::new(SigScheme::Hmac, [6u8; 32], 0);
+        let sig = s.sign(b"msg").unwrap();
+        assert!(!verify(&other.verify_key(0), b"msg", &sig));
+    }
+
+    #[test]
+    fn lamport_round_trip() {
+        let mut s = Signer::new(SigScheme::LamportOts, [7u8; 32], 0);
+        let vk = s.verify_key(4);
+        for i in 0..4 {
+            let m = format!("epoch {i}");
+            let sig = s.sign(m.as_bytes()).unwrap();
+            assert!(verify(&vk, m.as_bytes(), &sig));
+            assert!(!verify(&vk, b"tampered", &sig));
+        }
+    }
+
+    #[test]
+    fn lamport_epoch_advances() {
+        let mut s = Signer::new(SigScheme::LamportOts, [7u8; 32], 0);
+        let a = s.sign(b"one").unwrap();
+        let b = s.sign(b"two").unwrap();
+        let (Signature::Lamport { index: ia, .. }, Signature::Lamport { index: ib, .. }) = (&a, &b)
+        else {
+            panic!()
+        };
+        assert_eq!((*ia, *ib), (0, 1));
+    }
+
+    #[test]
+    fn lamport_uncommitted_epoch_rejected() {
+        let mut s = Signer::new(SigScheme::LamportOts, [7u8; 32], 0);
+        let vk = s.verify_key(1); // only epoch 0 committed
+        s.sign(b"zero").unwrap();
+        let sig = s.sign(b"one").unwrap(); // epoch 1, not committed
+        assert!(!verify(&vk, b"one", &sig));
+    }
+
+    #[test]
+    fn merkle_round_trip_and_exhaustion() {
+        let mut s = Signer::new(SigScheme::MerkleMss, [8u8; 32], 2);
+        let vk = s.verify_key(0);
+        for i in 0..4 {
+            let m = format!("m{i}");
+            let sig = s.sign(m.as_bytes()).unwrap();
+            assert!(verify(&vk, m.as_bytes(), &sig));
+        }
+        assert_eq!(s.sign(b"m4").unwrap_err(), SignError::KeysExhausted);
+        assert_eq!(s.remaining(), Some(0));
+    }
+
+    #[test]
+    fn scheme_mismatch_rejected() {
+        let mut hmac = Signer::new(SigScheme::Hmac, [1u8; 32], 0);
+        let mut mss = Signer::new(SigScheme::MerkleMss, [1u8; 32], 2);
+        let hmac_sig = hmac.sign(b"m").unwrap();
+        let mss_sig = mss.sign(b"m").unwrap();
+        assert!(!verify(&mss.verify_key(0), b"m", &hmac_sig));
+        assert!(!verify(&hmac.verify_key(0), b"m", &mss_sig));
+    }
+
+    #[test]
+    fn wire_sizes_ordered_as_expected() {
+        let mut h = Signer::new(SigScheme::Hmac, [1u8; 32], 0);
+        let mut l = Signer::new(SigScheme::LamportOts, [1u8; 32], 0);
+        let mut m = Signer::new(SigScheme::MerkleMss, [1u8; 32], 3);
+        let sh = h.sign(b"x").unwrap().wire_size();
+        let sl = l.sign(b"x").unwrap().wire_size();
+        let sm = m.sign(b"x").unwrap().wire_size();
+        assert!(sh < sl, "hmac ({sh}) < lamport ({sl})");
+        assert!(sl < sm, "lamport ({sl}) < merkle ({sm})");
+    }
+
+    #[test]
+    fn key_ids_distinct_across_schemes_and_seeds() {
+        let h1 = Signer::new(SigScheme::Hmac, [1u8; 32], 0).verify_key(0);
+        let h2 = Signer::new(SigScheme::Hmac, [2u8; 32], 0).verify_key(0);
+        let l1 = Signer::new(SigScheme::LamportOts, [1u8; 32], 0).verify_key(2);
+        let m1 = Signer::new(SigScheme::MerkleMss, [1u8; 32], 2).verify_key(0);
+        let ids = [h1.key_id(), h2.key_id(), l1.key_id(), m1.key_id()];
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_ne!(ids[i], ids[j], "{i} vs {j}");
+            }
+        }
+    }
+}

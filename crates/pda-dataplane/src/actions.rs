@@ -1,0 +1,405 @@
+//! Actions: the "Action" half of match-action. An action is a named
+//! sequence of primitives over the PHV, registers, and counters —
+//! matching the VLIW action model of PISA (all primitives of one action
+//! execute on the same packet before the next stage).
+
+use crate::phv::{meta, Phv};
+use std::fmt;
+
+/// Primitive operations available to actions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Primitive {
+    /// `field = value`.
+    SetField {
+        /// Destination PHV slot.
+        field: String,
+        /// Immediate value.
+        value: u64,
+    },
+    /// `dst = src` (copy between PHV slots).
+    CopyField {
+        /// Destination slot.
+        dst: String,
+        /// Source slot.
+        src: String,
+    },
+    /// `field = field + delta` (wrapping; use `delta = -1 as u64` to
+    /// decrement, e.g. TTL).
+    AddToField {
+        /// Slot to modify.
+        field: String,
+        /// Wrapping-added delta.
+        delta: u64,
+    },
+    /// Drop the packet (sets egress to the drop sentinel).
+    Drop,
+    /// Send out a port.
+    Forward {
+        /// Egress port number.
+        port: u64,
+    },
+    /// Compute a simple fold hash of several fields into `meta.hash`
+    /// (ECMP-style selection; deterministic, not cryptographic).
+    HashFields {
+        /// Slots folded into the hash.
+        fields: Vec<String>,
+        /// Modulus applied to the result (0 = none).
+        modulo: u64,
+    },
+    /// `reg[index_field or index] op= value_field/value` — register ops.
+    RegisterWrite {
+        /// Register array name.
+        reg: String,
+        /// PHV slot providing the index.
+        index_field: String,
+        /// PHV slot providing the value.
+        value_field: String,
+    },
+    /// Read `reg[index]` into a PHV slot.
+    RegisterRead {
+        /// Register array name.
+        reg: String,
+        /// PHV slot providing the index.
+        index_field: String,
+        /// Destination slot.
+        dst: String,
+    },
+    /// Increment `reg[index]` by 1 (counters).
+    RegisterIncr {
+        /// Register array name.
+        reg: String,
+        /// PHV slot providing the index.
+        index_field: String,
+    },
+    /// Mark a header valid (push) or invalid (pop).
+    SetHeaderValidity {
+        /// Header name.
+        header: String,
+        /// New validity.
+        valid: bool,
+    },
+    /// No operation.
+    NoOp,
+}
+
+/// A named action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Action {
+    /// Action name (part of the program digest).
+    pub name: String,
+    /// Primitives executed in order.
+    pub primitives: Vec<Primitive>,
+}
+
+impl Action {
+    /// Construct a named action.
+    pub fn named(name: impl Into<String>, primitives: Vec<Primitive>) -> Action {
+        Action {
+            name: name.into(),
+            primitives,
+        }
+    }
+
+    /// The ubiquitous drop action.
+    pub fn drop_() -> Action {
+        Action::named("drop", vec![Primitive::Drop])
+    }
+
+    /// The no-op action.
+    pub fn nop() -> Action {
+        Action::named("nop", vec![Primitive::NoOp])
+    }
+
+    /// Forward out `port`.
+    pub fn fwd(port: u64) -> Action {
+        Action::named(format!("fwd{port}"), vec![Primitive::Forward { port }])
+    }
+
+    /// Canonical bytes for program attestation.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.name.as_bytes());
+        out.push(0);
+        for p in &self.primitives {
+            out.extend_from_slice(format!("{p:?}").as_bytes());
+            out.push(0);
+        }
+        out
+    }
+}
+
+/// Mutable register file shared across a pipeline's stages (the
+/// programmable persistent state of the switch — part of the Fig. 4
+/// "Prog. State" detail level).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Registers {
+    arrays: std::collections::BTreeMap<String, Vec<u64>>,
+}
+
+impl Registers {
+    /// Create an empty register file.
+    pub fn new() -> Registers {
+        Registers::default()
+    }
+
+    /// Declare a register array of `size` cells (idempotent).
+    pub fn declare(&mut self, name: impl Into<String>, size: usize) {
+        self.arrays.entry(name.into()).or_insert_with(|| vec![0; size]);
+    }
+
+    /// Read a cell (0 when out of range or undeclared).
+    pub fn read(&self, name: &str, index: u64) -> u64 {
+        self.arrays
+            .get(name)
+            .and_then(|a| a.get(index as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Write a cell (ignored when out of range — hardware masks the
+    /// index; here we bound-check and drop, which is observably similar
+    /// for well-formed programs).
+    pub fn write(&mut self, name: &str, index: u64, value: u64) {
+        if let Some(a) = self.arrays.get_mut(name) {
+            if let Some(cell) = a.get_mut(index as usize) {
+                *cell = value;
+            }
+        }
+    }
+
+    /// Canonical bytes of all register state (for Prog-State attestation).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, cells) in &self.arrays {
+            out.extend_from_slice(name.as_bytes());
+            out.push(0);
+            for c in cells {
+                out.extend_from_slice(&c.to_be_bytes());
+            }
+        }
+        out
+    }
+}
+
+/// Execute an action against the PHV and register file.
+pub fn execute(action: &Action, phv: &mut Phv, regs: &mut Registers) {
+    for p in &action.primitives {
+        match p {
+            Primitive::SetField { field, value } => phv.set(field, *value),
+            Primitive::CopyField { dst, src } => {
+                let v = phv.get(src);
+                phv.set(dst, v);
+            }
+            Primitive::AddToField { field, delta } => {
+                let v = phv.get(field).wrapping_add(*delta);
+                phv.set(field, v);
+            }
+            Primitive::Drop => phv.set(meta::EGRESS_PORT, meta::DROP),
+            Primitive::Forward { port } => phv.set(meta::EGRESS_PORT, *port),
+            Primitive::HashFields { fields, modulo } => {
+                // FNV-1a fold over the field values: cheap, stable, and
+                // spreads ECMP keys well enough for simulation.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for fname in fields {
+                    for b in phv.get(fname).to_be_bytes() {
+                        h ^= u64::from(b);
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                }
+                if *modulo > 0 {
+                    h %= modulo;
+                }
+                phv.set(meta::HASH, h);
+            }
+            Primitive::RegisterWrite {
+                reg,
+                index_field,
+                value_field,
+            } => {
+                let idx = phv.get(index_field);
+                let v = phv.get(value_field);
+                regs.write(reg, idx, v);
+            }
+            Primitive::RegisterRead {
+                reg,
+                index_field,
+                dst,
+            } => {
+                let idx = phv.get(index_field);
+                let v = regs.read(reg, idx);
+                phv.set(dst, v);
+            }
+            Primitive::RegisterIncr { reg, index_field } => {
+                let idx = phv.get(index_field);
+                let v = regs.read(reg, idx).wrapping_add(1);
+                regs.write(reg, idx, v);
+            }
+            Primitive::SetHeaderValidity { header, valid } => phv.set_valid(header, *valid),
+            Primitive::NoOp => {}
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({} prims)", self.name, self.primitives.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_copy_add() {
+        let mut phv = Phv::new();
+        let mut regs = Registers::new();
+        let a = Action::named(
+            "t",
+            vec![
+                Primitive::SetField {
+                    field: "x".into(),
+                    value: 5,
+                },
+                Primitive::CopyField {
+                    dst: "y".into(),
+                    src: "x".into(),
+                },
+                Primitive::AddToField {
+                    field: "y".into(),
+                    delta: u64::MAX, // -1
+                },
+            ],
+        );
+        execute(&a, &mut phv, &mut regs);
+        assert_eq!(phv.get("x"), 5);
+        assert_eq!(phv.get("y"), 4);
+    }
+
+    #[test]
+    fn drop_and_forward() {
+        let mut phv = Phv::new();
+        let mut regs = Registers::new();
+        execute(&Action::fwd(3), &mut phv, &mut regs);
+        assert_eq!(phv.get(meta::EGRESS_PORT), 3);
+        execute(&Action::drop_(), &mut phv, &mut regs);
+        assert_eq!(phv.get(meta::EGRESS_PORT), meta::DROP);
+    }
+
+    #[test]
+    fn registers_read_write_incr() {
+        let mut phv = Phv::new();
+        let mut regs = Registers::new();
+        regs.declare("flows", 8);
+        phv.set("idx", 3);
+        phv.set("val", 42);
+        execute(
+            &Action::named(
+                "w",
+                vec![Primitive::RegisterWrite {
+                    reg: "flows".into(),
+                    index_field: "idx".into(),
+                    value_field: "val".into(),
+                }],
+            ),
+            &mut phv,
+            &mut regs,
+        );
+        assert_eq!(regs.read("flows", 3), 42);
+        execute(
+            &Action::named(
+                "i",
+                vec![Primitive::RegisterIncr {
+                    reg: "flows".into(),
+                    index_field: "idx".into(),
+                }],
+            ),
+            &mut phv,
+            &mut regs,
+        );
+        execute(
+            &Action::named(
+                "r",
+                vec![Primitive::RegisterRead {
+                    reg: "flows".into(),
+                    index_field: "idx".into(),
+                    dst: "out".into(),
+                }],
+            ),
+            &mut phv,
+            &mut regs,
+        );
+        assert_eq!(phv.get("out"), 43);
+    }
+
+    #[test]
+    fn out_of_range_register_access_is_safe() {
+        let mut regs = Registers::new();
+        regs.declare("r", 2);
+        regs.write("r", 100, 1);
+        assert_eq!(regs.read("r", 100), 0);
+        assert_eq!(regs.read("ghost", 0), 0);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_bounded() {
+        let mut phv = Phv::new();
+        let mut regs = Registers::new();
+        phv.set("ipv4.src", 1);
+        phv.set("ipv4.dst", 2);
+        let a = Action::named(
+            "h",
+            vec![Primitive::HashFields {
+                fields: vec!["ipv4.src".into(), "ipv4.dst".into()],
+                modulo: 4,
+            }],
+        );
+        execute(&a, &mut phv, &mut regs);
+        let h1 = phv.get(meta::HASH);
+        assert!(h1 < 4);
+        execute(&a, &mut phv, &mut regs);
+        assert_eq!(phv.get(meta::HASH), h1);
+        // Different inputs give (very likely) different buckets over a
+        // larger modulus.
+        phv.set("ipv4.src", 7);
+        let a2 = Action::named(
+            "h",
+            vec![Primitive::HashFields {
+                fields: vec!["ipv4.src".into(), "ipv4.dst".into()],
+                modulo: 1 << 30,
+            }],
+        );
+        execute(&a2, &mut phv, &mut regs);
+        assert_ne!(phv.get(meta::HASH), h1);
+    }
+
+    #[test]
+    fn header_validity_primitive() {
+        let mut phv = Phv::new();
+        let mut regs = Registers::new();
+        execute(
+            &Action::named(
+                "push",
+                vec![Primitive::SetHeaderValidity {
+                    header: "pda".into(),
+                    valid: true,
+                }],
+            ),
+            &mut phv,
+            &mut regs,
+        );
+        assert!(phv.is_valid("pda"));
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_actions() {
+        assert_ne!(
+            Action::fwd(1).canonical_bytes(),
+            Action::fwd(2).canonical_bytes()
+        );
+        assert_ne!(
+            Action::drop_().canonical_bytes(),
+            Action::nop().canonical_bytes()
+        );
+    }
+}

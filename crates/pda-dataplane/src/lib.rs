@@ -1,0 +1,38 @@
+//! # pda-dataplane
+//!
+//! A PISA (Protocol-Independent Switch Architecture) pipeline simulator
+//! — the programmable-switch substrate the paper's PERA design extends
+//! (§5, Fig. 3). Models the architecture of Bosshart et al.'s
+//! "Forwarding Metamorphosis" at the functional level:
+//!
+//! * [`phv`] — the Packet Header Vector flowing between stages.
+//! * [`headers`] — declarative header types (Ethernet, IPv4, TCP, UDP,
+//!   the §5.2 PDA options header, and a payload signature window).
+//! * [`parser`] — the programmable parse graph over raw bytes, plus the
+//!   deparser.
+//! * [`tables`] — exact/LPM/ternary match tables with priorities.
+//! * [`actions`] — VLIW-style action primitives and register arrays.
+//! * [`pipeline`] — [`pipeline::DataplaneProgram`]: parser + stages +
+//!   registers, with canonical **program digests** (the attestation
+//!   target for UC1) at three Fig.-4 detail levels (program, tables,
+//!   register state).
+//! * [`programs`] — the baseline program library the paper's use cases
+//!   name (`firewall_v5.p4`, `ACL_v3.p4`, load balancer, scrubber, C2
+//!   scanner, flow monitor) plus the rogue variants the attacks swap in
+//!   (wiretap forwarder, false-readings monitor).
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod headers;
+pub mod parser;
+pub mod phv;
+pub mod pipeline;
+pub mod programs;
+pub mod tables;
+
+pub use actions::{Action, Primitive, Registers};
+pub use parser::{build_udp_packet, standard_parser, ParseErr, ParserDef};
+pub use phv::Phv;
+pub use pipeline::{DataplaneProgram, PipelineOutput, Stage};
+pub use tables::{Entry, KeyCell, KeyCol, MatchKind, Table};

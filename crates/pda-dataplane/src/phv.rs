@@ -1,0 +1,128 @@
+//! Packet Header Vector (PHV) — the per-packet working state that flows
+//! through a PISA pipeline (Bosshart et al., "Forwarding Metamorphosis").
+//!
+//! The parser extracts header fields out of raw packet bytes into the
+//! PHV; match-action stages read and write PHV slots; the deparser
+//! serializes valid headers back out. Fields are addressed as
+//! `"header.field"` strings resolved against [`crate::headers`]
+//! definitions.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Standard intrinsic metadata fields (not parsed from the wire).
+pub mod meta {
+    /// Ingress port the packet arrived on.
+    pub const INGRESS_PORT: &str = "meta.ingress_port";
+    /// Egress port chosen by the pipeline (`DROP` when dropped).
+    pub const EGRESS_PORT: &str = "meta.egress_port";
+    /// Sentinel egress value meaning "drop".
+    pub const DROP: u64 = u64::MAX;
+    /// Scratch hash value (for ECMP / load balancing).
+    pub const HASH: &str = "meta.hash";
+}
+
+/// The packet header vector.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Phv {
+    /// Field values, `"hdr.field"` → value.
+    fields: BTreeMap<String, u64>,
+    /// Headers currently valid (parsed or pushed).
+    valid: BTreeMap<String, bool>,
+}
+
+impl Phv {
+    /// Fresh, empty PHV.
+    pub fn new() -> Phv {
+        Phv::default()
+    }
+
+    /// Read a field; invalid/unset fields read as 0 (P4 semantics for
+    /// reading an invalid header field are undefined — we pin them to 0
+    /// for determinism).
+    pub fn get(&self, field: &str) -> u64 {
+        self.fields.get(field).copied().unwrap_or(0)
+    }
+
+    /// Write a field.
+    pub fn set(&mut self, field: &str, value: u64) {
+        self.fields.insert(field.to_string(), value);
+    }
+
+    /// Mark a header valid (after extraction or push).
+    pub fn set_valid(&mut self, header: &str, valid: bool) {
+        self.valid.insert(header.to_string(), valid);
+    }
+
+    /// Is the header valid?
+    pub fn is_valid(&self, header: &str) -> bool {
+        self.valid.get(header).copied().unwrap_or(false)
+    }
+
+    /// All valid header names, in name order.
+    pub fn valid_headers(&self) -> Vec<&str> {
+        self.valid
+            .iter()
+            .filter(|(_, v)| **v)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+
+    /// Iterate over all set fields.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl fmt::Display for Phv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PHV{{")?;
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_fields_read_zero() {
+        let phv = Phv::new();
+        assert_eq!(phv.get("ipv4.ttl"), 0);
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut phv = Phv::new();
+        phv.set("ipv4.ttl", 64);
+        assert_eq!(phv.get("ipv4.ttl"), 64);
+        phv.set("ipv4.ttl", 63);
+        assert_eq!(phv.get("ipv4.ttl"), 63);
+    }
+
+    #[test]
+    fn validity_tracking() {
+        let mut phv = Phv::new();
+        assert!(!phv.is_valid("ipv4"));
+        phv.set_valid("ipv4", true);
+        phv.set_valid("tcp", true);
+        phv.set_valid("udp", false);
+        assert!(phv.is_valid("ipv4"));
+        assert_eq!(phv.valid_headers(), vec!["ipv4", "tcp"]);
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let mut phv = Phv::new();
+        phv.set("eth.src", 1);
+        phv.set("eth.dst", 2);
+        let s = phv.to_string();
+        assert!(s.contains("eth.src=1") && s.contains("eth.dst=2"), "{s}");
+    }
+}

@@ -1,0 +1,517 @@
+//! Baseline dataplane programs — the workloads the paper's use cases
+//! name: `firewall_v5.p4` and `ACL_v3.p4` (UC1), a forwarding program, a
+//! load balancer (UC1's "wrong load-balancer" example), a DPI/scrubber
+//! appliance (UC3), a malware-C2 scanner (UC4), and a flow monitor (§1's
+//! monitoring discussion). Each is a [`DataplaneProgram`] built from the
+//! standard parse graph, so swapping one for another changes the program
+//! digest a PERA switch attests.
+
+use crate::actions::{Action, Primitive};
+use crate::parser::standard_parser;
+use crate::pipeline::{DataplaneProgram, Stage};
+use crate::tables::{Entry, KeyCell, KeyCol, MatchKind, Table};
+
+fn exact(field: &str) -> KeyCol {
+    KeyCol {
+        field: field.into(),
+        kind: MatchKind::Exact,
+    }
+}
+
+fn lpm(field: &str) -> KeyCol {
+    KeyCol {
+        field: field.into(),
+        kind: MatchKind::Lpm,
+    }
+}
+
+fn ternary(field: &str) -> KeyCol {
+    KeyCol {
+        field: field.into(),
+        kind: MatchKind::Ternary,
+    }
+}
+
+fn routed(port: u64) -> Action {
+    Action::named(
+        format!("route{port}"),
+        vec![
+            Primitive::AddToField {
+                field: "ipv4.ttl".into(),
+                delta: u64::MAX, // -1
+            },
+            Primitive::Forward { port },
+        ],
+    )
+}
+
+/// `forward_v2.p4` — plain LPM IPv4 forwarding. `routes` maps
+/// (prefix, prefix_len) to an egress port.
+pub fn forwarding(routes: &[(u32, u8, u64)]) -> DataplaneProgram {
+    let mut table = Table::new("ipv4_lpm", vec![lpm("ipv4.dst")], Action::drop_());
+    for &(prefix, len, port) in routes {
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Lpm {
+                    value: prefix,
+                    prefix_len: len,
+                }],
+                priority: 0,
+                action: routed(port),
+            })
+            .expect("route entry shape");
+    }
+    DataplaneProgram {
+        name: "forward_v2.p4".into(),
+        version: "2.0".into(),
+        parser: standard_parser(),
+        stages: vec![Stage { table }],
+        registers: vec![],
+    }
+}
+
+/// `firewall_v5.p4` — stateless firewall: deny rules over
+/// (src prefix, dst prefix, proto), then LPM forwarding.
+pub fn firewall(
+    deny: &[(u32, u8, u32, u8, Option<u64>)],
+    routes: &[(u32, u8, u64)],
+) -> DataplaneProgram {
+    let mut acl = Table::new(
+        "fw_acl",
+        vec![ternary("ipv4.src"), ternary("ipv4.dst"), ternary("ipv4.proto")],
+        Action::nop(),
+    );
+    fn pmask(len: u8) -> u64 {
+        if len == 0 {
+            0
+        } else {
+            u64::from(u32::MAX << (32 - u32::from(len.min(32))))
+        }
+    }
+    for &(s, sl, d, dl, proto) in deny {
+        acl.insert(Entry {
+            key: vec![
+                KeyCell::Ternary {
+                    value: u64::from(s),
+                    mask: pmask(sl),
+                },
+                KeyCell::Ternary {
+                    value: u64::from(d),
+                    mask: pmask(dl),
+                },
+                match proto {
+                    Some(p) => KeyCell::Ternary {
+                        value: p,
+                        mask: 0xff,
+                    },
+                    None => KeyCell::Any,
+                },
+            ],
+            priority: 10,
+            action: Action::drop_(),
+        })
+        .expect("deny entry shape");
+    }
+    let mut prog = forwarding(routes);
+    prog.name = "firewall_v5.p4".into();
+    prog.version = "5.0".into();
+    prog.stages.insert(0, Stage { table: acl });
+    prog
+}
+
+/// `acl_v3.p4` — port-based ACL (allow-list of L4 destination ports),
+/// then forwarding.
+pub fn acl(allowed_udp_ports: &[u64], routes: &[(u32, u8, u64)]) -> DataplaneProgram {
+    let mut table = Table::new("acl_ports", vec![exact("udp.dport")], Action::drop_());
+    for &p in allowed_udp_ports {
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Exact(p)],
+                priority: 0,
+                action: Action::nop(),
+            })
+            .expect("acl entry shape");
+    }
+    let mut prog = forwarding(routes);
+    prog.name = "ACL_v3.p4".into();
+    prog.version = "3.0".into();
+    prog.stages.insert(0, Stage { table });
+    prog
+}
+
+/// `lb_v1.p4` — ECMP load balancer: hash the 5-tuple into one of
+/// `ports.len()` uplinks.
+pub fn load_balancer(ports: &[u64]) -> DataplaneProgram {
+    assert!(!ports.is_empty(), "load balancer needs at least one port");
+    let hash = Table::new(
+        "lb_hash",
+        vec![],
+        Action::named(
+            "ecmp_hash",
+            vec![Primitive::HashFields {
+                fields: vec![
+                    "ipv4.src".into(),
+                    "ipv4.dst".into(),
+                    "ipv4.proto".into(),
+                    "udp.sport".into(),
+                    "udp.dport".into(),
+                ],
+                modulo: ports.len() as u64,
+            }],
+        ),
+    );
+    let mut select = Table::new("lb_select", vec![exact("meta.hash")], Action::drop_());
+    for (i, &p) in ports.iter().enumerate() {
+        select
+            .insert(Entry {
+                key: vec![KeyCell::Exact(i as u64)],
+                priority: 0,
+                action: Action::fwd(p),
+            })
+            .expect("select entry shape");
+    }
+    DataplaneProgram {
+        name: "lb_v1.p4".into(),
+        version: "1.0".into(),
+        parser: standard_parser(),
+        stages: vec![Stage { table: hash }, Stage { table: select }],
+        registers: vec![],
+    }
+}
+
+/// `scrubber_v1.p4` — DDoS scrubber appliance: tags traffic it has
+/// inspected by stamping the DSCP field, dropping obviously spoofed
+/// sources (a deny prefix list).
+pub fn scrubber(spoofed_prefixes: &[(u32, u8)], out_port: u64, tag: u64) -> DataplaneProgram {
+    let mut table = Table::new(
+        "scrub",
+        vec![lpm("ipv4.src")],
+        Action::named(
+            "stamp_and_fwd",
+            vec![
+                Primitive::SetField {
+                    field: "ipv4.dscp".into(),
+                    value: tag,
+                },
+                Primitive::Forward { port: out_port },
+            ],
+        ),
+    );
+    for &(p, l) in spoofed_prefixes {
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Lpm {
+                    value: p,
+                    prefix_len: l,
+                }],
+                priority: 0,
+                action: Action::drop_(),
+            })
+            .expect("scrub entry shape");
+    }
+    DataplaneProgram {
+        name: "scrubber_v1.p4".into(),
+        version: "1.0".into(),
+        parser: standard_parser(),
+        stages: vec![Stage { table }],
+        registers: vec![],
+    }
+}
+
+/// `c2scan_v1.p4` — UC4's malware-communication scanner: matches the
+/// 8-byte payload signature window against known C2 beacon markers,
+/// counts hits in a register, and mirrors suspect packets to a port
+/// while forwarding everything normally.
+pub fn c2_scanner(signatures: &[u64], normal_port: u64, mirror_port: u64) -> DataplaneProgram {
+    let mut table = Table::new(
+        "c2_signatures",
+        vec![exact("sig.window")],
+        Action::fwd(normal_port),
+    );
+    for &sig in signatures {
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Exact(sig)],
+                priority: 0,
+                action: Action::named(
+                    "mirror_suspect",
+                    vec![
+                        Primitive::SetField {
+                            field: "meta.c2_hit".into(),
+                            value: 1,
+                        },
+                        Primitive::RegisterIncr {
+                            reg: "c2_hits".into(),
+                            index_field: "meta.zero".into(),
+                        },
+                        Primitive::Forward { port: mirror_port },
+                    ],
+                ),
+            })
+            .expect("signature entry shape");
+    }
+    DataplaneProgram {
+        name: "c2scan_v1.p4".into(),
+        version: "1.0".into(),
+        parser: standard_parser(),
+        stages: vec![Stage { table }],
+        registers: vec![("c2_hits".into(), 1)],
+    }
+}
+
+/// `monitor_v1.p4` — per-flow packet counter (the §1 "monitoring"
+/// program an adversary might swap for one producing false readings):
+/// hashes the flow 5-tuple into a counter array and forwards.
+pub fn flow_monitor(buckets: usize, out_port: u64) -> DataplaneProgram {
+    let hash = Table::new(
+        "flow_hash",
+        vec![],
+        Action::named(
+            "hash_flow",
+            vec![Primitive::HashFields {
+                fields: vec!["ipv4.src".into(), "ipv4.dst".into(), "ipv4.proto".into()],
+                modulo: buckets as u64,
+            }],
+        ),
+    );
+    let count = Table::new(
+        "flow_count",
+        vec![],
+        Action::named(
+            "count_and_fwd",
+            vec![
+                Primitive::RegisterIncr {
+                    reg: "flow_counts".into(),
+                    index_field: "meta.hash".into(),
+                },
+                Primitive::Forward { port: out_port },
+            ],
+        ),
+    );
+    DataplaneProgram {
+        name: "monitor_v1.p4".into(),
+        version: "1.0".into(),
+        parser: standard_parser(),
+        stages: vec![Stage { table: hash }, Stage { table: count }],
+        registers: vec![("flow_counts".into(), buckets)],
+    }
+}
+
+/// The rogue variant of the flow monitor: structurally identical but
+/// reports every flow count as zero (the "false readings" attack of §1).
+/// Its digest necessarily differs — that difference is what RA detects.
+pub fn rogue_flow_monitor(buckets: usize, out_port: u64) -> DataplaneProgram {
+    let mut prog = flow_monitor(buckets, out_port);
+    // Same name and version: the adversary *claims* it is the monitor.
+    prog.stages[1].table.default_action = Action::named(
+        "count_and_fwd",
+        vec![
+            // Silently skip the counter update.
+            Primitive::Forward { port: out_port },
+        ],
+    );
+    prog
+}
+
+/// The Athens-affair style rogue forwarder: forwards normally but also
+/// mirrors traffic matching a target list to an exfiltration port.
+pub fn rogue_wiretap(
+    routes: &[(u32, u8, u64)],
+    targets: &[u32],
+    exfil_port: u64,
+) -> DataplaneProgram {
+    let mut prog = forwarding(routes);
+    // Same public identity as the legitimate forwarder.
+    let mut tap = Table::new("lawful_intercept", vec![exact("ipv4.src")], Action::nop());
+    for &t in targets {
+        tap.insert(Entry {
+            key: vec![KeyCell::Exact(u64::from(t))],
+            priority: 0,
+            action: Action::named(
+                "duplicate_stream",
+                vec![Primitive::SetField {
+                    field: "meta.mirror_to".into(),
+                    value: exfil_port,
+                }],
+            ),
+        })
+        .expect("tap entry shape");
+    }
+    prog.stages.push(Stage { table: tap });
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::build_udp_packet;
+    use crate::phv::meta;
+
+    fn pkt(src: u32, dst: u32, dport: u16, payload: &[u8]) -> Vec<u8> {
+        build_udp_packet(0xa, 0xb, src, dst, 4444, dport, payload)
+    }
+
+    #[test]
+    fn forwarding_routes_by_prefix() {
+        let prog = forwarding(&[(0x0a00_0000, 8, 1), (0x0b00_0000, 8, 2)]);
+        let mut regs = prog.make_registers();
+        let out = prog
+            .process(&pkt(1, 0x0a010101, 53, b"x"), 0, &mut regs)
+            .unwrap();
+        assert_eq!(out.egress_port, 1);
+        let out = prog
+            .process(&pkt(1, 0x0b010101, 53, b"x"), 0, &mut regs)
+            .unwrap();
+        assert_eq!(out.egress_port, 2);
+        let out = prog
+            .process(&pkt(1, 0x0c010101, 53, b"x"), 0, &mut regs)
+            .unwrap();
+        assert_eq!(out.egress_port, meta::DROP);
+    }
+
+    #[test]
+    fn firewall_denies_then_routes() {
+        let prog = firewall(
+            &[(0xc0a8_0000, 16, 0, 0, Some(17))], // deny UDP from 192.168/16
+            &[(0, 0, 9)],                         // default route to port 9
+        );
+        let mut regs = prog.make_registers();
+        let blocked = prog
+            .process(&pkt(0xc0a8_0001, 5, 53, b"x"), 0, &mut regs)
+            .unwrap();
+        assert!(blocked.packet.is_none());
+        let allowed = prog
+            .process(&pkt(0x0101_0101, 5, 53, b"x"), 0, &mut regs)
+            .unwrap();
+        assert_eq!(allowed.egress_port, 9);
+    }
+
+    #[test]
+    fn acl_allows_listed_ports_only() {
+        let prog = acl(&[53, 123], &[(0, 0, 3)]);
+        let mut regs = prog.make_registers();
+        assert_eq!(
+            prog.process(&pkt(1, 2, 53, b"x"), 0, &mut regs)
+                .unwrap()
+                .egress_port,
+            3
+        );
+        assert!(prog
+            .process(&pkt(1, 2, 80, b"x"), 0, &mut regs)
+            .unwrap()
+            .packet
+            .is_none());
+    }
+
+    #[test]
+    fn load_balancer_spreads_and_is_deterministic() {
+        let prog = load_balancer(&[11, 12, 13, 14]);
+        let mut regs = prog.make_registers();
+        let mut seen = std::collections::BTreeSet::new();
+        for src in 0..32u32 {
+            let out = prog
+                .process(&pkt(src, 99, 443, b"x"), 0, &mut regs)
+                .unwrap();
+            assert!([11, 12, 13, 14].contains(&out.egress_port));
+            seen.insert(out.egress_port);
+            // Same flow → same port.
+            let again = prog
+                .process(&pkt(src, 99, 443, b"x"), 0, &mut regs)
+                .unwrap();
+            assert_eq!(again.egress_port, out.egress_port);
+        }
+        assert!(seen.len() >= 3, "ECMP should use most uplinks: {seen:?}");
+    }
+
+    #[test]
+    fn scrubber_tags_clean_drops_spoofed() {
+        let prog = scrubber(&[(0x7f00_0000, 8)], 5, 42);
+        let mut regs = prog.make_registers();
+        let spoofed = prog
+            .process(&pkt(0x7f00_0001, 2, 53, b"x"), 0, &mut regs)
+            .unwrap();
+        assert!(spoofed.packet.is_none());
+        let clean = prog
+            .process(&pkt(0x0101_0101, 2, 53, b"x"), 0, &mut regs)
+            .unwrap();
+        assert_eq!(clean.egress_port, 5);
+        assert_eq!(clean.phv.get("ipv4.dscp"), 42, "scrubber tag stamped");
+    }
+
+    #[test]
+    fn c2_scanner_mirrors_and_counts_hits() {
+        let beacon = u64::from_be_bytes(*b"C2BEACON");
+        let prog = c2_scanner(&[beacon], 1, 7);
+        let mut regs = prog.make_registers();
+        let hit = prog
+            .process(&pkt(1, 2, 8080, b"C2BEACON"), 0, &mut regs)
+            .unwrap();
+        assert_eq!(hit.egress_port, 7);
+        assert_eq!(hit.phv.get("meta.c2_hit"), 1);
+        assert_eq!(regs.read("c2_hits", 0), 1);
+        let miss = prog
+            .process(&pkt(1, 2, 8080, b"ORDINARY"), 0, &mut regs)
+            .unwrap();
+        assert_eq!(miss.egress_port, 1);
+        assert_eq!(regs.read("c2_hits", 0), 1);
+    }
+
+    #[test]
+    fn monitor_counts_per_flow() {
+        let prog = flow_monitor(64, 2);
+        let mut regs = prog.make_registers();
+        for _ in 0..5 {
+            prog.process(&pkt(1, 2, 53, b"x"), 0, &mut regs).unwrap();
+        }
+        let total: u64 = (0..64).map(|i| regs.read("flow_counts", i)).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn rogue_monitor_reports_nothing_but_differs_in_digest() {
+        let real = flow_monitor(64, 2);
+        let rogue = rogue_flow_monitor(64, 2);
+        assert_eq!(real.name, rogue.name, "rogue masquerades by name");
+        assert_ne!(real.digest(), rogue.digest(), "digest exposes the swap");
+        let mut regs = rogue.make_registers();
+        for _ in 0..5 {
+            rogue.process(&pkt(1, 2, 53, b"x"), 0, &mut regs).unwrap();
+        }
+        let total: u64 = (0..64).map(|i| regs.read("flow_counts", i)).sum();
+        assert_eq!(total, 0, "rogue produces false (zero) readings");
+    }
+
+    #[test]
+    fn wiretap_mirrors_targets_but_forwards_identically() {
+        let legit = forwarding(&[(0, 0, 1)]);
+        let tapped = rogue_wiretap(&[(0, 0, 1)], &[0xc0a8_0042], 31);
+        let mut r1 = legit.make_registers();
+        let mut r2 = tapped.make_registers();
+        let target_pkt = pkt(0xc0a8_0042, 9, 53, b"voicecal");
+        let o1 = legit.process(&target_pkt, 0, &mut r1).unwrap();
+        let o2 = tapped.process(&target_pkt, 0, &mut r2).unwrap();
+        // Externally identical forwarding…
+        assert_eq!(o1.egress_port, o2.egress_port);
+        assert_eq!(o1.packet, o2.packet);
+        // …but the tap marks the duplicate stream, and the digest differs.
+        assert_eq!(o2.phv.get("meta.mirror_to"), 31);
+        assert_ne!(legit.digest(), tapped.digest());
+    }
+
+    #[test]
+    fn all_programs_have_distinct_digests() {
+        let progs = [
+            forwarding(&[(0, 0, 1)]),
+            firewall(&[], &[(0, 0, 1)]),
+            acl(&[53], &[(0, 0, 1)]),
+            load_balancer(&[1, 2]),
+            scrubber(&[], 1, 7),
+            c2_scanner(&[1], 1, 2),
+            flow_monitor(8, 1),
+        ];
+        let mut digests: Vec<_> = progs.iter().map(|p| p.digest()).collect();
+        digests.sort();
+        digests.dedup();
+        assert_eq!(digests.len(), progs.len());
+    }
+}

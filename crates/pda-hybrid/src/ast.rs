@@ -1,0 +1,382 @@
+//! Abstract syntax for **network-aware Copland** — the paper's §5.1
+//! hybrid of Copland and NetKAT.
+//!
+//! Three primitives extend Copland (§4.1):
+//!
+//! * **Prim1, path abstraction** — `lhs *=> rhs` (the paper's `∗⇒`,
+//!   adapted from NetKAT's Kleene star): the left segment holds for zero
+//!   or more hops along the forwarding path before the right segment
+//!   takes over.
+//! * **Prim2, place abstraction** — `forall hop, client : …` (the
+//!   paper's `∀`): clauses may name *abstract* places bound to concrete
+//!   devices only at deployment time.
+//! * **Prim3, reachability / test prefix** — `K |> phrase` (the paper's
+//!   `▶`, adapted from NetKAT's Boolean tests): a device-local test
+//!   guards the attestation, both to fail early and to select among
+//!   attestations.
+
+use pda_copland::ast::{Phrase, Place, Sp};
+use std::fmt;
+
+/// A place reference: concrete, or a `∀`-bound variable.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PlaceRef {
+    /// A fixed, named place (e.g. `Appraiser`).
+    Concrete(Place),
+    /// An abstract place bound during path resolution (e.g. `hop`).
+    Var(String),
+}
+
+impl fmt::Display for PlaceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlaceRef::Concrete(p) => write!(f, "{p}"),
+            PlaceRef::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A `▶` guard: a Boolean test evaluated on the device before it
+/// attests. The paper's examples use key-relationship tests (`Khop`,
+/// `Kclient`), traffic-pattern tests (`P`, `Q`), and endpoint identity
+/// tests (`Peer1`, `Peer2`).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Guard {
+    /// `K<var>` — the device has a pre-established key relationship with
+    /// the relying party (strengthens the spec, per the paper).
+    HasKey,
+    /// `runs(F)` — the device runs dataplane function `F` (`F` may be a
+    /// policy parameter).
+    RunsFunction(String),
+    /// A named device-local test (traffic pattern `P`, identity `Peer1`,
+    /// …) that the deployment environment evaluates.
+    NamedTest(String),
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guard::HasKey => write!(f, "K"),
+            Guard::RunsFunction(n) => write!(f, "runs({n})"),
+            Guard::NamedTest(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One attestation clause: `@place [ guard |> body ]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause {
+    /// Where the clause executes.
+    pub place: PlaceRef,
+    /// Optional `▶` test.
+    pub guard: Option<Guard>,
+    /// The Copland phrase the device runs when the guard holds.
+    pub body: Phrase,
+}
+
+/// A network-aware Copland expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum HExpr {
+    /// A single clause.
+    Clause(Clause),
+    /// `l s<s r` chaining (Copland branch-sequence across clauses; the
+    /// paper writes e.g. `−+>`).
+    Chain(Sp, Sp, Box<HExpr>, Box<HExpr>),
+    /// `lhs *=> rhs` — path abstraction.
+    Star(Box<HExpr>, Box<HExpr>),
+}
+
+impl HExpr {
+    /// Chain helper (`l s<s r`).
+    pub fn chain(self, l: Sp, r: Sp, right: HExpr) -> HExpr {
+        HExpr::Chain(l, r, Box::new(self), Box::new(right))
+    }
+
+    /// Path-star helper (`self *=> rhs`).
+    pub fn star(self, rhs: HExpr) -> HExpr {
+        HExpr::Star(Box::new(self), Box::new(rhs))
+    }
+
+    /// All clause place variables referenced, in first-occurrence order.
+    pub fn place_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |c| {
+            if let PlaceRef::Var(v) = &c.place {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Visit every clause, left to right.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Clause)) {
+        match self {
+            HExpr::Clause(c) => f(c),
+            HExpr::Chain(_, _, l, r) | HExpr::Star(l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+        }
+    }
+
+    /// Number of clauses.
+    pub fn clause_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+}
+
+/// A full network-aware attestation policy:
+/// `*rp<params> : forall vars : expr`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HybridPolicy {
+    /// The relying party.
+    pub rp: Place,
+    /// Request parameters (`n`, `X`, `F1`, …).
+    pub params: Vec<String>,
+    /// `∀`-quantified abstract place variables.
+    pub quantified: Vec<String>,
+    /// The body.
+    pub body: HExpr,
+}
+
+impl HybridPolicy {
+    /// Every quantified variable must actually appear as a clause place,
+    /// and every `Var` place must be quantified. Returns the offending
+    /// name on failure.
+    pub fn check_quantifiers(&self) -> Result<(), String> {
+        let used = self.body.place_vars();
+        for q in &self.quantified {
+            if !used.contains(q) {
+                return Err(format!("quantified variable `{q}` is never used"));
+            }
+        }
+        for u in &used {
+            if !self.quantified.contains(u) {
+                return Err(format!("place variable `{u}` is not quantified"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The paper's Table 1 policies, constructed programmatically. The
+/// parser tests confirm the concrete syntax forms produce these exact
+/// trees.
+pub mod table1 {
+    use super::*;
+    use pda_copland::ast::Asp;
+
+    /// AP1 — bank example with path attestation (UC5, and UC1 via `X`):
+    ///
+    /// ```text
+    /// *bank<n, X> : forall hop, client :
+    ///   (@hop [K |> attest(n, X) -> !] -+> @Appraiser [appraise -> store(n)])
+    ///   *=> @client [K |> @ks [av us bmon -> !] -<- @us [bmon us exts -> !]]
+    /// ```
+    pub fn ap1() -> HybridPolicy {
+        let hop_clause = Clause {
+            place: PlaceRef::Var("hop".into()),
+            guard: Some(Guard::HasKey),
+            body: Phrase::Asp(Asp::service("attest", vec!["n", "X"]))
+                .then(Phrase::Asp(Asp::Sign)),
+        };
+        let appraiser = Clause {
+            place: PlaceRef::Concrete(Place::new("Appraiser")),
+            guard: None,
+            body: Phrase::Asp(Asp::service("appraise", vec![]))
+                .then(Phrase::Asp(Asp::service("store", vec!["n"]))),
+        };
+        // Original eq-(2) body at the client, shown blue in the paper.
+        let client_body = Phrase::at(
+            "ks",
+            Phrase::Asp(Asp::measure("av", "us", "bmon")).then(Phrase::Asp(Asp::Sign)),
+        )
+        .br_seq(
+            Sp::Drop,
+            Sp::Drop,
+            Phrase::at(
+                "us",
+                Phrase::Asp(Asp::measure("bmon", "us", "exts")).then(Phrase::Asp(Asp::Sign)),
+            ),
+        );
+        let client = Clause {
+            place: PlaceRef::Var("client".into()),
+            guard: Some(Guard::HasKey),
+            body: client_body,
+        };
+        HybridPolicy {
+            rp: Place::new("bank"),
+            params: vec!["n".into(), "X".into()],
+            quantified: vec!["hop".into(), "client".into()],
+            body: HExpr::Clause(hop_clause)
+                .chain(Sp::Drop, Sp::Pass, HExpr::Clause(appraiser))
+                .star(HExpr::Clause(client)),
+        }
+    }
+
+    /// AP2 — switch-as-relying-party traffic scan (UC4):
+    ///
+    /// ```text
+    /// *scanner<P> : @scanner [P |> attest(P) -> !]
+    ///               -+> @Appraiser [appraise -> store]
+    /// ```
+    pub fn ap2() -> HybridPolicy {
+        let scan = Clause {
+            place: PlaceRef::Concrete(Place::new("scanner")),
+            guard: Some(Guard::NamedTest("P".into())),
+            body: Phrase::Asp(Asp::service("attest", vec!["P"])).then(Phrase::Asp(Asp::Sign)),
+        };
+        let appraiser = Clause {
+            place: PlaceRef::Concrete(Place::new("Appraiser")),
+            guard: None,
+            body: Phrase::Asp(Asp::service("appraise", vec![]))
+                .then(Phrase::Asp(Asp::service("store", vec![]))),
+        };
+        HybridPolicy {
+            rp: Place::new("scanner"),
+            params: vec!["P".into()],
+            quantified: vec![],
+            body: HExpr::Clause(scan).chain(Sp::Drop, Sp::Pass, HExpr::Clause(appraiser)),
+        }
+    }
+
+    /// AP3 — attested functions on abstract places plus a non-attesting
+    /// segment (UC2 + UC3):
+    ///
+    /// ```text
+    /// *pathCheck<F1, F2, Peer1, Peer2> : forall p, q, r, peer1, peer2 :
+    ///   (@peer1 [Peer1 |> !] -+> @p [runs(F1) |> attest(F1) -> !]
+    ///    -+> @q [runs(F2) |> attest(F2) -> !]
+    ///    -+> @Appraiser [appraise -> store])
+    ///   *=> (@r [Q |> !] -+> @peer2 [Peer2 |> !]
+    ///        -+> @Appraiser [appraise -> store])
+    /// ```
+    pub fn ap3() -> HybridPolicy {
+        let clause = |place: PlaceRef, guard: Option<Guard>, body: Phrase| Clause {
+            place,
+            guard,
+            body,
+        };
+        let sign = Phrase::Asp(Asp::Sign);
+        let appraise_store = Phrase::Asp(Asp::service("appraise", vec![]))
+            .then(Phrase::Asp(Asp::service("store", vec![])));
+        let lhs = HExpr::Clause(clause(
+            PlaceRef::Var("peer1".into()),
+            Some(Guard::NamedTest("Peer1".into())),
+            sign.clone(),
+        ))
+        .chain(
+            Sp::Drop,
+            Sp::Pass,
+            HExpr::Clause(clause(
+                PlaceRef::Var("p".into()),
+                Some(Guard::RunsFunction("F1".into())),
+                Phrase::Asp(Asp::service("attest", vec!["F1"])).then(sign.clone()),
+            )),
+        )
+        .chain(
+            Sp::Drop,
+            Sp::Pass,
+            HExpr::Clause(clause(
+                PlaceRef::Var("q".into()),
+                Some(Guard::RunsFunction("F2".into())),
+                Phrase::Asp(Asp::service("attest", vec!["F2"])).then(sign.clone()),
+            )),
+        )
+        .chain(
+            Sp::Drop,
+            Sp::Pass,
+            HExpr::Clause(clause(
+                PlaceRef::Concrete(Place::new("Appraiser")),
+                None,
+                appraise_store.clone(),
+            )),
+        );
+        let rhs = HExpr::Clause(clause(
+            PlaceRef::Var("r".into()),
+            Some(Guard::NamedTest("Q".into())),
+            sign.clone(),
+        ))
+        .chain(
+            Sp::Drop,
+            Sp::Pass,
+            HExpr::Clause(clause(
+                PlaceRef::Var("peer2".into()),
+                Some(Guard::NamedTest("Peer2".into())),
+                sign,
+            )),
+        )
+        .chain(
+            Sp::Drop,
+            Sp::Pass,
+            HExpr::Clause(clause(
+                PlaceRef::Concrete(Place::new("Appraiser")),
+                None,
+                appraise_store,
+            )),
+        );
+        HybridPolicy {
+            rp: Place::new("pathCheck"),
+            params: vec![
+                "F1".into(),
+                "F2".into(),
+                "Peer1".into(),
+                "Peer2".into(),
+            ],
+            quantified: vec![
+                "p".into(),
+                "q".into(),
+                "r".into(),
+                "peer1".into(),
+                "peer2".into(),
+            ],
+            body: lhs.star(rhs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ap1_quantifiers_check() {
+        assert_eq!(table1::ap1().check_quantifiers(), Ok(()));
+    }
+
+    #[test]
+    fn ap2_has_no_vars() {
+        let ap2 = table1::ap2();
+        assert!(ap2.body.place_vars().is_empty());
+        assert_eq!(ap2.check_quantifiers(), Ok(()));
+    }
+
+    #[test]
+    fn ap3_vars_in_order() {
+        let ap3 = table1::ap3();
+        assert_eq!(
+            ap3.body.place_vars(),
+            vec!["peer1", "p", "q", "r", "peer2"]
+        );
+        assert_eq!(ap3.check_quantifiers(), Ok(()));
+        assert_eq!(ap3.body.clause_count(), 7);
+    }
+
+    #[test]
+    fn unused_quantifier_rejected() {
+        let mut ap1 = table1::ap1();
+        ap1.quantified.push("ghost".into());
+        assert!(ap1.check_quantifiers().unwrap_err().contains("ghost"));
+    }
+
+    #[test]
+    fn unquantified_var_rejected() {
+        let mut ap1 = table1::ap1();
+        ap1.quantified.retain(|v| v != "client");
+        assert!(ap1.check_quantifiers().unwrap_err().contains("client"));
+    }
+}

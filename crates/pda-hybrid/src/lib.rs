@@ -1,0 +1,52 @@
+//! # pda-hybrid
+//!
+//! **Network-aware Copland** — the paper's §5.1 contribution: Copland
+//! extended with NetKAT-derived primitives so attestation policies can be
+//! written over networks whose topology and routing are not fully known
+//! to the policy author.
+//!
+//! * `∀` (place abstraction) — [`ast::PlaceRef::Var`]
+//! * `∗⇒` (path abstraction) — [`ast::HExpr::Star`]
+//! * `▶` (test prefix / reachability) — [`ast::Guard`]
+//!
+//! The crate provides the AST ([`ast`]), a concrete-syntax parser
+//! ([`parser`]), resolution of abstract places against concrete
+//! forwarding paths ([`mod@resolve`]) — optionally discovered via
+//! `pda-netkat` reachability — and the §5.2 options-header wire format
+//! ([`wire`]).
+//!
+//! ```
+//! use pda_hybrid::parser::parse_hybrid;
+//! use pda_hybrid::resolve::{resolve, Composition, NodeInfo};
+//!
+//! let policy = parse_hybrid(
+//!     "*bank<n> : forall hop, client : \
+//!      (@hop [K |> attest(n) -> !] -+> @Appraiser [appraise -> store(n)]) \
+//!      *=> @client [K |> !]",
+//! ).unwrap();
+//! let path = vec![
+//!     NodeInfo::pera("sw1"),
+//!     NodeInfo::legacy("old-router"),
+//!     NodeInfo::pera("sw2"),
+//!     NodeInfo::pera("laptop"),
+//! ];
+//! let r = resolve(&policy, &path, &[("n", "42")], Composition::Chained).unwrap();
+//! assert_eq!(r.bindings["client"], "laptop");
+//! assert_eq!(r.skipped, vec!["old-router".to_string()]);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod nkcompile;
+pub mod parser;
+pub mod pretty;
+pub mod resolve;
+pub mod wire;
+
+pub use ast::{Clause, Guard, HExpr, HybridPolicy, PlaceRef};
+pub use nkcompile::{compile as compile_netkat, CompileError};
+pub use parser::{parse_hybrid, HParseError};
+pub use pretty::pretty_hybrid;
+pub use resolve::{resolve, Composition, HopDirective, NodeInfo, Resolved, ResolveError};
+pub use wire::{decode, encode, Flags, WireError, WirePolicy};

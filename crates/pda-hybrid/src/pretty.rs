@@ -1,0 +1,125 @@
+//! Pretty-printer for network-aware Copland policies.
+//!
+//! Emits the concrete syntax accepted by [`crate::parser::parse_hybrid`];
+//! `parse(pretty(p)) == p` is property-tested in `tests/prop.rs`.
+
+use crate::ast::{Clause, Guard, HExpr, HybridPolicy, PlaceRef};
+use pda_copland::ast::Sp;
+use pda_copland::pretty::pretty_phrase;
+use std::fmt::Write;
+
+/// Render a full policy.
+pub fn pretty_hybrid(p: &HybridPolicy) -> String {
+    let mut out = String::new();
+    write!(out, "*{}", p.rp).unwrap();
+    if !p.params.is_empty() {
+        write!(out, "<{}>", p.params.join(", ")).unwrap();
+    }
+    out.push_str(" : ");
+    if !p.quantified.is_empty() {
+        write!(out, "forall {} : ", p.quantified.join(", ")).unwrap();
+    }
+    out.push_str(&render(&p.body, Prec::Star));
+    out
+}
+
+/// Precedence: star (`*=>`) binds loosest, chains next, clauses are atoms.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Star,
+    Chain,
+    Atom,
+}
+
+fn render(e: &HExpr, ctx: Prec) -> String {
+    match e {
+        HExpr::Clause(c) => render_clause(c),
+        HExpr::Chain(l, r, a, b) => {
+            let s = format!(
+                "{} {}{}> {}",
+                render(a, Prec::Chain),
+                sp(*l),
+                sp(*r),
+                render(b, Prec::Atom)
+            );
+            if ctx > Prec::Chain {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        HExpr::Star(a, b) => {
+            let s = format!("{} *=> {}", render(a, Prec::Chain), render(b, Prec::Chain));
+            if ctx > Prec::Star {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+fn sp(s: Sp) -> char {
+    match s {
+        Sp::Pass => '+',
+        Sp::Drop => '-',
+    }
+}
+
+fn render_clause(c: &Clause) -> String {
+    let place = match &c.place {
+        PlaceRef::Concrete(p) => p.0.clone(),
+        PlaceRef::Var(v) => v.clone(),
+    };
+    let body = pretty_phrase(&c.body);
+    match &c.guard {
+        None => format!("@{place} [{body}]"),
+        Some(Guard::HasKey) => format!("@{place} [K |> {body}]"),
+        Some(Guard::RunsFunction(f)) => format!("@{place} [runs({f}) |> {body}]"),
+        Some(Guard::NamedTest(t)) => format!("@{place} [{t} |> {body}]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::table1;
+    use crate::parser::parse_hybrid;
+
+    fn round_trip(p: &HybridPolicy) {
+        let printed = pretty_hybrid(p);
+        let reparsed =
+            parse_hybrid(&printed).unwrap_or_else(|e| panic!("`{printed}` failed: {e}"));
+        assert_eq!(&reparsed, p, "printed: {printed}");
+    }
+
+    #[test]
+    fn table1_policies_round_trip() {
+        round_trip(&table1::ap1());
+        round_trip(&table1::ap2());
+        round_trip(&table1::ap3());
+    }
+
+    #[test]
+    fn ap2_prints_compactly() {
+        assert_eq!(
+            pretty_hybrid(&table1::ap2()),
+            "*scanner<P> : @scanner [P |> attest(P) -> !] -+> @Appraiser [appraise -> store]"
+        );
+    }
+
+    #[test]
+    fn star_in_chain_is_parenthesized() {
+        // (a *=> b) -+> c  must keep its parens.
+        let src = "*rp : (@x [!] *=> @y [!]) -+> @z [!]";
+        let p = parse_hybrid(src).unwrap();
+        round_trip(&p);
+    }
+
+    #[test]
+    fn right_nested_chain_keeps_parens() {
+        let src = "*rp : @x [!] -+> (@y [!] -+> @z [!])";
+        let p = parse_hybrid(src).unwrap();
+        round_trip(&p);
+    }
+}

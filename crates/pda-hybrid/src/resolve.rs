@@ -1,0 +1,572 @@
+//! Resolution of network-aware policies against concrete forwarding
+//! paths.
+//!
+//! The relying party authors a policy over *abstract* places; only at
+//! deployment time is a concrete forwarding path known (and it may
+//! change under routing — §5.1: "the forwarding path between two peers
+//! is typically chosen outside their control"). This module binds the
+//! abstract places:
+//!
+//! * `lhs *=> rhs` repeats the `lhs` segment over consecutive qualifying
+//!   hops ("the phrase on the left … can hold for zero or more hops"),
+//!   leaving enough path suffix for `rhs`'s own variable clauses;
+//!   unqualifying hops in between are the paper's *Non-attesting
+//!   Elements* (Fig. 4) and are skipped but recorded.
+//! * A `Var` clause binds the next unconsumed path node that supports RA
+//!   and passes the clause's `▶` guard.
+//! * A `Concrete` clause (e.g. `@Appraiser`) consumes no path node.
+//!
+//! The output is a fully concrete Copland [`Request`] (executable by the
+//! `pda-ra` evaluator), plus per-hop directives for the PERA switches,
+//! plus the list of skipped nodes.
+//!
+//! Composition across star iterations follows Fig. 4's composition axis:
+//! [`Composition::Chained`] threads evidence hop to hop (tamper-evident
+//! ordering), [`Composition::Pointwise`] keeps each hop's evidence
+//! independent (cheaper, weaker).
+
+use crate::ast::{Clause, Guard, HExpr, HybridPolicy, PlaceRef};
+use pda_copland::ast::{Asp, Phrase, Place, Request, Sp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Deployment-time view of one node on the forwarding path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// Device name (or operator-assigned pseudonym).
+    pub name: String,
+    /// Does the node have RA capability (is it a PERA device)?
+    pub supports_ra: bool,
+    /// Pre-established key relationship with the relying party (`K`).
+    pub has_key: bool,
+    /// Dataplane functions the node runs (for `runs(F)` guards).
+    pub functions: Vec<String>,
+    /// Named device-local tests that currently hold (`P`, `Q`, `Peer1`…).
+    pub passing_tests: Vec<String>,
+}
+
+impl NodeInfo {
+    /// A fully RA-capable node with a key relationship.
+    pub fn pera(name: impl Into<String>) -> NodeInfo {
+        NodeInfo {
+            name: name.into(),
+            supports_ra: true,
+            has_key: true,
+            functions: Vec::new(),
+            passing_tests: Vec::new(),
+        }
+    }
+
+    /// A legacy node with no RA support (a Non-attesting Element).
+    pub fn legacy(name: impl Into<String>) -> NodeInfo {
+        NodeInfo {
+            name: name.into(),
+            supports_ra: false,
+            has_key: false,
+            functions: Vec::new(),
+            passing_tests: Vec::new(),
+        }
+    }
+
+    /// Builder: add a running dataplane function.
+    pub fn with_function(mut self, f: impl Into<String>) -> NodeInfo {
+        self.functions.push(f.into());
+        self
+    }
+
+    /// Builder: add a passing named test.
+    pub fn with_test(mut self, t: impl Into<String>) -> NodeInfo {
+        self.passing_tests.push(t.into());
+        self
+    }
+
+    /// Builder: set key relationship.
+    pub fn with_key(mut self, k: bool) -> NodeInfo {
+        self.has_key = k;
+        self
+    }
+
+    fn satisfies(&self, guard: &Option<Guard>, params: &BTreeMap<String, String>) -> bool {
+        match guard {
+            None => true,
+            Some(Guard::HasKey) => self.has_key,
+            Some(Guard::RunsFunction(f)) => {
+                let f = params.get(f).cloned().unwrap_or_else(|| f.clone());
+                self.functions.contains(&f)
+            }
+            Some(Guard::NamedTest(t)) => {
+                let t = params.get(t).cloned().unwrap_or_else(|| t.clone());
+                self.passing_tests.contains(&t)
+            }
+        }
+    }
+}
+
+/// How star iterations compose evidence (Fig. 4's composition axis).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Composition {
+    /// Evidence threads from hop to hop (`+<+` between iterations).
+    Chained,
+    /// Each hop's evidence stands alone (`-<-` between iterations).
+    Pointwise,
+}
+
+/// A per-node execution directive produced by resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopDirective {
+    /// The concrete device.
+    pub node: String,
+    /// `▶` guard to evaluate before attesting (fail-early).
+    pub guard: Option<Guard>,
+    /// The concrete Copland phrase the device executes.
+    pub body: Phrase,
+}
+
+/// Resolution result.
+#[derive(Clone, Debug)]
+pub struct Resolved {
+    /// The fully concrete Copland request.
+    pub request: Request,
+    /// Per-device execution plan, path order.
+    pub directives: Vec<HopDirective>,
+    /// Variable bindings chosen (var → node name; repeated vars keep the
+    /// last binding).
+    pub bindings: BTreeMap<String, String>,
+    /// Path nodes traversed without attesting (Non-attesting Elements).
+    pub skipped: Vec<String>,
+}
+
+/// Resolution errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// No remaining path node satisfies a variable clause.
+    NoMatch {
+        /// The variable that could not be bound.
+        var: String,
+        /// Guard that failed (rendered), if any.
+        guard: Option<String>,
+    },
+    /// The policy's quantifier discipline is broken.
+    BadQuantifiers(String),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NoMatch { var, guard } => match guard {
+                Some(g) => write!(f, "no path node satisfies `{g}` for place variable `{var}`"),
+                None => write!(f, "no RA-capable path node available for place variable `{var}`"),
+            },
+            ResolveError::BadQuantifiers(m) => write!(f, "bad quantifiers: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Substitute parameter names appearing in service arguments with their
+/// concrete values.
+fn subst_phrase(p: &Phrase, params: &BTreeMap<String, String>) -> Phrase {
+    match p {
+        Phrase::Asp(Asp::Service { name, args }) => Phrase::Asp(Asp::Service {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| params.get(a).cloned().unwrap_or_else(|| a.clone()))
+                .collect(),
+        }),
+        Phrase::Asp(other) => Phrase::Asp(other.clone()),
+        Phrase::At(q, inner) => Phrase::At(q.clone(), Box::new(subst_phrase(inner, params))),
+        Phrase::Arrow(l, r) => Phrase::Arrow(
+            Box::new(subst_phrase(l, params)),
+            Box::new(subst_phrase(r, params)),
+        ),
+        Phrase::BrSeq(a, b, l, r) => Phrase::BrSeq(
+            *a,
+            *b,
+            Box::new(subst_phrase(l, params)),
+            Box::new(subst_phrase(r, params)),
+        ),
+        Phrase::BrPar(a, b, l, r) => Phrase::BrPar(
+            *a,
+            *b,
+            Box::new(subst_phrase(l, params)),
+            Box::new(subst_phrase(r, params)),
+        ),
+    }
+}
+
+struct Ctx<'a> {
+    path: &'a [NodeInfo],
+    params: BTreeMap<String, String>,
+    composition: Composition,
+    directives: Vec<HopDirective>,
+    bindings: BTreeMap<String, String>,
+    skipped: Vec<String>,
+}
+
+impl<'a> Ctx<'a> {
+    /// A child context sharing path/params but with empty output
+    /// accumulators (for speculative matching).
+    fn fresh(&self) -> Ctx<'a> {
+        Ctx {
+            path: self.path,
+            params: self.params.clone(),
+            composition: self.composition,
+            directives: Vec::new(),
+            bindings: BTreeMap::new(),
+            skipped: Vec::new(),
+        }
+    }
+
+    /// Merge a committed speculative context's outputs into this one.
+    fn merge(&mut self, probe: Ctx<'a>) {
+        self.directives.extend(probe.directives);
+        self.bindings.extend(probe.bindings);
+        self.skipped.extend(probe.skipped);
+    }
+
+    /// Compose two star pieces per the configured composition mode.
+    fn compose(&self, prev: Phrase, next: Phrase) -> Phrase {
+        let (sl, sr) = match self.composition {
+            Composition::Chained => (Sp::Pass, Sp::Pass),
+            Composition::Pointwise => (Sp::Drop, Sp::Drop),
+        };
+        Phrase::BrSeq(sl, sr, Box::new(prev), Box::new(next))
+    }
+
+    /// Resolve one clause starting at path `cursor`. Returns the
+    /// concretized phrase and the new cursor.
+    fn clause(&mut self, c: &Clause, cursor: usize) -> Result<(Phrase, usize), ResolveError> {
+        let body = subst_phrase(&c.body, &self.params);
+        match &c.place {
+            PlaceRef::Concrete(p) => {
+                self.directives.push(HopDirective {
+                    node: p.0.clone(),
+                    guard: c.guard.clone(),
+                    body: body.clone(),
+                });
+                Ok((Phrase::At(p.clone(), Box::new(body)), cursor))
+            }
+            PlaceRef::Var(v) => {
+                let mut i = cursor;
+                while i < self.path.len() {
+                    let node = &self.path[i];
+                    if node.supports_ra && node.satisfies(&c.guard, &self.params) {
+                        self.bindings.insert(v.clone(), node.name.clone());
+                        self.directives.push(HopDirective {
+                            node: node.name.clone(),
+                            guard: c.guard.clone(),
+                            body: body.clone(),
+                        });
+                        // Nodes passed over become NE entries.
+                        for n in &self.path[cursor..i] {
+                            self.skipped.push(n.name.clone());
+                        }
+                        return Ok((
+                            Phrase::At(Place::new(node.name.clone()), Box::new(body)),
+                            i + 1,
+                        ));
+                    }
+                    i += 1;
+                }
+                Err(ResolveError::NoMatch {
+                    var: v.clone(),
+                    guard: c.guard.as_ref().map(|g| g.to_string()),
+                })
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &HExpr, cursor: usize) -> Result<(Phrase, usize), ResolveError> {
+        match e {
+            HExpr::Clause(c) => self.clause(c, cursor),
+            HExpr::Chain(l, r, a, b) => {
+                let (pa, cur) = self.expr(a, cursor)?;
+                let (pb, cur) = self.expr(b, cur)?;
+                Ok((Phrase::BrSeq(*l, *r, Box::new(pa), Box::new(pb)), cur))
+            }
+            HExpr::Star(lhs, rhs) => {
+                // Greedily match lhs iterations, then backtrack: try the
+                // rhs after the deepest iteration count first, backing
+                // off one iteration at a time until it matches (so the
+                // star never starves the suffix of qualifying nodes).
+                let mut iterations: Vec<(Phrase, Ctx<'a>, usize)> = Vec::new();
+                let mut cur = cursor;
+                loop {
+                    let mut probe = self.fresh();
+                    match probe.expr(lhs, cur) {
+                        Ok((phrase, new_cursor)) if new_cursor > cur => {
+                            cur = new_cursor;
+                            iterations.push((phrase, probe, new_cursor));
+                        }
+                        _ => break, // no further qualifying hops
+                    }
+                }
+                let mut last_err = None;
+                for k in (0..=iterations.len()).rev() {
+                    let cur = if k == 0 {
+                        cursor
+                    } else {
+                        iterations[k - 1].2
+                    };
+                    let mut rhs_probe = self.fresh();
+                    match rhs_probe.expr(rhs, cur) {
+                        Ok((rp, end_cursor)) => {
+                            // Commit the first k iterations, then rhs.
+                            let mut acc: Option<Phrase> = None;
+                            for (phrase, probe, _) in iterations.drain(..k) {
+                                self.merge(probe);
+                                acc = Some(match acc {
+                                    None => phrase,
+                                    Some(prev) => self.compose(prev, phrase),
+                                });
+                            }
+                            self.merge(rhs_probe);
+                            let combined = match acc {
+                                None => rp,
+                                Some(prev) => self.compose(prev, rp),
+                            };
+                            return Ok((combined, end_cursor));
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                Err(last_err.expect("loop body ran at least once (k = 0)"))
+            }
+        }
+    }
+}
+
+/// Resolve `policy` against a forwarding `path`, with concrete values
+/// for the policy's parameters.
+pub fn resolve(
+    policy: &HybridPolicy,
+    path: &[NodeInfo],
+    param_values: &[(&str, &str)],
+    composition: Composition,
+) -> Result<Resolved, ResolveError> {
+    policy
+        .check_quantifiers()
+        .map_err(ResolveError::BadQuantifiers)?;
+    let params: BTreeMap<String, String> = param_values
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let mut ctx = Ctx {
+        path,
+        params,
+        composition,
+        directives: Vec::new(),
+        bindings: BTreeMap::new(),
+        skipped: Vec::new(),
+    };
+    let (phrase, cursor) = ctx.expr(&policy.body, 0)?;
+    // Nodes after the last consumed position are also non-attesting.
+    for n in &path[cursor.min(path.len())..] {
+        ctx.skipped.push(n.name.clone());
+    }
+    Ok(Resolved {
+        request: Request {
+            rp: policy.rp.clone(),
+            params: policy.params.clone(),
+            phrase,
+        },
+        directives: ctx.directives,
+        bindings: ctx.bindings,
+        skipped: ctx.skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::table1;
+
+    fn hops(n: usize) -> Vec<NodeInfo> {
+        (1..=n).map(|i| NodeInfo::pera(format!("sw{i}"))).collect()
+    }
+
+    #[test]
+    fn ap1_attests_every_hop_and_client() {
+        let mut path = hops(4);
+        path.push(NodeInfo::pera("client-host"));
+        let r = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "0xabc"), ("X", "program_digest")],
+            Composition::Chained,
+        )
+        .unwrap();
+        // Each of the 4 hops gets an attest directive + an appraiser
+        // directive per iteration, plus the client directive.
+        let hop_directives: Vec<_> = r
+            .directives
+            .iter()
+            .filter(|d| d.node.starts_with("sw"))
+            .collect();
+        assert_eq!(hop_directives.len(), 4);
+        assert_eq!(r.bindings.get("client").map(String::as_str), Some("client-host"));
+        assert!(r.skipped.is_empty());
+        // Parameters substituted into service args.
+        let rendered = pda_copland::pretty::pretty_request(&r.request);
+        assert!(rendered.contains("attest(0xabc, program_digest)"), "{rendered}");
+        assert!(!rendered.contains("hop"), "no abstract names remain: {rendered}");
+    }
+
+    #[test]
+    fn ap1_skips_legacy_nodes() {
+        let path = vec![
+            NodeInfo::pera("sw1"),
+            NodeInfo::legacy("legacy-router"),
+            NodeInfo::pera("sw2"),
+            NodeInfo::pera("client-host"),
+        ];
+        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
+            .unwrap();
+        assert_eq!(r.skipped, vec!["legacy-router".to_string()]);
+        let hop_nodes: Vec<_> = r
+            .directives
+            .iter()
+            .map(|d| d.node.as_str())
+            .filter(|n| n.starts_with("sw"))
+            .collect();
+        assert_eq!(hop_nodes, vec!["sw1", "sw2"]);
+    }
+
+    #[test]
+    fn ap1_hop_without_key_not_bound() {
+        let path = vec![
+            NodeInfo::pera("sw1"),
+            NodeInfo::pera("no-key").with_key(false),
+            NodeInfo::pera("client-host"),
+        ];
+        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
+            .unwrap();
+        assert!(r.skipped.contains(&"no-key".to_string()));
+    }
+
+    #[test]
+    fn ap2_needs_no_path() {
+        let r = resolve(&table1::ap2(), &[], &[("P", "c2_beacon")], Composition::Chained)
+            .unwrap();
+        assert_eq!(r.directives.len(), 2);
+        assert_eq!(r.directives[0].node, "scanner");
+        assert_eq!(
+            r.directives[0].guard,
+            Some(Guard::NamedTest("P".into()))
+        );
+        let rendered = pda_copland::pretty::pretty_request(&r.request);
+        assert!(rendered.contains("attest(c2_beacon)"), "{rendered}");
+    }
+
+    #[test]
+    fn ap3_binds_functions_and_segments() {
+        let path = vec![
+            NodeInfo::pera("alice").with_test("Peer1"),
+            NodeInfo::pera("fw-switch").with_function("firewall_v5.p4"),
+            NodeInfo::pera("ids-switch").with_function("ids_v3.p4"),
+            NodeInfo::legacy("transit-1"),
+            NodeInfo::legacy("transit-2"),
+            NodeInfo::pera("edge").with_test("Q"),
+            NodeInfo::pera("bob").with_test("Peer2"),
+        ];
+        let r = resolve(
+            &table1::ap3(),
+            &path,
+            &[
+                ("F1", "firewall_v5.p4"),
+                ("F2", "ids_v3.p4"),
+                ("Peer1", "Peer1"),
+                ("Peer2", "Peer2"),
+            ],
+            Composition::Chained,
+        )
+        .unwrap();
+        assert_eq!(r.bindings["peer1"], "alice");
+        assert_eq!(r.bindings["p"], "fw-switch");
+        assert_eq!(r.bindings["q"], "ids-switch");
+        assert_eq!(r.bindings["r"], "edge");
+        assert_eq!(r.bindings["peer2"], "bob");
+        assert_eq!(
+            r.skipped,
+            vec!["transit-1".to_string(), "transit-2".to_string()]
+        );
+        let rendered = pda_copland::pretty::pretty_request(&r.request);
+        assert!(rendered.contains("attest(firewall_v5.p4)"), "{rendered}");
+    }
+
+    #[test]
+    fn ap3_missing_function_errors() {
+        let path = vec![
+            NodeInfo::pera("alice").with_test("Peer1"),
+            NodeInfo::pera("plain-switch"), // runs nothing
+            NodeInfo::pera("bob").with_test("Peer2"),
+        ];
+        let err = resolve(
+            &table1::ap3(),
+            &path,
+            &[("F1", "firewall_v5.p4"), ("F2", "ids_v3.p4")],
+            Composition::Chained,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResolveError::NoMatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn chained_vs_pointwise_composition() {
+        let mut path = hops(3);
+        path.push(NodeInfo::pera("client-host"));
+        let chained = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
+            .unwrap();
+        let pointwise = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "1"), ("X", "x")],
+            Composition::Pointwise,
+        )
+        .unwrap();
+        let rc = pda_copland::pretty::pretty_request(&chained.request);
+        let rp = pda_copland::pretty::pretty_request(&pointwise.request);
+        assert!(rc.contains("+<+"), "{rc}");
+        assert!(rp.contains("-<-"), "{rp}");
+        assert_ne!(rc, rp);
+    }
+
+    #[test]
+    fn star_with_zero_iterations() {
+        // Path with only the client: the hop template matches zero times.
+        let path = vec![NodeInfo::pera("client-host")];
+        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
+            .unwrap();
+        assert_eq!(r.bindings.get("client").map(String::as_str), Some("client-host"));
+        assert_eq!(
+            r.directives
+                .iter()
+                .filter(|d| d.node == "client-host")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_path_fails_for_var_clause() {
+        let err = resolve(&table1::ap1(), &[], &[("n", "1"), ("X", "x")], Composition::Chained)
+            .unwrap_err();
+        assert!(matches!(err, ResolveError::NoMatch { var, .. } if var == "client"));
+    }
+
+    #[test]
+    fn resolved_request_has_no_var_places() {
+        let mut path = hops(2);
+        path.push(NodeInfo::pera("client-host"));
+        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
+            .unwrap();
+        for place in r.request.phrase.places() {
+            assert!(
+                place.0 != "hop" && place.0 != "client",
+                "abstract place leaked: {place}"
+            );
+        }
+    }
+}

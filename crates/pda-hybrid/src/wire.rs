@@ -1,0 +1,338 @@
+//! Wire serialization of compiled attestation policies (§5.2).
+//!
+//! "The policy will be compiled by the Relying Party and serialized into
+//! an options header in the transport layer, to be evaluated along the
+//! path of traffic that it is sending out."
+//!
+//! Layout (all multi-byte integers big-endian):
+//!
+//! ```text
+//! +--------+--------+--------+--------+
+//! | magic (0x5041 "PA")     | ver=1  | flags
+//! +--------+--------+--------+--------+
+//! | nonce (8 bytes)                   |
+//! +-----------------------------------+
+//! | directive count (u16)             |
+//! +-----------------------------------+
+//! | per directive:                    |
+//! |   node len (u8) | node bytes      |
+//! |   guard tag (u8) [| arg len+bytes]|
+//! |   body len (u16) | body bytes     |  body = Copland concrete syntax
+//! +-----------------------------------+
+//! ```
+//!
+//! The Copland body travels in concrete syntax: it is compact, self-
+//! delimiting under the length prefix, human-auditable on capture, and
+//! the parser round-trip is property-tested.
+
+use crate::ast::Guard;
+use crate::resolve::HopDirective;
+use pda_copland::parser::parse_phrase;
+use pda_copland::pretty::pretty_phrase;
+use std::fmt;
+
+/// Magic marking a PDA policy options header.
+pub const MAGIC: u16 = 0x5041;
+/// Current wire version.
+pub const VERSION: u8 = 1;
+
+/// Header flags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Flags {
+    /// Evidence rides in-band with the packet (Fig. 2's in-band variant).
+    pub in_band_evidence: bool,
+}
+
+impl Flags {
+    fn to_byte(self) -> u8 {
+        u8::from(self.in_band_evidence)
+    }
+
+    fn from_byte(b: u8) -> Flags {
+        Flags {
+            in_band_evidence: b & 1 != 0,
+        }
+    }
+}
+
+/// A compiled policy ready for the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WirePolicy {
+    /// Request nonce binding this policy instance.
+    pub nonce: u64,
+    /// Header flags.
+    pub flags: Flags,
+    /// Per-hop directives, path order.
+    pub directives: Vec<HopDirective>,
+}
+
+/// Wire decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the fixed header or a declared length.
+    Truncated,
+    /// Magic mismatch.
+    BadMagic(u16),
+    /// Unsupported version.
+    BadVersion(u8),
+    /// Unknown guard tag.
+    BadGuardTag(u8),
+    /// Body did not parse as Copland.
+    BadBody(String),
+    /// Non-UTF-8 text field.
+    BadText,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "policy header truncated"),
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            WireError::BadGuardTag(t) => write!(f, "unknown guard tag {t}"),
+            WireError::BadBody(m) => write!(f, "body does not parse: {m}"),
+            WireError::BadText => write!(f, "text field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const GUARD_NONE: u8 = 0;
+const GUARD_KEY: u8 = 1;
+const GUARD_RUNS: u8 = 2;
+const GUARD_TEST: u8 = 3;
+
+/// Encode a policy into options-header bytes.
+pub fn encode(policy: &WirePolicy) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(VERSION);
+    out.push(policy.flags.to_byte());
+    out.extend_from_slice(&policy.nonce.to_be_bytes());
+    out.extend_from_slice(&(policy.directives.len() as u16).to_be_bytes());
+    for d in &policy.directives {
+        debug_assert!(d.node.len() <= u8::MAX as usize, "node name too long");
+        out.push(d.node.len() as u8);
+        out.extend_from_slice(d.node.as_bytes());
+        match &d.guard {
+            None => out.push(GUARD_NONE),
+            Some(Guard::HasKey) => out.push(GUARD_KEY),
+            Some(Guard::RunsFunction(a)) => {
+                out.push(GUARD_RUNS);
+                out.push(a.len() as u8);
+                out.extend_from_slice(a.as_bytes());
+            }
+            Some(Guard::NamedTest(a)) => {
+                out.push(GUARD_TEST);
+                out.push(a.len() as u8);
+                out.extend_from_slice(a.as_bytes());
+            }
+        }
+        let body = pretty_phrase(&d.body);
+        debug_assert!(body.len() <= u16::MAX as usize, "body too long");
+        out.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        out.extend_from_slice(body.as_bytes());
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn text(&mut self, n: usize) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.take(n)?).map_err(|_| WireError::BadText)
+    }
+}
+
+/// Decode a policy from options-header bytes.
+pub fn decode(buf: &[u8]) -> Result<WirePolicy, WireError> {
+    let mut r = Reader { buf, pos: 0 };
+    let magic = r.u16()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let ver = r.u8()?;
+    if ver != VERSION {
+        return Err(WireError::BadVersion(ver));
+    }
+    let flags = Flags::from_byte(r.u8()?);
+    let nonce = r.u64()?;
+    let count = r.u16()? as usize;
+    let mut directives = Vec::with_capacity(count.min(256));
+    for _ in 0..count {
+        let nlen = r.u8()? as usize;
+        let node = r.text(nlen)?.to_string();
+        let guard = match r.u8()? {
+            GUARD_NONE => None,
+            GUARD_KEY => Some(Guard::HasKey),
+            GUARD_RUNS => {
+                let alen = r.u8()? as usize;
+                Some(Guard::RunsFunction(r.text(alen)?.to_string()))
+            }
+            GUARD_TEST => {
+                let alen = r.u8()? as usize;
+                Some(Guard::NamedTest(r.text(alen)?.to_string()))
+            }
+            t => return Err(WireError::BadGuardTag(t)),
+        };
+        let blen = r.u16()? as usize;
+        let body_text = r.text(blen)?;
+        let body = parse_phrase(body_text).map_err(|e| WireError::BadBody(e.to_string()))?;
+        directives.push(HopDirective { node, guard, body });
+    }
+    Ok(WirePolicy {
+        nonce,
+        flags,
+        directives,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::table1;
+    use crate::resolve::{resolve, Composition, NodeInfo};
+
+    fn sample_policy() -> WirePolicy {
+        let mut path: Vec<NodeInfo> = (1..=3).map(|i| NodeInfo::pera(format!("sw{i}"))).collect();
+        path.push(NodeInfo::pera("client-host"));
+        let r = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "7"), ("X", "prog")],
+            Composition::Chained,
+        )
+        .unwrap();
+        WirePolicy {
+            nonce: 0xdead_beef,
+            flags: Flags {
+                in_band_evidence: true,
+            },
+            directives: r.directives,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample_policy();
+        let bytes = encode(&p);
+        let q = decode(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn header_fields() {
+        let p = sample_policy();
+        let bytes = encode(&p);
+        assert_eq!(&bytes[0..2], &MAGIC.to_be_bytes());
+        assert_eq!(bytes[2], VERSION);
+        assert_eq!(bytes[3], 1); // in-band flag
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample_policy());
+        bytes[0] ^= 0xff;
+        assert!(matches!(decode(&bytes), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = encode(&sample_policy());
+        bytes[2] = 99;
+        assert_eq!(decode(&bytes), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = encode(&sample_policy());
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix should fail");
+        }
+    }
+
+    #[test]
+    fn corrupted_body_rejected() {
+        let p = WirePolicy {
+            nonce: 1,
+            flags: Flags::default(),
+            directives: vec![HopDirective {
+                node: "sw1".into(),
+                guard: None,
+                body: pda_copland::parser::parse_phrase("!").unwrap(),
+            }],
+        };
+        let mut bytes = encode(&p);
+        // The body is the last byte ("!"); overwrite with garbage.
+        let n = bytes.len();
+        bytes[n - 1] = b'$';
+        assert!(matches!(decode(&bytes), Err(WireError::BadBody(_))));
+    }
+
+    #[test]
+    fn empty_directives_ok() {
+        let p = WirePolicy {
+            nonce: 0,
+            flags: Flags::default(),
+            directives: vec![],
+        };
+        assert_eq!(decode(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn wire_size_grows_linearly_with_path() {
+        let sizes: Vec<usize> = [2usize, 4, 8]
+            .iter()
+            .map(|&n| {
+                let mut path: Vec<NodeInfo> =
+                    (1..=n).map(|i| NodeInfo::pera(format!("sw{i}"))).collect();
+                path.push(NodeInfo::pera("client-host"));
+                let r = resolve(
+                    &table1::ap1(),
+                    &path,
+                    &[("n", "7"), ("X", "prog")],
+                    Composition::Chained,
+                )
+                .unwrap();
+                encode(&WirePolicy {
+                    nonce: 1,
+                    flags: Flags::default(),
+                    directives: r.directives,
+                })
+                .len()
+            })
+            .collect();
+        assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2], "{sizes:?}");
+        // Roughly linear: doubling hops should not much more than double bytes.
+        let per_hop = (sizes[2] - sizes[1]) / 4;
+        assert!(per_hop > 0);
+    }
+}

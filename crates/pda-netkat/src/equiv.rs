@@ -1,0 +1,177 @@
+//! Equivalence checking for dup-free NetKAT policies.
+//!
+//! Dup-free policies denote functions `Packet → Set<Packet>`. Tests and
+//! modifications only ever compare or assign *constants*, so a policy's
+//! behaviour on a field depends only on which of the mentioned constants
+//! the field equals (or "none of them"). Enumerating each field over the
+//! constants mentioned in either policy plus one fresh representative
+//! value is therefore a complete finite model: two policies agree on all
+//! packets iff they agree on this finite set.
+
+use crate::ast::{Field, Packet, Policy};
+use crate::semantics::eval_set;
+use std::collections::BTreeSet;
+
+/// Decide `p ≡ q` for dup-free policies. Panics on `dup` (histories are
+/// not compared by this routine).
+pub fn equivalent(p: &Policy, q: &Policy) -> bool {
+    assert!(
+        !p.has_dup() && !q.has_dup(),
+        "equivalence checking is implemented for the dup-free fragment"
+    );
+    counterexample(p, q).is_none()
+}
+
+/// Find a packet on which the two (dup-free) policies disagree.
+pub fn counterexample(p: &Policy, q: &Policy) -> Option<Packet> {
+    let mut consts = Vec::new();
+    p.constants(&mut consts);
+    q.constants(&mut consts);
+
+    // Per-field value domains: mentioned constants + one fresh value.
+    let mut domains: Vec<Vec<u32>> = Vec::with_capacity(Field::ALL.len());
+    for f in Field::ALL {
+        let mut vals: Vec<u32> = consts
+            .iter()
+            .filter(|(g, _)| *g == f)
+            .map(|(_, v)| *v)
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        // Fresh representative: a value not mentioned for this field.
+        let fresh = (0..).find(|v| !vals.contains(v)).expect("u32 not exhausted");
+        vals.push(fresh);
+        domains.push(vals);
+    }
+
+    // Enumerate the cross product.
+    let mut pkt = Packet::zero();
+    enumerate(&domains, 0, &mut pkt, &mut |candidate| {
+        let pin = BTreeSet::from([*candidate]);
+        if eval_set(p, &pin) != eval_set(q, &pin) {
+            Some(*candidate)
+        } else {
+            None
+        }
+    })
+}
+
+fn enumerate<T>(
+    domains: &[Vec<u32>],
+    field_idx: usize,
+    pkt: &mut Packet,
+    visit: &mut impl FnMut(&Packet) -> Option<T>,
+) -> Option<T> {
+    if field_idx == domains.len() {
+        return visit(pkt);
+    }
+    for &v in &domains[field_idx] {
+        pkt.0[field_idx] = v;
+        if let Some(t) = enumerate(domains, field_idx + 1, pkt, visit) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pred;
+
+    fn f(p: Pred) -> Policy {
+        Policy::filter(p)
+    }
+
+    // Kleene-algebra-with-tests axioms, checked semantically.
+    #[test]
+    fn union_commutative_and_idempotent() {
+        let p = Policy::assign(Field::Port, 1);
+        let q = f(Pred::test(Field::Switch, 2));
+        assert!(equivalent(
+            &p.clone().union(q.clone()),
+            &q.clone().union(p.clone())
+        ));
+        assert!(equivalent(&p.clone().union(p.clone()), &p));
+    }
+
+    #[test]
+    fn seq_associative_with_identities() {
+        let p = Policy::assign(Field::Port, 1);
+        let q = f(Pred::test(Field::Port, 1));
+        let r = Policy::assign(Field::Tag, 3);
+        assert!(equivalent(
+            &p.clone().seq(q.clone()).seq(r.clone()),
+            &p.clone().seq(q.clone().seq(r.clone()))
+        ));
+        assert!(equivalent(&Policy::id().seq(p.clone()), &p));
+        assert!(equivalent(&p.clone().seq(Policy::id()), &p));
+        assert!(equivalent(&Policy::drop().seq(p.clone()), &Policy::drop()));
+    }
+
+    #[test]
+    fn distribution_left() {
+        let p = Policy::assign(Field::Port, 1);
+        let q = Policy::assign(Field::Port, 2);
+        let r = f(Pred::test(Field::Port, 1));
+        assert!(equivalent(
+            &p.clone().union(q.clone()).seq(r.clone()),
+            &p.seq(r.clone()).union(q.seq(r))
+        ));
+    }
+
+    #[test]
+    fn star_unrolling() {
+        let step = f(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
+        let star = step.clone().star();
+        // p* ≡ id + p ; p*
+        assert!(equivalent(
+            &star,
+            &Policy::id().union(step.clone().seq(star.clone()))
+        ));
+    }
+
+    #[test]
+    fn mod_then_test_absorbs() {
+        // f := n ; filter f = n ≡ f := n   (PA axiom)
+        let lhs = Policy::assign(Field::Dst, 5).seq(f(Pred::test(Field::Dst, 5)));
+        let rhs = Policy::assign(Field::Dst, 5);
+        assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn test_then_mod_same_value_commutes() {
+        // filter f = n ; f := n ≡ filter f = n
+        let lhs = f(Pred::test(Field::Dst, 5)).seq(Policy::assign(Field::Dst, 5));
+        let rhs = f(Pred::test(Field::Dst, 5));
+        assert!(equivalent(&lhs, &rhs));
+    }
+
+    #[test]
+    fn inequivalent_policies_yield_counterexample() {
+        let p = Policy::assign(Field::Port, 1);
+        let q = Policy::assign(Field::Port, 2);
+        let cx = counterexample(&p, &q).expect("distinct mods must differ");
+        let pin = BTreeSet::from([cx]);
+        assert_ne!(eval_set(&p, &pin), eval_set(&q, &pin));
+    }
+
+    #[test]
+    fn filters_commute_with_each_other() {
+        let a = f(Pred::test(Field::Src, 1));
+        let b = f(Pred::test(Field::Dst, 2));
+        assert!(equivalent(
+            &a.clone().seq(b.clone()),
+            &b.clone().seq(a.clone())
+        ));
+    }
+
+    #[test]
+    fn fresh_value_distinguishes_negation() {
+        // filter !(src = 1) is NOT the same as filter src = 2 even though
+        // both accept src=2: the fresh-value row catches it.
+        let p = f(Pred::test(Field::Src, 1).not());
+        let q = f(Pred::test(Field::Src, 2));
+        assert!(!equivalent(&p, &q));
+    }
+}

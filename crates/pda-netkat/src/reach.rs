@@ -1,0 +1,193 @@
+//! Reachability analysis over NetKAT step policies.
+//!
+//! The standard NetKAT encoding of a network is `in ; (p ; t)* ; p ; out`
+//! where `p` is the union of switch policies and `t` the topology
+//! relation. The hybrid Copland+NetKAT compiler (the paper's §5.1) needs
+//! two queries over this encoding:
+//!
+//! * **Reachability** (`Prim3`): can traffic satisfying a predicate reach
+//!   a node satisfying another predicate? Used to check that a collector
+//!   of evidence is reachable by its producers before deploying a policy.
+//! * **Path witnesses** (`Prim1`/`Prim2`): concrete hop sequences that
+//!   realize `∗⇒`, used to resolve abstract places (`∀hop`) to the actual
+//!   switches along a forwarding path.
+
+use crate::ast::{Field, Packet, Policy, Pred};
+use crate::semantics::eval_set;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// All packets reachable from `init` under zero or more applications of
+/// `step`.
+pub fn reachable(step: &Policy, init: &BTreeSet<Packet>) -> BTreeSet<Packet> {
+    eval_set(&step.clone().star(), init)
+}
+
+/// Does some packet in `init` eventually satisfy `goal` under `step*`?
+pub fn can_reach(step: &Policy, init: &BTreeSet<Packet>, goal: &Pred) -> bool {
+    reachable(step, init).iter().any(|p| goal.eval(p))
+}
+
+/// Breadth-first search for a shortest witness trace: a sequence of
+/// packets `π₀ … πₖ` with `π₀ ∈ init`, each `πᵢ₊₁` an output of `step` on
+/// `πᵢ`, and `goal(πₖ)`. Returns `None` when unreachable.
+pub fn witness_path(
+    step: &Policy,
+    init: &BTreeSet<Packet>,
+    goal: &Pred,
+) -> Option<Vec<Packet>> {
+    let mut pred: BTreeMap<Packet, Option<Packet>> = BTreeMap::new();
+    let mut queue = VecDeque::new();
+    for &p in init {
+        pred.insert(p, None);
+        queue.push_back(p);
+        if goal.eval(&p) {
+            return Some(vec![p]);
+        }
+    }
+    while let Some(cur) = queue.pop_front() {
+        let outs = eval_set(step, &BTreeSet::from([cur]));
+        for nxt in outs {
+            if pred.contains_key(&nxt) {
+                continue;
+            }
+            pred.insert(nxt, Some(cur));
+            if goal.eval(&nxt) {
+                // Reconstruct.
+                let mut path = vec![nxt];
+                let mut at = nxt;
+                while let Some(Some(prev)) = pred.get(&at) {
+                    path.push(*prev);
+                    at = *prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(nxt);
+        }
+    }
+    None
+}
+
+/// The switch ids visited along a witness path (deduplicated consecutive
+/// repeats — a switch applying only header rewrites stays one hop).
+pub fn switches_along(path: &[Packet]) -> Vec<u32> {
+    let mut out: Vec<u32> = Vec::new();
+    for p in path {
+        let sw = p.get(Field::Switch);
+        if out.last() != Some(&sw) {
+            out.push(sw);
+        }
+    }
+    out
+}
+
+/// Convenience: encode a directed link `(sw_a, pt_a) → (sw_b, pt_b)` as a
+/// NetKAT topology term.
+pub fn link(sw_a: u32, pt_a: u32, sw_b: u32, pt_b: u32) -> Policy {
+    Policy::filter(Pred::test(Field::Switch, sw_a).and(Pred::test(Field::Port, pt_a)))
+        .seq(Policy::assign(Field::Switch, sw_b))
+        .seq(Policy::assign(Field::Port, pt_b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linear topology 1 → 2 → 3: each switch forwards out port 1; links
+    /// deliver to the next switch's port 0.
+    fn linear3() -> (Policy, Policy) {
+        let fwd = Policy::assign(Field::Port, 1); // every switch: send out pt 1
+        let topo = link(1, 1, 2, 0).union(link(2, 1, 3, 0));
+        (fwd, topo)
+    }
+
+    fn at_switch(sw: u32) -> Pred {
+        Pred::test(Field::Switch, sw)
+    }
+
+    #[test]
+    fn linear_reachability() {
+        let (fwd, topo) = linear3();
+        let step = fwd.seq(topo);
+        let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1), (Field::Port, 0)])]);
+        assert!(can_reach(&step, &init, &at_switch(3)));
+        assert!(!can_reach(&step, &init, &at_switch(4)));
+    }
+
+    #[test]
+    fn witness_path_is_shortest_and_valid() {
+        let (fwd, topo) = linear3();
+        let step = fwd.seq(topo);
+        let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1), (Field::Port, 0)])]);
+        let path = witness_path(&step, &init, &at_switch(3)).unwrap();
+        assert_eq!(switches_along(&path), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let (fwd, topo) = linear3();
+        let step = fwd.seq(topo);
+        let init = BTreeSet::from([Packet::of(&[(Field::Switch, 3), (Field::Port, 0)])]);
+        // Switch 3 has no outgoing link.
+        assert_eq!(witness_path(&step, &init, &at_switch(1)), None);
+    }
+
+    #[test]
+    fn goal_in_initial_set() {
+        let (fwd, topo) = linear3();
+        let step = fwd.seq(topo);
+        let p = Packet::of(&[(Field::Switch, 2), (Field::Port, 0)]);
+        let path = witness_path(&step, &BTreeSet::from([p]), &at_switch(2)).unwrap();
+        assert_eq!(path, vec![p]);
+    }
+
+    #[test]
+    fn branching_topology_finds_either_branch() {
+        // 1 → 2 and 1 → 3 (ports 1 and 2 respectively).
+        let fwd = Policy::assign(Field::Port, 1).union(Policy::assign(Field::Port, 2));
+        let topo = link(1, 1, 2, 0).union(link(1, 2, 3, 0));
+        let step = fwd.seq(topo);
+        let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1), (Field::Port, 0)])]);
+        assert!(can_reach(&step, &init, &at_switch(2)));
+        assert!(can_reach(&step, &init, &at_switch(3)));
+        let path = witness_path(&step, &init, &at_switch(3)).unwrap();
+        assert_eq!(switches_along(&path), vec![1, 3]);
+    }
+
+    #[test]
+    fn cycles_handled() {
+        // 1 → 2 → 1 ring; 3 unreachable.
+        let fwd = Policy::assign(Field::Port, 1);
+        let topo = link(1, 1, 2, 0).union(link(2, 1, 1, 0));
+        let step = fwd.seq(topo);
+        let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1), (Field::Port, 0)])]);
+        let r = reachable(&step, &init);
+        assert!(r.iter().any(|p| p.get(Field::Switch) == 2));
+        assert!(!can_reach(&step, &init, &at_switch(3)));
+    }
+
+    #[test]
+    fn filtering_step_blocks_traffic() {
+        // Firewall at switch 2 drops proto 6.
+        let fwd = Policy::assign(Field::Port, 1);
+        let fw = Policy::filter(
+            Pred::test(Field::Switch, 2)
+                .and(Pred::test(Field::Proto, 6))
+                .not(),
+        );
+        let topo = link(1, 1, 2, 0).union(link(2, 1, 3, 0));
+        let step = fw.seq(fwd).seq(topo);
+        let blocked = BTreeSet::from([Packet::of(&[
+            (Field::Switch, 1),
+            (Field::Port, 0),
+            (Field::Proto, 6),
+        ])]);
+        let allowed = BTreeSet::from([Packet::of(&[
+            (Field::Switch, 1),
+            (Field::Port, 0),
+            (Field::Proto, 17),
+        ])]);
+        assert!(!can_reach(&step, &blocked, &at_switch(3)));
+        assert!(can_reach(&step, &allowed, &at_switch(3)));
+    }
+}

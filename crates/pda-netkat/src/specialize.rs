@@ -1,0 +1,196 @@
+//! Partial evaluation of NetKAT policies: specialize a network-wide
+//! policy to one switch by fixing `sw = k`, yielding the per-switch
+//! slice that [`pda-hybrid`'s `nkcompile`] turns into a dataplane
+//! program.
+//!
+//! `specialize(p, f, v)` rewrites `p` under the assumption that field
+//! `f` currently equals `v`: tests on `f` reduce to `true`/`false`
+//! (which then collapse conjunctions and unions), while a modification
+//! of `f` invalidates the assumption for the continuation. The
+//! soundness property — `filter f=v ; p ≡ filter f=v ; specialize(p,f,v)`
+//! — is checked by property test for the dup-free fragment.
+
+use crate::ast::{Field, Policy, Pred};
+
+/// Specialize a predicate under the assumption `f = v`. Returns the
+/// simplified predicate.
+fn spec_pred(a: &Pred, f: Field, v: u32) -> Pred {
+    match a {
+        Pred::True => Pred::True,
+        Pred::False => Pred::False,
+        Pred::Test(g, w) if *g == f => {
+            if *w == v {
+                Pred::True
+            } else {
+                Pred::False
+            }
+        }
+        Pred::Test(g, w) => Pred::Test(*g, *w),
+        Pred::And(l, r) => match (spec_pred(l, f, v), spec_pred(r, f, v)) {
+            (Pred::False, _) | (_, Pred::False) => Pred::False,
+            (Pred::True, q) => q,
+            (p, Pred::True) => p,
+            (p, q) => p.and(q),
+        },
+        Pred::Or(l, r) => match (spec_pred(l, f, v), spec_pred(r, f, v)) {
+            (Pred::True, _) | (_, Pred::True) => Pred::True,
+            (Pred::False, q) => q,
+            (p, Pred::False) => p,
+            (p, q) => p.or(q),
+        },
+        Pred::Not(x) => match spec_pred(x, f, v) {
+            Pred::True => Pred::False,
+            Pred::False => Pred::True,
+            p => p.not(),
+        },
+    }
+}
+
+/// Specialize `p` under the assumption `f = v`. The assumption holds
+/// only until the first modification of `f` along each control path;
+/// after that the policy is left untouched.
+pub fn specialize(p: &Policy, f: Field, v: u32) -> Policy {
+    // Returns (specialized policy, whether the assumption still holds
+    // afterwards — None = may or may not, depending on path).
+    fn go(p: &Policy, f: Field, v: u32, holds: bool) -> (Policy, Option<bool>) {
+        if !holds {
+            return (p.clone(), Some(false));
+        }
+        match p {
+            Policy::Filter(a) => (Policy::Filter(spec_pred(a, f, v)), Some(true)),
+            Policy::Mod(g, w) if *g == f => (Policy::Mod(*g, *w), Some(*w == v)),
+            Policy::Mod(g, w) => (Policy::Mod(*g, *w), Some(true)),
+            Policy::Dup => (Policy::Dup, Some(true)),
+            Policy::Seq(l, r) => {
+                let (ls, lholds) = go(l, f, v, true);
+                match lholds {
+                    Some(true) => {
+                        let (rs, rholds) = go(r, f, v, true);
+                        (ls.seq(rs), rholds)
+                    }
+                    _ => (ls.seq(r.as_ref().clone()), lholds),
+                }
+            }
+            Policy::Union(l, r) => {
+                let (ls, lh) = go(l, f, v, true);
+                let (rs, rh) = go(r, f, v, true);
+                let holds = match (lh, rh) {
+                    (Some(a), Some(b)) if a == b => Some(a),
+                    _ => None,
+                };
+                // Prune dead branches: `filter false ; …` arms vanish.
+                let out = match (is_drop(&ls), is_drop(&rs)) {
+                    (true, true) => Policy::drop(),
+                    (true, false) => rs,
+                    (false, true) => ls,
+                    (false, false) => ls.union(rs),
+                };
+                (out, holds)
+            }
+            Policy::Star(inner) => {
+                // Inside a star the assumption can be broken by earlier
+                // iterations, so only a star whose body preserves the
+                // assumption may be specialized.
+                let (_, ih) = go(inner, f, v, true);
+                if ih == Some(true) {
+                    let (is, _) = go(inner, f, v, true);
+                    (is.star(), Some(true))
+                } else {
+                    (p.clone(), None)
+                }
+            }
+        }
+    }
+    go(p, f, v, true).0
+}
+
+/// Syntactic drop detection (used for branch pruning).
+fn is_drop(p: &Policy) -> bool {
+    match p {
+        Policy::Filter(Pred::False) => true,
+        Policy::Seq(l, r) => is_drop(l) || is_drop(r),
+        Policy::Union(l, r) => is_drop(l) && is_drop(r),
+        _ => false,
+    }
+}
+
+/// The per-switch slice of a network policy: assume the packet is at
+/// switch `sw` (the standard `in; (p;t)*` encoding dispatches on `sw`).
+pub fn slice_for_switch(p: &Policy, sw: u32) -> Policy {
+    specialize(p, Field::Switch, sw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equiv::equivalent;
+
+    fn guarded(sw: u32, port: u64) -> Policy {
+        Policy::filter(Pred::test(Field::Switch, sw)).seq(Policy::assign(Field::Port, port as u32))
+    }
+
+    #[test]
+    fn slice_selects_the_right_branch() {
+        let network = guarded(1, 10).union(guarded(2, 20)).union(guarded(3, 30));
+        let slice = slice_for_switch(&network, 2);
+        // The slice must behave like filter sw=2 ; network.
+        let reference = Policy::filter(Pred::test(Field::Switch, 2)).seq(network.clone());
+        let guarded_slice = Policy::filter(Pred::test(Field::Switch, 2)).seq(slice.clone());
+        assert!(equivalent(&reference, &guarded_slice));
+        // And it is drastically smaller (dead branches pruned).
+        assert!(slice.size() < network.size(), "{slice}");
+    }
+
+    #[test]
+    fn modification_of_assumed_field_stops_specialization() {
+        // sw := 5 ; filter sw = 1  — the test must NOT be reduced to
+        // true/false using the stale assumption sw=1.
+        let p = Policy::assign(Field::Switch, 5).seq(Policy::filter(Pred::test(Field::Switch, 1)));
+        let s = specialize(&p, Field::Switch, 1);
+        let reference = Policy::filter(Pred::test(Field::Switch, 1)).seq(p.clone());
+        let guarded = Policy::filter(Pred::test(Field::Switch, 1)).seq(s);
+        assert!(equivalent(&reference, &guarded));
+        // The stale test survives (still drops everything after sw := 5).
+        assert!(equivalent(&reference, &Policy::drop()));
+    }
+
+    #[test]
+    fn reassignment_to_same_value_keeps_assumption() {
+        let p = Policy::assign(Field::Switch, 1).seq(Policy::filter(Pred::test(Field::Switch, 1)));
+        let s = specialize(&p, Field::Switch, 1);
+        // Second test reduced to true.
+        assert!(equivalent(&s, &Policy::assign(Field::Switch, 1)));
+    }
+
+    #[test]
+    fn negations_and_disjunctions_simplify() {
+        let a = Pred::test(Field::Switch, 3)
+            .not()
+            .or(Pred::test(Field::Dst, 9));
+        let s = specialize(&Policy::Filter(a), Field::Switch, 3);
+        // !(sw=3) is false under the assumption; survives as dst test.
+        assert!(equivalent(
+            &s,
+            &Policy::filter(Pred::test(Field::Dst, 9))
+        ));
+    }
+
+    #[test]
+    fn star_preserving_body_specializes() {
+        let body = Policy::filter(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Tag, 7));
+        let p = body.clone().star();
+        let s = specialize(&p, Field::Switch, 1);
+        let reference = Policy::filter(Pred::test(Field::Switch, 1)).seq(p);
+        let guarded = Policy::filter(Pred::test(Field::Switch, 1)).seq(s);
+        assert!(equivalent(&reference, &guarded));
+    }
+
+    #[test]
+    fn star_breaking_body_left_alone() {
+        // Body rewrites sw: the loop may re-enter with other values.
+        let body = Policy::filter(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
+        let p = body.star();
+        let s = specialize(&p, Field::Switch, 1);
+        assert_eq!(s, p, "assumption-breaking star is untouched");
+    }
+}

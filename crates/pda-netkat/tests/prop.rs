@@ -1,0 +1,196 @@
+//! Property-based tests for NetKAT: the Kleene-algebra-with-tests
+//! axioms checked semantically over random dup-free policies, plus
+//! parser round-trips.
+
+use pda_netkat::ast::{Field, Packet, Policy, Pred};
+use pda_netkat::equiv::equivalent;
+use pda_netkat::parser::parse_policy;
+use pda_netkat::semantics::{eval_packet, eval_set};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        Just(Field::Switch),
+        Just(Field::Port),
+        Just(Field::Src),
+        Just(Field::Dst),
+        Just(Field::Proto),
+        Just(Field::Tag),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        Just(Pred::True),
+        Just(Pred::False),
+        (field(), 0u32..4).prop_map(|(f, v)| Pred::Test(f, v)),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// Random dup-free policies over a small value domain (keeps the
+/// finite-model equivalence check fast).
+fn policy() -> impl Strategy<Value = Policy> {
+    let leaf = prop_oneof![
+        pred().prop_map(Policy::Filter),
+        (field(), 0u32..4).prop_map(|(f, v)| Policy::Mod(f, v)),
+    ];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.union(q)),
+            (inner.clone(), inner.clone()).prop_map(|(p, q)| p.seq(q)),
+            inner.prop_map(|p| p.star()),
+        ]
+    })
+}
+
+fn pkt() -> impl Strategy<Value = Packet> {
+    proptest::collection::vec(0u32..4, 6).prop_map(|v| {
+        let mut p = Packet::zero();
+        for (i, f) in Field::ALL.into_iter().enumerate() {
+            p = p.with(f, v[i]);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- KAT axioms, checked with the semantic decision procedure ----
+
+    #[test]
+    fn union_comm_assoc_idem(p in policy(), q in policy(), r in policy()) {
+        prop_assert!(equivalent(&p.clone().union(q.clone()), &q.clone().union(p.clone())));
+        prop_assert!(equivalent(
+            &p.clone().union(q.clone()).union(r.clone()),
+            &p.clone().union(q.clone().union(r.clone()))
+        ));
+        prop_assert!(equivalent(&p.clone().union(p.clone()), &p));
+    }
+
+    #[test]
+    fn seq_assoc_and_identities(p in policy(), q in policy(), r in policy()) {
+        prop_assert!(equivalent(
+            &p.clone().seq(q.clone()).seq(r.clone()),
+            &p.clone().seq(q.clone().seq(r.clone()))
+        ));
+        prop_assert!(equivalent(&Policy::id().seq(p.clone()), &p));
+        prop_assert!(equivalent(&p.clone().seq(Policy::id()), &p));
+        prop_assert!(equivalent(&Policy::drop().seq(p.clone()), &Policy::drop()));
+        prop_assert!(equivalent(&p.seq(Policy::drop()), &Policy::drop()));
+    }
+
+    #[test]
+    fn distributivity(p in policy(), q in policy(), r in policy()) {
+        prop_assert!(equivalent(
+            &p.clone().union(q.clone()).seq(r.clone()),
+            &p.clone().seq(r.clone()).union(q.clone().seq(r.clone()))
+        ));
+        prop_assert!(equivalent(
+            &r.clone().seq(p.clone().union(q.clone())),
+            &r.clone().seq(p).union(r.seq(q))
+        ));
+    }
+
+    #[test]
+    fn star_unrolling_and_idempotence(p in policy()) {
+        let star = p.clone().star();
+        // p* = id + p ; p*
+        prop_assert!(equivalent(
+            &star,
+            &Policy::id().union(p.clone().seq(star.clone()))
+        ));
+        // (p*)* = p*
+        prop_assert!(equivalent(&star.clone().star(), &star));
+    }
+
+    #[test]
+    fn filter_is_idempotent(a in pred()) {
+        let f = Policy::Filter(a);
+        prop_assert!(equivalent(&f.clone().seq(f.clone()), &f));
+    }
+
+    #[test]
+    fn mod_then_matching_test_absorbed(f in field(), v in 0u32..4) {
+        let lhs = Policy::assign(f, v).seq(Policy::filter(Pred::test(f, v)));
+        prop_assert!(equivalent(&lhs, &Policy::assign(f, v)));
+    }
+
+    #[test]
+    fn double_negation(a in pred()) {
+        prop_assert!(equivalent(
+            &Policy::Filter(a.clone().not().not()),
+            &Policy::Filter(a)
+        ));
+    }
+
+    // ---- semantic sanity ----
+
+    /// Output of any policy on a packet set is monotone in the input set.
+    #[test]
+    fn eval_monotone(p in policy(), a in pkt(), b in pkt()) {
+        let small = BTreeSet::from([a]);
+        let big = BTreeSet::from([a, b]);
+        let out_small = eval_set(&p, &small);
+        let out_big = eval_set(&p, &big);
+        prop_assert!(out_small.is_subset(&out_big));
+    }
+
+    /// Union's output is exactly the union of the branches' outputs.
+    #[test]
+    fn union_semantics(p in policy(), q in policy(), x in pkt()) {
+        let lhs = eval_packet(&p.clone().union(q.clone()), x);
+        let mut rhs = eval_packet(&p, x);
+        rhs.extend(eval_packet(&q, x));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Display → parse round-trips semantically.
+    #[test]
+    fn display_parse_round_trip(p in policy()) {
+        let printed = p.to_string();
+        let reparsed = parse_policy(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed: {e}"));
+        prop_assert!(equivalent(&p, &reparsed), "{printed}");
+    }
+
+    /// Filters never invent packets.
+    #[test]
+    fn filters_shrink(a in pred(), x in pkt()) {
+        let out = eval_packet(&Policy::Filter(a), x);
+        prop_assert!(out.len() <= 1);
+        if let Some(y) = out.iter().next() {
+            prop_assert_eq!(*y, x);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Specialization soundness: `filter f=v ; p ≡ filter f=v ; specialize(p,f,v)`.
+    #[test]
+    fn specialize_sound(p in policy(), f in field(), v in 0u32..4) {
+        let s = pda_netkat::specialize::specialize(&p, f, v);
+        let guard = Policy::filter(Pred::Test(f, v));
+        prop_assert!(
+            equivalent(&guard.clone().seq(p.clone()), &guard.seq(s.clone())),
+            "p = {p}, specialized = {s}"
+        );
+    }
+
+    /// Specialization never grows the policy.
+    #[test]
+    fn specialize_never_grows(p in policy(), f in field(), v in 0u32..4) {
+        let s = pda_netkat::specialize::specialize(&p, f, v);
+        prop_assert!(s.size() <= p.size(), "{p} grew to {s}");
+    }
+}

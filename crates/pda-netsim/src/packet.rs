@@ -1,0 +1,160 @@
+//! Simulated packets: raw wire bytes plus the structured view of the
+//! PDA options header (attestation request + in-band evidence chain).
+//!
+//! On a real wire the request and the accumulated evidence live inside
+//! the §5.2 options header; the simulator keeps them structured for
+//! inspectability and accounts their encoded size when computing
+//! bytes-on-wire.
+
+use pda_crypto::digest::Digest;
+use pda_crypto::nonce::Nonce;
+use pda_pera::evidence::EvidenceRecord;
+
+/// The attestation state riding on a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceMode {
+    /// Evidence accumulates in the packet (Fig. 2's in-band variant).
+    InBand,
+    /// Each hop sends its evidence straight to the appraiser node
+    /// (Fig. 2's out-of-band variant).
+    OutOfBand {
+        /// The collector node's id.
+        appraiser: usize,
+    },
+}
+
+/// Attestation request + accumulated evidence.
+#[derive(Debug)]
+pub struct AttestState {
+    /// The relying party's nonce.
+    pub nonce: Nonce,
+    /// In-band or out-of-band evidence flow.
+    pub mode: EvidenceMode,
+    /// In-band: records accumulated so far, path order.
+    pub chain: Vec<EvidenceRecord>,
+    /// Chain linkage value (last record's chain, or ZERO).
+    pub prev: Digest,
+}
+
+impl AttestState {
+    /// Fresh request.
+    pub fn new(nonce: Nonce, mode: EvidenceMode) -> AttestState {
+        AttestState {
+            nonce,
+            mode,
+            chain: Vec::new(),
+            prev: Digest::ZERO,
+        }
+    }
+
+    /// Append a record produced by a hop.
+    pub fn push(&mut self, record: EvidenceRecord) {
+        self.prev = record.chain;
+        if matches!(self.mode, EvidenceMode::InBand) {
+            self.chain.push(record);
+        }
+    }
+
+    /// Bytes the in-band evidence adds to the packet.
+    pub fn in_band_bytes(&self) -> usize {
+        self.chain.iter().map(|r| r.wire_size()).sum()
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug)]
+pub struct SimPacket {
+    /// Raw packet bytes (headers + payload).
+    pub bytes: Vec<u8>,
+    /// Attestation state (None = ordinary traffic).
+    pub attest: Option<AttestState>,
+    /// Source node (set at injection; for tracing).
+    pub src: usize,
+    /// Hop count so far (TTL-style safety net).
+    pub hops: u32,
+}
+
+impl SimPacket {
+    /// An ordinary data packet.
+    pub fn plain(bytes: Vec<u8>, src: usize) -> SimPacket {
+        SimPacket {
+            bytes,
+            attest: None,
+            src,
+            hops: 0,
+        }
+    }
+
+    /// A packet carrying an attestation request.
+    pub fn attested(bytes: Vec<u8>, src: usize, nonce: Nonce, mode: EvidenceMode) -> SimPacket {
+        SimPacket {
+            bytes,
+            attest: Some(AttestState::new(nonce, mode)),
+            src,
+            hops: 0,
+        }
+    }
+
+    /// Total bytes on the wire: raw bytes + options-header preamble +
+    /// in-band evidence.
+    pub fn wire_bytes(&self) -> usize {
+        let overhead = match &self.attest {
+            None => 0,
+            Some(a) => 16 + a.in_band_bytes(), // 16 = fixed PDA preamble
+        };
+        self.bytes.len() + overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_crypto::sig::{SigScheme, Signer};
+    use pda_pera::config::DetailLevel;
+
+    fn record(name: &str, prev: Digest) -> EvidenceRecord {
+        let mut s = Signer::new(SigScheme::Hmac, [1u8; 32], 0);
+        EvidenceRecord::create(
+            name,
+            vec![(DetailLevel::Program, Digest::of(name.as_bytes()))],
+            Nonce(1),
+            prev,
+            &mut s,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plain_packet_has_no_overhead() {
+        let p = SimPacket::plain(vec![0u8; 100], 0);
+        assert_eq!(p.wire_bytes(), 100);
+    }
+
+    #[test]
+    fn in_band_chain_grows_wire_size() {
+        let mut p = SimPacket::attested(vec![0u8; 100], 0, Nonce(1), EvidenceMode::InBand);
+        assert_eq!(p.wire_bytes(), 116);
+        let r1 = record("sw1", Digest::ZERO);
+        let c1 = r1.chain;
+        p.attest.as_mut().unwrap().push(r1);
+        assert!(p.wire_bytes() > 116);
+        assert_eq!(p.attest.as_ref().unwrap().prev, c1);
+        assert_eq!(p.attest.as_ref().unwrap().chain.len(), 1);
+    }
+
+    #[test]
+    fn out_of_band_keeps_packet_small_but_tracks_prev() {
+        let mut p = SimPacket::attested(
+            vec![0u8; 100],
+            0,
+            Nonce(1),
+            EvidenceMode::OutOfBand { appraiser: 9 },
+        );
+        let r1 = record("sw1", Digest::ZERO);
+        let c1 = r1.chain;
+        p.attest.as_mut().unwrap().push(r1);
+        assert_eq!(p.wire_bytes(), 116, "no in-band growth");
+        assert_eq!(p.attest.as_ref().unwrap().prev, c1, "chain still linked");
+        assert!(p.attest.as_ref().unwrap().chain.is_empty());
+    }
+}

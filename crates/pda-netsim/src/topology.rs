@@ -1,0 +1,243 @@
+//! Network topology: nodes (hosts, PERA switches, legacy switches,
+//! appliances) wired by point-to-point links with latency.
+
+use pda_dataplane::actions::Registers;
+use pda_dataplane::pipeline::DataplaneProgram;
+use pda_pera::switch::PeraSwitch;
+use std::collections::HashMap;
+
+/// Node identifier (index into [`Topology::nodes`]).
+pub type NodeId = usize;
+
+/// Simulated time in nanoseconds.
+pub type SimTime = u64;
+
+/// What a node is.
+pub enum DeviceKind {
+    /// An end host: sources and sinks packets, collects evidence.
+    Host,
+    /// An RA-capable programmable switch.
+    Pera(Box<PeraSwitch>),
+    /// A legacy (non-attesting) programmable switch — the paper's
+    /// Non-attesting Element (NE, Fig. 4).
+    Legacy {
+        /// Its dataplane program.
+        program: DataplaneProgram,
+        /// Its register file.
+        regs: Registers,
+    },
+    /// The appraiser/collector service node.
+    Appraiser,
+}
+
+impl DeviceKind {
+    /// Is this node RA-capable?
+    pub fn supports_ra(&self) -> bool {
+        matches!(self, DeviceKind::Pera(_))
+    }
+}
+
+/// One direction of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// Peer node.
+    pub peer: NodeId,
+    /// Port on the peer.
+    pub peer_port: u64,
+    /// Propagation latency (ns).
+    pub latency: SimTime,
+    /// Serialization cost in ns per byte (0 = infinite bandwidth;
+    /// 8 ns/B ≈ 1 Gbit/s, 1 ns/B ≈ 8 Gbit/s).
+    pub ns_per_byte: u64,
+}
+
+impl Link {
+    /// Total delay for a packet of `bytes` bytes.
+    pub fn delay(&self, bytes: usize) -> SimTime {
+        self.latency + self.ns_per_byte * bytes as u64
+    }
+}
+
+/// A node plus its wiring.
+pub struct Node {
+    /// Unique name.
+    pub name: String,
+    /// The device.
+    pub kind: DeviceKind,
+    /// port → outgoing link.
+    pub ports: HashMap<u64, Link>,
+}
+
+/// The network graph.
+#[derive(Default)]
+pub struct Topology {
+    /// All nodes; `NodeId` indexes here.
+    pub nodes: Vec<Node>,
+    names: HashMap<String, NodeId>,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a node; names must be unique.
+    pub fn add(&mut self, name: impl Into<String>, kind: DeviceKind) -> NodeId {
+        let name = name.into();
+        assert!(
+            !self.names.contains_key(&name),
+            "duplicate node name {name}"
+        );
+        let id = self.nodes.len();
+        self.names.insert(name.clone(), id);
+        self.nodes.push(Node {
+            name,
+            kind,
+            ports: HashMap::new(),
+        });
+        id
+    }
+
+    /// Wire a bidirectional link `a.port_a ↔ b.port_b` with symmetric
+    /// propagation latency and infinite bandwidth.
+    pub fn link(&mut self, a: NodeId, port_a: u64, b: NodeId, port_b: u64, latency: SimTime) {
+        self.link_with_bandwidth(a, port_a, b, port_b, latency, 0);
+    }
+
+    /// Wire a link with finite bandwidth: `ns_per_byte` serialization
+    /// cost per byte (8 ≈ 1 Gbit/s). Larger packets — e.g. those
+    /// carrying in-band evidence chains — pay proportionally more.
+    pub fn link_with_bandwidth(
+        &mut self,
+        a: NodeId,
+        port_a: u64,
+        b: NodeId,
+        port_b: u64,
+        latency: SimTime,
+        ns_per_byte: u64,
+    ) {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "bad node id");
+        let fwd = Link {
+            peer: b,
+            peer_port: port_b,
+            latency,
+            ns_per_byte,
+        };
+        let rev = Link {
+            peer: a,
+            peer_port: port_a,
+            latency,
+            ns_per_byte,
+        };
+        let prev = self.nodes[a].ports.insert(port_a, fwd);
+        assert!(prev.is_none(), "port {port_a} of {} already wired", self.nodes[a].name);
+        let prev = self.nodes[b].ports.insert(port_b, rev);
+        assert!(prev.is_none(), "port {port_b} of {} already wired", self.nodes[b].name);
+    }
+
+    /// Resolve a node by name.
+    pub fn by_name(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// Node name.
+    pub fn name_of(&self, id: NodeId) -> &str {
+        &self.nodes[id].name
+    }
+
+    /// The sequence of node names along the port-following path from
+    /// `start` leaving via `port`, until a node without forwarding state
+    /// or a repeat (defensive cycle stop). Used to build the hybrid
+    /// resolver's path view.
+    pub fn trace_path(&self, start: NodeId, mut port: u64, max_hops: usize) -> Vec<NodeId> {
+        let mut path = vec![start];
+        let mut at = start;
+        for _ in 0..max_hops {
+            let Some(link) = self.nodes[at].ports.get(&port) else {
+                break;
+            };
+            let peer = link.peer;
+            if path.contains(&peer) {
+                break;
+            }
+            path.push(peer);
+            at = peer;
+            // Follow the "next" convention used by the builders: transit
+            // devices forward out port 1.
+            port = 1;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_resolve() {
+        let mut t = Topology::new();
+        let a = t.add("h1", DeviceKind::Host);
+        let b = t.add("h2", DeviceKind::Host);
+        assert_eq!(t.by_name("h1"), Some(a));
+        assert_eq!(t.by_name("h2"), Some(b));
+        assert_eq!(t.by_name("nope"), None);
+        assert_eq!(t.name_of(a), "h1");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node name")]
+    fn duplicate_names_rejected() {
+        let mut t = Topology::new();
+        t.add("x", DeviceKind::Host);
+        t.add("x", DeviceKind::Host);
+    }
+
+    #[test]
+    fn links_are_bidirectional() {
+        let mut t = Topology::new();
+        let a = t.add("a", DeviceKind::Host);
+        let b = t.add("b", DeviceKind::Host);
+        t.link(a, 1, b, 0, 1000);
+        assert_eq!(t.nodes[a].ports[&1].peer, b);
+        assert_eq!(t.nodes[a].ports[&1].latency, 1000);
+        assert_eq!(t.nodes[b].ports[&0].peer, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_a_port_rejected() {
+        let mut t = Topology::new();
+        let a = t.add("a", DeviceKind::Host);
+        let b = t.add("b", DeviceKind::Host);
+        let c = t.add("c", DeviceKind::Host);
+        t.link(a, 1, b, 0, 1);
+        t.link(a, 1, c, 0, 1);
+    }
+
+    #[test]
+    fn trace_path_follows_port_one() {
+        let mut t = Topology::new();
+        let h1 = t.add("h1", DeviceKind::Host);
+        let s1 = t.add("s1", DeviceKind::Host);
+        let s2 = t.add("s2", DeviceKind::Host);
+        let h2 = t.add("h2", DeviceKind::Host);
+        t.link(h1, 1, s1, 0, 1);
+        t.link(s1, 1, s2, 0, 1);
+        t.link(s2, 1, h2, 0, 1);
+        let path = t.trace_path(h1, 1, 10);
+        assert_eq!(path, vec![h1, s1, s2, h2]);
+    }
+
+    #[test]
+    fn trace_path_stops_on_cycles() {
+        let mut t = Topology::new();
+        let a = t.add("a", DeviceKind::Host);
+        let b = t.add("b", DeviceKind::Host);
+        t.link(a, 1, b, 0, 1);
+        t.link(b, 1, a, 0, 1);
+        let path = t.trace_path(a, 1, 10);
+        assert_eq!(path, vec![a, b]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The inertia-keyed evidence cache.
+//!
+//! "High-inertia attestations are more easily cached since they take
+//! longer to expire" (§5.2, Fig. 4). A PERA switch caches each detail
+//! level's measured digest and invalidates it when the underlying object
+//! changes — tracked by per-level *generation counters* bumped on
+//! program reload, table update, or register write. Hardware identity
+//! never invalidates; per-packet detail never caches.
+
+use crate::config::DetailLevel;
+use pda_crypto::digest::Digest;
+use std::collections::HashMap;
+
+/// Cache statistics (reported by experiment E8).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that had to re-measure.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Evidence cache: detail level → (generation, digest).
+#[derive(Clone, Debug, Default)]
+pub struct EvidenceCache {
+    entries: HashMap<DetailLevel, (u64, Digest)>,
+    generations: HashMap<DetailLevel, u64>,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+impl EvidenceCache {
+    /// Empty cache.
+    pub fn new() -> EvidenceCache {
+        EvidenceCache::default()
+    }
+
+    /// Current generation of a detail level.
+    pub fn generation(&self, level: DetailLevel) -> u64 {
+        self.generations.get(&level).copied().unwrap_or(0)
+    }
+
+    /// Invalidate a level (e.g. program reloaded → bump Program; a table
+    /// write → bump Tables; a register write → bump ProgState). Bumping
+    /// a level also bumps every lower-inertia level: a new program means
+    /// new tables and new state.
+    pub fn invalidate(&mut self, level: DetailLevel) {
+        for l in DetailLevel::ALL {
+            if l >= level {
+                *self.generations.entry(l).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Look up `level`'s digest; on miss, call `measure` and cache the
+    /// result. `Packets` never caches (zero inertia).
+    pub fn get_or_measure(
+        &mut self,
+        level: DetailLevel,
+        measure: impl FnOnce() -> Digest,
+    ) -> Digest {
+        if level == DetailLevel::Packets {
+            self.stats.misses += 1;
+            return measure();
+        }
+        let gen = self.generation(level);
+        if let Some(&(cached_gen, d)) = self.entries.get(&level) {
+            if cached_gen == gen {
+                self.stats.hits += 1;
+                return d;
+            }
+        }
+        self.stats.misses += 1;
+        let d = measure();
+        self.entries.insert(level, (gen, d));
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(tag: u8) -> Digest {
+        Digest::of(&[tag])
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let mut c = EvidenceCache::new();
+        let a = c.get_or_measure(DetailLevel::Program, || d(1));
+        let b = c.get_or_measure(DetailLevel::Program, || panic!("must not re-measure"));
+        assert_eq!(a, b);
+        assert_eq!(c.stats, CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn invalidation_forces_remeasure() {
+        let mut c = EvidenceCache::new();
+        c.get_or_measure(DetailLevel::Program, || d(1));
+        c.invalidate(DetailLevel::Program);
+        let after = c.get_or_measure(DetailLevel::Program, || d(2));
+        assert_eq!(after, d(2));
+        assert_eq!(c.stats.misses, 2);
+    }
+
+    #[test]
+    fn invalidation_cascades_to_lower_inertia() {
+        let mut c = EvidenceCache::new();
+        c.get_or_measure(DetailLevel::Tables, || d(1));
+        c.get_or_measure(DetailLevel::ProgState, || d(2));
+        c.invalidate(DetailLevel::Program); // program reload
+        assert_eq!(c.get_or_measure(DetailLevel::Tables, || d(3)), d(3));
+        assert_eq!(c.get_or_measure(DetailLevel::ProgState, || d(4)), d(4));
+    }
+
+    #[test]
+    fn invalidation_does_not_cascade_upward() {
+        let mut c = EvidenceCache::new();
+        c.get_or_measure(DetailLevel::Program, || d(1));
+        c.invalidate(DetailLevel::ProgState); // register write
+        let still = c.get_or_measure(DetailLevel::Program, || panic!("cached"));
+        assert_eq!(still, d(1));
+    }
+
+    #[test]
+    fn hardware_never_invalidated_by_lower_levels() {
+        let mut c = EvidenceCache::new();
+        c.get_or_measure(DetailLevel::Hardware, || d(9));
+        c.invalidate(DetailLevel::Program);
+        c.invalidate(DetailLevel::Tables);
+        c.invalidate(DetailLevel::ProgState);
+        let still = c.get_or_measure(DetailLevel::Hardware, || panic!("cached"));
+        assert_eq!(still, d(9));
+    }
+
+    #[test]
+    fn packets_never_cache() {
+        let mut c = EvidenceCache::new();
+        c.get_or_measure(DetailLevel::Packets, || d(1));
+        let again = c.get_or_measure(DetailLevel::Packets, || d(2));
+        assert_eq!(again, d(2));
+        assert_eq!(c.stats.hits, 0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c = EvidenceCache::new();
+        assert_eq!(c.stats.hit_rate(), 0.0);
+        c.get_or_measure(DetailLevel::Program, || d(1));
+        for _ in 0..9 {
+            c.get_or_measure(DetailLevel::Program, || d(1));
+        }
+        assert!((c.stats.hit_rate() - 0.9).abs() < 1e-9);
+    }
+}

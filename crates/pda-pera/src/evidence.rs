@@ -1,0 +1,317 @@
+//! Hop evidence records: what a PERA switch emits, in-band or
+//! out-of-band, and how a verifier checks a chain of them.
+//!
+//! A record binds: the switch's identity, the digests of the attested
+//! detail levels, the request nonce, and (in chained mode) the previous
+//! record's chain value — all under one signature. The UC1 narrative
+//! ("evidence for a packet p could indicate that p reached switch S1 …
+//! was processed by firewall_v5.p4 and forwarded to S2 …") is exactly a
+//! chain of these records.
+
+use crate::config::DetailLevel;
+use pda_crypto::digest::Digest;
+use pda_crypto::keyreg::KeyRegistry;
+use pda_crypto::nonce::Nonce;
+use pda_crypto::sig::{Signature, Signer, SignError};
+use std::fmt;
+
+/// One hop's evidence.
+#[derive(Clone, Debug)]
+pub struct EvidenceRecord {
+    /// Switch identity (or operator pseudonym).
+    pub switch: String,
+    /// Attested (level, digest) pairs, in detail-axis order.
+    pub details: Vec<(DetailLevel, Digest)>,
+    /// Request nonce this evidence answers.
+    pub nonce: Nonce,
+    /// Previous record's chain value (`Digest::ZERO` for the first hop
+    /// or pointwise mode).
+    pub prev: Digest,
+    /// This record's chain value: `H(prev ‖ body)`.
+    pub chain: Digest,
+    /// Signature over the chain value.
+    pub sig: Signature,
+}
+
+impl EvidenceRecord {
+    /// The signed body bytes (everything but the signature).
+    fn body_bytes(switch: &str, details: &[(DetailLevel, Digest)], nonce: Nonce) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&(switch.len() as u32).to_be_bytes());
+        out.extend_from_slice(switch.as_bytes());
+        out.extend_from_slice(&(details.len() as u32).to_be_bytes());
+        for (level, d) in details {
+            out.push(match level {
+                DetailLevel::Hardware => 0,
+                DetailLevel::Program => 1,
+                DetailLevel::Tables => 2,
+                DetailLevel::ProgState => 3,
+                DetailLevel::Packets => 4,
+            });
+            out.extend_from_slice(d.as_bytes());
+        }
+        out.extend_from_slice(&nonce.to_bytes());
+        out
+    }
+
+    /// Create and sign a record.
+    pub fn create(
+        switch: &str,
+        details: Vec<(DetailLevel, Digest)>,
+        nonce: Nonce,
+        prev: Digest,
+        signer: &mut Signer,
+    ) -> Result<EvidenceRecord, SignError> {
+        let body = Self::body_bytes(switch, &details, nonce);
+        let chain = prev.chain(&body);
+        let sig = signer.sign(chain.as_bytes())?;
+        Ok(EvidenceRecord {
+            switch: switch.to_string(),
+            details,
+            nonce,
+            prev,
+            chain,
+            sig,
+        })
+    }
+
+    /// Recompute the chain value from the record's own fields.
+    pub fn recompute_chain(&self) -> Digest {
+        self.prev
+            .chain(&Self::body_bytes(&self.switch, &self.details, self.nonce))
+    }
+
+    /// Wire size: body + signature + chain linkage.
+    pub fn wire_size(&self) -> usize {
+        Self::body_bytes(&self.switch, &self.details, self.nonce).len()
+            + 64 // prev + chain digests
+            + self.sig.wire_size()
+    }
+
+    /// The digest attested for a given level, if present.
+    pub fn detail(&self, level: DetailLevel) -> Option<Digest> {
+        self.details.iter().find(|(l, _)| *l == level).map(|(_, d)| *d)
+    }
+}
+
+impl fmt::Display for EvidenceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev[{} n={} chain={}]", self.switch, self.nonce, self.chain.short())
+    }
+}
+
+/// Why a chain failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainFailure {
+    /// A record's chain value doesn't match its own contents.
+    BrokenChainValue {
+        /// Index in the chain.
+        index: usize,
+    },
+    /// A record's `prev` doesn't link to its predecessor.
+    BrokenLink {
+        /// Index in the chain.
+        index: usize,
+    },
+    /// A signature failed (or the signer is unknown).
+    BadSignature {
+        /// Index in the chain.
+        index: usize,
+        /// Claimed switch.
+        switch: String,
+    },
+    /// The record's nonce differs from the request nonce.
+    WrongNonce {
+        /// Index in the chain.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ChainFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainFailure::BrokenChainValue { index } => {
+                write!(f, "record {index}: chain value does not match contents")
+            }
+            ChainFailure::BrokenLink { index } => {
+                write!(f, "record {index}: prev does not link to predecessor")
+            }
+            ChainFailure::BadSignature { index, switch } => {
+                write!(f, "record {index}: bad signature from {switch}")
+            }
+            ChainFailure::WrongNonce { index } => write!(f, "record {index}: wrong nonce"),
+        }
+    }
+}
+
+/// Verify a chain of records: per-record integrity + signatures +
+/// nonce + (for chained mode) hop-to-hop linkage starting from
+/// `Digest::ZERO`.
+pub fn verify_chain(
+    records: &[EvidenceRecord],
+    registry: &KeyRegistry,
+    expected_nonce: Nonce,
+    chained: bool,
+) -> Result<(), Vec<ChainFailure>> {
+    let mut failures = Vec::new();
+    let mut prev = Digest::ZERO;
+    for (index, r) in records.iter().enumerate() {
+        if r.nonce != expected_nonce {
+            failures.push(ChainFailure::WrongNonce { index });
+        }
+        if r.recompute_chain() != r.chain {
+            failures.push(ChainFailure::BrokenChainValue { index });
+        }
+        if chained && r.prev != prev {
+            failures.push(ChainFailure::BrokenLink { index });
+        }
+        match registry.verify_as(&r.switch.as_str().into(), r.chain.as_bytes(), &r.sig) {
+            Ok(true) => {}
+            _ => failures.push(ChainFailure::BadSignature {
+                index,
+                switch: r.switch.clone(),
+            }),
+        }
+        prev = r.chain;
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_crypto::keyreg::PrincipalId;
+    use pda_crypto::sig::SigScheme;
+
+    fn signer(name: &str) -> Signer {
+        Signer::new(SigScheme::Hmac, Digest::of(name.as_bytes()).0, 0)
+    }
+
+    fn registry(names: &[&str]) -> KeyRegistry {
+        let mut reg = KeyRegistry::new();
+        for n in names {
+            reg.register(PrincipalId::new(*n), signer(n).verify_key(0));
+        }
+        reg
+    }
+
+    fn chain_of(names: &[&str], nonce: Nonce) -> Vec<EvidenceRecord> {
+        let mut prev = Digest::ZERO;
+        let mut out = Vec::new();
+        for n in names {
+            let mut s = signer(n);
+            let r = EvidenceRecord::create(
+                n,
+                vec![(DetailLevel::Program, Digest::of(n.as_bytes()))],
+                nonce,
+                prev,
+                &mut s,
+            )
+            .unwrap();
+            prev = r.chain;
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn valid_chain_verifies() {
+        let names = ["sw1", "sw2", "sw3"];
+        let chain = chain_of(&names, Nonce(5));
+        let reg = registry(&names);
+        assert_eq!(verify_chain(&chain, &reg, Nonce(5), true), Ok(()));
+    }
+
+    #[test]
+    fn removed_link_detected() {
+        let names = ["sw1", "sw2", "sw3"];
+        let mut chain = chain_of(&names, Nonce(5));
+        chain.remove(1); // adversary drops the middle hop's evidence
+        let reg = registry(&names);
+        let errs = verify_chain(&chain, &reg, Nonce(5), true).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ChainFailure::BrokenLink { index: 1 })));
+    }
+
+    #[test]
+    fn reordered_links_detected() {
+        let names = ["sw1", "sw2", "sw3"];
+        let mut chain = chain_of(&names, Nonce(5));
+        chain.swap(0, 1);
+        let reg = registry(&names);
+        assert!(verify_chain(&chain, &reg, Nonce(5), true).is_err());
+    }
+
+    #[test]
+    fn tampered_detail_detected() {
+        let names = ["sw1", "sw2"];
+        let mut chain = chain_of(&names, Nonce(5));
+        chain[0].details[0].1 = Digest::of(b"forged-program");
+        let reg = registry(&names);
+        let errs = verify_chain(&chain, &reg, Nonce(5), true).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainFailure::BrokenChainValue { index: 0 })));
+    }
+
+    #[test]
+    fn unknown_signer_detected() {
+        let chain = chain_of(&["sw1", "rogue"], Nonce(5));
+        let reg = registry(&["sw1"]);
+        let errs = verify_chain(&chain, &reg, Nonce(5), true).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainFailure::BadSignature { switch, .. } if switch == "rogue")));
+    }
+
+    #[test]
+    fn wrong_nonce_detected() {
+        let chain = chain_of(&["sw1"], Nonce(5));
+        let reg = registry(&["sw1"]);
+        let errs = verify_chain(&chain, &reg, Nonce(6), true).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, ChainFailure::WrongNonce { .. })));
+    }
+
+    #[test]
+    fn pointwise_mode_skips_linkage() {
+        // Independent records (prev = ZERO everywhere) verify when
+        // chained checking is off…
+        let r1 = chain_of(&["sw1"], Nonce(5)).remove(0);
+        let r2 = chain_of(&["sw2"], Nonce(5)).remove(0);
+        let reg = registry(&["sw1", "sw2"]);
+        let records = vec![r1, r2];
+        assert_eq!(verify_chain(&records, &reg, Nonce(5), false), Ok(()));
+        // …but fail linkage in chained mode.
+        assert!(verify_chain(&records, &reg, Nonce(5), true).is_err());
+    }
+
+    #[test]
+    fn wire_size_reflects_detail_count() {
+        let mut s = signer("sw");
+        let small = EvidenceRecord::create(
+            "sw",
+            vec![(DetailLevel::Program, Digest::ZERO)],
+            Nonce(1),
+            Digest::ZERO,
+            &mut s,
+        )
+        .unwrap();
+        let large = EvidenceRecord::create(
+            "sw",
+            DetailLevel::ALL
+                .iter()
+                .map(|l| (*l, Digest::ZERO))
+                .collect(),
+            Nonce(1),
+            Digest::ZERO,
+            &mut s,
+        )
+        .unwrap();
+        assert!(large.wire_size() > small.wire_size());
+        assert_eq!(large.detail(DetailLevel::Tables), Some(Digest::ZERO));
+        assert_eq!(small.detail(DetailLevel::Tables), None);
+    }
+}

@@ -1,0 +1,532 @@
+//! The PERA switch: a PISA pipeline extended with the RA units of
+//! Fig. 3 — Parse, Match+Action, Sign/Verify, and the evidence engine
+//! (Create/Inspect/Compose) — with the Fig. 4 configuration knobs.
+
+use crate::cache::EvidenceCache;
+use crate::config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
+use crate::evidence::EvidenceRecord;
+use pda_crypto::digest::Digest;
+use pda_crypto::nonce::Nonce;
+use pda_crypto::sig::{SigScheme, Signer, VerifyKey};
+use pda_dataplane::actions::Registers;
+use pda_dataplane::parser::ParseErr;
+use pda_dataplane::phv::meta;
+use pda_dataplane::pipeline::{DataplaneProgram, PipelineOutput};
+use std::collections::HashSet;
+
+/// Counters reported by the PERA experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeraStats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets that carried evidence out (attested packets).
+    pub attested_packets: u64,
+    /// Evidence records produced.
+    pub records: u64,
+    /// Total evidence bytes emitted.
+    pub evidence_bytes: u64,
+    /// Signatures performed by the sign/verify unit.
+    pub signatures: u64,
+}
+
+/// Output of processing one packet through a PERA switch.
+#[derive(Debug)]
+pub struct PeraOutput {
+    /// The forwarding result from the PISA pipeline.
+    pub forward: PipelineOutput,
+    /// Evidence produced for this packet (None when sampling skipped it
+    /// or the packet carried no attestation request).
+    pub evidence: Option<EvidenceRecord>,
+}
+
+/// A PISA switch extended with RA (the paper's PERA device).
+pub struct PeraSwitch {
+    /// Device name (as registered with appraisers; may be a pseudonym).
+    pub name: String,
+    /// The loaded dataplane program.
+    pub program: DataplaneProgram,
+    /// Register file (program state).
+    pub regs: Registers,
+    /// Evidence-engine configuration.
+    pub config: PeraConfig,
+    /// Hardware platform identity string (model/serial).
+    pub hardware_id: String,
+    /// The signing identity of the evidence-producing unit.
+    signer: Signer,
+    /// Inertia-keyed evidence cache.
+    pub cache: EvidenceCache,
+    /// Flows already attested (PerFlow sampling).
+    seen_flows: HashSet<u64>,
+    /// Counters.
+    pub stats: PeraStats,
+}
+
+impl PeraSwitch {
+    /// Build a switch with an HMAC evidence unit (override with
+    /// [`Self::with_scheme`]).
+    pub fn new(
+        name: impl Into<String>,
+        hardware_id: impl Into<String>,
+        program: DataplaneProgram,
+        config: PeraConfig,
+    ) -> PeraSwitch {
+        let name = name.into();
+        let seed = Digest::of_parts(&[b"pera-seed", name.as_bytes()]).0;
+        let regs = program.make_registers();
+        PeraSwitch {
+            name,
+            regs,
+            program,
+            config,
+            hardware_id: hardware_id.into(),
+            signer: Signer::new(SigScheme::Hmac, seed, 0),
+            cache: EvidenceCache::new(),
+            seen_flows: HashSet::new(),
+            stats: PeraStats::default(),
+        }
+    }
+
+    /// Builder: switch the signing backend (the E7/E11 ablation knob).
+    pub fn with_scheme(mut self, scheme: SigScheme, mss_height: u32) -> PeraSwitch {
+        let seed = Digest::of_parts(&[b"pera-seed", self.name.as_bytes()]).0;
+        self.signer = Signer::new(scheme, seed, mss_height);
+        self
+    }
+
+    /// Verification key to register with appraisers.
+    pub fn verify_key(&self, epochs: u64) -> VerifyKey {
+        self.signer.verify_key(epochs)
+    }
+
+    /// Hot-swap the dataplane program (legitimate upgrade *or* the UC1
+    /// attack — the evidence cache is invalidated either way, so the
+    /// next attestation measures the new program).
+    pub fn load_program(&mut self, program: DataplaneProgram) {
+        self.regs = program.make_registers();
+        self.program = program;
+        self.cache.invalidate(DetailLevel::Program);
+    }
+
+    /// Measure one detail level right now (uncached).
+    fn measure(&self, level: DetailLevel, packet: &[u8]) -> Digest {
+        match level {
+            DetailLevel::Hardware => Digest::of_parts(&[b"hw:", self.hardware_id.as_bytes()]),
+            DetailLevel::Program => self.program.digest(),
+            DetailLevel::Tables => self.program.tables_digest(),
+            DetailLevel::ProgState => Digest::of(&self.regs.canonical_bytes()),
+            DetailLevel::Packets => Digest::of(packet),
+        }
+    }
+
+    /// Should this packet be attested, per the sampling config?
+    fn sample(&mut self, flow_hash: u64) -> bool {
+        match self.config.sampling {
+            Sampling::PerPacket => true,
+            Sampling::EveryN(n) => self.stats.packets % u64::from(n.max(1)) == 0,
+            Sampling::PerFlow => self.seen_flows.insert(flow_hash),
+            Sampling::PerEpoch(n) => self.stats.packets % n.max(1) == 0,
+            Sampling::PerFlowEpoch(n) => {
+                // Epoch boundary: forget which flows were attested.
+                if self.stats.packets % n.max(1) == 0 {
+                    self.seen_flows.clear();
+                }
+                self.seen_flows.insert(flow_hash)
+            }
+        }
+    }
+
+    /// Produce an evidence record now (the out-of-band path of Fig. 2,
+    /// and the building block of the in-band path). `prev` links chained
+    /// composition; pass `Digest::ZERO` for the first hop or pointwise.
+    pub fn attest(
+        &mut self,
+        nonce: Nonce,
+        prev: Digest,
+        packet: &[u8],
+    ) -> EvidenceRecord {
+        let prev = match self.config.composition {
+            EvidenceComposition::Chained => prev,
+            EvidenceComposition::Pointwise => Digest::ZERO,
+        };
+        let mut details = Vec::with_capacity(self.config.details.len());
+        for &level in &self.config.details.clone() {
+            let d = if self.config.cache_enabled {
+                // Borrow discipline: measure via an immutable snapshot.
+                let measured = self.measure(level, packet);
+                self.cache.get_or_measure(level, || measured)
+            } else {
+                self.cache.stats.misses += 1;
+                self.measure(level, packet)
+            };
+            details.push((level, d));
+        }
+        let record = EvidenceRecord::create(&self.name, details, nonce, prev, &mut self.signer)
+            .expect("evidence signer exhausted — raise mss_height");
+        self.stats.records += 1;
+        self.stats.signatures += 1;
+        self.stats.evidence_bytes += record.wire_size() as u64;
+        record
+    }
+
+    /// Process one packet: run the PISA pipeline; if the packet carries
+    /// an attestation request (`nonce`), produce evidence per the
+    /// sampling policy, chaining onto `prev`.
+    ///
+    /// Register writes performed by the pipeline invalidate the
+    /// ProgState cache level.
+    pub fn process_packet(
+        &mut self,
+        bytes: &[u8],
+        ingress_port: u64,
+        attestation: Option<(Nonce, Digest)>,
+    ) -> Result<PeraOutput, ParseErr> {
+        let regs_before = self.regs.canonical_bytes();
+        let forward = {
+            let mut regs = std::mem::take(&mut self.regs);
+            let r = self.program.process(bytes, ingress_port, &mut regs);
+            self.regs = regs;
+            r?
+        };
+        if self.regs.canonical_bytes() != regs_before {
+            self.cache.invalidate(DetailLevel::ProgState);
+        }
+        self.stats.packets += 1;
+
+        let evidence = match attestation {
+            Some((nonce, prev)) if forward.packet.is_some() => {
+                let flow_hash = forward.phv.get(meta::HASH)
+                    ^ forward.phv.get("ipv4.src")
+                    ^ forward.phv.get("ipv4.dst").rotate_left(16)
+                    ^ forward.phv.get("udp.sport").rotate_left(32)
+                    ^ forward.phv.get("udp.dport").rotate_left(48);
+                if self.sample(flow_hash) {
+                    self.stats.attested_packets += 1;
+                    Some(self.attest(nonce, prev, bytes))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        Ok(PeraOutput { forward, evidence })
+    }
+
+    /// Update a table entry at runtime (control-plane write): bumps the
+    /// Tables cache generation.
+    pub fn table_update(
+        &mut self,
+        table: &str,
+        entry: pda_dataplane::tables::Entry,
+    ) -> Result<(), String> {
+        let t = self
+            .program
+            .stages
+            .iter_mut()
+            .map(|s| &mut s.table)
+            .find(|t| t.name == table)
+            .ok_or_else(|| format!("no table named {table}"))?;
+        t.insert(entry).map_err(|e| e.to_string())?;
+        self.cache.invalidate(DetailLevel::Tables);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_crypto::keyreg::{KeyRegistry, PrincipalId};
+    use pda_dataplane::parser::build_udp_packet;
+    use pda_dataplane::programs;
+
+    fn switch(config: PeraConfig) -> PeraSwitch {
+        PeraSwitch::new(
+            "sw1",
+            "tofino-sim-1",
+            programs::forwarding(&[(0, 0, 1)]),
+            config,
+        )
+    }
+
+    fn pkt(src: u32, dport: u16) -> Vec<u8> {
+        build_udp_packet(0xa, 0xb, src, 0x0a000001, 1000, dport, b"payload!")
+    }
+
+    #[test]
+    fn per_packet_sampling_attests_everything() {
+        let mut sw = switch(PeraConfig::default().with_sampling(Sampling::PerPacket));
+        for i in 0..10 {
+            let out = sw
+                .process_packet(&pkt(i, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                .unwrap();
+            assert!(out.evidence.is_some());
+        }
+        assert_eq!(sw.stats.attested_packets, 10);
+    }
+
+    #[test]
+    fn per_flow_sampling_attests_once_per_flow() {
+        let mut sw = switch(PeraConfig::default().with_sampling(Sampling::PerFlow));
+        let mut evid = 0;
+        for _ in 0..5 {
+            for src in 0..3 {
+                let out = sw
+                    .process_packet(&pkt(src, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                    .unwrap();
+                evid += usize::from(out.evidence.is_some());
+            }
+        }
+        assert_eq!(evid, 3, "one record per distinct flow");
+    }
+
+    #[test]
+    fn every_n_sampling() {
+        let mut sw = switch(PeraConfig::default().with_sampling(Sampling::EveryN(4)));
+        let mut evid = 0;
+        for i in 0..16 {
+            let out = sw
+                .process_packet(&pkt(i, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                .unwrap();
+            evid += usize::from(out.evidence.is_some());
+        }
+        assert_eq!(evid, 4);
+    }
+
+    #[test]
+    fn no_attestation_request_no_evidence() {
+        let mut sw = switch(PeraConfig::default().with_sampling(Sampling::PerPacket));
+        let out = sw.process_packet(&pkt(1, 53), 0, None).unwrap();
+        assert!(out.evidence.is_none());
+    }
+
+    #[test]
+    fn evidence_verifies_and_detects_program_swap() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[DetailLevel::Hardware, DetailLevel::Program]),
+        );
+        let mut reg = KeyRegistry::new();
+        reg.register(PrincipalId::new("sw1"), sw.verify_key(0));
+        let golden_program = sw.program.digest();
+
+        let out = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(7), Digest::ZERO)))
+            .unwrap();
+        let record = out.evidence.unwrap();
+        assert_eq!(record.detail(DetailLevel::Program), Some(golden_program));
+        assert_eq!(
+            crate::evidence::verify_chain(&[record], &reg, Nonce(7), true),
+            Ok(())
+        );
+
+        // The UC1 swap: rogue program with the same forwarding behaviour.
+        sw.load_program(programs::rogue_wiretap(&[(0, 0, 1)], &[1], 31));
+        let out = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(8), Digest::ZERO)))
+            .unwrap();
+        let record = out.evidence.unwrap();
+        assert_ne!(
+            record.detail(DetailLevel::Program),
+            Some(golden_program),
+            "swap changes the attested digest"
+        );
+    }
+
+    #[test]
+    fn cache_hits_for_high_inertia_details() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[DetailLevel::Hardware, DetailLevel::Program]),
+        );
+        for i in 0..50 {
+            sw.process_packet(&pkt(i, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                .unwrap();
+        }
+        assert!(
+            sw.cache.stats.hit_rate() > 0.9,
+            "rate {}",
+            sw.cache.stats.hit_rate()
+        );
+    }
+
+    #[test]
+    fn cache_disabled_always_measures() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_cache(false),
+        );
+        for i in 0..10 {
+            sw.process_packet(&pkt(i, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                .unwrap();
+        }
+        assert_eq!(sw.cache.stats.hits, 0);
+    }
+
+    #[test]
+    fn prog_state_detail_invalidated_by_register_writes() {
+        let mut sw = PeraSwitch::new(
+            "sw1",
+            "hw",
+            programs::flow_monitor(8, 1),
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[DetailLevel::ProgState]),
+        );
+        let a = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        let b = sw
+            .process_packet(&pkt(2, 53), 0, Some((Nonce(1), a.chain)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        // Counters moved → state digest must differ.
+        assert_ne!(
+            a.detail(DetailLevel::ProgState),
+            b.detail(DetailLevel::ProgState)
+        );
+    }
+
+    #[test]
+    fn table_update_bumps_tables_generation() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[DetailLevel::Tables]),
+        );
+        let a = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        sw.table_update(
+            "ipv4_lpm",
+            pda_dataplane::tables::Entry {
+                key: vec![pda_dataplane::tables::KeyCell::Lpm {
+                    value: 0x0b00_0000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: pda_dataplane::actions::Action::fwd(2),
+            },
+        )
+        .unwrap();
+        let b = sw
+            .process_packet(&pkt(2, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        assert_ne!(a.detail(DetailLevel::Tables), b.detail(DetailLevel::Tables));
+        assert!(sw.table_update("ghost", pda_dataplane::tables::Entry {
+            key: vec![],
+            priority: 0,
+            action: pda_dataplane::actions::Action::nop(),
+        }).is_err());
+    }
+
+    #[test]
+    fn chained_composition_links_records() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_composition(EvidenceComposition::Chained),
+        );
+        let a = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        let b = sw
+            .process_packet(&pkt(2, 53), 0, Some((Nonce(1), a.chain)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        assert_eq!(b.prev, a.chain);
+    }
+
+    #[test]
+    fn pointwise_composition_ignores_prev() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_composition(EvidenceComposition::Pointwise),
+        );
+        let a = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::of(b"x"))))
+            .unwrap()
+            .evidence
+            .unwrap();
+        assert_eq!(a.prev, Digest::ZERO);
+    }
+
+    #[test]
+    fn dropped_packets_produce_no_evidence() {
+        // Program with default drop: nothing to attest for dropped traffic.
+        let mut sw = PeraSwitch::new(
+            "sw1",
+            "hw",
+            programs::forwarding(&[]), // no routes → drop everything
+            PeraConfig::default().with_sampling(Sampling::PerPacket),
+        );
+        let out = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap();
+        assert!(out.forward.packet.is_none());
+        assert!(out.evidence.is_none());
+    }
+}
+
+#[cfg(test)]
+mod flow_epoch_tests {
+    use super::*;
+    use pda_dataplane::parser::build_udp_packet;
+    use pda_dataplane::programs;
+
+    #[test]
+    fn per_flow_epoch_reattests_established_flows() {
+        let mut sw = PeraSwitch::new(
+            "sw",
+            "hw",
+            programs::forwarding(&[(0, 0, 1)]),
+            PeraConfig::default().with_sampling(Sampling::PerFlowEpoch(10)),
+        );
+        let pkt = build_udp_packet(1, 2, 3, 4, 10, 20, b"payload!");
+        let mut evid = 0;
+        for _ in 0..30 {
+            let out = sw
+                .process_packet(&pkt, 0, Some((Nonce(1), Digest::ZERO)))
+                .unwrap();
+            evid += usize::from(out.evidence.is_some());
+        }
+        // Initial attestation plus one at each epoch boundary (packet
+        // counts 10, 20, 30).
+        assert_eq!(evid, 4);
+    }
+
+    #[test]
+    fn per_flow_epoch_still_amortizes_across_flows() {
+        let mut sw = PeraSwitch::new(
+            "sw",
+            "hw",
+            programs::forwarding(&[(0, 0, 1)]),
+            PeraConfig::default().with_sampling(Sampling::PerFlowEpoch(100)),
+        );
+        let mut evid = 0;
+        for round in 0..10 {
+            for flow in 0..5u32 {
+                let pkt = build_udp_packet(1, 2, flow, 4, 10, 20, b"payload!");
+                let out = sw
+                    .process_packet(&pkt, 0, Some((Nonce(1), Digest::ZERO)))
+                    .unwrap();
+                evid += usize::from(out.evidence.is_some());
+            }
+            let _ = round;
+        }
+        // 50 packets < one epoch: exactly one record per flow.
+        assert_eq!(evid, 5);
+    }
+}

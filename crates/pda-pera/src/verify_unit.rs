@@ -1,0 +1,300 @@
+//! The in-dataplane **verify unit** — the other half of Fig. 3's
+//! "Sign/Verify" box.
+//!
+//! UC3 asks for evidence-based *authorization in the network itself*:
+//! "the decision to forward packets could depend on whether those
+//! packets have been processed by a set of appliances" and "while under
+//! attack, a network could drop traffic for which it lacks path-based
+//! evidence." That requires switches to not only *produce* evidence but
+//! to *consume* it: inspect the in-band chain arriving with a packet
+//! (Fig. 3 case (A)) and act on the verdict before forwarding.
+//!
+//! [`VerifyUnit`] holds the upstream key registry and an admission
+//! policy; [`VerifyUnit::check`] renders a verdict for one packet's
+//! chain. The netsim engine consults it on PERA switches configured as
+//! enforcement points.
+
+use crate::evidence::{verify_chain, EvidenceRecord};
+use pda_crypto::digest::Digest;
+use pda_crypto::keyreg::KeyRegistry;
+use crate::config::DetailLevel;
+use pda_crypto::nonce::Nonce;
+use std::collections::HashMap;
+
+/// What the enforcement point requires of arriving traffic.
+#[derive(Clone, Debug)]
+pub struct AdmissionPolicy {
+    /// Minimum number of attested hops the chain must contain.
+    pub min_hops: usize,
+    /// Detail levels every record must carry.
+    pub required_details: Vec<DetailLevel>,
+    /// Golden values to pin (switch name → expected program digest);
+    /// empty map = signatures and linkage only.
+    pub expected_programs: HashMap<String, Digest>,
+    /// Switch names that must appear somewhere in the chain (the UC3
+    /// "crossed a specific series of appliances" test; empty = any).
+    pub required_waypoints: Vec<String>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            min_hops: 1,
+            required_details: vec![DetailLevel::Program],
+            expected_programs: HashMap::new(),
+            required_waypoints: Vec::new(),
+        }
+    }
+}
+
+/// Verdict of the verify unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Chain passes; forward the packet.
+    Admit,
+    /// No evidence at all.
+    NoEvidence,
+    /// Cryptographic failure (signature, linkage, nonce).
+    BadChain,
+    /// Fewer attested hops than required.
+    TooFewHops {
+        /// Hops found.
+        got: usize,
+        /// Hops required.
+        need: usize,
+    },
+    /// A record lacks a required detail level.
+    MissingDetail(DetailLevel),
+    /// A pinned program digest disagreed.
+    WrongProgram {
+        /// The offending switch.
+        switch: String,
+    },
+    /// A required waypoint is absent from the chain.
+    MissingWaypoint(String),
+}
+
+impl Verdict {
+    /// Should the packet be forwarded?
+    pub fn admits(&self) -> bool {
+        matches!(self, Verdict::Admit)
+    }
+}
+
+/// Verify-unit statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Packets whose chains were checked.
+    pub checked: u64,
+    /// Packets admitted.
+    pub admitted: u64,
+    /// Packets rejected.
+    pub rejected: u64,
+}
+
+/// The in-switch verify unit.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyUnit {
+    /// Keys of upstream attesting elements.
+    pub registry: KeyRegistry,
+    /// Admission requirements.
+    pub policy: AdmissionPolicy,
+    /// Counters.
+    pub stats: VerifyStats,
+}
+
+impl VerifyUnit {
+    /// Build a unit from a registry and policy.
+    pub fn new(registry: KeyRegistry, policy: AdmissionPolicy) -> VerifyUnit {
+        VerifyUnit {
+            registry,
+            policy,
+            stats: VerifyStats::default(),
+        }
+    }
+
+    /// Check one packet's in-band chain against the admission policy.
+    pub fn check(&mut self, chain: Option<&[EvidenceRecord]>, nonce: Nonce) -> Verdict {
+        self.stats.checked += 1;
+        let verdict = self.evaluate(chain, nonce);
+        if verdict.admits() {
+            self.stats.admitted += 1;
+        } else {
+            self.stats.rejected += 1;
+        }
+        verdict
+    }
+
+    fn evaluate(&self, chain: Option<&[EvidenceRecord]>, nonce: Nonce) -> Verdict {
+        let Some(chain) = chain else {
+            return Verdict::NoEvidence;
+        };
+        if chain.is_empty() {
+            return Verdict::NoEvidence;
+        }
+        if chain.len() < self.policy.min_hops {
+            return Verdict::TooFewHops {
+                got: chain.len(),
+                need: self.policy.min_hops,
+            };
+        }
+        if verify_chain(chain, &self.registry, nonce, true).is_err() {
+            return Verdict::BadChain;
+        }
+        for record in chain {
+            for &level in &self.policy.required_details {
+                if record.detail(level).is_none() {
+                    return Verdict::MissingDetail(level);
+                }
+            }
+            if let Some(expected) = self.policy.expected_programs.get(&record.switch) {
+                if record.detail(DetailLevel::Program) != Some(*expected) {
+                    return Verdict::WrongProgram {
+                        switch: record.switch.clone(),
+                    };
+                }
+            }
+        }
+        for wp in &self.policy.required_waypoints {
+            if !chain.iter().any(|r| &r.switch == wp) {
+                return Verdict::MissingWaypoint(wp.clone());
+            }
+        }
+        Verdict::Admit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_crypto::keyreg::PrincipalId;
+    use pda_crypto::sig::{SigScheme, Signer};
+
+    fn chain_and_registry(names: &[&str], nonce: Nonce) -> (Vec<EvidenceRecord>, KeyRegistry) {
+        let mut reg = KeyRegistry::new();
+        let mut prev = Digest::ZERO;
+        let mut out = Vec::new();
+        for n in names {
+            let mut s = Signer::new(SigScheme::Hmac, Digest::of(n.as_bytes()).0, 0);
+            reg.register(PrincipalId::new(*n), s.verify_key(0));
+            let r = EvidenceRecord::create(
+                n,
+                vec![
+                    (DetailLevel::Hardware, Digest::of(b"hw")),
+                    (DetailLevel::Program, Digest::of_parts(&[b"pg", n.as_bytes()])),
+                ],
+                nonce,
+                prev,
+                &mut s,
+            )
+            .unwrap();
+            prev = r.chain;
+            out.push(r);
+        }
+        (out, reg)
+    }
+
+    #[test]
+    fn admits_valid_chain() {
+        let (chain, reg) = chain_and_registry(&["sw1", "sw2"], Nonce(1));
+        let mut unit = VerifyUnit::new(reg, AdmissionPolicy::default());
+        assert_eq!(unit.check(Some(&chain), Nonce(1)), Verdict::Admit);
+        assert_eq!(unit.stats.admitted, 1);
+    }
+
+    #[test]
+    fn rejects_missing_and_empty_evidence() {
+        let (_, reg) = chain_and_registry(&["sw1"], Nonce(1));
+        let mut unit = VerifyUnit::new(reg, AdmissionPolicy::default());
+        assert_eq!(unit.check(None, Nonce(1)), Verdict::NoEvidence);
+        assert_eq!(unit.check(Some(&[]), Nonce(1)), Verdict::NoEvidence);
+        assert_eq!(unit.stats.rejected, 2);
+    }
+
+    #[test]
+    fn rejects_bad_chain_and_wrong_nonce() {
+        let (mut chain, reg) = chain_and_registry(&["sw1", "sw2"], Nonce(1));
+        let mut unit = VerifyUnit::new(reg, AdmissionPolicy::default());
+        assert_eq!(unit.check(Some(&chain), Nonce(2)), Verdict::BadChain);
+        chain[0].details[0].1 = Digest::of(b"tampered");
+        assert_eq!(unit.check(Some(&chain), Nonce(1)), Verdict::BadChain);
+    }
+
+    #[test]
+    fn min_hops_enforced() {
+        let (chain, reg) = chain_and_registry(&["sw1"], Nonce(1));
+        let mut unit = VerifyUnit::new(
+            reg,
+            AdmissionPolicy {
+                min_hops: 3,
+                ..AdmissionPolicy::default()
+            },
+        );
+        assert_eq!(
+            unit.check(Some(&chain), Nonce(1)),
+            Verdict::TooFewHops { got: 1, need: 3 }
+        );
+    }
+
+    #[test]
+    fn required_detail_enforced() {
+        let (chain, reg) = chain_and_registry(&["sw1"], Nonce(1));
+        let mut unit = VerifyUnit::new(
+            reg,
+            AdmissionPolicy {
+                required_details: vec![DetailLevel::Tables],
+                ..AdmissionPolicy::default()
+            },
+        );
+        assert_eq!(
+            unit.check(Some(&chain), Nonce(1)),
+            Verdict::MissingDetail(DetailLevel::Tables)
+        );
+    }
+
+    #[test]
+    fn pinned_program_enforced() {
+        let (chain, reg) = chain_and_registry(&["sw1"], Nonce(1));
+        let mut expected = HashMap::new();
+        expected.insert("sw1".to_string(), Digest::of(b"different"));
+        let mut unit = VerifyUnit::new(
+            reg,
+            AdmissionPolicy {
+                expected_programs: expected,
+                ..AdmissionPolicy::default()
+            },
+        );
+        assert_eq!(
+            unit.check(Some(&chain), Nonce(1)),
+            Verdict::WrongProgram {
+                switch: "sw1".into()
+            }
+        );
+    }
+
+    #[test]
+    fn waypoints_enforced() {
+        // The UC3 "must have crossed the scrubber" test.
+        let (chain, reg) = chain_and_registry(&["sw1", "sw2"], Nonce(1));
+        let mut unit = VerifyUnit::new(
+            reg,
+            AdmissionPolicy {
+                required_waypoints: vec!["scrubber".to_string()],
+                ..AdmissionPolicy::default()
+            },
+        );
+        assert_eq!(
+            unit.check(Some(&chain), Nonce(1)),
+            Verdict::MissingWaypoint("scrubber".into())
+        );
+        let (chain2, reg2) = chain_and_registry(&["sw1", "scrubber"], Nonce(1));
+        let mut unit2 = VerifyUnit::new(
+            reg2,
+            AdmissionPolicy {
+                required_waypoints: vec!["scrubber".to_string()],
+                ..AdmissionPolicy::default()
+            },
+        );
+        assert_eq!(unit2.check(Some(&chain2), Nonce(1)), Verdict::Admit);
+    }
+}

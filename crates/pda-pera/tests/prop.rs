@@ -1,0 +1,162 @@
+//! Property-based tests for PERA evidence chains: tamper detection
+//! under random mutations, and cache coherence under random operation
+//! sequences.
+
+use pda_crypto::digest::Digest;
+use pda_crypto::keyreg::{KeyRegistry, PrincipalId};
+use pda_crypto::nonce::Nonce;
+use pda_crypto::sig::{SigScheme, Signer};
+use pda_pera::cache::EvidenceCache;
+use pda_pera::config::DetailLevel;
+use pda_pera::evidence::{verify_chain, EvidenceRecord};
+use proptest::prelude::*;
+
+fn build_chain(n: usize, nonce: Nonce) -> (Vec<EvidenceRecord>, KeyRegistry) {
+    let mut reg = KeyRegistry::new();
+    let mut prev = Digest::ZERO;
+    let mut out = Vec::new();
+    for i in 0..n {
+        let name = format!("sw{i}");
+        let mut s = Signer::new(SigScheme::Hmac, Digest::of(name.as_bytes()).0, 0);
+        reg.register(PrincipalId::new(name.clone()), s.verify_key(0));
+        let r = EvidenceRecord::create(
+            &name,
+            vec![
+                (DetailLevel::Hardware, Digest::of_parts(&[b"hw", name.as_bytes()])),
+                (DetailLevel::Program, Digest::of_parts(&[b"pg", name.as_bytes()])),
+            ],
+            nonce,
+            prev,
+            &mut s,
+        )
+        .unwrap();
+        prev = r.chain;
+        out.push(r);
+    }
+    (out, reg)
+}
+
+/// All the single-step tampering moves an on-path adversary could make.
+#[derive(Debug, Clone)]
+enum Tamper {
+    RemoveRecord(usize),
+    SwapRecords(usize, usize),
+    FlipDetail(usize),
+    ChangeNonce(usize),
+    RenameSwitch(usize),
+    TruncateTail(usize),
+}
+
+fn tamper() -> impl Strategy<Value = Tamper> {
+    prop_oneof![
+        any::<usize>().prop_map(Tamper::RemoveRecord),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Tamper::SwapRecords(a, b)),
+        any::<usize>().prop_map(Tamper::FlipDetail),
+        any::<usize>().prop_map(Tamper::ChangeNonce),
+        any::<usize>().prop_map(Tamper::RenameSwitch),
+        any::<usize>().prop_map(Tamper::TruncateTail),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Untampered chains of any length verify.
+    #[test]
+    fn clean_chains_verify(n in 1usize..10, nonce in any::<u64>()) {
+        let (chain, reg) = build_chain(n, Nonce(nonce));
+        prop_assert_eq!(verify_chain(&chain, &reg, Nonce(nonce), true), Ok(()));
+    }
+
+    /// EVERY single tamper move on a chained sequence is detected
+    /// (except no-op moves, which we filter out).
+    #[test]
+    fn any_tamper_detected(n in 2usize..8, moves in tamper()) {
+        let (mut chain, reg) = build_chain(n, Nonce(1));
+        let original = chain.len();
+        match moves {
+            Tamper::RemoveRecord(i) => {
+                // Removing the LAST record is undetectable by chain
+                // linkage alone (the suffix simply ends earlier) — the
+                // appraiser catches that via expected path coverage, not
+                // cryptography. Remove a non-final record here.
+                let i = i % (original - 1);
+                chain.remove(i);
+            }
+            Tamper::SwapRecords(a, b) => {
+                let a = a % original;
+                let b = b % original;
+                prop_assume!(a != b);
+                chain.swap(a, b);
+            }
+            Tamper::FlipDetail(i) => {
+                let i = i % original;
+                chain[i].details[0].1 = Digest::of(b"forged");
+            }
+            Tamper::ChangeNonce(i) => {
+                let i = i % original;
+                chain[i].nonce = Nonce(999);
+            }
+            Tamper::RenameSwitch(i) => {
+                let i = i % original;
+                chain[i].switch = "impostor".to_string();
+            }
+            Tamper::TruncateTail(i) => {
+                // Dropping a strict prefix breaks the ZERO anchor.
+                let keep_from = 1 + i % (original - 1);
+                chain.drain(..keep_from);
+            }
+        }
+        prop_assert!(
+            verify_chain(&chain, &reg, Nonce(1), true).is_err(),
+            "tamper survived verification"
+        );
+    }
+
+    /// A forger without the signing key cannot append a valid record,
+    /// even reusing a legitimate switch name.
+    #[test]
+    fn forged_append_detected(n in 1usize..6, seed in any::<[u8; 32]>()) {
+        let (mut chain, reg) = build_chain(n, Nonce(1));
+        let prev = chain.last().unwrap().chain;
+        let mut forger = Signer::new(SigScheme::Hmac, seed, 0);
+        let forged = EvidenceRecord::create(
+            "sw0", // legitimate name, wrong key
+            vec![(DetailLevel::Program, Digest::of(b"clean-looking"))],
+            Nonce(1),
+            prev,
+            &mut forger,
+        ).unwrap();
+        // (astronomically unlikely the random seed equals sw0's key)
+        prop_assume!(seed != Digest::of(b"sw0").0);
+        chain.push(forged);
+        prop_assert!(verify_chain(&chain, &reg, Nonce(1), true).is_err());
+    }
+
+    /// Cache coherence: after any sequence of invalidations and lookups,
+    /// a lookup returns the value of the most recent measurement for the
+    /// current generation.
+    #[test]
+    fn cache_coherent_under_random_ops(ops in proptest::collection::vec(
+        (0usize..4, any::<bool>()), 1..64)) {
+        let mut cache = EvidenceCache::new();
+        let levels = [
+            DetailLevel::Hardware,
+            DetailLevel::Program,
+            DetailLevel::Tables,
+            DetailLevel::ProgState,
+        ];
+        // Model: the "true" value of each level is its generation.
+        for (which, invalidate) in ops {
+            let level = levels[which];
+            if invalidate {
+                cache.invalidate(level);
+            } else {
+                let truth = cache.generation(level);
+                let got = cache.get_or_measure(level, || Digest::of(&truth.to_be_bytes()));
+                prop_assert_eq!(got, Digest::of(&truth.to_be_bytes()),
+                    "stale value for {}", level);
+            }
+        }
+    }
+}

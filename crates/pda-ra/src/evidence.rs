@@ -1,0 +1,334 @@
+//! Concrete (crypto-backed) attestation evidence.
+//!
+//! Mirrors the symbolic [`pda_copland::evidence::Evidence`] terms but
+//! carries actual bytes: measurement digests, signatures, hashes, and
+//! service payloads. A canonical, injective byte encoding supports
+//! hashing (`#`) and signing (`!`) of accumulated evidence, and the
+//! appraiser re-derives the same bytes to verify.
+
+use pda_copland::ast::Place;
+use pda_crypto::digest::Digest;
+use pda_crypto::nonce::Nonce;
+use pda_crypto::sig::Signature;
+use std::fmt;
+
+/// Concrete evidence values.
+#[derive(Clone, Debug)]
+pub enum Ev {
+    /// Empty evidence.
+    Empty,
+    /// The relying party's nonce.
+    Nonce(Nonce),
+    /// A measurement: `measurer` measured `target` (at `target_place`)
+    /// while executing at `place`, observing `observed` (a digest of the
+    /// target's current state).
+    Measurement {
+        /// Measuring component.
+        measurer: String,
+        /// Place of the target.
+        target_place: Place,
+        /// Measured component.
+        target: String,
+        /// Place where the measurement ran.
+        place: Place,
+        /// Digest of the target's observed state.
+        observed: Digest,
+        /// Evidence accrued before this measurement.
+        sub: Box<Ev>,
+    },
+    /// Signature by `place` over the canonical encoding of `sub`.
+    Signature {
+        /// Signing place.
+        place: Place,
+        /// The signature value.
+        sig: Signature,
+        /// The signed evidence (carried so the verifier can re-encode).
+        sub: Box<Ev>,
+    },
+    /// Hash of the (erased) sub-evidence — Copland's `#` compacts and
+    /// redacts: only the digest travels.
+    Hashed {
+        /// Hashing place.
+        place: Place,
+        /// `H(encode(sub))`.
+        digest: Digest,
+    },
+    /// A service invocation's output.
+    Service {
+        /// Service name (attest, appraise, certify, store, retrieve, …).
+        name: String,
+        /// Arguments as resolved at execution time.
+        args: Vec<String>,
+        /// Place where the service ran.
+        place: Place,
+        /// Service-specific payload bytes.
+        payload: Vec<u8>,
+        /// Input evidence.
+        sub: Box<Ev>,
+    },
+    /// Branch-sequence composite.
+    Seq(Box<Ev>, Box<Ev>),
+    /// Branch-parallel composite.
+    Par(Box<Ev>, Box<Ev>),
+}
+
+impl Ev {
+    /// Canonical byte encoding. Injective: every variant is tagged and
+    /// every variable-length field is length-prefixed.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+            out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+            out.extend_from_slice(b);
+        }
+        match self {
+            Ev::Empty => out.push(0),
+            Ev::Nonce(n) => {
+                out.push(1);
+                out.extend_from_slice(&n.to_bytes());
+            }
+            Ev::Measurement {
+                measurer,
+                target_place,
+                target,
+                place,
+                observed,
+                sub,
+            } => {
+                out.push(2);
+                put_str(out, measurer);
+                put_str(out, &target_place.0);
+                put_str(out, target);
+                put_str(out, &place.0);
+                out.extend_from_slice(observed.as_bytes());
+                sub.encode_into(out);
+            }
+            Ev::Signature { place, sig, sub } => {
+                out.push(3);
+                put_str(out, &place.0);
+                // Signatures encode as their wire size + scheme tag +
+                // content digest: the exact bits are checked by `verify`,
+                // the encoding only needs injectivity for chaining.
+                put_bytes(out, &sig_encoding(sig));
+                sub.encode_into(out);
+            }
+            Ev::Hashed { place, digest } => {
+                out.push(4);
+                put_str(out, &place.0);
+                out.extend_from_slice(digest.as_bytes());
+            }
+            Ev::Service {
+                name,
+                args,
+                place,
+                payload,
+                sub,
+            } => {
+                out.push(5);
+                put_str(out, name);
+                out.extend_from_slice(&(args.len() as u32).to_be_bytes());
+                for a in args {
+                    put_str(out, a);
+                }
+                put_str(out, &place.0);
+                put_bytes(out, payload);
+                sub.encode_into(out);
+            }
+            Ev::Seq(l, r) => {
+                out.push(6);
+                l.encode_into(out);
+                r.encode_into(out);
+            }
+            Ev::Par(l, r) => {
+                out.push(7);
+                l.encode_into(out);
+                r.encode_into(out);
+            }
+        }
+    }
+
+    /// Digest of the canonical encoding.
+    pub fn digest(&self) -> Digest {
+        Digest::of(&self.encode())
+    }
+
+    /// Total bytes this evidence occupies on the wire (canonical
+    /// encoding length) — the overhead metric for E2/E8/E12.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// All measurement nodes, outside-in.
+    pub fn measurements(&self) -> Vec<&Ev> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if matches!(e, Ev::Measurement { .. }) {
+                out.push(e);
+            }
+        });
+        out
+    }
+
+    /// Count of signature nodes.
+    pub fn signature_count(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |e| {
+            if matches!(e, Ev::Signature { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Visit all nodes depth-first.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Ev)) {
+        f(self);
+        match self {
+            Ev::Empty | Ev::Nonce(_) | Ev::Hashed { .. } => {}
+            Ev::Measurement { sub, .. } | Ev::Signature { sub, .. } | Ev::Service { sub, .. } => {
+                sub.walk(f)
+            }
+            Ev::Seq(l, r) | Ev::Par(l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+        }
+    }
+}
+
+/// Injective encoding of a signature for evidence chaining (verification
+/// itself uses the structured value).
+fn sig_encoding(sig: &Signature) -> Vec<u8> {
+    match sig {
+        Signature::Hmac(tag) => {
+            let mut v = vec![0u8];
+            v.extend_from_slice(tag);
+            v
+        }
+        Signature::Lamport { index, sig } => {
+            let mut v = vec![1u8];
+            v.extend_from_slice(&index.to_be_bytes());
+            v.extend_from_slice(&sig.to_bytes());
+            v
+        }
+        Signature::Merkle(m) => {
+            let mut v = vec![2u8];
+            v.extend_from_slice(&(m.index as u64).to_be_bytes());
+            v.extend_from_slice(&m.ots_public.fingerprint());
+            v.extend_from_slice(&m.ots_sig.to_bytes());
+            v
+        }
+    }
+}
+
+impl fmt::Display for Ev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ev::Empty => write!(f, "mt"),
+            Ev::Nonce(n) => write!(f, "n:{n}"),
+            Ev::Measurement {
+                measurer,
+                target,
+                observed,
+                ..
+            } => write!(f, "meas({measurer}→{target}={})", observed.short()),
+            Ev::Signature { place, sub, .. } => write!(f, "sig@{place}[{sub}]"),
+            Ev::Hashed { place, digest } => write!(f, "hsh@{place}:{}", digest.short()),
+            Ev::Service { name, place, sub, .. } => write!(f, "{name}@{place}[{sub}]"),
+            Ev::Seq(l, r) => write!(f, "seq({l}; {r})"),
+            Ev::Par(l, r) => write!(f, "par({l} || {r})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ev {
+        Ev::Measurement {
+            measurer: "av".into(),
+            target_place: Place::new("us"),
+            target: "bmon".into(),
+            place: Place::new("ks"),
+            observed: Digest::of(b"bmon-v1"),
+            sub: Box::new(Ev::Nonce(Nonce(42))),
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample().encode(), sample().encode());
+    }
+
+    #[test]
+    fn encoding_distinguishes_variants() {
+        let mut forms = vec![
+            Ev::Empty.encode(),
+            Ev::Nonce(Nonce(0)).encode(),
+            sample().encode(),
+            Ev::Hashed {
+                place: Place::new("p"),
+                digest: Digest::ZERO,
+            }
+            .encode(),
+            Ev::Seq(Box::new(Ev::Empty), Box::new(Ev::Empty)).encode(),
+            Ev::Par(Box::new(Ev::Empty), Box::new(Ev::Empty)).encode(),
+        ];
+        forms.sort();
+        forms.dedup();
+        assert_eq!(forms.len(), 6, "all encodings distinct");
+    }
+
+    #[test]
+    fn encoding_sensitive_to_fields() {
+        let a = sample();
+        let mut b = sample();
+        if let Ev::Measurement { observed, .. } = &mut b {
+            *observed = Digest::of(b"bmon-TAMPERED");
+        }
+        assert_ne!(a.encode(), b.encode());
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn seq_par_not_confused() {
+        let l = Box::new(Ev::Nonce(Nonce(1)));
+        let r = Box::new(Ev::Empty);
+        assert_ne!(
+            Ev::Seq(l.clone(), r.clone()).encode(),
+            Ev::Par(l, r).encode()
+        );
+    }
+
+    #[test]
+    fn string_lengths_prevent_splicing() {
+        // ("ab","c") must encode differently from ("a","bc").
+        let mk = |m: &str, t: &str| Ev::Measurement {
+            measurer: m.into(),
+            target_place: Place::new("p"),
+            target: t.into(),
+            place: Place::new("q"),
+            observed: Digest::ZERO,
+            sub: Box::new(Ev::Empty),
+        };
+        assert_ne!(mk("ab", "c").encode(), mk("a", "bc").encode());
+    }
+
+    #[test]
+    fn walk_and_counts() {
+        let ev = Ev::Seq(Box::new(sample()), Box::new(sample()));
+        assert_eq!(ev.measurements().len(), 2);
+        assert_eq!(ev.signature_count(), 0);
+        assert!(ev.wire_size() > 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The Athens Affair, replayed (paper §1 and UC1).
+//!
+//! A telco-like chain of programmable switches forwards "voice" traffic.
+//! An insider patches the transit switch with a wiretap program that
+//! duplicates streams of targeted subscribers — forwarding behaviour is
+//! untouched, so the operator sees nothing. With PERA attestation the
+//! swap is caught on the next attested packet, and out-of-band evidence
+//! lets the operator audit *when* the switch's program digest changed.
+//!
+//! Run with: `cargo run --example athens_affair`
+
+use pda_core::prelude::*;
+use pda_dataplane::programs;
+use pda_netsim::DeviceKind;
+
+fn main() {
+    let config = PeraConfig::default()
+        .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+        .with_sampling(Sampling::PerPacket);
+    // client — sw1 (access) — sw2 (transit) — sw3 (core) — server
+    let mut net = linear_path(3, &config, &[]);
+    let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
+    let appraiser = net.appraiser;
+
+    // Day 0: the operator's scheduled attestation sweep — evidence is
+    // collected out-of-band at the appraiser (Fig. 2's OOB variant).
+    net.send_attested(Nonce(100), EvidenceMode::OutOfBand { appraiser }, b"voicecal");
+    let day0 = net.sim.evidence_at(appraiser).to_vec();
+    assert!(appraise_chain(&day0, &net.sim.registry, &golden, Nonce(100), true).is_ok());
+    println!("day 0 sweep: {} hops attested clean", day0.len());
+
+    // Night: the insider activates the dormant lawful-intercept path on
+    // the transit switch, targeting subscriber 10.0.0.1.
+    let sw2 = net.sim.topo.by_name("sw2").unwrap();
+    if let DeviceKind::Pera(sw) = &mut net.sim.topo.nodes[sw2].kind {
+        sw.load_program(programs::rogue_wiretap(&[(0, 0, 1)], &[0x0a00_0001], 31));
+        println!("(insider swapped sw2's program; forwarding unchanged)");
+    }
+
+    // The tapped call still flows normally — the victim cannot tell.
+    net.send_plain(b"voicecal");
+    println!(
+        "tapped call delivered normally ({} delivered, {} dropped)",
+        net.sim.stats.delivered, net.sim.stats.dropped
+    );
+
+    // Day 1: the next sweep. The appraiser compares sw2's attested
+    // program digest to the golden value and raises the alarm.
+    net.send_attested(Nonce(101), EvidenceMode::OutOfBand { appraiser }, b"voicecal");
+    let all = net.sim.evidence_at(appraiser);
+    let day1 = &all[day0.len()..];
+    match appraise_chain(day1, &net.sim.registry, &golden, Nonce(101), true) {
+        Ok(()) => println!("BUG: wiretap not detected"),
+        Err(failures) => {
+            println!("day 1 sweep: ALARM —");
+            for f in &failures {
+                println!("  {f}");
+            }
+        }
+    }
+
+    // Epilogue: the paper's §4.2 analysis, mechanized. Without
+    // sequenced measurements (eq 1) the insider could have hidden by
+    // corrupt-and-repair; with sequencing (eq 2) only a mid-protocol
+    // corruption survives.
+    let eq1 = parse_request("*bank : @ks [av us bmon] +~+ @us [bmon us exts]").unwrap();
+    let eq2 =
+        parse_request("*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]").unwrap();
+    let adversary = AdversaryModel::controlling(&["us"]);
+    println!(
+        "\nCopland analysis — eq (1): {}",
+        analyze(&eq1, &adversary, "exts").verdict
+    );
+    println!(
+        "Copland analysis — eq (2): {}",
+        analyze(&eq2, &adversary, "exts").verdict
+    );
+}

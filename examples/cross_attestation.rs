@@ -1,0 +1,94 @@
+//! UC5: cross-referenced attestation — composing host-based and
+//! network-based evidence.
+//!
+//! The paper: "TLS packets that were produced by a verified
+//! implementation could be allowed to leave the network, while packets
+//! produced by un-verified implementations are blocked." Here the
+//! host-side Copland appraisal (the §4.2 bank example) is composed with
+//! the network path chain; egress is cleared only when both pass.
+//!
+//! Run with: `cargo run --example cross_attestation`
+
+use pda_copland::ast::examples as copland_examples;
+use pda_copland::evidence::eval_request;
+use pda_core::prelude::*;
+use pda_ra::appraise::appraise;
+
+fn host_appraisal(corrupt_stack: bool) -> pda_ra::appraise::AppraisalResult {
+    // Host-side: kernel av measures the measurer, which measures the
+    // TLS stack (standing in for `exts` of eq (2)).
+    let mut env = Environment::new();
+    env.add_place(PlaceRuntime::new("bank"));
+    env.add_place(PlaceRuntime::new("ks").with_component("av", b"av-v1"));
+    env.add_place(
+        PlaceRuntime::new("us")
+            .with_component("bmon", b"bmon-v1")
+            .with_component("exts", b"verified-tls-v3"),
+    );
+    if corrupt_stack {
+        env.place_mut("us").unwrap().corrupt("exts");
+    }
+    let req = copland_examples::bank_eq2();
+    let shape = eval_request(&req);
+    let report = run_request(&req, &mut env, None).expect("protocol runs");
+    appraise(&report.evidence, &shape, &env, None)
+}
+
+fn network_chain(nonce: Nonce) -> (Vec<pda_pera::evidence::EvidenceRecord>, pda_netsim::Simulator, GoldenStore) {
+    let config = PeraConfig::default().with_sampling(Sampling::PerPacket);
+    let mut net = linear_path(3, &config, &[]);
+    let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
+    net.send_attested(nonce, EvidenceMode::InBand, b"tls-rec!");
+    let chain = net.server_chains()[0].chain.clone();
+    (chain, net.sim, golden)
+}
+
+fn main() {
+    // Case 1: verified TLS stack + clean path → egress allowed.
+    let host = host_appraisal(false);
+    let (chain, sim, golden) = network_chain(Nonce(5));
+    let verdict = uc5_cross_attestation(&host, &chain, &sim.registry, &golden, Nonce(5));
+    println!(
+        "verified stack, clean path:  host_ok={} network_ok={} → {}",
+        verdict.host_ok,
+        verdict.network_ok,
+        if verdict.cleared() { "ALLOW egress" } else { "BLOCK egress" }
+    );
+    assert!(verdict.cleared());
+
+    // Case 2: tampered TLS stack (exfiltration attempt) → blocked even
+    // though the path is clean. This is the paper's exfiltration check:
+    // "whether outward traffic patterns have been authorized by an
+    // unmodified application."
+    let host = host_appraisal(true);
+    let verdict = uc5_cross_attestation(&host, &chain, &sim.registry, &golden, Nonce(5));
+    println!(
+        "tampered stack, clean path:  host_ok={} network_ok={} → {}",
+        verdict.host_ok,
+        verdict.network_ok,
+        if verdict.cleared() { "ALLOW egress" } else { "BLOCK egress" }
+    );
+    assert!(!verdict.cleared());
+
+    // Case 3: verified stack but stale network evidence (wrong nonce —
+    // e.g. a replayed chain) → blocked.
+    let host = host_appraisal(false);
+    let verdict = uc5_cross_attestation(&host, &chain, &sim.registry, &golden, Nonce(6));
+    println!(
+        "verified stack, stale chain: host_ok={} network_ok={} → {}",
+        verdict.host_ok,
+        verdict.network_ok,
+        if verdict.cleared() { "ALLOW egress" } else { "BLOCK egress" }
+    );
+    assert!(!verdict.cleared());
+
+    // Trusted redaction (the compliance-officer flow): hand the
+    // regulator only the hash of the detailed evidence. Copland's `#`
+    // gives exactly this: the digest commits to the details without
+    // disclosing them.
+    let full = &chain[0];
+    println!(
+        "\nredacted disclosure for compliance: switch evidence digest {} (details withheld)",
+        full.chain
+    );
+}

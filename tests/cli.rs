@@ -1,0 +1,117 @@
+//! Integration tests for the `pda` CLI binary.
+
+use std::process::Command;
+
+fn pda(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pda"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn parse_prints_evidence_shape() {
+    let (ok, stdout, _) = pda(&[
+        "parse",
+        "*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("sig@ks"), "{stdout}");
+    assert!(stdout.contains("meas(bmon,us,exts)"), "{stdout}");
+}
+
+#[test]
+fn analyze_reports_verdict_and_schedule() {
+    let (ok, stdout, _) = pda(&[
+        "analyze",
+        "*bank : @ks [av us bmon] +~+ @us [bmon us exts]",
+        "--control",
+        "us",
+        "--goal",
+        "exts",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("prior-corruption"), "{stdout}");
+    assert!(stdout.contains("repair(bmon)"), "{stdout}");
+}
+
+#[test]
+fn resolve_binds_and_skips() {
+    let (ok, stdout, _) = pda(&[
+        "resolve",
+        "*b<n> : forall hop, client : (@hop [K |> attest(n) -> !] -+> @A [appraise]) *=> @client [K |> !]",
+        "--path",
+        "sw1:ra,key;old;sw2:ra,key;laptop:ra,key",
+        "--param",
+        "n=9",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains(r#""client": "laptop""#), "{stdout}");
+    assert!(stdout.contains(r#"skipped:  ["old"]"#), "{stdout}");
+}
+
+#[test]
+fn wire_and_decode_round_trip() {
+    let (ok, hex, _) = pda(&[
+        "wire",
+        "*s<P> : @edge [P |> attest(P) -> !] -+> @A [appraise]",
+        "--path",
+        "",
+        "--param",
+        "P=c2",
+        "--nonce",
+        "42",
+    ]);
+    assert!(ok);
+    let hex = hex.trim();
+    assert!(!hex.is_empty() && hex.chars().all(|c| c.is_ascii_hexdigit()));
+    let (ok, stdout, _) = pda(&["decode", hex]);
+    assert!(ok);
+    assert!(stdout.contains("0x000000000000002a"), "{stdout}");
+    assert!(stdout.contains("attest(c2)"), "{stdout}");
+}
+
+#[test]
+fn simulate_appraises() {
+    let (ok, stdout, _) = pda(&["simulate", "--hops", "3", "--legacy", "1"]);
+    assert!(ok);
+    assert!(stdout.contains("appraisal: PASS"), "{stdout}");
+}
+
+#[test]
+fn netkat_equivalence() {
+    let (ok, stdout, _) = pda(&[
+        "netkat",
+        "filter sw = 1 ; pt := 2",
+        "--equiv",
+        "(filter sw = 1 ; pt := 2) + drop",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("equivalent: yes"), "{stdout}");
+    let (ok, stdout, _) = pda(&["netkat", "pt := 1", "--equiv", "pt := 2"]);
+    assert!(ok);
+    assert!(stdout.contains("equivalent: NO"), "{stdout}");
+}
+
+#[test]
+fn errors_exit_nonzero() {
+    let (ok, _, stderr) = pda(&["parse", "not a + valid ^ policy"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+    let (ok, _, _) = pda(&["bogus-subcommand"]);
+    assert!(!ok);
+    let (ok, _, _) = pda(&[]);
+    assert!(!ok);
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = pda(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage:"), "{stdout}");
+}
