@@ -1,0 +1,101 @@
+//! E15: the per-packet evidence hot path in isolation.
+//!
+//! Measures `process_packet` throughput with the evidence cache warm
+//! (the steady state after the cache-bypass fix: attested packets reuse
+//! cached digests and pay only signing), with the cache disabled (every
+//! record re-measures all detail levels), and for the raw building
+//! blocks the fix removed from the per-packet path — register-file
+//! serialization and HMAC key-schedule setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pda_core::prelude::*;
+use pda_crypto::digest::Digest;
+use pda_crypto::hmac::{hmac_sha256, HmacKeySchedule};
+use pda_dataplane::{build_udp_packet, programs};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn packet(i: u32) -> Vec<u8> {
+    build_udp_packet(
+        0xa,
+        0xb,
+        0x0a000000 + (i % 64),
+        0x0a00ffff,
+        40000,
+        443,
+        b"payload!",
+    )
+}
+
+fn attested_switch(cache: bool) -> PeraSwitch {
+    let config = PeraConfig::default()
+        .with_details(&[
+            DetailLevel::Hardware,
+            DetailLevel::Program,
+            DetailLevel::Tables,
+        ])
+        .with_sampling(Sampling::PerPacket)
+        .with_cache(cache);
+    PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
+}
+
+fn bench_evidence_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_evidence_path");
+    g.throughput(Throughput::Elements(1));
+    for (label, cache) in [("warm_cache", true), ("no_cache", false)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &cache, |b, &cache| {
+            let mut sw = attested_switch(cache);
+            let pkt = packet(1);
+            let mut prev = Digest::ZERO;
+            b.iter(|| {
+                let out = sw
+                    .process_packet(black_box(&pkt), 0, Some((Nonce(1), prev)))
+                    .unwrap();
+                if let Some(r) = out.evidence {
+                    prev = r.chain;
+                }
+                black_box(prev)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_removed_costs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e15_removed_costs");
+    // The two serializations the dirty-generation check replaced.
+    let prog = programs::flow_monitor(256, 1);
+    let mut regs = prog.make_registers();
+    for i in 0..256u64 {
+        regs.write("flow_counts", i, i * 7 + 1);
+    }
+    g.bench_function("registers_canonical_bytes", |b| {
+        b.iter(|| black_box(regs.canonical_bytes()))
+    });
+    g.bench_function("registers_generation", |b| {
+        b.iter(|| black_box(regs.generation()))
+    });
+    // Per-record signing: from-scratch HMAC vs precomputed key schedule.
+    let key = [0x42u8; 32];
+    let msg = [0x17u8; 32];
+    g.bench_function("hmac_fresh_key", |b| {
+        b.iter(|| black_box(hmac_sha256(&key, &msg)))
+    });
+    let ks = HmacKeySchedule::new(&key);
+    g.bench_function("hmac_key_schedule", |b| b.iter(|| black_box(ks.mac(&msg))));
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_evidence_path, bench_removed_costs
+}
+criterion_main!(benches);

@@ -7,7 +7,15 @@ use pda_dataplane::{build_udp_packet, programs};
 use std::hint::black_box;
 
 fn packet(i: u32) -> Vec<u8> {
-    build_udp_packet(0xa, 0xb, 0x0a000000 + (i % 64), 0x0a00ffff, 40000, 443, b"payload!")
+    build_udp_packet(
+        0xa,
+        0xb,
+        0x0a000000 + (i % 64),
+        0x0a00ffff,
+        40000,
+        443,
+        b"payload!",
+    )
 }
 
 fn bench_baseline(c: &mut Criterion) {
@@ -33,9 +41,8 @@ fn bench_pera(c: &mut Criterion) {
             let config = PeraConfig::default()
                 .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
                 .with_sampling(sampling);
-            let mut sw =
-                PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
-                    .with_scheme(scheme, 12);
+            let mut sw = PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
+                .with_scheme(scheme, 12);
             let mut i = 0u32;
             let mut prev = Digest::ZERO;
             b.iter(|| {

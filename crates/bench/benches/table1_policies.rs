@@ -75,14 +75,22 @@ fn bench_ap3_resolve(c: &mut Criterion) {
 
 fn bench_wire(c: &mut Criterion) {
     let ap1 = table1::ap1();
-    let r = resolve(&ap1, &path(8), &[("n", "1"), ("X", "x")], Composition::Chained).unwrap();
+    let r = resolve(
+        &ap1,
+        &path(8),
+        &[("n", "1"), ("X", "x")],
+        Composition::Chained,
+    )
+    .unwrap();
     let policy = wire::WirePolicy {
         nonce: 1,
         flags: wire::Flags::default(),
         directives: r.directives,
     };
     let bytes = wire::encode(&policy);
-    c.bench_function("wire_encode_8hops", |b| b.iter(|| wire::encode(black_box(&policy))));
+    c.bench_function("wire_encode_8hops", |b| {
+        b.iter(|| wire::encode(black_box(&policy)))
+    });
     c.bench_function("wire_decode_8hops", |b| {
         b.iter(|| wire::decode(black_box(&bytes)).unwrap())
     });

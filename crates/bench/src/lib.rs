@@ -179,10 +179,9 @@ pub struct Eq12Row {
 /// userspace adversary targeting `exts`.
 pub fn exp_eqn12() -> Vec<Eq12Row> {
     let adversary = AdversaryModel::controlling(&["us"]);
-    let hardened = parse_request(
-        "*bank : @ks [av us bmon] -<- (@us [bmon us exts] -<- @ks [av us bmon])",
-    )
-    .expect("hardened variant parses");
+    let hardened =
+        parse_request("*bank : @ks [av us bmon] -<- (@us [bmon us exts] -<- @ks [av us bmon])")
+            .expect("hardened variant parses");
     [
         ("eq (1) parallel", copland_examples::bank_eq1()),
         ("eq (2) sequenced", copland_examples::bank_eq2()),
@@ -409,11 +408,31 @@ pub fn exp_fig3(packets: usize) -> Vec<Fig3Row> {
     });
 
     let variants: Vec<(String, SigScheme, Sampling)> = vec![
-        ("PERA hmac / per-packet".into(), SigScheme::Hmac, Sampling::PerPacket),
-        ("PERA hmac / per-flow".into(), SigScheme::Hmac, Sampling::PerFlow),
-        ("PERA hmac / every-100".into(), SigScheme::Hmac, Sampling::EveryN(100)),
-        ("PERA lamport / per-flow".into(), SigScheme::LamportOts, Sampling::PerFlow),
-        ("PERA merkle / per-flow".into(), SigScheme::MerkleMss, Sampling::PerFlow),
+        (
+            "PERA hmac / per-packet".into(),
+            SigScheme::Hmac,
+            Sampling::PerPacket,
+        ),
+        (
+            "PERA hmac / per-flow".into(),
+            SigScheme::Hmac,
+            Sampling::PerFlow,
+        ),
+        (
+            "PERA hmac / every-100".into(),
+            SigScheme::Hmac,
+            Sampling::EveryN(100),
+        ),
+        (
+            "PERA lamport / per-flow".into(),
+            SigScheme::LamportOts,
+            Sampling::PerFlow,
+        ),
+        (
+            "PERA merkle / per-flow".into(),
+            SigScheme::MerkleMss,
+            Sampling::PerFlow,
+        ),
     ];
     for (label, scheme, sampling) in variants {
         let config = PeraConfig::default()
@@ -474,7 +493,11 @@ pub fn exp_fig4() -> Vec<Fig4Row> {
         ("hw+prog", &[DetailLevel::Hardware, DetailLevel::Program]),
         (
             "hw+prog+tables",
-            &[DetailLevel::Hardware, DetailLevel::Program, DetailLevel::Tables],
+            &[
+                DetailLevel::Hardware,
+                DetailLevel::Program,
+                DetailLevel::Tables,
+            ],
         ),
         ("all", &DetailLevel::ALL),
     ];
@@ -497,8 +520,7 @@ pub fn exp_fig4() -> Vec<Fig4Row> {
                         .with_sampling(sampling)
                         .with_composition(composition)
                         .with_cache(cache);
-                    let mut sw =
-                        PeraSwitch::new("sw", "hw", programs::flow_monitor(64, 1), config);
+                    let mut sw = PeraSwitch::new("sw", "hw", programs::flow_monitor(64, 1), config);
                     let mut prev = Digest::ZERO;
                     for p in &pkts {
                         let out = sw
@@ -622,8 +644,7 @@ pub fn exp_uc1_detection(samplings: &[Sampling]) -> Vec<Uc1Row> {
             let config = PeraConfig::default()
                 .with_details(&[DetailLevel::Program])
                 .with_sampling(sampling);
-            let mut sw =
-                PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config);
+            let mut sw = PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config);
             let golden = sw.program.digest();
             let pkts = pipeline_packets(1);
             // Warm up with 10 clean packets.
@@ -842,9 +863,8 @@ pub fn exp_netkat(sizes: &[usize]) -> Vec<NetkatRow> {
     sizes
         .iter()
         .map(|&n| {
-            let step = Policy::assign(Field::Port, 1).seq(Policy::any(
-                (1..n as u32).map(|i| link(i, 1, i + 1, 0)),
-            ));
+            let step = Policy::assign(Field::Port, 1)
+                .seq(Policy::any((1..n as u32).map(|i| link(i, 1, i + 1, 0))));
             let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1)])]);
             let goal = Pred::test(Field::Switch, n as u32);
             let t0 = Instant::now();
@@ -969,7 +989,11 @@ pub fn exp_uc4(flows: u32, beacon_percent: u32, seed: u64) -> Uc4Row {
             }
         }
     }
-    let audit_entries = if trail.is_empty() { 0 } else { trail.commit().entries };
+    let audit_entries = if trail.is_empty() {
+        0
+    } else {
+        trail.commit().entries
+    };
     Uc4Row {
         flows,
         beacon_flows,
@@ -978,4 +1002,168 @@ pub fn exp_uc4(flows: u32, beacon_percent: u32, seed: u64) -> Uc4Row {
         audit_entries,
         exact: flagged == beacon_packets && audit_entries as u64 == flagged,
     }
+}
+
+// ---------------------------------------------------------------------
+// E15 — evidence-path throughput (the per-packet hot path)
+// ---------------------------------------------------------------------
+
+/// One row of the evidence-path throughput experiment.
+#[derive(Debug)]
+pub struct E15Row {
+    /// Variant label (scheme / sampling / cache).
+    pub variant: String,
+    /// Is this the seed-behaviour emulation (pre-fix hot path)?
+    pub seed_emulation: bool,
+    /// Packets pushed through `process_packet`.
+    pub packets: u64,
+    /// Throughput, packets per second (wall clock, single-threaded).
+    pub pkts_per_sec: f64,
+    /// Evidence records produced.
+    pub records: u64,
+    /// Digest computations actually performed (`PeraStats::measurements`).
+    pub measurements: u64,
+    /// Evidence-cache hit rate.
+    pub hit_rate: f64,
+}
+
+fn e15_run(
+    variant: &str,
+    scheme: SigScheme,
+    sampling: Sampling,
+    cache: bool,
+    seed_emulation: bool,
+    pkts: &[Vec<u8>],
+) -> E15Row {
+    const DETAILS: [DetailLevel; 3] = [
+        DetailLevel::Hardware,
+        DetailLevel::Program,
+        DetailLevel::Tables,
+    ];
+    let config = PeraConfig::default()
+        .with_details(&DETAILS)
+        .with_sampling(sampling)
+        .with_cache(cache);
+    let mut sw = PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
+        .with_scheme(scheme, 12);
+    let hw_id = sw.hardware_id.clone();
+
+    let t0 = Instant::now();
+    let mut prev = Digest::ZERO;
+    for p in pkts {
+        let before = if seed_emulation {
+            // Pre-fix `process_packet` serialized the register file
+            // unconditionally before the pipeline ran…
+            Some(sw.regs.canonical_bytes())
+        } else {
+            None
+        };
+        let out = sw
+            .process_packet(p, 0, Some((Nonce(1), prev)))
+            .expect("parses");
+        if let Some(before) = before {
+            // …and again after, comparing digests to decide whether to
+            // invalidate the ProgState cache line.
+            let after = sw.regs.canonical_bytes();
+            std::hint::black_box(Digest::of(&before) != Digest::of(&after));
+            if out.evidence.is_some() {
+                // Pre-fix `attest` also measured every detail level
+                // eagerly and only then consulted the cache, so hits
+                // saved nothing. Re-pay that cost per record.
+                for level in DETAILS {
+                    std::hint::black_box(match level {
+                        DetailLevel::Hardware => Digest::of_parts(&[b"hw:", hw_id.as_bytes()]),
+                        DetailLevel::Program => sw.program.digest(),
+                        DetailLevel::Tables => sw.program.tables_digest(),
+                        DetailLevel::ProgState => Digest::of(&sw.regs.canonical_bytes()),
+                        DetailLevel::Packets => Digest::of(&p[..]),
+                    });
+                }
+            }
+        }
+        if let Some(r) = out.evidence {
+            prev = r.chain;
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    E15Row {
+        variant: variant.into(),
+        seed_emulation,
+        packets: pkts.len() as u64,
+        pkts_per_sec: pkts.len() as f64 / elapsed,
+        records: sw.stats.records,
+        measurements: sw.stats.measurements,
+        hit_rate: sw.cache.stats.hit_rate(),
+    }
+}
+
+/// E15: packets/sec through `process_packet` across sampling × cache ×
+/// scheme, plus an emulation of the seed hot path (evidence-cache
+/// bypass + double register serialization) to quantify the fix.
+///
+/// The emulation re-pays the removed costs through public APIs — two
+/// `Registers::canonical_bytes` serializations per packet and an eager
+/// measurement of every detail level per record — so the speedup column
+/// in the harness is regenerable from this crate alone.
+pub fn exp_e15(packets: usize) -> Vec<E15Row> {
+    let pkts = pipeline_packets(packets);
+    vec![
+        e15_run(
+            "seed-emulated hmac / per-packet / cache",
+            SigScheme::Hmac,
+            Sampling::PerPacket,
+            true,
+            true,
+            &pkts,
+        ),
+        e15_run(
+            "hmac / per-packet / cache",
+            SigScheme::Hmac,
+            Sampling::PerPacket,
+            true,
+            false,
+            &pkts,
+        ),
+        e15_run(
+            "hmac / per-packet / no-cache",
+            SigScheme::Hmac,
+            Sampling::PerPacket,
+            false,
+            false,
+            &pkts,
+        ),
+        e15_run(
+            "hmac / every-100 / cache",
+            SigScheme::Hmac,
+            Sampling::EveryN(100),
+            true,
+            false,
+            &pkts,
+        ),
+        e15_run(
+            "hmac / every-100 / no-cache",
+            SigScheme::Hmac,
+            Sampling::EveryN(100),
+            false,
+            false,
+            &pkts,
+        ),
+        e15_run(
+            "lamport / every-100 / cache",
+            SigScheme::LamportOts,
+            Sampling::EveryN(100),
+            true,
+            false,
+            &pkts,
+        ),
+        e15_run(
+            "merkle / every-100 / cache",
+            SigScheme::MerkleMss,
+            Sampling::EveryN(100),
+            true,
+            false,
+            &pkts,
+        ),
+    ]
 }

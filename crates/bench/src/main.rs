@@ -1,8 +1,9 @@
 //! The experiment harness: regenerates every figure/table artifact of
 //! the paper as text tables. `cargo run -p bench --bin harness --release`
 //!
-//! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 crypto
-//! wire netkat`) to run a subset; no arguments runs everything.
+//! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 uc4
+//! enforce crypto wire netkat e15`) to run a subset; no arguments runs
+//! everything.
 
 use bench::*;
 use pda_pera::config::Sampling;
@@ -71,7 +72,14 @@ fn main() {
         println!("== E4-E6 / Table 1: attestation policies AP1-AP3 ==");
         println!(
             "{:<6} {:>8} {:>8} {:>10} {:>9} {:>8} {:>10} {:>12}",
-            "policy", "path", "clauses", "directives", "bindings", "skipped", "wire-B", "resolve-ns"
+            "policy",
+            "path",
+            "clauses",
+            "directives",
+            "bindings",
+            "skipped",
+            "wire-B",
+            "resolve-ns"
         );
         for r in exp_table1(&[2, 4, 8]) {
             println!(
@@ -113,7 +121,12 @@ fn main() {
         for r in exp_fig4() {
             println!(
                 "{:<16} {:<14} {:<10} {:>6} {:>8} {:>10.1} {:>9.3}",
-                r.details, r.sampling, r.composition, r.cache, r.records, r.bytes_per_packet,
+                r.details,
+                r.sampling,
+                r.composition,
+                r.cache,
+                r.records,
+                r.bytes_per_packet,
                 r.cache_hit_rate
             );
         }
@@ -166,7 +179,11 @@ fn main() {
             let r = exp_uc4(flows, pct, seed);
             println!(
                 "{:<7} {:>13} {:>15} {:>15} {:>14} {:>6}",
-                r.flows, r.beacon_flows, r.beacon_packets, r.flagged_packets, r.audit_entries,
+                r.flows,
+                r.beacon_flows,
+                r.beacon_packets,
+                r.flagged_packets,
+                r.audit_entries,
                 r.exact
             );
         }
@@ -201,7 +218,36 @@ fn main() {
         println!("== E12: wire overhead vs path length ==");
         println!("{:<6} {:>12} {:>15}", "hops", "policy-B", "evidence-B");
         for r in exp_wire(&[2, 4, 8, 16]) {
-            println!("{:<6} {:>12} {:>15}", r.hops, r.policy_bytes, r.evidence_bytes);
+            println!(
+                "{:<6} {:>12} {:>15}",
+                r.hops, r.policy_bytes, r.evidence_bytes
+            );
+        }
+        println!();
+    }
+
+    if want("e15") {
+        println!("== E15: evidence-path throughput (10k packets, 64 flows) ==");
+        println!(
+            "{:<38} {:>12} {:>8} {:>9} {:>9} {:>8}",
+            "variant", "pkts/sec", "records", "measures", "hit-rate", "vs-seed"
+        );
+        let rows = exp_e15(10_000);
+        let seed_pps = rows
+            .iter()
+            .find(|r| r.seed_emulation)
+            .map(|r| r.pkts_per_sec)
+            .unwrap_or(f64::NAN);
+        for r in &rows {
+            println!(
+                "{:<38} {:>12.0} {:>8} {:>9} {:>8.1}% {:>7.2}x",
+                r.variant,
+                r.pkts_per_sec,
+                r.records,
+                r.measurements,
+                r.hit_rate * 100.0,
+                r.pkts_per_sec / seed_pps
+            );
         }
         println!();
     }

@@ -141,7 +141,10 @@ impl fmt::Display for Verdict {
             Verdict::Detects => write!(f, "detects adversary"),
             Verdict::RecentAttackOnly => write!(f, "vulnerable only to recent-corruption attacks"),
             Verdict::PriorAttackFeasible => {
-                write!(f, "vulnerable to prior-corruption (corrupt-and-repair) attacks")
+                write!(
+                    f,
+                    "vulnerable to prior-corruption (corrupt-and-repair) attacks"
+                )
             }
         }
     }
@@ -234,7 +237,9 @@ pub fn analyze_phrase(
 fn goal_place(sys: &EventSystem, goal: &str) -> Place {
     for e in &sys.events {
         if let EventKind::Measure {
-            target, target_place, ..
+            target,
+            target_place,
+            ..
         } = &e.kind
         {
             if target == goal {
@@ -272,15 +277,15 @@ fn best_schedule(
     const INF: usize = usize::MAX / 2;
     let mut cost = vec![(INF, INF); nstates]; // (recent, total)
     let mut parent: Vec<Option<(usize, usize)>> = vec![None; nstates]; // (slot, prev_state)
-    // Slot 0 staging from all-clean:
-    for s in 0..nstates {
+                                                                       // Slot 0 staging from all-clean:
+    for (s, c) in cost.iter_mut().enumerate() {
         if s & goal_mask == 0 {
             continue; // goal must be corrupt from the start
         }
         if !reachable_flips(0, s, corruptible) {
             continue;
         }
-        cost[s] = (0, s.count_ones() as usize);
+        *c = (0, s.count_ones() as usize);
     }
 
     let mut states = cost;
@@ -355,7 +360,13 @@ fn best_schedule(
     // Slot-0 staging actions:
     emit_flips(0, 0, state_at[0], names, &mut actions);
     for slot in 1..=lin.len() {
-        emit_flips(slot, state_at[slot - 1], state_at[slot], names, &mut actions);
+        emit_flips(
+            slot,
+            state_at[slot - 1],
+            state_at[slot],
+            names,
+            &mut actions,
+        );
     }
 
     let corruptions = actions
@@ -474,10 +485,8 @@ mod tests {
     /// chain of strictly ordered measurements drives the cost up.
     #[test]
     fn remeasurement_increases_attack_cost() {
-        let base = crate::parser::parse_request(
-            "*bank : @ks [av us bmon] -<- @us [bmon us exts]",
-        )
-        .unwrap();
+        let base = crate::parser::parse_request("*bank : @ks [av us bmon] -<- @us [bmon us exts]")
+            .unwrap();
         let hardened = crate::parser::parse_request(
             "*bank : @ks [av us bmon] -<- (@us [bmon us exts] -<- @ks [av us bmon])",
         )

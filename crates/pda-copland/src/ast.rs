@@ -294,7 +294,11 @@ pub mod examples {
     /// is hashed and signed.)
     pub fn pera_out_of_band() -> Request {
         let claim = Phrase::Asp(Asp::service("attest", vec!["Hardware"]))
-            .br_par(Sp::Drop, Sp::Drop, Phrase::Asp(Asp::service("attest", vec!["Program"])))
+            .br_par(
+                Sp::Drop,
+                Sp::Drop,
+                Phrase::Asp(Asp::service("attest", vec!["Program"])),
+            )
             .then(Phrase::Asp(Asp::Hash))
             .then(Phrase::Asp(Asp::Sign));
         let switch = Phrase::at("Switch", claim);
@@ -317,7 +321,10 @@ pub mod examples {
         Request::new(
             "RP2",
             vec!["n"],
-            Phrase::at("Appraiser", Phrase::Asp(Asp::service("retrieve", vec!["n"]))),
+            Phrase::at(
+                "Appraiser",
+                Phrase::Asp(Asp::service("retrieve", vec!["n"])),
+            ),
         )
     }
 
@@ -329,7 +336,11 @@ pub mod examples {
     /// ```
     pub fn pera_in_band() -> Request {
         let claim = Phrase::Asp(Asp::service("attest", vec!["Hardware"]))
-            .br_par(Sp::Drop, Sp::Drop, Phrase::Asp(Asp::service("attest", vec!["Program"])))
+            .br_par(
+                Sp::Drop,
+                Sp::Drop,
+                Phrase::Asp(Asp::service("attest", vec!["Program"])),
+            )
             .then(Phrase::Asp(Asp::Hash))
             .then(Phrase::Asp(Asp::Sign));
         let switch = Phrase::at("Switch", claim);

@@ -138,7 +138,11 @@ impl fmt::Display for Evidence {
             Evidence::Signature { place, sub } => write!(f, "sig@{place}[{sub}]"),
             Evidence::Hashed { place, sub } => write!(f, "hsh@{place}[{sub}]"),
             Evidence::Service {
-                name, args, place, sub, ..
+                name,
+                args,
+                place,
+                sub,
+                ..
             } => {
                 if args.is_empty() {
                     write!(f, "{name}@{place}[{sub}]")
@@ -294,10 +298,7 @@ mod tests {
         let place = Place::new("p");
         let e = Evidence::Nonce;
         assert_eq!(eval(&Phrase::Asp(Asp::Copy), &place, e.clone()), e);
-        assert_eq!(
-            eval(&Phrase::Asp(Asp::Null), &place, e),
-            Evidence::Empty
-        );
+        assert_eq!(eval(&Phrase::Asp(Asp::Null), &place, e), Evidence::Empty);
     }
 
     #[test]

@@ -135,56 +135,95 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
             }
             '*' => {
-                out.push(Spanned { tok: Token::Star, offset: start });
+                out.push(Spanned {
+                    tok: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             ':' => {
-                out.push(Spanned { tok: Token::Colon, offset: start });
+                out.push(Spanned {
+                    tok: Token::Colon,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Token::Comma, offset: start });
+                out.push(Spanned {
+                    tok: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '@' => {
-                out.push(Spanned { tok: Token::At, offset: start });
+                out.push(Spanned {
+                    tok: Token::At,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Spanned { tok: Token::LBracket, offset: start });
+                out.push(Spanned {
+                    tok: Token::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Spanned { tok: Token::RBracket, offset: start });
+                out.push(Spanned {
+                    tok: Token::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Spanned { tok: Token::LParen, offset: start });
+                out.push(Spanned {
+                    tok: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Token::RParen, offset: start });
+                out.push(Spanned {
+                    tok: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
-                out.push(Spanned { tok: Token::LAngle, offset: start });
+                out.push(Spanned {
+                    tok: Token::LAngle,
+                    offset: start,
+                });
                 i += 1;
             }
             '>' => {
-                out.push(Spanned { tok: Token::RAngle, offset: start });
+                out.push(Spanned {
+                    tok: Token::RAngle,
+                    offset: start,
+                });
                 i += 1;
             }
             '!' => {
-                out.push(Spanned { tok: Token::Bang, offset: start });
+                out.push(Spanned {
+                    tok: Token::Bang,
+                    offset: start,
+                });
                 i += 1;
             }
             '#' => {
-                out.push(Spanned { tok: Token::Hash, offset: start });
+                out.push(Spanned {
+                    tok: Token::Hash,
+                    offset: start,
+                });
                 i += 1;
             }
             '{' => {
                 if bytes.get(i + 1) == Some(&b'}') {
-                    out.push(Spanned { tok: Token::Null, offset: start });
+                    out.push(Spanned {
+                        tok: Token::Null,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -198,7 +237,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 let l_pass = c == '+';
                 match bytes.get(i + 1).map(|b| *b as char) {
                     Some('>') if c == '-' => {
-                        out.push(Spanned { tok: Token::Arrow, offset: start });
+                        out.push(Spanned {
+                            tok: Token::Arrow,
+                            offset: start,
+                        });
                         i += 2;
                     }
                     Some(op @ ('<' | '~')) => {
@@ -239,22 +281,34 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     .unwrap_or(false)
                 {
                     let (ident, next) = lex_ident(src, i);
-                    out.push(Spanned { tok: Token::Ident(ident), offset: start });
+                    out.push(Spanned {
+                        tok: Token::Ident(ident),
+                        offset: start,
+                    });
                     i = next;
                 } else {
-                    out.push(Spanned { tok: Token::Underscore, offset: start });
+                    out.push(Spanned {
+                        tok: Token::Underscore,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             c if c.is_alphabetic() => {
                 let (ident, next) = lex_ident(src, i);
-                out.push(Spanned { tok: Token::Ident(ident), offset: start });
+                out.push(Spanned {
+                    tok: Token::Ident(ident),
+                    offset: start,
+                });
                 i = next;
             }
             c if c.is_ascii_digit() => {
                 // Bare numerals are allowed as service arguments; lex as idents.
                 let (ident, next) = lex_ident(src, i);
-                out.push(Spanned { tok: Token::Ident(ident), offset: start });
+                out.push(Spanned {
+                    tok: Token::Ident(ident),
+                    offset: start,
+                });
                 i = next;
             }
             other => {

@@ -130,10 +130,7 @@ impl<'a> Parser<'a> {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected `{t}`, found {}",
-                self.describe_current()
-            )))
+            Err(self.err(format!("expected `{t}`, found {}", self.describe_current())))
         }
     }
 
@@ -335,18 +332,22 @@ mod tests {
     #[test]
     fn branch_binds_looser_than_arrow() {
         let p = parse_phrase("! -> # +<+ _").unwrap();
-        let expected = Phrase::Asp(Asp::Sign)
-            .then(Phrase::Asp(Asp::Hash))
-            .br_seq(Sp::Pass, Sp::Pass, Phrase::Asp(Asp::Copy));
+        let expected = Phrase::Asp(Asp::Sign).then(Phrase::Asp(Asp::Hash)).br_seq(
+            Sp::Pass,
+            Sp::Pass,
+            Phrase::Asp(Asp::Copy),
+        );
         assert_eq!(p, expected);
     }
 
     #[test]
     fn parens_override_precedence() {
         let p = parse_phrase("! -> (# +<+ _)").unwrap();
-        let expected = Phrase::Asp(Asp::Sign).then(
-            Phrase::Asp(Asp::Hash).br_seq(Sp::Pass, Sp::Pass, Phrase::Asp(Asp::Copy)),
-        );
+        let expected = Phrase::Asp(Asp::Sign).then(Phrase::Asp(Asp::Hash).br_seq(
+            Sp::Pass,
+            Sp::Pass,
+            Phrase::Asp(Asp::Copy),
+        ));
         assert_eq!(p, expected);
     }
 

@@ -2,8 +2,8 @@
 //! round-trips over random ASTs, and semantic invariants.
 
 use pda_copland::ast::{Asp, Phrase, Place, Request, Sp};
-use pda_copland::evidence::{eval, eval_request, Evidence};
 use pda_copland::events::EventSystem;
+use pda_copland::evidence::{eval, eval_request, Evidence};
 use pda_copland::parser::{parse_phrase, parse_request};
 use pda_copland::pretty::{pretty_phrase, pretty_request};
 use proptest::prelude::*;
@@ -37,14 +37,21 @@ fn phrase() -> impl Strategy<Value = Phrase> {
     let leaf = asp().prop_map(Phrase::Asp);
     leaf.prop_recursive(4, 48, 3, |inner| {
         prop_oneof![
-            (ident(), inner.clone())
-                .prop_map(|(p, ph)| Phrase::At(Place::new(p), Box::new(ph))),
+            (ident(), inner.clone()).prop_map(|(p, ph)| Phrase::At(Place::new(p), Box::new(ph))),
             (inner.clone(), inner.clone())
                 .prop_map(|(l, r)| Phrase::Arrow(Box::new(l), Box::new(r))),
-            (sp(), sp(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, l, r)| Phrase::BrSeq(a, b, Box::new(l), Box::new(r))),
-            (sp(), sp(), inner.clone(), inner)
-                .prop_map(|(a, b, l, r)| Phrase::BrPar(a, b, Box::new(l), Box::new(r))),
+            (sp(), sp(), inner.clone(), inner.clone()).prop_map(|(a, b, l, r)| Phrase::BrSeq(
+                a,
+                b,
+                Box::new(l),
+                Box::new(r)
+            )),
+            (sp(), sp(), inner.clone(), inner).prop_map(|(a, b, l, r)| Phrase::BrPar(
+                a,
+                b,
+                Box::new(l),
+                Box::new(r)
+            )),
         ]
     })
 }

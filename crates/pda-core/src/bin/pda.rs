@@ -101,7 +101,11 @@ fn cmd_parse(args: &[String]) -> Result<(), String> {
     println!("parsed:   {}", pretty_request(&req));
     println!("rp:       {}", req.rp);
     println!("params:   {:?}", req.params);
-    println!("size:     {} nodes, depth {}", req.phrase.size(), req.phrase.depth());
+    println!(
+        "size:     {} nodes, depth {}",
+        req.phrase.size(),
+        req.phrase.depth()
+    );
     println!("evidence: {}", eval_request(&req));
     Ok(())
 }
@@ -258,11 +262,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "bad --packets".to_string())?;
     let legacy: Vec<usize> = flag_value(args, "--legacy")
-        .map(|s| {
-            s.split(',')
-                .filter_map(|x| x.trim().parse().ok())
-                .collect()
-        })
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_default();
     let config = PeraConfig::default()
         .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
@@ -329,7 +329,7 @@ fn hex(bytes: &[u8]) -> String {
 
 fn unhex(s: &str) -> Result<Vec<u8>, String> {
     let s = s.trim();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("odd-length hex".into());
     }
     (0..s.len())

@@ -192,8 +192,9 @@ mod tests {
         golden.expect("sw1", DetailLevel::Program, d);
         let reg = registry_for(&["sw1"]);
         let errs = appraise_chain(&[r], &reg, &golden, Nonce(1), true).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ChainAppraisalFailure::Chain(ChainFailure::BrokenLink { .. }))));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ChainAppraisalFailure::Chain(ChainFailure::BrokenLink { .. })
+        )));
     }
 }

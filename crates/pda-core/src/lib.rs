@@ -57,8 +57,8 @@ pub use usecases::{
 pub mod prelude {
     pub use crate::golden::{appraise_chain, ChainAppraisalFailure, GoldenStore};
     pub use crate::usecases::{
-        enroll_golden, uc1_configuration_assurance, uc2_path_authentication,
-        uc5_cross_attestation, AuditTrail, CrossAttestation, EvidenceGate,
+        enroll_golden, uc1_configuration_assurance, uc2_path_authentication, uc5_cross_attestation,
+        AuditTrail, CrossAttestation, EvidenceGate,
     };
     pub use pda_copland::adversary::{analyze, AdversaryModel, Verdict};
     pub use pda_copland::parser::parse_request;

@@ -57,17 +57,13 @@ pub fn uc2_path_authentication(
     registry: &KeyRegistry,
     nonce: Nonce,
 ) -> PathAuthScore {
-    let chain_valid =
-        pda_pera::evidence::verify_chain(presented, registry, nonce, true).is_ok();
+    let chain_valid = pda_pera::evidence::verify_chain(presented, registry, nonce, true).is_ok();
     // Longest in-order match of enrolled hops within the presented path.
     let presented_names: Vec<&str> = presented.iter().map(|r| r.switch.as_str()).collect();
     let mut matched = 0usize;
     let mut cursor = 0usize;
     for hop in enrolled {
-        if let Some(pos) = presented_names[cursor..]
-            .iter()
-            .position(|n| n == hop)
-        {
+        if let Some(pos) = presented_names[cursor..].iter().position(|n| n == hop) {
             matched += 1;
             cursor += pos + 1;
         }
@@ -111,7 +107,7 @@ impl EvidenceGate {
     pub fn admit(&mut self, chain: Option<&[EvidenceRecord]>, nonce: Nonce) -> bool {
         let ok = match chain {
             None => false,
-            Some(c) if c.is_empty() => false,
+            Some([]) => false,
             Some(c) => appraise_chain(c, &self.registry, &self.golden, nonce, true).is_ok(),
         };
         if ok {
@@ -233,18 +229,13 @@ pub fn uc5_cross_attestation(
 /// Golden store construction helper: enroll every PERA switch of a
 /// simulator at the given detail levels, reading current (trusted-setup)
 /// values.
-pub fn enroll_golden(
-    sim: &pda_netsim::Simulator,
-    levels: &[DetailLevel],
-) -> GoldenStore {
+pub fn enroll_golden(sim: &pda_netsim::Simulator, levels: &[DetailLevel]) -> GoldenStore {
     let mut golden = GoldenStore::new();
     for node in &sim.topo.nodes {
         if let pda_netsim::DeviceKind::Pera(sw) = &node.kind {
             for &level in levels {
                 let d = match level {
-                    DetailLevel::Hardware => {
-                        Digest::of_parts(&[b"hw:", sw.hardware_id.as_bytes()])
-                    }
+                    DetailLevel::Hardware => Digest::of_parts(&[b"hw:", sw.hardware_id.as_bytes()]),
                     DetailLevel::Program => sw.program.digest(),
                     DetailLevel::Tables => sw.program.tables_digest(),
                     DetailLevel::ProgState | DetailLevel::Packets => continue,
@@ -271,14 +262,9 @@ mod tests {
             reg.register(n.to_string().as_str().into(), s.verify_key(0));
             let prog = Digest::of_parts(&[b"prog:", n.as_bytes()]);
             golden.expect(n, DetailLevel::Program, prog);
-            let r = EvidenceRecord::create(
-                n,
-                vec![(DetailLevel::Program, prog)],
-                nonce,
-                prev,
-                &mut s,
-            )
-            .unwrap();
+            let r =
+                EvidenceRecord::create(n, vec![(DetailLevel::Program, prog)], nonce, prev, &mut s)
+                    .unwrap();
             prev = r.chain;
             out.push(r);
         }

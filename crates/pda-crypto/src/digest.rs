@@ -3,6 +3,22 @@
 use crate::sha256::Sha256;
 use std::fmt;
 
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+/// Hex-encode via table lookup. The obvious per-byte
+/// `format!("{b:02x}")` routes every byte through the `fmt` machinery
+/// and allocates a fresh `String` each time; this builds one exact-size
+/// buffer with two table lookups per byte.
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[usize::from(b >> 4)]);
+        out.push(HEX[usize::from(b & 0x0f)]);
+    }
+    // The table is pure ASCII, so the bytes are valid UTF-8.
+    String::from_utf8(out).expect("hex output is ASCII")
+}
+
 /// A 256-bit digest value.
 ///
 /// Wraps `[u8; 32]` to give hashes a distinct type from raw byte strings,
@@ -47,7 +63,7 @@ impl Digest {
 
     /// Lower-case hex rendering.
     pub fn to_hex(&self) -> String {
-        self.0.iter().map(|b| format!("{b:02x}")).collect()
+        hex_encode(&self.0)
     }
 
     /// Parse a 64-character hex string.
@@ -64,7 +80,7 @@ impl Digest {
 
     /// Short prefix for logs and pseudonyms (first 8 hex chars).
     pub fn short(&self) -> String {
-        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+        hex_encode(&self.0[..4])
     }
 }
 
@@ -121,6 +137,21 @@ mod tests {
         let x = Digest::of(b"x");
         let y = Digest::of(b"y");
         assert_ne!(Digest::combine(&x, &y), Digest::combine(&y, &x));
+    }
+
+    #[test]
+    fn hex_encoding_matches_format_machinery() {
+        // Pin the table encoder against the std formatter it replaced,
+        // across every byte value.
+        let mut all = [0u8; 32];
+        for (i, b) in all.iter_mut().enumerate() {
+            *b = (i * 8 + 7) as u8;
+        }
+        for d in [Digest(all), Digest([0u8; 32]), Digest([0xffu8; 32])] {
+            let expected: String = d.0.iter().map(|b| format!("{b:02x}")).collect();
+            assert_eq!(d.to_hex(), expected);
+            assert_eq!(d.short(), expected[..8]);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!    [`crate::sig`] for the pluggable scheme abstraction).
 //! 2. As the PRF used to derive per-epoch Lamport keys deterministically.
 
-use crate::sha256::Sha256;
+use crate::sha256::{Midstate, Sha256};
 
 const BLOCK: usize = 64;
 
@@ -17,17 +17,23 @@ pub fn hmac_sha256(key: &[u8], msg: &[u8]) -> [u8; 32] {
     mac.finalize()
 }
 
-/// Incremental HMAC-SHA-256.
-#[derive(Clone)]
-pub struct HmacSha256 {
-    inner: Sha256,
-    /// Key XOR opad, kept to finish the outer hash.
-    opad_key: [u8; BLOCK],
+/// Precomputed HMAC key schedule: the compression states reached after
+/// absorbing `key ⊕ ipad` and `key ⊕ opad`.
+///
+/// Those two blocks depend only on the key, yet a naive HMAC recomputes
+/// both compressions for every message — for the 32-byte digests this
+/// stack signs, that is two of the four SHA-256 compressions per tag.
+/// Build the schedule once per key and every subsequent MAC starts from
+/// the captured midstates instead.
+#[derive(Clone, Copy, Debug)]
+pub struct HmacKeySchedule {
+    inner_start: Midstate,
+    outer_start: Midstate,
 }
 
-impl HmacSha256 {
-    /// Create a MAC instance keyed with `key` (any length; keys longer
-    /// than the block size are pre-hashed per RFC 2104).
+impl HmacKeySchedule {
+    /// Precompute the schedule for `key` (any length; keys longer than
+    /// the block size are pre-hashed per RFC 2104).
     pub fn new(key: &[u8]) -> Self {
         let mut k = [0u8; BLOCK];
         if key.len() > BLOCK {
@@ -45,9 +51,47 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKeySchedule {
+            inner_start: inner.midstate().expect("ipad is exactly one block"),
+            outer_start: outer.midstate().expect("opad is exactly one block"),
+        }
+    }
+
+    /// One-shot MAC using the precomputed schedule.
+    pub fn mac(&self, msg: &[u8]) -> [u8; 32] {
+        let mut m = HmacSha256::with_key_schedule(self);
+        m.update(msg);
+        m.finalize()
+    }
+}
+
+/// Incremental HMAC-SHA-256.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    /// Outer hash state, already past the `key ⊕ opad` block.
+    outer_start: Midstate,
+}
+
+impl HmacSha256 {
+    /// Create a MAC instance keyed with `key` (any length; keys longer
+    /// than the block size are pre-hashed per RFC 2104).
+    ///
+    /// Computes the key schedule from scratch; callers MACing many
+    /// messages under one key should build an [`HmacKeySchedule`] once
+    /// and use [`HmacSha256::with_key_schedule`].
+    pub fn new(key: &[u8]) -> Self {
+        HmacSha256::with_key_schedule(&HmacKeySchedule::new(key))
+    }
+
+    /// Create a MAC instance from a precomputed key schedule, skipping
+    /// both key-block compressions.
+    pub fn with_key_schedule(ks: &HmacKeySchedule) -> Self {
         HmacSha256 {
-            inner,
-            opad_key: opad,
+            inner: Sha256::from_midstate(ks.inner_start),
+            outer_start: ks.outer_start,
         }
     }
 
@@ -59,8 +103,7 @@ impl HmacSha256 {
     /// Produce the 32-byte tag.
     pub fn finalize(self) -> [u8; 32] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = Sha256::from_midstate(self.outer_start);
         outer.update(&inner_digest);
         outer.finalize()
     }
@@ -175,6 +218,33 @@ larger than block-size data. The key needs to be hashed before being used by the
         assert!(!ct_eq(b"abc", b"abd"));
         assert!(!ct_eq(b"abc", b"abcd"));
         assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn key_schedule_matches_fresh_mac() {
+        // Schedules over short, block-size, and over-block keys must
+        // produce identical tags to the from-scratch path.
+        for key_len in [0usize, 8, 63, 64, 65, 131] {
+            let key = vec![0x42u8; key_len];
+            let ks = HmacKeySchedule::new(&key);
+            for msg_len in [0usize, 5, 32, 64, 200] {
+                let msg = vec![0x17u8; msg_len];
+                assert_eq!(
+                    ks.mac(&msg),
+                    hmac_sha256(&key, &msg),
+                    "key {key_len} msg {msg_len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn key_schedule_rfc4231_case2() {
+        let ks = HmacKeySchedule::new(b"Jefe");
+        assert_eq!(
+            hex(&ks.mac(b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
     }
 
     #[test]

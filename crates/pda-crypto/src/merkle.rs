@@ -47,7 +47,10 @@ impl MerkleTree {
     /// input — an empty audit log has no root to commit to.
     pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
         assert!(!leaves.is_empty(), "MerkleTree::build on empty leaf set");
-        let mut levels = vec![leaves.iter().map(|l| leaf_hash(l.as_ref())).collect::<Vec<_>>()];
+        let mut levels = vec![leaves
+            .iter()
+            .map(|l| leaf_hash(l.as_ref()))
+            .collect::<Vec<_>>()];
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
@@ -101,7 +104,7 @@ pub fn merkle_proof_verify(root: &Digest, leaf_data: &[u8], proof: &MerkleProof)
     let mut idx = proof.index;
     for sib in &proof.siblings {
         acc = match sib {
-            Some(s) if idx % 2 == 0 => node_hash(&acc, s),
+            Some(s) if idx.is_multiple_of(2) => node_hash(&acc, s),
             Some(s) => node_hash(s, &acc),
             None => acc, // promoted
         };
@@ -148,9 +151,7 @@ impl std::fmt::Debug for MerkleSignature {
 impl MerkleSignature {
     /// Approximate wire size in bytes (used by overhead experiments).
     pub fn wire_size(&self) -> usize {
-        8 + LamportPublicKey::SIZE
-            + LamportSignature::SIZE
-            + self.proof.siblings.len() * 33
+        8 + LamportPublicKey::SIZE + LamportSignature::SIZE + self.proof.siblings.len() * 33
     }
 }
 

@@ -11,23 +11,20 @@
 /// Initial hash values: first 32 bits of the fractional parts of the
 /// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
 const H0: [u32; 8] = [
-    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-    0x5be0cd19,
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
 /// Round constants: first 32 bits of the fractional parts of the cube
 /// roots of the first 64 primes (FIPS 180-4 §4.2.2).
 const K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
-    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
-    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
-    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
-    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
-    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
-    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
-    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
-    0xc67178f2,
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
 /// Incremental SHA-256 hasher.
@@ -53,6 +50,21 @@ pub struct Sha256 {
     /// Partial block buffer.
     buf: [u8; 64],
     buf_len: usize,
+}
+
+/// Compression state captured at a 64-byte block boundary.
+///
+/// A midstate is the complete hash state after absorbing some
+/// block-aligned prefix. Resuming from it with [`Sha256::from_midstate`]
+/// skips re-hashing that prefix entirely — the basis for precomputed
+/// HMAC key schedules ([`crate::hmac::HmacKeySchedule`]), where the
+/// fixed ipad/opad blocks are compressed once per key instead of once
+/// per message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Midstate {
+    state: [u32; 8],
+    /// Bytes absorbed to reach this state; always a multiple of 64.
+    len: u64,
 }
 
 impl Default for Sha256 {
@@ -124,6 +136,31 @@ impl Sha256 {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
         out
+    }
+
+    /// Export the compression state, valid only at a block boundary
+    /// (no buffered partial block). Returns `None` mid-block, since the
+    /// buffered bytes are not part of the compressed state.
+    pub fn midstate(&self) -> Option<Midstate> {
+        if self.buf_len == 0 {
+            Some(Midstate {
+                state: self.state,
+                len: self.len,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Resume hashing from a previously exported [`Midstate`], as if the
+    /// original block-aligned prefix had just been absorbed.
+    pub fn from_midstate(m: Midstate) -> Sha256 {
+        Sha256 {
+            state: m.state,
+            len: m.len,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// One-shot convenience.
@@ -265,6 +302,30 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
             Sha256::digest_parts(&[a, b]),
             Sha256::digest(b"hello world")
         );
+    }
+
+    #[test]
+    fn midstate_resume_matches_straight_hash() {
+        let data = (0u8..=255).cycle().take(4096).collect::<Vec<_>>();
+        let oneshot = Sha256::digest(&data);
+        // Split at every block boundary: export + resume must be lossless.
+        for split in (0..=4096).step_by(64) {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            let m = h.midstate().expect("block-aligned prefix has a midstate");
+            let mut resumed = Sha256::from_midstate(m);
+            resumed.update(&data[split..]);
+            assert_eq!(resumed.finalize(), oneshot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn midstate_unavailable_mid_block() {
+        let mut h = Sha256::new();
+        h.update(b"short");
+        assert_eq!(h.midstate(), None);
+        h.update(&[0u8; 59]); // pad to exactly one block
+        assert!(h.midstate().is_some());
     }
 
     #[test]

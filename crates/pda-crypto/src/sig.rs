@@ -16,7 +16,7 @@
 //! The ablation experiments E7/E11 (DESIGN.md §4) sweep these backends.
 
 use crate::digest::Digest;
-use crate::hmac::{ct_eq, hmac_sha256};
+use crate::hmac::{ct_eq, hmac_sha256, HmacKeySchedule};
 use crate::lamport::{lamport_verify, LamportPublicKey, LamportSecretKey, LamportSignature};
 use crate::merkle::{merkle_verify, MerkleSignature, MerkleSigner, MssError};
 use std::fmt;
@@ -100,6 +100,10 @@ pub struct Signer {
     next_epoch: u64,
     /// Merkle signer state (MerkleMss only).
     mss: Option<MerkleSigner>,
+    /// Precomputed HMAC key schedule (Hmac only): the key is fixed for
+    /// the signer's lifetime, so the ipad/opad compressions are paid
+    /// once here instead of on every signed record.
+    hmac_ks: Option<HmacKeySchedule>,
 }
 
 /// The verification-side key material, safe to hand to appraisers.
@@ -168,11 +172,16 @@ impl Signer {
             SigScheme::MerkleMss => Some(MerkleSigner::new(seed, mss_height)),
             _ => None,
         };
+        let hmac_ks = match scheme {
+            SigScheme::Hmac => Some(HmacKeySchedule::new(&seed)),
+            _ => None,
+        };
         Signer {
             scheme,
             seed,
             next_epoch: 0,
             mss,
+            hmac_ks,
         }
     }
 
@@ -206,7 +215,10 @@ impl Signer {
     /// Sign a message.
     pub fn sign(&mut self, msg: &[u8]) -> Result<Signature, SignError> {
         match self.scheme {
-            SigScheme::Hmac => Ok(Signature::Hmac(hmac_sha256(&self.seed, msg))),
+            SigScheme::Hmac => {
+                let ks = self.hmac_ks.as_ref().expect("Hmac signer has key schedule");
+                Ok(Signature::Hmac(ks.mac(msg)))
+            }
             SigScheme::LamportOts => {
                 let index = self.next_epoch;
                 self.next_epoch += 1;

@@ -131,10 +131,30 @@ impl Action {
 /// Mutable register file shared across a pipeline's stages (the
 /// programmable persistent state of the switch — part of the Fig. 4
 /// "Prog. State" detail level).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The file tracks a **write generation**: a counter bumped exactly when
+/// an operation changes the canonical state (a cell takes a new value, or
+/// a new array is declared). Same-value writes and out-of-range writes do
+/// not bump it. Consumers that previously serialized the whole file
+/// before and after a pipeline pass to detect Prog-State changes can
+/// compare [`Registers::generation`] snapshots instead — O(1) rather than
+/// O(cells) per packet.
+#[derive(Clone, Debug, Default)]
 pub struct Registers {
     arrays: std::collections::BTreeMap<String, Vec<u64>>,
+    generation: u64,
 }
+
+/// Equality is over register *state* only; the write generation is
+/// history metadata (two files reaching identical contents by different
+/// write sequences compare equal).
+impl PartialEq for Registers {
+    fn eq(&self, other: &Registers) -> bool {
+        self.arrays == other.arrays
+    }
+}
+
+impl Eq for Registers {}
 
 impl Registers {
     /// Create an empty register file.
@@ -142,9 +162,14 @@ impl Registers {
         Registers::default()
     }
 
-    /// Declare a register array of `size` cells (idempotent).
+    /// Declare a register array of `size` cells (idempotent). Declaring
+    /// a *new* array changes the canonical state and bumps the
+    /// generation; re-declaring an existing one does not.
     pub fn declare(&mut self, name: impl Into<String>, size: usize) {
-        self.arrays.entry(name.into()).or_insert_with(|| vec![0; size]);
+        if let std::collections::btree_map::Entry::Vacant(slot) = self.arrays.entry(name.into()) {
+            slot.insert(vec![0; size]);
+            self.generation = self.generation.wrapping_add(1);
+        }
     }
 
     /// Read a cell (0 when out of range or undeclared).
@@ -158,13 +183,24 @@ impl Registers {
 
     /// Write a cell (ignored when out of range — hardware masks the
     /// index; here we bound-check and drop, which is observably similar
-    /// for well-formed programs).
+    /// for well-formed programs). Bumps the write generation only when
+    /// the stored value actually changes.
     pub fn write(&mut self, name: &str, index: u64, value: u64) {
         if let Some(a) = self.arrays.get_mut(name) {
             if let Some(cell) = a.get_mut(index as usize) {
-                *cell = value;
+                if *cell != value {
+                    *cell = value;
+                    self.generation = self.generation.wrapping_add(1);
+                }
             }
         }
+    }
+
+    /// Write-generation counter: changes iff the canonical state changed
+    /// since the file was created. Compare two snapshots to detect
+    /// Prog-State mutation without serializing the register contents.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Canonical bytes of all register state (for Prog-State attestation).
@@ -339,6 +375,72 @@ mod tests {
         regs.write("r", 100, 1);
         assert_eq!(regs.read("r", 100), 0);
         assert_eq!(regs.read("ghost", 0), 0);
+    }
+
+    #[test]
+    fn generation_tracks_exactly_the_state_changes() {
+        let mut regs = Registers::new();
+        assert_eq!(regs.generation(), 0);
+
+        regs.declare("r", 4);
+        let after_declare = regs.generation();
+        assert_ne!(after_declare, 0, "new array is a state change");
+        regs.declare("r", 4); // idempotent re-declare
+        assert_eq!(regs.generation(), after_declare);
+
+        regs.write("r", 1, 7);
+        let after_write = regs.generation();
+        assert_ne!(after_write, after_declare);
+
+        // Same-value write, out-of-range write, ghost-array write, and
+        // reads are all no-ops for the canonical state.
+        regs.write("r", 1, 7);
+        regs.write("r", 100, 9);
+        regs.write("ghost", 0, 9);
+        let _ = regs.read("r", 1);
+        assert_eq!(regs.generation(), after_write);
+
+        regs.write("r", 1, 8);
+        assert_ne!(regs.generation(), after_write);
+    }
+
+    #[test]
+    fn generation_agrees_with_canonical_bytes() {
+        // The contract the evidence cache relies on: canonical bytes
+        // change ⟺ the generation changed.
+        let mut regs = Registers::new();
+        regs.declare("a", 2);
+        regs.declare("b", 2);
+        let cases: &[(&str, u64, u64)] = &[
+            ("a", 0, 5),
+            ("a", 0, 5), // repeat: no change
+            ("b", 1, 9),
+            ("a", 9, 1), // out of range: no change
+            ("b", 1, 0), // back to zero: change
+        ];
+        for &(name, idx, val) in cases {
+            let bytes_before = regs.canonical_bytes();
+            let gen_before = regs.generation();
+            regs.write(name, idx, val);
+            assert_eq!(
+                regs.canonical_bytes() != bytes_before,
+                regs.generation() != gen_before,
+                "write {name}[{idx}]={val} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn equality_ignores_write_history() {
+        let mut a = Registers::new();
+        a.declare("r", 2);
+        a.write("r", 0, 1);
+        a.write("r", 0, 2);
+        let mut b = Registers::new();
+        b.declare("r", 2);
+        b.write("r", 0, 2);
+        assert_eq!(a, b, "same state, different histories");
+        assert_ne!(a.generation(), b.generation());
     }
 
     #[test]

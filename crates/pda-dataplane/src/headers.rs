@@ -163,7 +163,14 @@ mod tests {
 
     #[test]
     fn no_field_wider_than_u64() {
-        for h in [ethernet(), ipv4(), udp(), tcp(), pda_options(), payload_sig()] {
+        for h in [
+            ethernet(),
+            ipv4(),
+            udp(),
+            tcp(),
+            pda_options(),
+            payload_sig(),
+        ] {
             for fd in &h.fields {
                 assert!(fd.bytes >= 1 && fd.bytes <= 8, "{}.{}", h.name, fd.name);
             }

@@ -261,9 +261,7 @@ pub fn build_udp_packet(
     b.extend_from_slice(&0u16.to_be_bytes());
     // Payload, padded to the 8-byte signature window.
     b.extend_from_slice(payload);
-    for _ in payload.len()..8 {
-        b.push(0);
-    }
+    b.extend(std::iter::repeat_n(0, 8usize.saturating_sub(payload.len())));
     b
 }
 

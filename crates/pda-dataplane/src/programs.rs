@@ -78,7 +78,11 @@ pub fn firewall(
 ) -> DataplaneProgram {
     let mut acl = Table::new(
         "fw_acl",
-        vec![ternary("ipv4.src"), ternary("ipv4.dst"), ternary("ipv4.proto")],
+        vec![
+            ternary("ipv4.src"),
+            ternary("ipv4.dst"),
+            ternary("ipv4.proto"),
+        ],
         Action::nop(),
     );
     fn pmask(len: u8) -> u64 {

@@ -158,7 +158,10 @@ impl Table {
             if !ok {
                 return Err(EntryShapeError {
                     table: self.name.clone(),
-                    message: format!("cell {cell:?} illegal in {:?} column {}", col.kind, col.field),
+                    message: format!(
+                        "cell {cell:?} illegal in {:?} column {}",
+                        col.kind, col.field
+                    ),
                 });
             }
         }
@@ -238,10 +241,13 @@ mod tests {
     use crate::actions::Primitive;
 
     fn act(tag: u64) -> Action {
-        Action::named(format!("a{tag}"), vec![Primitive::SetField {
-            field: "meta.egress_port".into(),
-            value: tag,
-        }])
+        Action::named(
+            format!("a{tag}"),
+            vec![Primitive::SetField {
+                field: "meta.egress_port".into(),
+                value: tag,
+            }],
+        )
     }
 
     fn exact_table() -> Table {
@@ -340,7 +346,10 @@ mod tests {
                     value: 0x0a00_0000,
                     mask: 0xff00_0000,
                 },
-                KeyCell::Ternary { value: 6, mask: 0xff },
+                KeyCell::Ternary {
+                    value: 6,
+                    mask: 0xff,
+                },
             ],
             priority: 10,
             action: act(1),

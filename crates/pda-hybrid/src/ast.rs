@@ -181,8 +181,7 @@ pub mod table1 {
         let hop_clause = Clause {
             place: PlaceRef::Var("hop".into()),
             guard: Some(Guard::HasKey),
-            body: Phrase::Asp(Asp::service("attest", vec!["n", "X"]))
-                .then(Phrase::Asp(Asp::Sign)),
+            body: Phrase::Asp(Asp::service("attest", vec!["n", "X"])).then(Phrase::Asp(Asp::Sign)),
         };
         let appraiser = Clause {
             place: PlaceRef::Concrete(Place::new("Appraiser")),
@@ -256,11 +255,8 @@ pub mod table1 {
     ///        -+> @Appraiser [appraise -> store])
     /// ```
     pub fn ap3() -> HybridPolicy {
-        let clause = |place: PlaceRef, guard: Option<Guard>, body: Phrase| Clause {
-            place,
-            guard,
-            body,
-        };
+        let clause =
+            |place: PlaceRef, guard: Option<Guard>, body: Phrase| Clause { place, guard, body };
         let sign = Phrase::Asp(Asp::Sign);
         let appraise_store = Phrase::Asp(Asp::service("appraise", vec![]))
             .then(Phrase::Asp(Asp::service("store", vec![])));
@@ -321,12 +317,7 @@ pub mod table1 {
         );
         HybridPolicy {
             rp: Place::new("pathCheck"),
-            params: vec![
-                "F1".into(),
-                "F2".into(),
-                "Peer1".into(),
-                "Peer2".into(),
-            ],
+            params: vec!["F1".into(), "F2".into(), "Peer1".into(), "Peer2".into()],
             quantified: vec![
                 "p".into(),
                 "q".into(),
@@ -358,10 +349,7 @@ mod tests {
     #[test]
     fn ap3_vars_in_order() {
         let ap3 = table1::ap3();
-        assert_eq!(
-            ap3.body.place_vars(),
-            vec!["peer1", "p", "q", "r", "peer2"]
-        );
+        assert_eq!(ap3.body.place_vars(), vec!["peer1", "p", "q", "r", "peer2"]);
         assert_eq!(ap3.check_quantifiers(), Ok(()));
         assert_eq!(ap3.body.clause_count(), 7);
     }

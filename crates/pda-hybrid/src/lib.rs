@@ -48,5 +48,5 @@ pub use ast::{Clause, Guard, HExpr, HybridPolicy, PlaceRef};
 pub use nkcompile::{compile as compile_netkat, CompileError};
 pub use parser::{parse_hybrid, HParseError};
 pub use pretty::pretty_hybrid;
-pub use resolve::{resolve, Composition, HopDirective, NodeInfo, Resolved, ResolveError};
+pub use resolve::{resolve, Composition, HopDirective, NodeInfo, ResolveError, Resolved};
 pub use wire::{decode, encode, Flags, WireError, WirePolicy};

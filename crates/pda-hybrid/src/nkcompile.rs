@@ -157,7 +157,6 @@ pub fn compile(policy: &Policy, name: &str) -> Result<DataplaneProgram, CompileE
     let used: Vec<(Field, Vec<u32>, u32)> = doms
         .into_iter()
         .filter(|(f, vals, _)| !vals.is_empty() && *f != Field::Switch)
-        .map(|(f, vals, fresh)| (f, vals, fresh))
         .collect();
 
     let key: Vec<KeyCol> = used
@@ -361,7 +360,10 @@ mod tests {
 
     #[test]
     fn star_and_dup_rejected() {
-        assert_eq!(compile(&Policy::id().star(), "t"), Err(CompileError::HasStar));
+        assert_eq!(
+            compile(&Policy::id().star(), "t"),
+            Err(CompileError::HasStar)
+        );
         assert_eq!(compile(&Policy::Dup, "t"), Err(CompileError::HasDup));
         assert_eq!(
             compile(&Policy::assign(Field::Switch, 2), "t"),

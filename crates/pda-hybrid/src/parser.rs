@@ -31,7 +31,11 @@ pub struct HParseError {
 
 impl fmt::Display for HParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "hybrid parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "hybrid parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -125,7 +129,7 @@ impl<'a> Scanner<'a> {
     /// two split flags.
     fn chain_op(&mut self) -> Option<(Sp, Sp)> {
         self.skip_ws();
-        let rest = self.src[self.pos..].as_bytes();
+        let rest = &self.src.as_bytes()[self.pos..];
         if rest.len() >= 3
             && matches!(rest[0], b'+' | b'-')
             && matches!(rest[1], b'+' | b'-')
@@ -214,9 +218,7 @@ fn parse_hatom(sc: &mut Scanner) -> Result<HExpr, HParseError> {
             let body_start = sc.pos + 1; // first byte inside the `[`
             let raw = sc.bracket_body()?;
             let (guard_text, phrase_text) = split_guard(raw);
-            let guard = guard_text
-                .map(|g| parse_guard(g, body_start))
-                .transpose()?;
+            let guard = guard_text.map(|g| parse_guard(g, body_start)).transpose()?;
             let body = parse_phrase(phrase_text).map_err(|e| HParseError {
                 offset: body_start + e.offset,
                 message: format!("in clause body: {}", e.message),
@@ -359,8 +361,7 @@ mod tests {
 
     #[test]
     fn guard_variants() {
-        let p = parse_hybrid("*rp : @x [K |> !] -+> @y [runs(fw) |> !] -+> @z [Q |> !]")
-            .unwrap();
+        let p = parse_hybrid("*rp : @x [K |> !] -+> @y [runs(fw) |> !] -+> @z [Q |> !]").unwrap();
         let mut guards = Vec::new();
         p.body.walk(&mut |c| guards.push(c.guard.clone()));
         assert_eq!(
@@ -409,7 +410,11 @@ mod tests {
     fn body_parse_errors_have_adjusted_offsets() {
         let src = "*rp : @x [-> bad]";
         let err = parse_hybrid(src).unwrap_err();
-        assert!(err.offset >= 10, "offset {} should point into the body", err.offset);
+        assert!(
+            err.offset >= 10,
+            "offset {} should point into the body",
+            err.offset
+        );
         assert!(err.message.contains("in clause body"));
     }
 }

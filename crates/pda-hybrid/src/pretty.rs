@@ -88,8 +88,7 @@ mod tests {
 
     fn round_trip(p: &HybridPolicy) {
         let printed = pretty_hybrid(p);
-        let reparsed =
-            parse_hybrid(&printed).unwrap_or_else(|e| panic!("`{printed}` failed: {e}"));
+        let reparsed = parse_hybrid(&printed).unwrap_or_else(|e| panic!("`{printed}` failed: {e}"));
         assert_eq!(&reparsed, p, "printed: {printed}");
     }
 

@@ -155,7 +155,10 @@ impl fmt::Display for ResolveError {
         match self {
             ResolveError::NoMatch { var, guard } => match guard {
                 Some(g) => write!(f, "no path node satisfies `{g}` for place variable `{var}`"),
-                None => write!(f, "no RA-capable path node available for place variable `{var}`"),
+                None => write!(
+                    f,
+                    "no RA-capable path node available for place variable `{var}`"
+                ),
             },
             ResolveError::BadQuantifiers(m) => write!(f, "bad quantifiers: {m}"),
         }
@@ -305,11 +308,7 @@ impl<'a> Ctx<'a> {
                 }
                 let mut last_err = None;
                 for k in (0..=iterations.len()).rev() {
-                    let cur = if k == 0 {
-                        cursor
-                    } else {
-                        iterations[k - 1].2
-                    };
+                    let cur = if k == 0 { cursor } else { iterations[k - 1].2 };
                     let mut rhs_probe = self.fresh();
                     match rhs_probe.expr(rhs, cur) {
                         Ok((rp, end_cursor)) => {
@@ -406,12 +405,21 @@ mod tests {
             .filter(|d| d.node.starts_with("sw"))
             .collect();
         assert_eq!(hop_directives.len(), 4);
-        assert_eq!(r.bindings.get("client").map(String::as_str), Some("client-host"));
+        assert_eq!(
+            r.bindings.get("client").map(String::as_str),
+            Some("client-host")
+        );
         assert!(r.skipped.is_empty());
         // Parameters substituted into service args.
         let rendered = pda_copland::pretty::pretty_request(&r.request);
-        assert!(rendered.contains("attest(0xabc, program_digest)"), "{rendered}");
-        assert!(!rendered.contains("hop"), "no abstract names remain: {rendered}");
+        assert!(
+            rendered.contains("attest(0xabc, program_digest)"),
+            "{rendered}"
+        );
+        assert!(
+            !rendered.contains("hop"),
+            "no abstract names remain: {rendered}"
+        );
     }
 
     #[test]
@@ -422,8 +430,13 @@ mod tests {
             NodeInfo::pera("sw2"),
             NodeInfo::pera("client-host"),
         ];
-        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
-            .unwrap();
+        let r = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "1"), ("X", "x")],
+            Composition::Chained,
+        )
+        .unwrap();
         assert_eq!(r.skipped, vec!["legacy-router".to_string()]);
         let hop_nodes: Vec<_> = r
             .directives
@@ -441,21 +454,28 @@ mod tests {
             NodeInfo::pera("no-key").with_key(false),
             NodeInfo::pera("client-host"),
         ];
-        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
-            .unwrap();
+        let r = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "1"), ("X", "x")],
+            Composition::Chained,
+        )
+        .unwrap();
         assert!(r.skipped.contains(&"no-key".to_string()));
     }
 
     #[test]
     fn ap2_needs_no_path() {
-        let r = resolve(&table1::ap2(), &[], &[("P", "c2_beacon")], Composition::Chained)
-            .unwrap();
+        let r = resolve(
+            &table1::ap2(),
+            &[],
+            &[("P", "c2_beacon")],
+            Composition::Chained,
+        )
+        .unwrap();
         assert_eq!(r.directives.len(), 2);
         assert_eq!(r.directives[0].node, "scanner");
-        assert_eq!(
-            r.directives[0].guard,
-            Some(Guard::NamedTest("P".into()))
-        );
+        assert_eq!(r.directives[0].guard, Some(Guard::NamedTest("P".into())));
         let rendered = pda_copland::pretty::pretty_request(&r.request);
         assert!(rendered.contains("attest(c2_beacon)"), "{rendered}");
     }
@@ -517,8 +537,13 @@ mod tests {
     fn chained_vs_pointwise_composition() {
         let mut path = hops(3);
         path.push(NodeInfo::pera("client-host"));
-        let chained = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
-            .unwrap();
+        let chained = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "1"), ("X", "x")],
+            Composition::Chained,
+        )
+        .unwrap();
         let pointwise = resolve(
             &table1::ap1(),
             &path,
@@ -537,9 +562,17 @@ mod tests {
     fn star_with_zero_iterations() {
         // Path with only the client: the hop template matches zero times.
         let path = vec![NodeInfo::pera("client-host")];
-        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
-            .unwrap();
-        assert_eq!(r.bindings.get("client").map(String::as_str), Some("client-host"));
+        let r = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "1"), ("X", "x")],
+            Composition::Chained,
+        )
+        .unwrap();
+        assert_eq!(
+            r.bindings.get("client").map(String::as_str),
+            Some("client-host")
+        );
         assert_eq!(
             r.directives
                 .iter()
@@ -551,8 +584,13 @@ mod tests {
 
     #[test]
     fn empty_path_fails_for_var_clause() {
-        let err = resolve(&table1::ap1(), &[], &[("n", "1"), ("X", "x")], Composition::Chained)
-            .unwrap_err();
+        let err = resolve(
+            &table1::ap1(),
+            &[],
+            &[("n", "1"), ("X", "x")],
+            Composition::Chained,
+        )
+        .unwrap_err();
         assert!(matches!(err, ResolveError::NoMatch { var, .. } if var == "client"));
     }
 
@@ -560,8 +598,13 @@ mod tests {
     fn resolved_request_has_no_var_places() {
         let mut path = hops(2);
         path.push(NodeInfo::pera("client-host"));
-        let r = resolve(&table1::ap1(), &path, &[("n", "1"), ("X", "x")], Composition::Chained)
-            .unwrap();
+        let r = resolve(
+            &table1::ap1(),
+            &path,
+            &[("n", "1"), ("X", "x")],
+            Composition::Chained,
+        )
+        .unwrap();
         for place in r.request.phrase.places() {
             assert!(
                 place.0 != "hop" && place.0 != "client",

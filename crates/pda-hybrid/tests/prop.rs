@@ -27,9 +27,16 @@ fn body() -> impl Strategy<Value = Phrase> {
     prop_oneof![
         Just(Phrase::Asp(Asp::Sign)),
         Just(Phrase::Asp(Asp::Hash)),
-        ident().prop_map(|n| Phrase::Asp(Asp::Service { name: n, args: vec![] })),
+        ident().prop_map(|n| Phrase::Asp(Asp::Service {
+            name: n,
+            args: vec![]
+        })),
         (ident(), ident()).prop_map(|(n, a)| {
-            Phrase::Asp(Asp::Service { name: n, args: vec![a] }).then(Phrase::Asp(Asp::Sign))
+            Phrase::Asp(Asp::Service {
+                name: n,
+                args: vec![a],
+            })
+            .then(Phrase::Asp(Asp::Sign))
         }),
     ]
 }
@@ -47,7 +54,11 @@ fn path_node() -> impl Strategy<Value = NodeInfo> {
         proptest::collection::vec(ident(), 0..2),
     )
         .prop_map(|(name, ra, key, functions, tests)| {
-            let mut n = if ra { NodeInfo::pera(name) } else { NodeInfo::legacy(name) };
+            let mut n = if ra {
+                NodeInfo::pera(name)
+            } else {
+                NodeInfo::legacy(name)
+            };
             n.has_key = key && ra;
             n.functions = functions;
             n.passing_tests = tests;

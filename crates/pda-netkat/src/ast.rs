@@ -156,7 +156,9 @@ impl Pred {
         Pred::Or(Box::new(self), Box::new(other))
     }
 
-    /// Negation helper.
+    /// Negation helper. Deliberately named after the NetKAT surface
+    /// syntax rather than `std::ops::Not`, like `and`/`or` above.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Pred {
         Pred::Not(Box::new(self))
     }
@@ -334,7 +336,9 @@ mod tests {
 
     #[test]
     fn has_dup_and_size() {
-        let p = Policy::id().seq(Policy::Dup).union(Policy::assign(Field::Tag, 1));
+        let p = Policy::id()
+            .seq(Policy::Dup)
+            .union(Policy::assign(Field::Tag, 1));
         assert!(p.has_dup());
         assert_eq!(p.size(), 5);
         assert!(!Policy::id().star().has_dup());

@@ -39,7 +39,9 @@ pub fn counterexample(p: &Policy, q: &Policy) -> Option<Packet> {
         vals.sort_unstable();
         vals.dedup();
         // Fresh representative: a value not mentioned for this field.
-        let fresh = (0..).find(|v| !vals.contains(v)).expect("u32 not exhausted");
+        let fresh = (0..)
+            .find(|v| !vals.contains(v))
+            .expect("u32 not exhausted");
         vals.push(fresh);
         domains.push(vals);
     }

@@ -43,5 +43,5 @@ pub use ast::{Field, Packet, Policy, Pred};
 pub use equiv::{counterexample, equivalent};
 pub use parser::{parse_policy, parse_pred, NkParseError};
 pub use reach::{can_reach, link, reachable, switches_along, witness_path};
-pub use specialize::{slice_for_switch, specialize};
 pub use semantics::{eval_history, eval_packet, eval_set, History};
+pub use specialize::{slice_for_switch, specialize};

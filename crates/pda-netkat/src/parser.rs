@@ -29,7 +29,11 @@ pub struct NkParseError {
 
 impl fmt::Display for NkParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "netkat parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "netkat parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -114,13 +118,12 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, NkParseError> {
                 let mut n: u32 = 0;
                 while let Some(&(_, d)) = it.peek() {
                     if let Some(v) = d.to_digit(10) {
-                        n = n
-                            .checked_mul(10)
-                            .and_then(|x| x.checked_add(v))
-                            .ok_or(NkParseError {
+                        n = n.checked_mul(10).and_then(|x| x.checked_add(v)).ok_or(
+                            NkParseError {
                                 offset: i,
                                 message: "numeric literal overflows u32".to_string(),
-                            })?;
+                            },
+                        )?;
                         it.next();
                     } else {
                         break;

@@ -30,11 +30,7 @@ pub fn can_reach(step: &Policy, init: &BTreeSet<Packet>, goal: &Pred) -> bool {
 /// Breadth-first search for a shortest witness trace: a sequence of
 /// packets `π₀ … πₖ` with `π₀ ∈ init`, each `πᵢ₊₁` an output of `step` on
 /// `πᵢ`, and `goal(πₖ)`. Returns `None` when unreachable.
-pub fn witness_path(
-    step: &Policy,
-    init: &BTreeSet<Packet>,
-    goal: &Pred,
-) -> Option<Vec<Packet>> {
+pub fn witness_path(step: &Policy, init: &BTreeSet<Packet>, goal: &Pred) -> Option<Vec<Packet>> {
     let mut pred: BTreeMap<Packet, Option<Packet>> = BTreeMap::new();
     let mut queue = VecDeque::new();
     for &p in init {

@@ -229,7 +229,9 @@ mod tests {
 
     #[test]
     fn dup_records_history() {
-        let p = Policy::Dup.seq(Policy::assign(Field::Port, 9)).seq(Policy::Dup);
+        let p = Policy::Dup
+            .seq(Policy::assign(Field::Port, 9))
+            .seq(Policy::Dup);
         let out = eval_history(&p, History::new(pkt(1, 0)), 16).unwrap();
         assert_eq!(out.len(), 1);
         let h = out.iter().next().unwrap();
@@ -260,9 +262,9 @@ mod tests {
         let out = eval_history(&net.star(), History::new(pkt(1, 0)), 16).unwrap();
         // One of the reachable histories is the full two-hop trace ending
         // at sw3 having passed sw1 and sw2.
-        assert!(out.iter().any(|h| {
-            h.current == pkt(3, 0) && h.past == vec![pkt(2, 0), pkt(1, 0)]
-        }));
+        assert!(out
+            .iter()
+            .any(|h| { h.current == pkt(3, 0) && h.past == vec![pkt(2, 0), pkt(1, 0)] }));
     }
 
     #[test]

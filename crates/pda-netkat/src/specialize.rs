@@ -169,10 +169,7 @@ mod tests {
             .or(Pred::test(Field::Dst, 9));
         let s = specialize(&Policy::Filter(a), Field::Switch, 3);
         // !(sw=3) is false under the assumption; survives as dst test.
-        assert!(equivalent(
-            &s,
-            &Policy::filter(Pred::test(Field::Dst, 9))
-        ));
+        assert!(equivalent(&s, &Policy::filter(Pred::test(Field::Dst, 9))));
     }
 
     #[test]
@@ -188,7 +185,8 @@ mod tests {
     #[test]
     fn star_breaking_body_left_alone() {
         // Body rewrites sw: the loop may re-enter with other values.
-        let body = Policy::filter(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
+        let body =
+            Policy::filter(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
         let p = body.star();
         let s = specialize(&p, Field::Switch, 1);
         assert_eq!(s, p, "assumption-breaking star is untouched");

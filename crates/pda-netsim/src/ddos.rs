@@ -58,11 +58,21 @@ pub fn build(enforce: bool) -> DdosScenario {
     let legit_client = topo.add("legit-client", DeviceKind::Host);
     let sw1 = topo.add(
         "sw1",
-        DeviceKind::Pera(Box::new(PeraSwitch::new("sw1", "hw1", fwd(), attest_cfg.clone()))),
+        DeviceKind::Pera(Box::new(PeraSwitch::new(
+            "sw1",
+            "hw1",
+            fwd(),
+            attest_cfg.clone(),
+        ))),
     );
     let sw2 = topo.add(
         "sw2",
-        DeviceKind::Pera(Box::new(PeraSwitch::new("sw2", "hw2", fwd(), attest_cfg.clone()))),
+        DeviceKind::Pera(Box::new(PeraSwitch::new(
+            "sw2",
+            "hw2",
+            fwd(),
+            attest_cfg.clone(),
+        ))),
     );
     let botnet = topo.add("botnet", DeviceKind::Host);
     let rogue = topo.add(
@@ -122,8 +132,12 @@ impl DdosScenario {
                 443,
                 b"legit!!!",
             );
-            let pkt =
-                SimPacket::attested(bytes, self.legit_client, Nonce(1000 + i), EvidenceMode::InBand);
+            let pkt = SimPacket::attested(
+                bytes,
+                self.legit_client,
+                Nonce(1000 + i),
+                EvidenceMode::InBand,
+            );
             self.sim.inject(self.sim.now, self.legit_client, 1, pkt);
         }
         for i in 0..attack {
@@ -184,17 +198,12 @@ mod tests {
         // An attacker that marks packets as "attested" but whose chain is
         // empty (the rogue device can't sign) still gets dropped.
         let mut s = build(true);
-        let bytes =
-            crate::scenarios::test_packet(0xc6_000001, 0x0a00_0002, 443, b"fakefake");
+        let bytes = crate::scenarios::test_packet(0xc6_000001, 0x0a00_0002, 443, b"fakefake");
         let pkt = SimPacket::attested(bytes, s.botnet, Nonce(1), EvidenceMode::InBand);
         s.sim.inject(0, s.botnet, 1, pkt);
         s.sim.run();
         assert_eq!(s.sim.stats.enforcement_drops, 1);
-        assert!(s
-            .sim
-            .deliveries
-            .iter()
-            .all(|d| d.node != s.victim));
+        assert!(s.sim.deliveries.iter().all(|d| d.node != s.victim));
     }
 
     #[test]

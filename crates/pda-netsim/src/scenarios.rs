@@ -148,10 +148,7 @@ mod tests {
         // Appraiser has all three records.
         let recs = lp.sim.evidence_at(appraiser);
         assert_eq!(recs.len(), 3);
-        assert_eq!(
-            verify_chain(recs, &lp.sim.registry, Nonce(2), true),
-            Ok(())
-        );
+        assert_eq!(verify_chain(recs, &lp.sim.registry, Nonce(2), true), Ok(()));
         assert_eq!(lp.sim.stats.control_messages, 3);
         assert!(lp.sim.stats.control_bytes > 0);
     }

@@ -183,7 +183,11 @@ impl Simulator {
             self.now = ev.time;
             match ev.kind {
                 EventKind::Packet { node, port, packet } => self.handle_packet(node, port, packet),
-                EventKind::Control { node, record, bytes } => {
+                EventKind::Control {
+                    node,
+                    record,
+                    bytes,
+                } => {
                     self.stats.control_messages += 1;
                     self.stats.control_bytes += bytes as u64;
                     self.collected.entry(node).or_default().push(record);
@@ -312,14 +316,20 @@ mod guard_tests {
         let fwd = || programs::forwarding(&[(0, 0, 1)]);
         let mut topo = Topology::new();
         let h = topo.add("h", DeviceKind::Host);
-        let a = topo.add("a", DeviceKind::Legacy {
-            regs: fwd().make_registers(),
-            program: fwd(),
-        });
-        let b = topo.add("b", DeviceKind::Legacy {
-            regs: fwd().make_registers(),
-            program: fwd(),
-        });
+        let a = topo.add(
+            "a",
+            DeviceKind::Legacy {
+                regs: fwd().make_registers(),
+                program: fwd(),
+            },
+        );
+        let b = topo.add(
+            "b",
+            DeviceKind::Legacy {
+                regs: fwd().make_registers(),
+                program: fwd(),
+            },
+        );
         topo.link(h, 1, a, 0, 10);
         topo.link(a, 1, b, 0, 10);
         topo.link(b, 1, a, 2, 10);

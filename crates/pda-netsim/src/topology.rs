@@ -131,9 +131,17 @@ impl Topology {
             ns_per_byte,
         };
         let prev = self.nodes[a].ports.insert(port_a, fwd);
-        assert!(prev.is_none(), "port {port_a} of {} already wired", self.nodes[a].name);
+        assert!(
+            prev.is_none(),
+            "port {port_a} of {} already wired",
+            self.nodes[a].name
+        );
         let prev = self.nodes[b].ports.insert(port_b, rev);
-        assert!(prev.is_none(), "port {port_b} of {} already wired", self.nodes[b].name);
+        assert!(
+            prev.is_none(),
+            "port {port_b} of {} already wired",
+            self.nodes[b].name
+        );
     }
 
     /// Resolve a node by name.

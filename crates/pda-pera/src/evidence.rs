@@ -12,7 +12,7 @@ use crate::config::DetailLevel;
 use pda_crypto::digest::Digest;
 use pda_crypto::keyreg::KeyRegistry;
 use pda_crypto::nonce::Nonce;
-use pda_crypto::sig::{Signature, Signer, SignError};
+use pda_crypto::sig::{SignError, Signature, Signer};
 use std::fmt;
 
 /// One hop's evidence.
@@ -90,13 +90,22 @@ impl EvidenceRecord {
 
     /// The digest attested for a given level, if present.
     pub fn detail(&self, level: DetailLevel) -> Option<Digest> {
-        self.details.iter().find(|(l, _)| *l == level).map(|(_, d)| *d)
+        self.details
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, d)| *d)
     }
 }
 
 impl fmt::Display for EvidenceRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ev[{} n={} chain={}]", self.switch, self.nonce, self.chain.short())
+        write!(
+            f,
+            "ev[{} n={} chain={}]",
+            self.switch,
+            self.nonce,
+            self.chain.short()
+        )
     }
 }
 
@@ -233,7 +242,9 @@ mod tests {
         chain.remove(1); // adversary drops the middle hop's evidence
         let reg = registry(&names);
         let errs = verify_chain(&chain, &reg, Nonce(5), true).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ChainFailure::BrokenLink { index: 1 })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainFailure::BrokenLink { index: 1 })));
     }
 
     #[test]
@@ -272,7 +283,9 @@ mod tests {
         let chain = chain_of(&["sw1"], Nonce(5));
         let reg = registry(&["sw1"]);
         let errs = verify_chain(&chain, &reg, Nonce(6), true).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ChainFailure::WrongNonce { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ChainFailure::WrongNonce { .. })));
     }
 
     #[test]

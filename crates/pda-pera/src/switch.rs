@@ -27,6 +27,12 @@ pub struct PeraStats {
     pub evidence_bytes: u64,
     /// Signatures performed by the sign/verify unit.
     pub signatures: u64,
+    /// Measurement-function executions (actual digests computed, as
+    /// opposed to cache lookups). With the cache enabled this counts
+    /// only misses; it is the regression guard for the historical bug
+    /// where `attest` measured eagerly and the cache merely *recorded*
+    /// hits without saving the measurement cost.
+    pub measurements: u64,
 }
 
 /// Output of processing one packet through a PERA switch.
@@ -107,27 +113,21 @@ impl PeraSwitch {
         self.cache.invalidate(DetailLevel::Program);
     }
 
-    /// Measure one detail level right now (uncached).
-    fn measure(&self, level: DetailLevel, packet: &[u8]) -> Digest {
-        match level {
-            DetailLevel::Hardware => Digest::of_parts(&[b"hw:", self.hardware_id.as_bytes()]),
-            DetailLevel::Program => self.program.digest(),
-            DetailLevel::Tables => self.program.tables_digest(),
-            DetailLevel::ProgState => Digest::of(&self.regs.canonical_bytes()),
-            DetailLevel::Packets => Digest::of(packet),
-        }
-    }
-
-    /// Should this packet be attested, per the sampling config?
+    /// Should this packet be attested, per the sampling config? Called
+    /// after the packet counter is incremented, so `self.stats.packets`
+    /// is the 1-based index of the current packet. Periodic modes are
+    /// phase-aligned to the *first* packet: `EveryN(n)` attests packets
+    /// 1, n+1, 2n+1, … and an epoch of length n opens at packet 1.
     fn sample(&mut self, flow_hash: u64) -> bool {
+        let index0 = self.stats.packets.saturating_sub(1);
         match self.config.sampling {
             Sampling::PerPacket => true,
-            Sampling::EveryN(n) => self.stats.packets % u64::from(n.max(1)) == 0,
+            Sampling::EveryN(n) => index0.is_multiple_of(u64::from(n.max(1))),
             Sampling::PerFlow => self.seen_flows.insert(flow_hash),
-            Sampling::PerEpoch(n) => self.stats.packets % n.max(1) == 0,
+            Sampling::PerEpoch(n) => index0.is_multiple_of(n.max(1)),
             Sampling::PerFlowEpoch(n) => {
                 // Epoch boundary: forget which flows were attested.
-                if self.stats.packets % n.max(1) == 0 {
+                if index0.is_multiple_of(n.max(1)) {
                     self.seen_flows.clear();
                 }
                 self.seen_flows.insert(flow_hash)
@@ -138,25 +138,43 @@ impl PeraSwitch {
     /// Produce an evidence record now (the out-of-band path of Fig. 2,
     /// and the building block of the in-band path). `prev` links chained
     /// composition; pass `Digest::ZERO` for the first hop or pointwise.
-    pub fn attest(
-        &mut self,
-        nonce: Nonce,
-        prev: Digest,
-        packet: &[u8],
-    ) -> EvidenceRecord {
+    pub fn attest(&mut self, nonce: Nonce, prev: Digest, packet: &[u8]) -> EvidenceRecord {
         let prev = match self.config.composition {
             EvidenceComposition::Chained => prev,
             EvidenceComposition::Pointwise => Digest::ZERO,
         };
         let mut details = Vec::with_capacity(self.config.details.len());
-        for &level in &self.config.details.clone() {
-            let d = if self.config.cache_enabled {
-                // Borrow discipline: measure via an immutable snapshot.
-                let measured = self.measure(level, packet);
-                self.cache.get_or_measure(level, || measured)
+        // Split the borrows up front: the cache (and the measurement
+        // counter) are borrowed mutably while the measured objects are
+        // borrowed shared, so the closure handed to `get_or_measure` can
+        // run *lazily* — a cache hit never touches the program, tables,
+        // or register file at all.
+        let cache = &mut self.cache;
+        let stats = &mut self.stats;
+        let (program, regs, hardware_id) = (&self.program, &self.regs, &*self.hardware_id);
+        let cache_enabled = self.config.cache_enabled;
+        for &level in &self.config.details {
+            let d = if cache_enabled {
+                cache.get_or_measure(level, || {
+                    measure_level(
+                        program,
+                        regs,
+                        hardware_id,
+                        level,
+                        packet,
+                        &mut stats.measurements,
+                    )
+                })
             } else {
-                self.cache.stats.misses += 1;
-                self.measure(level, packet)
+                cache.stats.misses += 1;
+                measure_level(
+                    program,
+                    regs,
+                    hardware_id,
+                    level,
+                    packet,
+                    &mut stats.measurements,
+                )
             };
             details.push((level, d));
         }
@@ -180,14 +198,17 @@ impl PeraSwitch {
         ingress_port: u64,
         attestation: Option<(Nonce, Digest)>,
     ) -> Result<PeraOutput, ParseErr> {
-        let regs_before = self.regs.canonical_bytes();
+        // The register file's write generation replaces the historical
+        // full-state serialization (two `canonical_bytes()` calls per
+        // packet) for Prog-State invalidation: O(1) instead of O(cells).
+        let regs_gen_before = self.regs.generation();
         let forward = {
             let mut regs = std::mem::take(&mut self.regs);
             let r = self.program.process(bytes, ingress_port, &mut regs);
             self.regs = regs;
             r?
         };
-        if self.regs.canonical_bytes() != regs_before {
+        if self.regs.generation() != regs_gen_before {
             self.cache.invalidate(DetailLevel::ProgState);
         }
         self.stats.packets += 1;
@@ -228,6 +249,34 @@ impl PeraSwitch {
         t.insert(entry).map_err(|e| e.to_string())?;
         self.cache.invalidate(DetailLevel::Tables);
         Ok(())
+    }
+}
+
+/// Measure one detail level right now (uncached). A free function over
+/// the individual measured objects — rather than a `&self` method — so
+/// `attest` can hand it to [`EvidenceCache::get_or_measure`] as a lazy
+/// closure while the cache itself is mutably borrowed: the measurement
+/// runs only on a cache miss.
+///
+/// The `measurements` counter is a parameter (not bumped by the caller)
+/// so that *every* path that computes a digest counts it — the
+/// regression tests rely on this to detect any future reintroduction of
+/// eager measurement ahead of the cache lookup.
+fn measure_level(
+    program: &DataplaneProgram,
+    regs: &Registers,
+    hardware_id: &str,
+    level: DetailLevel,
+    packet: &[u8],
+    measurements: &mut u64,
+) -> Digest {
+    *measurements += 1;
+    match level {
+        DetailLevel::Hardware => Digest::of_parts(&[b"hw:", hardware_id.as_bytes()]),
+        DetailLevel::Program => program.digest(),
+        DetailLevel::Tables => program.tables_digest(),
+        DetailLevel::ProgState => Digest::of(&regs.canonical_bytes()),
+        DetailLevel::Packets => Digest::of(packet),
     }
 }
 
@@ -289,6 +338,43 @@ mod tests {
             evid += usize::from(out.evidence.is_some());
         }
         assert_eq!(evid, 4);
+    }
+
+    /// Attestation sampling is aligned to the *first* packet: `EveryN`
+    /// and the epoch schemes must attest packet 1, not wait a full
+    /// period. This pins the intended phase so the historical off-by-one
+    /// (pre-increment + `packets % n == 0`, which skipped packet 1 and
+    /// first attested packet `n`) cannot silently return.
+    #[test]
+    fn sampling_phase_attests_first_packet() {
+        for sampling in [
+            Sampling::EveryN(4),
+            Sampling::PerEpoch(5),
+            Sampling::PerFlowEpoch(7),
+        ] {
+            let mut sw = switch(PeraConfig::default().with_sampling(sampling));
+            let mut attested = Vec::new();
+            for i in 1..=15u32 {
+                let out = sw
+                    .process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                    .unwrap();
+                if out.evidence.is_some() {
+                    attested.push(i);
+                }
+            }
+            assert_eq!(
+                attested.first(),
+                Some(&1),
+                "{sampling:?}: first packet must be attested"
+            );
+            match sampling {
+                Sampling::EveryN(4) => assert_eq!(attested, vec![1, 5, 9, 13]),
+                Sampling::PerEpoch(5) => assert_eq!(attested, vec![1, 6, 11]),
+                // Single flow: re-attested at each epoch boundary.
+                Sampling::PerFlowEpoch(7) => assert_eq!(attested, vec![1, 8, 15]),
+                _ => unreachable!(),
+            }
+        }
     }
 
     #[test]
@@ -362,6 +448,43 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(sw.cache.stats.hits, 0);
+        let per_record = sw.config.details.len() as u64;
+        assert_eq!(sw.stats.measurements, 10 * per_record);
+    }
+
+    /// Regression guard for the evidence-cache bypass: `attest` used to
+    /// compute the measurement eagerly and pass the finished digest into
+    /// `get_or_measure`, so cache *hits* were recorded while the
+    /// measurement cost was still paid on every record. Every digest
+    /// computation now routes through `measure_level`, which bumps
+    /// `stats.measurements` — so if eager measurement is ever
+    /// reintroduced, the second attestation below stops being free and
+    /// this test fails.
+    #[test]
+    fn cached_attestation_of_unchanged_switch_measures_nothing() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[
+                    DetailLevel::Hardware,
+                    DetailLevel::Program,
+                    DetailLevel::Tables,
+                ]),
+        );
+        sw.process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap();
+        let after_first = sw.stats.measurements;
+        assert_eq!(after_first, 3, "cold cache: one measurement per level");
+
+        // Nothing about the switch changed between the two attestations,
+        // so the warm cache must satisfy every level without measuring.
+        sw.process_packet(&pkt(2, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap();
+        assert_eq!(
+            sw.stats.measurements, after_first,
+            "second attestation of an unchanged switch must perform zero measurements"
+        );
+        assert_eq!(sw.cache.stats.hits, 3);
     }
 
     #[test]
@@ -421,11 +544,16 @@ mod tests {
             .evidence
             .unwrap();
         assert_ne!(a.detail(DetailLevel::Tables), b.detail(DetailLevel::Tables));
-        assert!(sw.table_update("ghost", pda_dataplane::tables::Entry {
-            key: vec![],
-            priority: 0,
-            action: pda_dataplane::actions::Action::nop(),
-        }).is_err());
+        assert!(sw
+            .table_update(
+                "ghost",
+                pda_dataplane::tables::Entry {
+                    key: vec![],
+                    priority: 0,
+                    action: pda_dataplane::actions::Action::nop(),
+                }
+            )
+            .is_err());
     }
 
     #[test]
@@ -502,9 +630,10 @@ mod flow_epoch_tests {
                 .unwrap();
             evid += usize::from(out.evidence.is_some());
         }
-        // Initial attestation plus one at each epoch boundary (packet
-        // counts 10, 20, 30).
-        assert_eq!(evid, 4);
+        // Epochs are aligned to the first packet: the flow is attested
+        // when first seen (packet 1) and re-attested at each epoch
+        // boundary thereafter (packets 11 and 21).
+        assert_eq!(evid, 3);
     }
 
     #[test]

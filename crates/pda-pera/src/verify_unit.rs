@@ -14,10 +14,10 @@
 //! chain. The netsim engine consults it on PERA switches configured as
 //! enforcement points.
 
+use crate::config::DetailLevel;
 use crate::evidence::{verify_chain, EvidenceRecord};
 use pda_crypto::digest::Digest;
 use pda_crypto::keyreg::KeyRegistry;
-use crate::config::DetailLevel;
 use pda_crypto::nonce::Nonce;
 use std::collections::HashMap;
 
@@ -181,7 +181,10 @@ mod tests {
                 n,
                 vec![
                     (DetailLevel::Hardware, Digest::of(b"hw")),
-                    (DetailLevel::Program, Digest::of_parts(&[b"pg", n.as_bytes()])),
+                    (
+                        DetailLevel::Program,
+                        Digest::of_parts(&[b"pg", n.as_bytes()]),
+                    ),
                 ],
                 nonce,
                 prev,

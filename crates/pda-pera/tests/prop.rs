@@ -22,8 +22,14 @@ fn build_chain(n: usize, nonce: Nonce) -> (Vec<EvidenceRecord>, KeyRegistry) {
         let r = EvidenceRecord::create(
             &name,
             vec![
-                (DetailLevel::Hardware, Digest::of_parts(&[b"hw", name.as_bytes()])),
-                (DetailLevel::Program, Digest::of_parts(&[b"pg", name.as_bytes()])),
+                (
+                    DetailLevel::Hardware,
+                    Digest::of_parts(&[b"hw", name.as_bytes()]),
+                ),
+                (
+                    DetailLevel::Program,
+                    Digest::of_parts(&[b"pg", name.as_bytes()]),
+                ),
             ],
             nonce,
             prev,

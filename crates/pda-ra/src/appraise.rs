@@ -86,7 +86,10 @@ impl fmt::Display for Failure {
             Failure::BadSignature { place } => write!(f, "bad signature claimed by {place}"),
             Failure::UnknownSigner { place } => write!(f, "no key registered for {place}"),
             Failure::CorruptMeasurement {
-                target, observed, expected, ..
+                target,
+                observed,
+                expected,
+                ..
             } => write!(
                 f,
                 "measurement of {target} observed {} but golden is {}",
@@ -97,14 +100,20 @@ impl fmt::Display for Failure {
                 write!(f, "no golden value for component {target}")
             }
             Failure::SourceMismatch { place, args } => {
-                write!(f, "attested sources {args:?} at {place} do not match golden values")
+                write!(
+                    f,
+                    "attested sources {args:?} at {place} do not match golden values"
+                )
             }
             Failure::WrongNonce { got, expected } => {
                 write!(f, "nonce mismatch: got {got:?}, expected {expected}")
             }
             Failure::ReplayedNonce(n) => write!(f, "nonce {n} replayed"),
             Failure::HashMismatch { place } => {
-                write!(f, "hashed evidence from {place} does not match expected digest")
+                write!(
+                    f,
+                    "hashed evidence from {place} does not match expected digest"
+                )
             }
         }
     }
@@ -167,7 +176,9 @@ fn brief(e: &Ev) -> String {
     match e {
         Ev::Empty => "mt".into(),
         Ev::Nonce(_) => "nonce".into(),
-        Ev::Measurement { measurer, target, .. } => format!("meas({measurer},{target})"),
+        Ev::Measurement {
+            measurer, target, ..
+        } => format!("meas({measurer},{target})"),
         Ev::Signature { place, .. } => format!("sig@{place}"),
         Ev::Hashed { place, .. } => format!("hsh@{place}"),
         Ev::Service { name, place, .. } => format!("{name}@{place}"),
@@ -238,8 +249,14 @@ fn walk(
             }
             walk(sub, ssub, env, nonce, out);
         }
-        (Ev::Signature { place, sig, sub }, Shape::Signature { place: sp, sub: ssub }) => {
-            if &place.0 != &sp.0 {
+        (
+            Ev::Signature { place, sig, sub },
+            Shape::Signature {
+                place: sp,
+                sub: ssub,
+            },
+        ) => {
+            if place.0 != sp.0 {
                 out.fail(Failure::ShapeMismatch {
                     expected: format!("sig@{sp}"),
                     got: format!("sig@{place}"),
@@ -251,13 +268,23 @@ fn walk(
                 .verify_as(&place.0.as_str().into(), &sub.encode(), sig)
             {
                 Ok(true) => {}
-                Ok(false) => out.fail(Failure::BadSignature { place: place.clone() }),
-                Err(_) => out.fail(Failure::UnknownSigner { place: place.clone() }),
+                Ok(false) => out.fail(Failure::BadSignature {
+                    place: place.clone(),
+                }),
+                Err(_) => out.fail(Failure::UnknownSigner {
+                    place: place.clone(),
+                }),
             }
             walk(sub, ssub, env, nonce, out);
         }
-        (Ev::Hashed { place, digest }, Shape::Hashed { place: sp, sub: ssub }) => {
-            if &place.0 != &sp.0 {
+        (
+            Ev::Hashed { place, digest },
+            Shape::Hashed {
+                place: sp,
+                sub: ssub,
+            },
+        ) => {
+            if place.0 != sp.0 {
                 out.fail(Failure::ShapeMismatch {
                     expected: format!("hsh@{sp}"),
                     got: format!("hsh@{place}"),
@@ -269,13 +296,19 @@ fn walk(
             // digest as an opaque commitment.
             if let Some(expected) = build_expected(ssub, sp, env, nonce) {
                 if expected.digest() != *digest {
-                    out.fail(Failure::HashMismatch { place: place.clone() });
+                    out.fail(Failure::HashMismatch {
+                        place: place.clone(),
+                    });
                 }
             }
         }
         (
             Ev::Service {
-                name, args, place, payload, sub,
+                name,
+                args,
+                place,
+                payload,
+                sub,
             },
             Shape::Service {
                 name: sn,
@@ -284,7 +317,7 @@ fn walk(
                 ..
             },
         ) => {
-            if name != sn || &place.0 != &sp.0 {
+            if name != sn || place.0 != sp.0 {
                 out.fail(Failure::ShapeMismatch {
                     expected: format!("{sn}@{sp}"),
                     got: format!("{name}@{place}"),
@@ -345,6 +378,10 @@ fn expected_attest_payload(args: &[String], place: &Place, env: &Environment) ->
 /// produced for `shape`, using the appraiser's golden values. Returns
 /// `None` when the shape contains elements whose bytes the appraiser
 /// cannot predict (signatures, service payloads other than `attest`).
+// `at_place` is threaded through recursion as the evaluation context
+// even though only sub-shapes consume it — keeping the signature
+// uniform with the evaluator it mirrors.
+#[allow(clippy::only_used_in_recursion)]
 pub fn build_expected(
     shape: &Shape,
     at_place: &Place,
@@ -374,7 +411,10 @@ pub fn build_expected(
             digest: build_expected(sub, place, env, nonce)?.digest(),
         },
         Shape::Service {
-            name, args, place, sub,
+            name,
+            args,
+            place,
+            sub,
         } if name == "attest" => Ev::Service {
             name: name.clone(),
             args: args.clone(),
@@ -537,15 +577,20 @@ mod tests {
         env.add_place(PlaceRuntime::new("Appraiser"));
         let req = examples::pera_out_of_band();
         let shape = eval_request(&req);
-        env.place_mut("Switch").unwrap().swap_source("Program", b"rogue.p4");
+        env.place_mut("Switch")
+            .unwrap()
+            .swap_source("Program", b"rogue.p4");
         let report = run_request(&req, &mut env, Some(Nonce(5))).unwrap();
         let result = appraise(&report.evidence, &shape, &env, Some(Nonce(5)));
         assert!(!result.ok);
-        assert!(result
-            .failures
-            .iter()
-            .any(|f| matches!(f, Failure::HashMismatch { .. })),
-            "{:?}", result.failures);
+        assert!(
+            result
+                .failures
+                .iter()
+                .any(|f| matches!(f, Failure::HashMismatch { .. })),
+            "{:?}",
+            result.failures
+        );
     }
 
     #[test]
@@ -650,7 +695,10 @@ mod service_tests {
         assert!(first.ok, "{:?}", first.failures);
         let second = service.appraise_fresh(&report.evidence, &shape, &env, Nonce(5));
         assert!(!second.ok);
-        assert!(matches!(second.failures[0], Failure::ReplayedNonce(Nonce(5))));
+        assert!(matches!(
+            second.failures[0],
+            Failure::ReplayedNonce(Nonce(5))
+        ));
         assert_eq!(service.log, vec![(Nonce(5), true), (Nonce(5), false)]);
     }
 

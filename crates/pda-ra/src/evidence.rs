@@ -243,7 +243,9 @@ impl fmt::Display for Ev {
             } => write!(f, "meas({measurer}→{target}={})", observed.short()),
             Ev::Signature { place, sub, .. } => write!(f, "sig@{place}[{sub}]"),
             Ev::Hashed { place, digest } => write!(f, "hsh@{place}:{}", digest.short()),
-            Ev::Service { name, place, sub, .. } => write!(f, "{name}@{place}[{sub}]"),
+            Ev::Service {
+                name, place, sub, ..
+            } => write!(f, "{name}@{place}[{sub}]"),
             Ev::Seq(l, r) => write!(f, "seq({l}; {r})"),
             Ev::Par(l, r) => write!(f, "par({l} || {r})"),
         }

@@ -421,7 +421,8 @@ mod tests {
     fn store_and_retrieve_round_trip() {
         let mut env = Environment::new();
         env.add_place(PlaceRuntime::new("Appraiser").with_source("x", b"v"));
-        let store_req = parse_request("*Appraiser<n> : @Appraiser [attest(x) -> store(n)]").unwrap();
+        let store_req =
+            parse_request("*Appraiser<n> : @Appraiser [attest(x) -> store(n)]").unwrap();
         let n = Nonce(77);
         run_request(&store_req, &mut env, Some(n)).unwrap();
         let get_req = parse_request("*RP2<n> : @Appraiser [retrieve(n)]").unwrap();
@@ -441,7 +442,10 @@ mod tests {
         let mut env = Environment::new();
         env.add_place(PlaceRuntime::new("Appraiser"));
         let req = parse_request("*RP : @Appraiser [store(n)]").unwrap();
-        assert_eq!(run_request(&req, &mut env, None).unwrap_err(), ProtocolError::NoNonce);
+        assert_eq!(
+            run_request(&req, &mut env, None).unwrap_err(),
+            ProtocolError::NoNonce
+        );
     }
 
     #[test]
@@ -454,12 +458,15 @@ mod tests {
                 .with_source("Program", b"firewall_v5.p4"),
         );
         env.add_place(PlaceRuntime::new("Appraiser"));
-        let report =
-            run_request(&examples::pera_out_of_band(), &mut env, Some(Nonce(9))).unwrap();
+        let report = run_request(&examples::pera_out_of_band(), &mut env, Some(Nonce(9))).unwrap();
         // Switch signed once, appraiser signed once.
         assert_eq!(report.evidence.signature_count(), 2);
         // Certificate is now stored at the appraiser under the nonce.
-        assert!(env.place("Appraiser").unwrap().store.contains_key(&Nonce(9)));
+        assert!(env
+            .place("Appraiser")
+            .unwrap()
+            .store
+            .contains_key(&Nonce(9)));
         // RP2 retrieves it (second expression of eq 3).
         let r2 = run_request(&examples::pera_retrieve(), &mut env, Some(Nonce(9))).unwrap();
         let Ev::Service { payload, .. } = &r2.evidence else {
@@ -499,7 +506,9 @@ mod tests {
             .unwrap()
             .evidence
             .digest();
-        env.place_mut("Switch").unwrap().swap_source("Program", b"rogue.p4");
+        env.place_mut("Switch")
+            .unwrap()
+            .swap_source("Program", b"rogue.p4");
         let after = run_request(&examples::pera_out_of_band(), &mut env, Some(Nonce(1)))
             .unwrap()
             .evidence

@@ -122,7 +122,8 @@ impl PlaceRuntime {
     /// Swap an attestation source's value (e.g. the Athens-affair rogue
     /// program replacing the legitimate one).
     pub fn swap_source(&mut self, prop: &str, new_value: &[u8]) {
-        self.attest_sources.insert(prop.to_string(), new_value.to_vec());
+        self.attest_sources
+            .insert(prop.to_string(), new_value.to_vec());
     }
 }
 

@@ -24,7 +24,11 @@ fn main() {
 
     // Day 0: the operator's scheduled attestation sweep — evidence is
     // collected out-of-band at the appraiser (Fig. 2's OOB variant).
-    net.send_attested(Nonce(100), EvidenceMode::OutOfBand { appraiser }, b"voicecal");
+    net.send_attested(
+        Nonce(100),
+        EvidenceMode::OutOfBand { appraiser },
+        b"voicecal",
+    );
     let day0 = net.sim.evidence_at(appraiser).to_vec();
     assert!(appraise_chain(&day0, &net.sim.registry, &golden, Nonce(100), true).is_ok());
     println!("day 0 sweep: {} hops attested clean", day0.len());
@@ -46,7 +50,11 @@ fn main() {
 
     // Day 1: the next sweep. The appraiser compares sw2's attested
     // program digest to the golden value and raises the alarm.
-    net.send_attested(Nonce(101), EvidenceMode::OutOfBand { appraiser }, b"voicecal");
+    net.send_attested(
+        Nonce(101),
+        EvidenceMode::OutOfBand { appraiser },
+        b"voicecal",
+    );
     let all = net.sim.evidence_at(appraiser);
     let day1 = &all[day0.len()..];
     match appraise_chain(day1, &net.sim.registry, &golden, Nonce(101), true) {
@@ -64,8 +72,7 @@ fn main() {
     // corrupt-and-repair; with sequencing (eq 2) only a mid-protocol
     // corruption survives.
     let eq1 = parse_request("*bank : @ks [av us bmon] +~+ @us [bmon us exts]").unwrap();
-    let eq2 =
-        parse_request("*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]").unwrap();
+    let eq2 = parse_request("*bank : @ks [av us bmon -> !] -<- @us [bmon us exts -> !]").unwrap();
     let adversary = AdversaryModel::controlling(&["us"]);
     println!(
         "\nCopland analysis — eq (1): {}",

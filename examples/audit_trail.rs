@@ -52,7 +52,11 @@ fn main() {
     let mut prev = Digest::ZERO;
     let mut hits = 0;
     for i in 0..50u32 {
-        let payload: &[u8] = if i % 10 == 3 { b"C2BEACON" } else { b"ORDINARY" };
+        let payload: &[u8] = if i % 10 == 3 {
+            b"C2BEACON"
+        } else {
+            b"ORDINARY"
+        };
         let pkt = build_udp_packet(0xa, 0xb, 0x0a00_0000 + i, 0x0808_0808, 4444, 8080, payload);
         let out = scanner
             .process_packet(&pkt, 0, Some((Nonce(42), prev)))

@@ -34,7 +34,13 @@ fn host_appraisal(corrupt_stack: bool) -> pda_ra::appraise::AppraisalResult {
     appraise(&report.evidence, &shape, &env, None)
 }
 
-fn network_chain(nonce: Nonce) -> (Vec<pda_pera::evidence::EvidenceRecord>, pda_netsim::Simulator, GoldenStore) {
+fn network_chain(
+    nonce: Nonce,
+) -> (
+    Vec<pda_pera::evidence::EvidenceRecord>,
+    pda_netsim::Simulator,
+    GoldenStore,
+) {
     let config = PeraConfig::default().with_sampling(Sampling::PerPacket);
     let mut net = linear_path(3, &config, &[]);
     let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
@@ -52,7 +58,11 @@ fn main() {
         "verified stack, clean path:  host_ok={} network_ok={} → {}",
         verdict.host_ok,
         verdict.network_ok,
-        if verdict.cleared() { "ALLOW egress" } else { "BLOCK egress" }
+        if verdict.cleared() {
+            "ALLOW egress"
+        } else {
+            "BLOCK egress"
+        }
     );
     assert!(verdict.cleared());
 
@@ -66,7 +76,11 @@ fn main() {
         "tampered stack, clean path:  host_ok={} network_ok={} → {}",
         verdict.host_ok,
         verdict.network_ok,
-        if verdict.cleared() { "ALLOW egress" } else { "BLOCK egress" }
+        if verdict.cleared() {
+            "ALLOW egress"
+        } else {
+            "BLOCK egress"
+        }
     );
     assert!(!verdict.cleared());
 
@@ -78,7 +92,11 @@ fn main() {
         "verified stack, stale chain: host_ok={} network_ok={} → {}",
         verdict.host_ok,
         verdict.network_ok,
-        if verdict.cleared() { "ALLOW egress" } else { "BLOCK egress" }
+        if verdict.cleared() {
+            "ALLOW egress"
+        } else {
+            "BLOCK egress"
+        }
     );
     assert!(!verdict.cleared());
 

@@ -34,7 +34,11 @@ fn main() {
         "same-path login:   match={:.2} valid={} → {}",
         score.path_match,
         score.chain_valid,
-        if score.acceptable(0.75) { "ACCEPT as 2nd factor" } else { "REJECT" }
+        if score.acceptable(0.75) {
+            "ACCEPT as 2nd factor"
+        } else {
+            "REJECT"
+        }
     );
 
     // Login via a shorter, different path: weak match.
@@ -44,7 +48,11 @@ fn main() {
         "foreign-path login: match={:.2} valid={} → {}",
         score.path_match,
         score.chain_valid,
-        if score.acceptable(0.75) { "ACCEPT as 2nd factor" } else { "REJECT" }
+        if score.acceptable(0.75) {
+            "ACCEPT as 2nd factor"
+        } else {
+            "REJECT"
+        }
     );
 
     // A forged chain (tampered program digest) fails validity outright.

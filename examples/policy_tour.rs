@@ -45,7 +45,11 @@ fn main() {
          *=> @client [K |> @ks [av us bmon -> !] -<- @us [bmon us exts -> !]]",
     )
     .expect("AP1 parses");
-    println!("\nAP1 parsed: {} clauses, vars {:?}", ap1.body.clause_count(), ap1.body.place_vars());
+    println!(
+        "\nAP1 parsed: {} clauses, vars {:?}",
+        ap1.body.clause_count(),
+        ap1.body.place_vars()
+    );
 
     // Deployment view of the NetKAT path: sw2 is legacy (an NE).
     let view = vec![

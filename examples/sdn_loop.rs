@@ -23,10 +23,8 @@ fn main() {
                 .seq(Policy::drop()),
         )
         .union(
-            Policy::filter(
-                Pred::test(Field::Switch, 2).and(Pred::test(Field::Src, 0xbad).not()),
-            )
-            .seq(Policy::assign(Field::Port, 1)),
+            Policy::filter(Pred::test(Field::Switch, 2).and(Pred::test(Field::Src, 0xbad).not()))
+                .seq(Policy::assign(Field::Port, 1)),
         );
     println!("network policy: {network}");
 
@@ -50,7 +48,12 @@ fn main() {
     let client = topo.add("client", DeviceKind::Host);
     let s1 = topo.add(
         "sw1",
-        DeviceKind::Pera(Box::new(PeraSwitch::new("sw1", "hw1", prog1, config.clone()))),
+        DeviceKind::Pera(Box::new(PeraSwitch::new(
+            "sw1",
+            "hw1",
+            prog1,
+            config.clone(),
+        ))),
     );
     let s2 = topo.add(
         "sw2",
@@ -65,8 +68,18 @@ fn main() {
     // 4. Traffic: allowed and embargoed.
     let ok = pda_netsim::test_packet(0x0001, 0x2, 443, b"allowed!");
     let bad = pda_netsim::test_packet(0x0bad, 0x2, 443, b"embargo!");
-    sim.inject(0, client, 1, SimPacket::attested(ok, client, Nonce(1), EvidenceMode::InBand));
-    sim.inject(10, client, 1, SimPacket::attested(bad, client, Nonce(2), EvidenceMode::InBand));
+    sim.inject(
+        0,
+        client,
+        1,
+        SimPacket::attested(ok, client, Nonce(1), EvidenceMode::InBand),
+    );
+    sim.inject(
+        10,
+        client,
+        1,
+        SimPacket::attested(bad, client, Nonce(2), EvidenceMode::InBand),
+    );
     sim.run();
     println!(
         "\ntraffic: {} delivered, {} dropped (the embargoed packet died at sw2's compiled slice)",

@@ -1,0 +1,340 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! workspace vendors the benchmark-facing API it uses: [`Criterion`] with
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `benchmark_group` with `bench_with_input` / `throughput` / `finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a straightforward wall-clock estimator: warm up for the
+//! configured duration, then time batches until the measurement budget is
+//! spent and report the median per-iteration time across samples. There is
+//! no statistical analysis, plotting, or HTML report — just stable,
+//! comparable numbers on stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark runner configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour the CLI filter argument `cargo bench -- <substring>` passes
+        // through, and ignore harness flags like `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<&Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id, throughput);
+    }
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation echoed in reports.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkIdOrStr>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.criterion.run_one(&full, self.throughput.as_ref(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(&full, self.throughput.as_ref(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where the real crate takes
+/// `impl IntoBenchmarkId`.
+pub struct BenchmarkIdOrStr(String);
+
+impl From<&str> for BenchmarkIdOrStr {
+    fn from(s: &str) -> Self {
+        BenchmarkIdOrStr(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkIdOrStr {
+    fn from(s: String) -> Self {
+        BenchmarkIdOrStr(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchmarkIdOrStr {
+    fn from(id: BenchmarkId) -> Self {
+        BenchmarkIdOrStr(id.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also estimates the per-iteration cost so each sample can
+        // run enough iterations to dominate timer overhead.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns
+                .push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<&Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<48} (no measurement — closure never called iter)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[sorted.len() / 20];
+        let hi = sorted[sorted.len() - 1 - sorted.len() / 20];
+        let rate = match throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  {:>10.1} MiB/s",
+                    *n as f64 / (median * 1e-9) / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.0} elem/s", *n as f64 / (median * 1e-9))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<48} time: [{} {} {}]{rate}",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring the real
+/// macro's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(3),
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = false;
+        fast_criterion().bench_function("t", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_with_inputs_and_throughput() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(64));
+        let mut seen = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64u64, |b, &n| {
+            seen = n;
+            b.iter(|| n * 2);
+        });
+        g.finish();
+        assert_eq!(seen, 64);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

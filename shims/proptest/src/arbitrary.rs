@@ -1,0 +1,78 @@
+//! `any::<T>()` strategies for the primitive types the tests draw from.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Strategy for an [`Arbitrary`] type (what `any::<T>()` returns).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_domain_edges_eventually() {
+        let mut rng = TestRng::from_seed(11);
+        let s = any::<u8>();
+        let mut seen_high = false;
+        let mut seen_low = false;
+        for _ in 0..4096 {
+            let v = s.gen_value(&mut rng);
+            seen_high |= v > 200;
+            seen_low |= v < 50;
+        }
+        assert!(seen_high && seen_low);
+    }
+
+    #[test]
+    fn arrays_fill_every_byte_eventually() {
+        let mut rng = TestRng::from_seed(12);
+        let v: [u8; 32] = Arbitrary::arbitrary(&mut rng);
+        assert!(v.iter().any(|&b| b != 0));
+    }
+}

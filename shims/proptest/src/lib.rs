@@ -1,0 +1,150 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! workspace vendors the API subset its property tests consume: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive` / `boxed`,
+//! integer-range and tuple strategies, `&str` regex-lite string strategies,
+//! [`collection::vec`], `any::<T>()`, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert*!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//! - **No shrinking.** A failing case panics with the generated-case number
+//!   and the test's deterministic seed; rerunning reproduces it exactly.
+//! - **Deterministic seeding.** The RNG seed is derived from the test name,
+//!   so runs are reproducible without a `proptest-regressions` file
+//!   (existing regression files are ignored).
+//! - **Recursion depth** in `prop_recursive` honours the `depth` argument
+//!   but treats the size/branch hints as advisory only.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+pub mod collection;
+
+mod string;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Build a union strategy over equally weighted arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Reject the current test case (it is regenerated, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!(
+                $cond
+            )));
+        }
+    };
+}
+
+/// Fail the current test case if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current test case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current test case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            l,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Define property tests. Mirrors the real macro's surface syntax:
+/// an optional `#![proptest_config(...)]` inner attribute followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::test_runner::run(stringify!($name), &config, |__pt_rng| {
+                    $(let $p = $crate::strategy::Strategy::gen_value(&($s), __pt_rng);)+
+                    {
+                        $body
+                    }
+                    Ok(())
+                });
+            }
+        )*
+    };
+}

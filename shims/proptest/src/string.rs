@@ -1,0 +1,122 @@
+//! Regex-lite string generation for `&str` strategies.
+//!
+//! Supports exactly the pattern features the workspace's tests use:
+//! literal characters, `[...]` character classes containing literals and
+//! `a-z` style ranges, and `{n}` / `{lo,hi}` repetition of the preceding
+//! atom. Anything fancier panics loudly at generation time.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in `{pattern}`");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in `{pattern}`");
+                i = close + 1;
+                set
+            }
+            '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '\\' => {
+                panic!(
+                    "unsupported regex feature `{}` in pattern `{pattern}`",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            min <= max,
+            "bad repetition `{{{min},{max}}}` in `{pattern}`"
+        );
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.below(atom.max - atom.min + 1);
+        for _ in 0..count {
+            out.push(atom.choices[rng.below(atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier_matches_shape() {
+        let mut rng = TestRng::from_seed(31);
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(32);
+        let s = generate("x[01]{3}y", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+}

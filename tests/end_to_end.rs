@@ -94,8 +94,7 @@ fn replayed_chain_rejected_under_new_nonce() {
     let chain = net.server_chains()[0].chain.clone();
     // Fresh appraisal passes; replay under nonce 11 fails on every record.
     assert!(appraise_chain(&chain, &net.sim.registry, &golden, Nonce(10), true).is_ok());
-    let errs =
-        appraise_chain(&chain, &net.sim.registry, &golden, Nonce(11), true).unwrap_err();
+    let errs = appraise_chain(&chain, &net.sim.registry, &golden, Nonce(11), true).unwrap_err();
     let nonce_failures = errs
         .iter()
         .filter(|f| {
@@ -165,8 +164,13 @@ fn hybrid_policy_resolved_against_simulated_topology() {
          *=> @client [K |> !]",
     )
     .unwrap();
-    let resolved = resolve(&ap1, &view, &[("n", "5"), ("X", "prog")], Composition::Chained)
-        .unwrap();
+    let resolved = resolve(
+        &ap1,
+        &view,
+        &[("n", "5"), ("X", "prog")],
+        Composition::Chained,
+    )
+    .unwrap();
     assert_eq!(resolved.bindings["client"], "server");
     assert_eq!(resolved.skipped, vec!["sw2".to_string()]);
     let attesting: Vec<&str> = resolved
@@ -245,7 +249,12 @@ fn pseudonymous_chain_appraisal_and_audit_lift() {
     .unwrap();
     // Alice verifies without learning the serial number…
     assert_eq!(
-        verify_chain(&[record.clone()], &alice_registry, Nonce(1), true),
+        verify_chain(
+            std::slice::from_ref(&record),
+            &alice_registry,
+            Nonce(1),
+            true
+        ),
         Ok(())
     );
     assert!(!pseud.contains("8271"), "pseudonym leaks nothing: {pseud}");
@@ -259,26 +268,23 @@ fn netkat_to_attested_dataplane_pipeline() {
     // policy is sliced per switch, compiled to dataplane programs,
     // loaded onto PERA switches, and the switches then attest the
     // digests of exactly those compiled programs.
+    use pda_hybrid::nkcompile::compile;
     use pda_netkat::ast::{Field, Policy, Pred};
     use pda_netkat::specialize::slice_for_switch;
-    use pda_hybrid::nkcompile::compile;
-    use pda_netsim::{DeviceKind, SimPacket, Topology};
     use pda_netsim::sim::Simulator;
+    use pda_netsim::{DeviceKind, SimPacket, Topology};
 
     // Network policy: switch 1 forwards everything out port 1; switch 2
     // drops UDP from the embargoed prefix and forwards the rest.
     let network = Policy::filter(Pred::test(Field::Switch, 1))
         .seq(Policy::assign(Field::Port, 1))
         .union(
-            Policy::filter(
-                Pred::test(Field::Switch, 2).and(Pred::test(Field::Src, 0xbad)),
-            )
-            .seq(Policy::drop()))
+            Policy::filter(Pred::test(Field::Switch, 2).and(Pred::test(Field::Src, 0xbad)))
+                .seq(Policy::drop()),
+        )
         .union(
-            Policy::filter(
-                Pred::test(Field::Switch, 2).and(Pred::test(Field::Src, 0xbad).not()),
-            )
-            .seq(Policy::assign(Field::Port, 1)),
+            Policy::filter(Pred::test(Field::Switch, 2).and(Pred::test(Field::Src, 0xbad).not()))
+                .seq(Policy::assign(Field::Port, 1)),
         );
 
     // Slice and compile per switch.
@@ -295,7 +301,10 @@ fn netkat_to_attested_dataplane_pipeline() {
     let s1 = topo.add(
         "sw1",
         DeviceKind::Pera(Box::new(pda_pera::switch::PeraSwitch::new(
-            "sw1", "hw1", prog1, config.clone(),
+            "sw1",
+            "hw1",
+            prog1,
+            config.clone(),
         ))),
     );
     let s2 = topo.add(
@@ -312,14 +321,20 @@ fn netkat_to_attested_dataplane_pipeline() {
 
     // Allowed traffic flows and is attested with the compiled digests.
     let ok_pkt = pda_netsim::test_packet(0x1, 0x2, 443, b"allowed!");
-    sim.inject(0, client, 1, SimPacket::attested(
-        ok_pkt, client, Nonce(1), EvidenceMode::InBand,
-    ));
+    sim.inject(
+        0,
+        client,
+        1,
+        SimPacket::attested(ok_pkt, client, Nonce(1), EvidenceMode::InBand),
+    );
     // Embargoed traffic is dropped by sw2's compiled slice.
     let bad_pkt = pda_netsim::test_packet(0xbad, 0x2, 443, b"embargo!");
-    sim.inject(10, client, 1, SimPacket::attested(
-        bad_pkt, client, Nonce(2), EvidenceMode::InBand,
-    ));
+    sim.inject(
+        10,
+        client,
+        1,
+        SimPacket::attested(bad_pkt, client, Nonce(2), EvidenceMode::InBand),
+    );
     sim.run();
 
     assert_eq!(sim.stats.delivered, 1, "embargoed packet dropped in-plane");
@@ -336,8 +351,5 @@ fn netkat_to_attested_dataplane_pipeline() {
     assert_eq!(chain.len(), 2);
     assert_eq!(chain[0].detail(DetailLevel::Program), Some(golden1));
     assert_eq!(chain[1].detail(DetailLevel::Program), Some(golden2));
-    assert_eq!(
-        verify_chain(chain, &sim.registry, Nonce(1), true),
-        Ok(())
-    );
+    assert_eq!(verify_chain(chain, &sim.registry, Nonce(1), true), Ok(()));
 }

@@ -127,24 +127,10 @@ fn eq1_attack_succeeds_eq2_attack_detected() {
     env.place_mut("us").unwrap().corrupt("exts");
     env.place_mut("us").unwrap().corrupt("bmon"); // bmon lies
     let c2 = pda_copland::parse_phrase("@us [bmon us exts]").unwrap();
-    let r2 = pda_ra::run_phrase(
-        &c2,
-        &"bank".into(),
-        pda_ra::Ev::Empty,
-        &mut env,
-        None,
-    )
-    .unwrap();
+    let r2 = pda_ra::run_phrase(&c2, &"bank".into(), pda_ra::Ev::Empty, &mut env, None).unwrap();
     env.place_mut("us").unwrap().repair("bmon"); // hide tracks
     let c1 = pda_copland::parse_phrase("@ks [av us bmon]").unwrap();
-    let r1 = pda_ra::run_phrase(
-        &c1,
-        &"bank".into(),
-        pda_ra::Ev::Empty,
-        &mut env,
-        None,
-    )
-    .unwrap();
+    let r1 = pda_ra::run_phrase(&c1, &"bank".into(), pda_ra::Ev::Empty, &mut env, None).unwrap();
     let combined = Ev::Par(Box::new(r1.evidence), Box::new(r2.evidence));
     let shape = eval_request(&examples::bank_eq1());
     let result = appraise(&combined, &shape, &env, None);
