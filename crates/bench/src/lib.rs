@@ -22,6 +22,7 @@ use pda_netkat::reach::{can_reach, link, witness_path};
 use pda_netsim::{linear_path, linear_path_bw, EvidenceMode};
 use pda_pera::config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
 use pda_pera::switch::PeraSwitch;
+use pda_telemetry::Telemetry;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
@@ -47,10 +48,16 @@ pub struct Fig1Row {
 /// Fig. 1: run the out-of-band PERA attestation (eq 3) once per signing
 /// backend and report the message/byte/check shape.
 pub fn exp_fig1() -> Vec<Fig1Row> {
+    exp_fig1_with(&Telemetry::off())
+}
+
+/// Like [`exp_fig1`], but appraisal verdicts and spans land in `tel`'s
+/// registry and audit log (the `--telemetry` harness path).
+pub fn exp_fig1_with(tel: &Telemetry) -> Vec<Fig1Row> {
     SigScheme::ALL
         .iter()
         .map(|&scheme| {
-            let mut env = Environment::new();
+            let mut env = Environment::new().with_telemetry(tel.clone());
             env.add_place(PlaceRuntime::new("RP1"));
             env.add_place(
                 PlaceRuntime::new("Switch")
@@ -386,6 +393,13 @@ fn pipeline_packets(count: usize) -> Vec<Vec<u8>> {
 /// Fig. 3: packets/sec through the PISA pipeline alone vs PERA with
 /// different signing backends and sampling rates.
 pub fn exp_fig3(packets: usize) -> Vec<Fig3Row> {
+    exp_fig3_with(packets, &Telemetry::off())
+}
+
+/// Like [`exp_fig3`], with per-stage pipeline spans and PERA counters
+/// recorded into `tel`. The baseline pass runs traced too, so the
+/// `pipeline.*` latency histograms cover the no-RA case as well.
+pub fn exp_fig3_with(packets: usize, tel: &Telemetry) -> Vec<Fig3Row> {
     let pkts = pipeline_packets(packets);
     let mut rows: Vec<Fig3Row> = Vec::new();
 
@@ -395,7 +409,7 @@ pub fn exp_fig3(packets: usize) -> Vec<Fig3Row> {
         let mut regs = prog.make_registers();
         let t0 = Instant::now();
         for p in &pkts {
-            let _ = prog.process(p, 0, &mut regs).expect("parses");
+            let _ = prog.process_traced(p, 0, &mut regs, tel).expect("parses");
         }
         t0.elapsed().as_nanos() as f64 / pkts.len() as f64
     };
@@ -439,7 +453,8 @@ pub fn exp_fig3(packets: usize) -> Vec<Fig3Row> {
             .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
             .with_sampling(sampling);
         let mut sw = PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
-            .with_scheme(scheme, 10);
+            .with_scheme(scheme, 10)
+            .with_telemetry(tel.clone());
         let t0 = Instant::now();
         let mut prev = Digest::ZERO;
         for p in &pkts {
@@ -1034,6 +1049,7 @@ fn e15_run(
     cache: bool,
     seed_emulation: bool,
     pkts: &[Vec<u8>],
+    tel: &Telemetry,
 ) -> E15Row {
     const DETAILS: [DetailLevel; 3] = [
         DetailLevel::Hardware,
@@ -1045,7 +1061,8 @@ fn e15_run(
         .with_sampling(sampling)
         .with_cache(cache);
     let mut sw = PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
-        .with_scheme(scheme, 12);
+        .with_scheme(scheme, 12)
+        .with_telemetry(tel.clone());
     let hw_id = sw.hardware_id.clone();
 
     let t0 = Instant::now();
@@ -1107,6 +1124,12 @@ fn e15_run(
 /// measurement of every detail level per record — so the speedup column
 /// in the harness is regenerable from this crate alone.
 pub fn exp_e15(packets: usize) -> Vec<E15Row> {
+    exp_e15_with(packets, &Telemetry::off())
+}
+
+/// Like [`exp_e15`], with the evidence hot path instrumented into `tel`
+/// (per-stage pipeline spans, `pera.attest` latency, cache audit trail).
+pub fn exp_e15_with(packets: usize, tel: &Telemetry) -> Vec<E15Row> {
     let pkts = pipeline_packets(packets);
     vec![
         e15_run(
@@ -1116,6 +1139,7 @@ pub fn exp_e15(packets: usize) -> Vec<E15Row> {
             true,
             true,
             &pkts,
+            tel,
         ),
         e15_run(
             "hmac / per-packet / cache",
@@ -1124,6 +1148,7 @@ pub fn exp_e15(packets: usize) -> Vec<E15Row> {
             true,
             false,
             &pkts,
+            tel,
         ),
         e15_run(
             "hmac / per-packet / no-cache",
@@ -1132,6 +1157,7 @@ pub fn exp_e15(packets: usize) -> Vec<E15Row> {
             false,
             false,
             &pkts,
+            tel,
         ),
         e15_run(
             "hmac / every-100 / cache",
@@ -1140,6 +1166,7 @@ pub fn exp_e15(packets: usize) -> Vec<E15Row> {
             true,
             false,
             &pkts,
+            tel,
         ),
         e15_run(
             "hmac / every-100 / no-cache",
@@ -1148,6 +1175,7 @@ pub fn exp_e15(packets: usize) -> Vec<E15Row> {
             false,
             false,
             &pkts,
+            tel,
         ),
         e15_run(
             "lamport / every-100 / cache",
@@ -1156,6 +1184,7 @@ pub fn exp_e15(packets: usize) -> Vec<E15Row> {
             true,
             false,
             &pkts,
+            tel,
         ),
         e15_run(
             "merkle / every-100 / cache",
@@ -1164,6 +1193,7 @@ pub fn exp_e15(packets: usize) -> Vec<E15Row> {
             true,
             false,
             &pkts,
+            tel,
         ),
     ]
 }

@@ -4,12 +4,65 @@
 //! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 uc4
 //! enforce crypto wire netkat e15`) to run a subset; no arguments runs
 //! everything.
+//!
+//! `--telemetry json|prom|off` (default `off`) collects metrics and the
+//! attestation audit log while the instrumented experiments (`fig1`,
+//! `fig3`, `e15`) run, and writes `telemetry.json` / `telemetry.prom`
+//! to the current directory on exit.
 
 use bench::*;
 use pda_pera::config::Sampling;
+use pda_telemetry::Telemetry;
+
+/// How `--telemetry` asks for the registry dump.
+enum TelemetryMode {
+    Off,
+    Json,
+    Prom,
+}
+
+/// Pull `--telemetry <mode>` (or `--telemetry=<mode>`) out of `args` so
+/// the remaining strings are all experiment ids.
+fn parse_telemetry(args: &mut Vec<String>) -> TelemetryMode {
+    let mut mode = TelemetryMode::Off;
+    let mut i = 0;
+    while i < args.len() {
+        let value = if args[i] == "--telemetry" {
+            if i + 1 >= args.len() {
+                eprintln!("--telemetry needs a mode: json | prom | off");
+                std::process::exit(2);
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            v
+        } else if let Some(v) = args[i].strip_prefix("--telemetry=") {
+            let v = v.to_string();
+            args.remove(i);
+            v
+        } else {
+            i += 1;
+            continue;
+        };
+        mode = match value.as_str() {
+            "off" => TelemetryMode::Off,
+            "json" => TelemetryMode::Json,
+            "prom" => TelemetryMode::Prom,
+            other => {
+                eprintln!("unknown --telemetry mode `{other}` (want json | prom | off)");
+                std::process::exit(2);
+            }
+        };
+    }
+    mode
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = parse_telemetry(&mut args);
+    let tel = match mode {
+        TelemetryMode::Off => Telemetry::off(),
+        _ => Telemetry::collecting(),
+    };
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
 
     if want("fig1") {
@@ -18,7 +71,7 @@ fn main() {
             "{:<14} {:>9} {:>12} {:>8} {:>6}",
             "scheme", "messages", "bytes", "checks", "ok"
         );
-        for r in exp_fig1() {
+        for r in exp_fig1_with(&tel) {
             println!(
                 "{:<14} {:>9} {:>12} {:>8} {:>6}",
                 r.scheme.to_string(),
@@ -103,7 +156,7 @@ fn main() {
             "{:<28} {:>9} {:>12} {:>9} {:>9}",
             "config", "packets", "ns/packet", "records", "slowdown"
         );
-        for r in exp_fig3(10_000) {
+        for r in exp_fig3_with(10_000, &tel) {
             println!(
                 "{:<28} {:>9} {:>12.1} {:>9} {:>8.2}x",
                 r.config, r.packets, r.ns_per_packet, r.records, r.slowdown
@@ -232,7 +285,7 @@ fn main() {
             "{:<38} {:>12} {:>8} {:>9} {:>9} {:>8}",
             "variant", "pkts/sec", "records", "measures", "hit-rate", "vs-seed"
         );
-        let rows = exp_e15(10_000);
+        let rows = exp_e15_with(10_000, &tel);
         let seed_pps = rows
             .iter()
             .find(|r| r.seed_emulation)
@@ -265,5 +318,26 @@ fn main() {
             );
         }
         println!();
+    }
+
+    match mode {
+        TelemetryMode::Off => {}
+        TelemetryMode::Json => {
+            let path = "telemetry.json";
+            let body = tel.dump_json().encode();
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("telemetry: wrote registry + audit log to {path}");
+        }
+        TelemetryMode::Prom => {
+            let path = "telemetry.prom";
+            if let Err(e) = std::fs::write(path, tel.dump_prometheus()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("telemetry: wrote registry to {path}");
+        }
     }
 }

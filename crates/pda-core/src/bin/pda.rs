@@ -10,6 +10,7 @@
 //!              encode the §5.2 options header (hex on stdout)
 //! pda decode   <hex>                          decode an options header
 //! pda simulate --hops N [--legacy i,j] [--oob] [--packets P]
+//!              [--telemetry json|prom|off]
 //!              run the linear scenario and appraise
 //! pda netkat   '<policy>' [--equiv '<policy>']  parse / compare NetKAT
 //! ```
@@ -57,6 +58,7 @@ const USAGE: &str = "usage:
   pda wire     '<hybrid policy>' --path '<spec>' [--param k=v]... [--nonce N]
   pda decode   <hex-bytes>
   pda simulate --hops N [--legacy i,j] [--oob] [--packets P]
+               [--telemetry json|prom|off]
   pda netkat   '<policy>' [--equiv '<policy>']
 
 path spec: semicolon-separated nodes, each `name[:prop,...]` with props
@@ -264,10 +266,22 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let legacy: Vec<usize> = flag_value(args, "--legacy")
         .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
         .unwrap_or_default();
+    let telemetry_mode = flag_value(args, "--telemetry").unwrap_or("off");
+    if !matches!(telemetry_mode, "off" | "json" | "prom") {
+        return Err(format!(
+            "unknown --telemetry mode `{telemetry_mode}` (want json | prom | off)"
+        ));
+    }
+    let tel = if telemetry_mode == "off" {
+        pda_telemetry::Telemetry::off()
+    } else {
+        pda_telemetry::Telemetry::collecting()
+    };
     let config = PeraConfig::default()
         .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
         .with_sampling(Sampling::PerPacket);
     let mut net = linear_path(hops, &config, &legacy);
+    net.sim.attach_telemetry(tel.clone());
     let golden = enroll_golden(&net.sim, &[DetailLevel::Hardware, DetailLevel::Program]);
     let appraiser = net.appraiser;
     let oob = has_flag(args, "--oob");
@@ -301,6 +315,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 println!("  {f}");
             }
         }
+    }
+    match telemetry_mode {
+        "json" => println!("{}", tel.dump_json().encode()),
+        "prom" => print!("{}", tel.dump_prometheus()),
+        _ => {}
     }
     Ok(())
 }

@@ -8,6 +8,7 @@ use crate::parser::{deparse, ParseErr, ParserDef};
 use crate::phv::{meta, Phv};
 use crate::tables::Table;
 use pda_crypto::digest::Digest;
+use pda_telemetry::Telemetry;
 use std::fmt;
 
 /// One match-action stage (one table per stage, as in the simplest PISA
@@ -100,14 +101,35 @@ impl DataplaneProgram {
         ingress_port: u64,
         regs: &mut Registers,
     ) -> Result<PipelineOutput, ParseErr> {
-        let mut parsed = self.parser.parse(bytes)?;
+        self.process_traced(bytes, ingress_port, regs, &Telemetry::off())
+    }
+
+    /// [`process`](Self::process) with per-stage telemetry: one timed
+    /// span per pipeline phase (`pipeline.parse`, one
+    /// `pipeline.stage.{table}` per stage, `pipeline.deparse`). With a
+    /// disabled handle each span is a single branch, so this *is* the
+    /// hot path — `process` simply delegates here.
+    pub fn process_traced(
+        &self,
+        bytes: &[u8],
+        ingress_port: u64,
+        regs: &mut Registers,
+        tel: &Telemetry,
+    ) -> Result<PipelineOutput, ParseErr> {
+        let mut parsed = {
+            let _s = tel.span("pipeline.parse");
+            self.parser.parse(bytes)?
+        };
         parsed.phv.set(meta::INGRESS_PORT, ingress_port);
         let mut stages_executed = 0;
         for stage in &self.stages {
+            let mut span = tel.span_with(|| format!("pipeline.stage.{}", stage.table.name));
             let action = stage.table.lookup(&parsed.phv).clone();
             execute(&action, &mut parsed.phv, regs);
             stages_executed += 1;
             if parsed.phv.get(meta::EGRESS_PORT) == meta::DROP {
+                span.set("dropped", true);
+                drop(span);
                 return Ok(PipelineOutput {
                     packet: None,
                     egress_port: meta::DROP,
@@ -117,7 +139,10 @@ impl DataplaneProgram {
             }
         }
         let egress_port = parsed.phv.get(meta::EGRESS_PORT);
-        let packet = deparse(&parsed, bytes);
+        let packet = {
+            let _s = tel.span("pipeline.deparse");
+            deparse(&parsed, bytes)
+        };
         Ok(PipelineOutput {
             packet: Some(packet),
             egress_port,
@@ -231,6 +256,31 @@ mod tests {
         let mut p3 = one_table_program(Action::drop_());
         p3.name = "other.p4".into();
         assert_eq!(p1.tables_digest(), p3.tables_digest());
+    }
+
+    #[test]
+    fn traced_processing_times_every_stage() {
+        let tel = pda_telemetry::Telemetry::collecting();
+        let mut prog = one_table_program(Action::fwd(3));
+        prog.stages.push(Stage {
+            table: Table::new("acl", vec![], Action::fwd(3)),
+        });
+        let pkt = build_udp_packet(1, 2, 1, 2, 10, 20, b"payload!");
+        let mut regs = Registers::new();
+        let out = prog.process_traced(&pkt, 0, &mut regs, &tel).unwrap();
+        assert_eq!(out.stages_executed, 2);
+        let reg = tel.registry().unwrap();
+        for name in [
+            "pipeline.parse.ns",
+            "pipeline.stage.t0.ns",
+            "pipeline.stage.acl.ns",
+            "pipeline.deparse.ns",
+        ] {
+            assert_eq!(reg.histogram(name).count(), 1, "{name} must have 1 sample");
+        }
+        // The untraced path must not record anywhere (and must still work).
+        prog.process(&pkt, 0, &mut regs).unwrap();
+        assert_eq!(reg.histogram("pipeline.parse.ns").count(), 1);
     }
 
     #[test]

@@ -105,6 +105,10 @@ pub struct Simulator {
     pub enforcement: HashMap<NodeId, VerifyUnit>,
     /// Statistics.
     pub stats: SimStats,
+    /// Telemetry handle: [`run`](Self::run) publishes [`SimStats`] as
+    /// `netsim.*` gauges and times the drain. Disabled by default;
+    /// attach with [`attach_telemetry`](Self::attach_telemetry).
+    pub telemetry: pda_telemetry::Telemetry,
 }
 
 impl Simulator {
@@ -127,8 +131,22 @@ impl Simulator {
             registry: KeyRegistry::new(),
             enforcement: HashMap::new(),
             stats: SimStats::default(),
+            telemetry: pda_telemetry::Telemetry::off(),
         }
         .with_registry(registry)
+    }
+
+    /// Attach a telemetry handle to the simulation *and* to every PERA
+    /// switch in the topology, so one handle observes the whole stack:
+    /// per-stage pipeline spans, `pera.*` counters and audit events
+    /// from the switches, and `netsim.*` scenario gauges from the sim.
+    pub fn attach_telemetry(&mut self, tel: pda_telemetry::Telemetry) {
+        for node in &mut self.topo.nodes {
+            if let DeviceKind::Pera(sw) = &mut node.kind {
+                sw.set_telemetry(tel.clone());
+            }
+        }
+        self.telemetry = tel;
     }
 
     fn with_registry(mut self, r: KeyRegistry) -> Simulator {
@@ -179,6 +197,7 @@ impl Simulator {
 
     /// Run until the event queue drains; returns the final time.
     pub fn run(&mut self) -> SimTime {
+        let span = self.telemetry.span("netsim.run");
         while let Some(Reverse(ev)) = self.queue.pop() {
             self.now = ev.time;
             match ev.kind {
@@ -194,7 +213,27 @@ impl Simulator {
                 }
             }
         }
+        drop(span);
+        self.publish_stats();
         self.now
+    }
+
+    /// Publish the current [`SimStats`] snapshot as `netsim.*` gauges
+    /// (idempotent: gauges are set, not accumulated, so interleaved
+    /// `run` calls always reflect the latest totals).
+    pub fn publish_stats(&self) {
+        let Some(reg) = self.telemetry.registry() else {
+            return;
+        };
+        let set = |name: &str, v: u64| reg.gauge(name).set(v as i64);
+        set("netsim.injected", self.stats.injected);
+        set("netsim.delivered", self.stats.delivered);
+        set("netsim.dropped", self.stats.dropped);
+        set("netsim.wire_bytes", self.stats.wire_bytes);
+        set("netsim.control_messages", self.stats.control_messages);
+        set("netsim.control_bytes", self.stats.control_bytes);
+        set("netsim.enforcement_drops", self.stats.enforcement_drops);
+        set("netsim.now", self.now);
     }
 
     fn handle_packet(&mut self, node: NodeId, port: u64, mut packet: SimPacket) {
@@ -341,6 +380,40 @@ mod guard_tests {
         sim.run();
         assert_eq!(sim.stats.dropped, 1, "loop guard dropped the packet");
         assert_eq!(sim.stats.delivered, 0);
+    }
+
+    /// One telemetry handle attached to the sim observes the whole
+    /// stack: scenario gauges from the sim, `pera.*` counters and audit
+    /// events from the switches, per-stage spans from the pipeline.
+    #[test]
+    fn attached_telemetry_observes_whole_stack() {
+        use crate::packet::EvidenceMode;
+        use pda_pera::config::PeraConfig;
+
+        let tel = pda_telemetry::Telemetry::collecting();
+        let mut lp = crate::scenarios::linear_path(2, &PeraConfig::default(), &[]);
+        lp.sim.attach_telemetry(tel.clone());
+        for n in 0..4u64 {
+            lp.send_attested(
+                pda_crypto::nonce::Nonce(n),
+                EvidenceMode::InBand,
+                b"telem!!!",
+            );
+        }
+        let reg = tel.registry().unwrap();
+        assert_eq!(reg.gauge("netsim.injected").get(), 4);
+        assert_eq!(reg.gauge("netsim.delivered").get(), 4);
+        assert_eq!(
+            reg.counter("pera.packets").get(),
+            8,
+            "4 packets × 2 PERA hops"
+        );
+        assert!(reg.histogram("pipeline.parse.ns").count() >= 8);
+        assert!(reg.histogram("netsim.run.ns").count() >= 4);
+        assert!(
+            !tel.audit_log().unwrap().is_empty(),
+            "switch attestations must audit through the sim's handle"
+        );
     }
 
     /// Injecting out an unwired port is a clean drop.

@@ -21,9 +21,17 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Total lookups. Derived from hits + misses in exactly one place
+    /// so the two breakdowns can never drift apart — the telemetry
+    /// counters (`pera.cache.*`) mirror this identity and the switch
+    /// tests assert it across attested runs.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
     /// Hit rate in [0, 1]; 0 when no lookups happened.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.lookups();
         if total == 0 {
             0.0
         } else {

@@ -12,6 +12,7 @@ use pda_dataplane::actions::Registers;
 use pda_dataplane::parser::ParseErr;
 use pda_dataplane::phv::meta;
 use pda_dataplane::pipeline::{DataplaneProgram, PipelineOutput};
+use pda_telemetry::{AuditEvent, Counter, Telemetry};
 use std::collections::HashSet;
 
 /// Counters reported by the PERA experiments.
@@ -33,6 +34,24 @@ pub struct PeraStats {
     /// where `attest` measured eagerly and the cache merely *recorded*
     /// hits without saving the measurement cost.
     pub measurements: u64,
+}
+
+/// Pre-resolved registry counter handles mirroring [`PeraStats`] and
+/// [`crate::cache::CacheStats`]. Resolved once in
+/// [`PeraSwitch::set_telemetry`] so the per-packet path bumps atomics
+/// directly instead of taking the registry lock; each counter is
+/// incremented at the same site as its `PeraStats` twin, so the two
+/// views cannot diverge.
+struct SwitchMetrics {
+    packets: Counter,
+    attested_packets: Counter,
+    records: Counter,
+    evidence_bytes: Counter,
+    signatures: Counter,
+    measurements: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_lookups: Counter,
 }
 
 /// Output of processing one packet through a PERA switch.
@@ -65,6 +84,10 @@ pub struct PeraSwitch {
     seen_flows: HashSet<u64>,
     /// Counters.
     pub stats: PeraStats,
+    /// Telemetry handle (disabled by default; see [`Self::set_telemetry`]).
+    tel: Telemetry,
+    /// Pre-resolved counter handles, present iff `tel` is enabled.
+    metrics: Option<SwitchMetrics>,
 }
 
 impl PeraSwitch {
@@ -89,7 +112,39 @@ impl PeraSwitch {
             cache: EvidenceCache::new(),
             seen_flows: HashSet::new(),
             stats: PeraStats::default(),
+            tel: Telemetry::off(),
+            metrics: None,
         }
+    }
+
+    /// Builder: attach a telemetry handle (see [`Self::set_telemetry`]).
+    pub fn with_telemetry(mut self, tel: Telemetry) -> PeraSwitch {
+        self.set_telemetry(tel);
+        self
+    }
+
+    /// Attach a telemetry handle. Counter handles (`pera.*`,
+    /// `pera.cache.*`) are resolved from the registry once, here, so
+    /// the per-packet path updates atomics directly and never takes
+    /// the registry lock. Pass [`Telemetry::off`] to detach.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.metrics = tel.registry().map(|r| SwitchMetrics {
+            packets: r.counter("pera.packets"),
+            attested_packets: r.counter("pera.attested_packets"),
+            records: r.counter("pera.records"),
+            evidence_bytes: r.counter("pera.evidence_bytes"),
+            signatures: r.counter("pera.signatures"),
+            measurements: r.counter("pera.measurements"),
+            cache_hits: r.counter("pera.cache.hits"),
+            cache_misses: r.counter("pera.cache.misses"),
+            cache_lookups: r.counter("pera.cache.lookups"),
+        });
+        self.tel = tel;
+    }
+
+    /// The attached telemetry handle (disabled unless set).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Builder: switch the signing backend (the E7/E11 ablation knob).
@@ -139,21 +194,23 @@ impl PeraSwitch {
     /// and the building block of the in-band path). `prev` links chained
     /// composition; pass `Digest::ZERO` for the first hop or pointwise.
     pub fn attest(&mut self, nonce: Nonce, prev: Digest, packet: &[u8]) -> EvidenceRecord {
-        let prev = match self.config.composition {
-            EvidenceComposition::Chained => prev,
-            EvidenceComposition::Pointwise => Digest::ZERO,
-        };
+        let _span = self.tel.span("pera.attest");
+        let chained = matches!(self.config.composition, EvidenceComposition::Chained);
+        let prev = if chained { prev } else { Digest::ZERO };
+        let measurements_before = self.stats.measurements;
         let mut details = Vec::with_capacity(self.config.details.len());
         // Split the borrows up front: the cache (and the measurement
         // counter) are borrowed mutably while the measured objects are
         // borrowed shared, so the closure handed to `get_or_measure` can
         // run *lazily* — a cache hit never touches the program, tables,
-        // or register file at all.
+        // or register file at all. (The telemetry fields are disjoint,
+        // so auditing inside the loop coexists with these borrows.)
         let cache = &mut self.cache;
         let stats = &mut self.stats;
         let (program, regs, hardware_id) = (&self.program, &self.regs, &*self.hardware_id);
         let cache_enabled = self.config.cache_enabled;
         for &level in &self.config.details {
+            let hits_before = cache.stats.hits;
             let d = if cache_enabled {
                 cache.get_or_measure(level, || {
                     measure_level(
@@ -176,6 +233,16 @@ impl PeraSwitch {
                     &mut stats.measurements,
                 )
             };
+            let hit = cache.stats.hits > hits_before;
+            if let Some(m) = &self.metrics {
+                (if hit { &m.cache_hits } else { &m.cache_misses }).inc();
+                m.cache_lookups.inc();
+            }
+            self.tel.audit_with(|| AuditEvent::CacheLookup {
+                attester: self.name.clone(),
+                level: format!("{level:?}"),
+                hit,
+            });
             details.push((level, d));
         }
         let record = EvidenceRecord::create(&self.name, details, nonce, prev, &mut self.signer)
@@ -183,6 +250,29 @@ impl PeraSwitch {
         self.stats.records += 1;
         self.stats.signatures += 1;
         self.stats.evidence_bytes += record.wire_size() as u64;
+        if let Some(m) = &self.metrics {
+            m.records.inc();
+            m.signatures.inc();
+            m.evidence_bytes.add(record.wire_size() as u64);
+            m.measurements
+                .add(self.stats.measurements - measurements_before);
+        }
+        self.tel.audit_with(|| AuditEvent::Evidence {
+            attester: self.name.clone(),
+            nonce: nonce.0,
+            levels: record
+                .details
+                .iter()
+                .map(|(l, _)| format!("{l:?}"))
+                .collect(),
+            bytes: record.wire_size() as u64,
+            chained,
+        });
+        self.tel.audit_with(|| AuditEvent::Signature {
+            signer: self.name.clone(),
+            scheme: self.signer.scheme().to_string(),
+            sig_bytes: record.sig.wire_size() as u64,
+        });
         record
     }
 
@@ -204,7 +294,9 @@ impl PeraSwitch {
         let regs_gen_before = self.regs.generation();
         let forward = {
             let mut regs = std::mem::take(&mut self.regs);
-            let r = self.program.process(bytes, ingress_port, &mut regs);
+            let r = self
+                .program
+                .process_traced(bytes, ingress_port, &mut regs, &self.tel);
             self.regs = regs;
             r?
         };
@@ -212,6 +304,9 @@ impl PeraSwitch {
             self.cache.invalidate(DetailLevel::ProgState);
         }
         self.stats.packets += 1;
+        if let Some(m) = &self.metrics {
+            m.packets.inc();
+        }
 
         let evidence = match attestation {
             Some((nonce, prev)) if forward.packet.is_some() => {
@@ -222,6 +317,9 @@ impl PeraSwitch {
                     ^ forward.phv.get("udp.dport").rotate_left(48);
                 if self.sample(flow_hash) {
                     self.stats.attested_packets += 1;
+                    if let Some(m) = &self.metrics {
+                        m.attested_packets.inc();
+                    }
                     Some(self.attest(nonce, prev, bytes))
                 } else {
                     None
@@ -589,6 +687,73 @@ mod tests {
             .evidence
             .unwrap();
         assert_eq!(a.prev, Digest::ZERO);
+    }
+
+    /// The telemetry registry mirrors `PeraStats`/`CacheStats` counter
+    /// for counter (each pair is bumped at the same site), and lookups
+    /// are *derived* as hits + misses in one place — this asserts the
+    /// `hits + misses == lookups` identity across a full attested run
+    /// and that the two views agree, so they cannot silently diverge.
+    #[test]
+    fn telemetry_registry_matches_stats_across_attested_run() {
+        let tel = pda_telemetry::Telemetry::collecting();
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::EveryN(3))
+                .with_details(&[
+                    DetailLevel::Hardware,
+                    DetailLevel::Program,
+                    DetailLevel::ProgState,
+                ]),
+        )
+        .with_telemetry(tel.clone());
+        for i in 0..40 {
+            sw.process_packet(&pkt(i, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                .unwrap();
+            if i == 20 {
+                // Force some invalidation traffic mid-run.
+                sw.cache.invalidate(DetailLevel::Program);
+            }
+        }
+        let reg = tel.registry().unwrap();
+        let get = |name: &str| reg.counter(name).get();
+        assert_eq!(
+            get("pera.cache.hits") + get("pera.cache.misses"),
+            get("pera.cache.lookups"),
+            "hits + misses must equal lookups"
+        );
+        assert_eq!(get("pera.cache.hits"), sw.cache.stats.hits);
+        assert_eq!(get("pera.cache.misses"), sw.cache.stats.misses);
+        assert_eq!(get("pera.cache.lookups"), sw.cache.stats.lookups());
+        assert_eq!(get("pera.packets"), sw.stats.packets);
+        assert_eq!(get("pera.attested_packets"), sw.stats.attested_packets);
+        assert_eq!(get("pera.records"), sw.stats.records);
+        assert_eq!(get("pera.signatures"), sw.stats.signatures);
+        assert_eq!(get("pera.evidence_bytes"), sw.stats.evidence_bytes);
+        assert_eq!(get("pera.measurements"), sw.stats.measurements);
+        // The audit log saw every lookup, one evidence + one signature
+        // per record, and per-stage pipeline spans landed as histograms.
+        let audit = tel.audit_log().unwrap().records();
+        let lookups = audit
+            .iter()
+            .filter(|r| matches!(r.event, pda_telemetry::AuditEvent::CacheLookup { .. }))
+            .count() as u64;
+        assert_eq!(lookups, sw.cache.stats.lookups());
+        let evidence = audit
+            .iter()
+            .filter(|r| matches!(r.event, pda_telemetry::AuditEvent::Evidence { .. }))
+            .count() as u64;
+        assert_eq!(evidence, sw.stats.records);
+        assert_eq!(
+            reg.histogram("pera.attest.ns").count(),
+            sw.stats.records,
+            "one attest span per record"
+        );
+        assert_eq!(
+            reg.histogram("pipeline.parse.ns").count(),
+            sw.stats.packets,
+            "one parse span per packet"
+        );
     }
 
     #[test]

@@ -157,19 +157,45 @@ pub fn verify_signatures(ev: &Ev, registry: &KeyRegistry) -> bool {
 /// `expected_nonce` must match any nonce leaf in the evidence. Pass the
 /// environment whose `registry`, `golden`, and `golden_sources` encode
 /// the appraiser's reference values.
+///
+/// When the environment carries an enabled telemetry handle, every
+/// verdict is recorded in the attestation audit log (subject, nonce,
+/// ok, checks, and the first failure as cause) and counted under
+/// `ra.appraisals` / `ra.appraisal_failures`.
 pub fn appraise(
     ev: &Ev,
     shape: &Shape,
     env: &Environment,
     expected_nonce: Option<Nonce>,
 ) -> AppraisalResult {
+    let _span = env.telemetry.span("ra.appraise");
     let mut result = AppraisalResult {
         ok: true,
         failures: Vec::new(),
         checks: 0,
     };
     walk(ev, shape, env, expected_nonce, &mut result);
+    audit_verdict(env, &brief(ev), expected_nonce, &result);
     result
+}
+
+/// Record one appraisal verdict in the environment's audit log and
+/// counters; the single choke point every appraisal path goes through.
+fn audit_verdict(env: &Environment, subject: &str, nonce: Option<Nonce>, result: &AppraisalResult) {
+    if let Some(registry) = env.telemetry.registry() {
+        registry.counter("ra.appraisals").inc();
+        if !result.ok {
+            registry.counter("ra.appraisal_failures").inc();
+        }
+    }
+    env.telemetry
+        .audit_with(|| pda_telemetry::AuditEvent::Appraisal {
+            subject: subject.to_string(),
+            nonce: nonce.map(|n| n.0),
+            ok: result.ok,
+            checks: result.checks,
+            cause: result.failures.first().map(Failure::to_string),
+        });
 }
 
 fn brief(e: &Ev) -> String {
@@ -593,6 +619,46 @@ mod tests {
         );
     }
 
+    /// Every appraisal verdict — pass, measurement failure, and nonce
+    /// replay — lands in the environment's attestation audit log with
+    /// its cause, and the `ra.*` counters track totals.
+    #[test]
+    fn verdicts_recorded_in_audit_log() {
+        let tel = pda_telemetry::Telemetry::collecting();
+        let mut env = bank_env().with_telemetry(tel.clone());
+        let req = examples::bank_eq2();
+        let shape = eval_request(&req);
+        let report = run_request(&req, &mut env, None).unwrap();
+        let good = appraise(&report.evidence, &shape, &env, None);
+        assert!(good.ok);
+        env.place_mut("us").unwrap().corrupt("exts");
+        let report = run_request(&req, &mut env, None).unwrap();
+        let bad = appraise(&report.evidence, &shape, &env, None);
+        assert!(!bad.ok);
+        let audit = tel.audit_log().unwrap().records();
+        let verdicts: Vec<_> = audit
+            .iter()
+            .filter_map(|r| match &r.event {
+                pda_telemetry::AuditEvent::Appraisal { ok, cause, .. } => {
+                    Some((*ok, cause.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[0], (true, None));
+        assert!(!verdicts[1].0);
+        assert!(
+            verdicts[1].1.as_deref().unwrap().contains("exts"),
+            "cause must name the corrupt component: {:?}",
+            verdicts[1].1
+        );
+        let reg = tel.registry().unwrap();
+        assert_eq!(reg.counter("ra.appraisals").get(), 2);
+        assert_eq!(reg.counter("ra.appraisal_failures").get(), 1);
+        assert_eq!(reg.histogram("ra.appraise.ns").count(), 2);
+    }
+
     #[test]
     fn verify_signatures_standalone() {
         let mut env = bank_env();
@@ -640,11 +706,14 @@ impl AppraiserService {
         let mut result = if self.replay.check_and_record(nonce) {
             appraise(ev, shape, env, Some(nonce))
         } else {
-            AppraisalResult {
+            let result = AppraisalResult {
                 ok: false,
                 failures: vec![Failure::ReplayedNonce(nonce)],
                 checks: 1,
-            }
+            };
+            // `appraise` never ran, so audit the replay rejection here.
+            audit_verdict(env, &brief(ev), Some(nonce), &result);
+            result
         };
         // Fail closed: a replayed nonce invalidates even clean evidence.
         if result
@@ -682,6 +751,30 @@ mod service_tests {
         );
         env.add_place(PlaceRuntime::new("Appraiser"));
         env
+    }
+
+    /// Replay rejections bypass `appraise` yet still hit the audit log.
+    #[test]
+    fn replay_rejection_audited() {
+        let tel = pda_telemetry::Telemetry::collecting();
+        let mut env = env().with_telemetry(tel.clone());
+        let req = examples::pera_out_of_band();
+        let shape = eval_request(&req);
+        let report = run_request(&req, &mut env, Some(Nonce(5))).unwrap();
+        let mut service = AppraiserService::new(16);
+        service.appraise_fresh(&report.evidence, &shape, &env, Nonce(5));
+        service.appraise_fresh(&report.evidence, &shape, &env, Nonce(5));
+        let audit = tel.audit_log().unwrap().records();
+        let causes: Vec<_> = audit
+            .iter()
+            .filter_map(|r| match &r.event {
+                pda_telemetry::AuditEvent::Appraisal { cause, .. } => Some(cause.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(causes.len(), 2);
+        assert_eq!(causes[0], None);
+        assert!(causes[1].as_deref().unwrap().contains("replayed"));
     }
 
     #[test]

@@ -139,6 +139,9 @@ pub struct Environment {
     pub golden: HashMap<(Place, String), Digest>,
     /// Expected attestation source values: (place, property) → digest.
     pub golden_sources: HashMap<(Place, String), Digest>,
+    /// Telemetry handle: appraisals run against this environment emit
+    /// audit events and counters here. Disabled by default.
+    pub telemetry: pda_telemetry::Telemetry,
 }
 
 impl Default for Environment {
@@ -155,7 +158,15 @@ impl Environment {
             registry: pda_crypto::keyreg::KeyRegistry::new(),
             golden: HashMap::new(),
             golden_sources: HashMap::new(),
+            telemetry: pda_telemetry::Telemetry::off(),
         }
+    }
+
+    /// Builder: attach a telemetry handle; appraisal verdicts audit
+    /// through it (see [`crate::appraise::appraise`]).
+    pub fn with_telemetry(mut self, tel: pda_telemetry::Telemetry) -> Environment {
+        self.telemetry = tel;
+        self
     }
 
     /// Add a place: registers its key and records golden values for all

@@ -1,0 +1,126 @@
+//! Overhead smoke test: a disabled (`Telemetry::off`) handle on an
+//! E15-shaped per-packet loop must cost ≤ 5% over the same loop with
+//! no instrumentation at all.
+//!
+//! `pda-telemetry` cannot depend on `pda-pera` (the dependency points
+//! the other way), so the workload mirrors the E15 hot path's shape
+//! instead of calling it: a per-packet FNV-style hash over a small
+//! buffer plus counter updates and branchy sampling logic, with the
+//! instrumented variant opening a span and bumping would-be counters
+//! exactly where `PeraSwitch::process_packet` does. The bench crate's
+//! E15 variants measure the real path; this test pins the substrate's
+//! contribution in isolation and runs under `cargo test -p
+//! pda-telemetry` as the issue requires.
+
+use pda_telemetry::{span, AuditEvent, Telemetry};
+use std::hint::black_box;
+use std::time::Instant;
+
+const PACKET: usize = 64;
+const PACKETS_PER_TRIAL: usize = 4_000;
+const TRIALS: usize = 24;
+
+/// FNV-1a over the packet: stands in for parse + digest work, keeping
+/// each iteration's real work well above a branch's cost but small
+/// enough that a non-zero-cost no-op path would show up.
+fn fnv(buf: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in buf {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn uninstrumented_trial(buf: &mut [u8]) -> u64 {
+    let mut acc = 0u64;
+    let mut attested = 0u64;
+    for i in 0..PACKETS_PER_TRIAL {
+        buf[0] = i as u8;
+        let h = fnv(black_box(&buf[..]));
+        acc = acc.wrapping_add(h);
+        // EveryN-style sampling branch, matching the instrumented loop.
+        if i % 16 == 0 {
+            attested += 1;
+            acc = acc.wrapping_add(fnv(&h.to_le_bytes()));
+        }
+    }
+    acc.wrapping_add(attested)
+}
+
+fn instrumented_trial(buf: &mut [u8], tel: &Telemetry) -> u64 {
+    let mut acc = 0u64;
+    let mut attested = 0u64;
+    for i in 0..PACKETS_PER_TRIAL {
+        buf[0] = i as u8;
+        let _span = span!(tel, "e15.packet");
+        let h = fnv(black_box(&buf[..]));
+        acc = acc.wrapping_add(h);
+        if i % 16 == 0 {
+            attested += 1;
+            acc = acc.wrapping_add(fnv(&h.to_le_bytes()));
+            tel.audit_with(|| AuditEvent::CacheLookup {
+                attester: "e15".into(),
+                level: "Program".into(),
+                hit: true,
+            });
+        }
+    }
+    acc.wrapping_add(attested)
+}
+
+#[test]
+fn noop_sink_overhead_within_five_percent() {
+    let tel = Telemetry::off();
+    let mut buf = [0xabu8; PACKET];
+
+    // Warm up both paths so neither eats the cold-cache penalty.
+    black_box(uninstrumented_trial(&mut buf));
+    black_box(instrumented_trial(&mut buf, &tel));
+
+    // Interleave trials and compare best-of-N minimum times: the min is
+    // the least noisy estimator of the true cost on a shared machine.
+    let (mut base_min, mut inst_min) = (u128::MAX, u128::MAX);
+    for _ in 0..TRIALS {
+        let t = Instant::now();
+        black_box(uninstrumented_trial(&mut buf));
+        base_min = base_min.min(t.elapsed().as_nanos());
+
+        let t = Instant::now();
+        black_box(instrumented_trial(&mut buf, &tel));
+        inst_min = inst_min.min(t.elapsed().as_nanos());
+    }
+
+    let ratio = inst_min as f64 / base_min as f64;
+    eprintln!(
+        "e15-shaped loop: uninstrumented {base_min} ns, \
+         instrumented(off) {inst_min} ns, ratio {ratio:.4}"
+    );
+    // The 5% budget is a release-build property: without optimization
+    // the span call and drop glue are real function calls, so debug
+    // builds only get a coarse bound that still catches regressions
+    // like an accidental allocation or clock read on the off path.
+    // CI runs this test under `--release` to enforce the real budget.
+    let budget = if cfg!(debug_assertions) { 1.60 } else { 1.05 };
+    assert!(
+        ratio <= budget,
+        "disabled telemetry added {:.1}% to the hot loop (budget: {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (budget - 1.0) * 100.0
+    );
+}
+
+/// Sanity check that the same loop with telemetry *enabled* actually
+/// records: guards against the off-path accidentally being the only
+/// path the macro compiles.
+#[test]
+fn enabled_sink_records_on_same_loop() {
+    let tel = Telemetry::collecting();
+    let mut buf = [0xabu8; PACKET];
+    black_box(instrumented_trial(&mut buf, &tel));
+    let h = tel.registry().unwrap().histogram("e15.packet.ns");
+    assert_eq!(h.count(), PACKETS_PER_TRIAL as u64);
+    assert_eq!(
+        tel.audit_log().unwrap().len(),
+        PACKETS_PER_TRIAL.div_ceil(16)
+    );
+}
