@@ -19,9 +19,12 @@ use pda_hybrid::resolve::{resolve as hybrid_resolve, Composition as HComposition
 use pda_hybrid::wire;
 use pda_netkat::ast::{Field, Packet, Policy, Pred};
 use pda_netkat::reach::{can_reach, link, witness_path};
-use pda_netsim::{linear_path, linear_path_bw, EvidenceMode};
+use pda_netsim::{
+    linear_path, linear_path_bw, ControlRetryPolicy, EvidenceMode, FaultPlan, LinkFaults,
+};
 use pda_pera::config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
 use pda_pera::switch::PeraSwitch;
+use pda_pera::{AdmissionPolicy, FailMode};
 use pda_telemetry::Telemetry;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -1196,4 +1199,110 @@ pub fn exp_e15_with(packets: usize, tel: &Telemetry) -> Vec<E15Row> {
             tel,
         ),
     ]
+}
+
+// ---------------------------------------------------------------------
+// E16 — attestation under loss: fault plane × retry budget × fail mode
+// ---------------------------------------------------------------------
+
+/// One row of the E16 degradation sweep.
+#[derive(Debug)]
+pub struct E16Row {
+    /// Loss probability applied to every data link *and* the
+    /// out-of-band control channel.
+    pub loss: f64,
+    /// Control-channel retransmit budget (0 = fire-and-forget).
+    pub retry_budget: u32,
+    /// Enforcement degradation mode at the last switch.
+    pub fail_mode: FailMode,
+    /// Packets injected (half in-band attested, half plain).
+    pub injected: u64,
+    /// Fraction of control-channel evidence pushes that reached the
+    /// appraiser (after retransmits).
+    pub completeness: f64,
+    /// Control-channel retransmissions performed.
+    pub retransmits: u64,
+    /// Fraction of injected packets delivered at the server.
+    pub goodput: f64,
+    /// Fraction of injected packets dropped by enforcement even though
+    /// they were legitimate (no forged traffic exists in this sweep).
+    pub false_drop_rate: f64,
+    /// Admissions granted only because the policy failed open.
+    pub fail_open_admits: u64,
+}
+
+fn e16_run(loss: f64, retry: ControlRetryPolicy, fail_mode: FailMode, tel: &Telemetry) -> E16Row {
+    const PACKETS: u64 = 400;
+    let cfg = PeraConfig::default().with_sampling(Sampling::PerPacket);
+    let mut lp = linear_path(3, &cfg, &[]);
+    lp.sim.attach_telemetry(tel.clone());
+    let edge = lp.switches[2];
+    lp.sim.install_enforcement(
+        edge,
+        AdmissionPolicy {
+            fail_mode,
+            ..AdmissionPolicy::default()
+        },
+    );
+    lp.sim.install_faults(
+        FaultPlan::new(0xE16)
+            .with_default_link(LinkFaults::lossy(loss))
+            .with_control_loss(loss)
+            .with_control_retry(retry),
+    );
+    let appraiser = lp.appraiser;
+    // Legitimate mix: half the traffic attests in-band (the enforcement
+    // point can inspect its chain), half attests out-of-band (evidence
+    // bypasses the data path, so the chain the enforcer sees is empty —
+    // exactly the loss-vs-absence ambiguity the fail mode arbitrates).
+    for i in 0..PACKETS {
+        let mode = if i % 2 == 0 {
+            EvidenceMode::InBand
+        } else {
+            EvidenceMode::OutOfBand { appraiser }
+        };
+        lp.send_attested(Nonce(i + 1), mode, b"payload!");
+    }
+    let fstats = lp.sim.faults.as_ref().unwrap().stats;
+    let collected = lp.sim.evidence_at(appraiser).len() as u64;
+    let attempts = collected + fstats.control_gave_up;
+    let unit = &lp.sim.enforcement[&edge];
+    E16Row {
+        loss,
+        retry_budget: retry.max_retries,
+        fail_mode,
+        injected: lp.sim.stats.injected,
+        completeness: if attempts == 0 {
+            1.0
+        } else {
+            collected as f64 / attempts as f64
+        },
+        retransmits: fstats.control_retransmits,
+        goodput: lp.sim.stats.delivered as f64 / lp.sim.stats.injected as f64,
+        false_drop_rate: lp.sim.stats.enforcement_drops as f64 / lp.sim.stats.injected as f64,
+        fail_open_admits: unit.stats.fail_open_admits,
+    }
+}
+
+/// E16: degradation sweep — loss rate × control-channel retry budget ×
+/// enforcement fail mode over a 3-switch PERA path. Reports out-of-band
+/// appraisal completeness (the ≥99%-at-≤10%-loss acceptance bar lives
+/// here), goodput, and the enforcement false-drop rate: every drop in
+/// this sweep is a false one, since no forged traffic is injected.
+pub fn exp_e16() -> Vec<E16Row> {
+    exp_e16_with(&Telemetry::off())
+}
+
+/// Like [`exp_e16`], with netsim + enforcement telemetry (fault gauges,
+/// `pera.enforce.*` counters, enforcement audit records) in `tel`.
+pub fn exp_e16_with(tel: &Telemetry) -> Vec<E16Row> {
+    let mut rows = Vec::new();
+    for &loss in &[0.0, 0.05, 0.10, 0.20] {
+        for retry in [ControlRetryPolicy::none(), ControlRetryPolicy::default()] {
+            for fail_mode in [FailMode::FailClosed, FailMode::FailOpen] {
+                rows.push(e16_run(loss, retry, fail_mode, tel));
+            }
+        }
+    }
+    rows
 }

@@ -2,13 +2,13 @@
 //! the paper as text tables. `cargo run -p bench --bin harness --release`
 //!
 //! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 uc4
-//! enforce crypto wire netkat e15`) to run a subset; no arguments runs
-//! everything.
+//! enforce crypto wire netkat e15 e16`) to run a subset; no arguments
+//! runs everything.
 //!
 //! `--telemetry json|prom|off` (default `off`) collects metrics and the
 //! attestation audit log while the instrumented experiments (`fig1`,
-//! `fig3`, `e15`) run, and writes `telemetry.json` / `telemetry.prom`
-//! to the current directory on exit.
+//! `fig3`, `e15`, `e16`) run, and writes `telemetry.json` /
+//! `telemetry.prom` to the current directory on exit.
 
 use bench::*;
 use pda_pera::config::Sampling;
@@ -300,6 +300,35 @@ fn main() {
                 r.measurements,
                 r.hit_rate * 100.0,
                 r.pkts_per_sec / seed_pps
+            );
+        }
+        println!();
+    }
+
+    if want("e16") {
+        println!("== E16: attestation under loss (3 PERA hops, 400 pkts/cell) ==");
+        println!(
+            "{:<6} {:>6} {:<12} {:>13} {:>11} {:>8} {:>11} {:>10}",
+            "loss",
+            "budget",
+            "fail-mode",
+            "completeness",
+            "retransmits",
+            "goodput",
+            "false-drop",
+            "fail-open"
+        );
+        for r in exp_e16_with(&tel) {
+            println!(
+                "{:<6} {:>6} {:<12} {:>12.1}% {:>11} {:>7.1}% {:>10.1}% {:>10}",
+                r.loss,
+                r.retry_budget,
+                format!("{:?}", r.fail_mode),
+                r.completeness * 100.0,
+                r.retransmits,
+                r.goodput * 100.0,
+                r.false_drop_rate * 100.0,
+                r.fail_open_admits,
             );
         }
         println!();

@@ -101,4 +101,27 @@ fn on_disk_dump_parses_when_provided() {
     let body = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read TELEMETRY_DUMP={path}: {e}"));
     check_dump(&body, &path);
+
+    // The CI harness run includes the E16 fault sweep, so the dump must
+    // show the fault plane actually fired: fault-plane gauges from the
+    // simulator and enforcement verdicts in the audit trail.
+    let v = json::parse(&body).unwrap();
+    let metrics = v.get("metrics").and_then(Json::as_obj).unwrap();
+    for gauge in [
+        "netsim.faults.data_lost",
+        "netsim.faults.control_lost",
+        "netsim.faults.control_retransmits",
+    ] {
+        assert!(
+            metrics.iter().any(|(k, _)| k == gauge),
+            "{path}: e16 ran but gauge `{gauge}` is missing"
+        );
+    }
+    let audit = v.get("audit").and_then(Json::as_arr).unwrap();
+    assert!(
+        audit
+            .iter()
+            .any(|r| r.get("kind").and_then(Json::as_str) == Some("enforcement")),
+        "{path}: e16 ran but no enforcement verdict was audited"
+    );
 }

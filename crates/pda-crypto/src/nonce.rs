@@ -45,46 +45,57 @@ impl fmt::Display for Nonce {
 
 /// Replay window: tracks nonces already accepted by an appraiser.
 ///
-/// Bounded: once `capacity` is reached the *entire* window is rotated out
-/// after being summarized. Rotation trades perfect replay detection for
-/// bounded memory; the rotation epoch is part of the appraisal context,
-/// so a replay across epochs is still detectable as "unknown nonce" (the
-/// appraiser no longer has the original request open).
+/// Bounded via **two-generation rotation**: nonces accumulate in the
+/// current generation; when it reaches `capacity` it becomes the
+/// *previous* generation (replacing the one before it) and a fresh
+/// current generation starts. Lookups consult both generations, so any
+/// accepted nonce stays detectable for at least one full window of
+/// fresh nonces after its acceptance — memory is bounded by
+/// `2 × capacity` entries.
+///
+/// The seed implementation cleared the *entire* window on rotation,
+/// which meant an attacker could push `capacity` fresh nonces and then
+/// instantly replay every nonce seen before — the regression test
+/// `previous_generation_still_rejected_after_rotation` pins the fix.
 #[derive(Debug)]
 pub struct ReplayWindow {
-    seen: HashSet<Nonce>,
+    current: HashSet<Nonce>,
+    previous: HashSet<Nonce>,
     capacity: usize,
     /// How many rotations have happened (exposed for audit).
     epochs: u64,
 }
 
 impl ReplayWindow {
-    /// Create a window holding up to `capacity` nonces.
+    /// Create a window whose generations each hold up to `capacity`
+    /// nonces (total memory bound: `2 × capacity`).
     pub fn new(capacity: usize) -> ReplayWindow {
         assert!(capacity > 0, "replay window capacity must be positive");
         ReplayWindow {
-            seen: HashSet::new(),
+            current: HashSet::new(),
+            previous: HashSet::new(),
             capacity,
             epochs: 0,
         }
     }
 
-    /// Record `n`; returns `false` if it was already seen (replay).
+    /// Record `n`; returns `false` if it was already seen (replay) in
+    /// either the current or the previous generation.
     pub fn check_and_record(&mut self, n: Nonce) -> bool {
-        if self.seen.contains(&n) {
+        if self.current.contains(&n) || self.previous.contains(&n) {
             return false;
         }
-        if self.seen.len() >= self.capacity {
-            self.seen.clear();
+        if self.current.len() >= self.capacity {
+            self.previous = std::mem::take(&mut self.current);
             self.epochs += 1;
         }
-        self.seen.insert(n);
+        self.current.insert(n);
         true
     }
 
-    /// Has `n` been recorded in the current epoch?
+    /// Has `n` been recorded in a still-tracked generation?
     pub fn contains(&self, n: Nonce) -> bool {
-        self.seen.contains(&n)
+        self.current.contains(&n) || self.previous.contains(&n)
     }
 
     /// Number of completed rotations.
@@ -92,14 +103,14 @@ impl ReplayWindow {
         self.epochs
     }
 
-    /// Nonces currently tracked.
+    /// Nonces currently tracked (both generations).
     pub fn len(&self) -> usize {
-        self.seen.len()
+        self.current.len() + self.previous.len()
     }
 
     /// True if no nonces are tracked.
     pub fn is_empty(&self) -> bool {
-        self.seen.is_empty()
+        self.current.is_empty() && self.previous.is_empty()
     }
 }
 
@@ -120,11 +131,46 @@ mod tests {
     #[test]
     fn rotation_bounds_memory() {
         let mut w = ReplayWindow::new(4);
-        for i in 0..10 {
+        for i in 0..100 {
             assert!(w.check_and_record(Nonce(i)));
         }
-        assert!(w.len() <= 4);
+        // Two generations of at most `capacity` nonces each.
+        assert!(w.len() <= 2 * 4);
         assert!(w.epochs() >= 1);
+    }
+
+    /// Regression test for the clear-all rotation bug: a nonce accepted
+    /// just before a rotation must still be rejected after the rotation
+    /// (it lives in the *previous* generation). Under the old behaviour
+    /// (`seen.clear()` on rotation) the replay below was accepted.
+    #[test]
+    fn previous_generation_still_rejected_after_rotation() {
+        let cap = 4;
+        let mut w = ReplayWindow::new(cap);
+        // Fill the current generation to capacity.
+        for i in 0..cap as u64 {
+            assert!(w.check_and_record(Nonce(i)));
+        }
+        assert_eq!(w.epochs(), 0);
+        // This insert triggers rotation: 0..cap move to the previous
+        // generation, Nonce(100) starts the new current generation.
+        assert!(w.check_and_record(Nonce(100)));
+        assert_eq!(w.epochs(), 1);
+        // Every pre-rotation nonce must still be detected as a replay.
+        for i in 0..cap as u64 {
+            assert!(
+                !w.check_and_record(Nonce(i)),
+                "nonce {i} replayable after rotation"
+            );
+            assert!(w.contains(Nonce(i)));
+        }
+        // And a nonce survives for at least one *full* window of fresh
+        // nonces after acceptance: the first accepted nonce is only
+        // forgotten after two rotations push it out.
+        for i in 101..(100 + cap as u64) {
+            assert!(w.check_and_record(Nonce(i)));
+        }
+        assert!(!w.check_and_record(Nonce(0)), "still in previous gen");
     }
 
     #[test]

@@ -13,10 +13,14 @@
 //!   over a control channel to the appraiser.
 //! * [`scenarios`] — reusable topology builders (linear paths with
 //!   PERA/legacy mixes) and traffic helpers.
+//! * [`faults`] — the seeded, deterministic fault-injection plane:
+//!   per-link loss/duplication/corruption/jitter, link- and
+//!   switch-down windows, lossy control channel with retransmits.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ddos;
+pub mod faults;
 pub mod packet;
 pub mod scenarios;
 pub mod sim;
@@ -24,6 +28,9 @@ pub mod topology;
 pub mod traffic;
 
 pub use ddos::{DdosOutcome, DdosScenario};
+pub use faults::{
+    ControlRetryPolicy, DownWindow, FaultPlan, FaultPlane, FaultStats, LinkFaults, TxFate,
+};
 pub use packet::{AttestState, EvidenceMode, SimPacket};
 pub use scenarios::{linear_path, linear_path_bw, test_packet, LinearPath};
 pub use sim::{Delivery, SimStats, Simulator, CONTROL_LATENCY, MAX_HOPS};

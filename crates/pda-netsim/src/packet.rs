@@ -24,7 +24,7 @@ pub enum EvidenceMode {
 }
 
 /// Attestation request + accumulated evidence.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AttestState {
     /// The relying party's nonce.
     pub nonce: Nonce,
@@ -61,8 +61,9 @@ impl AttestState {
     }
 }
 
-/// A packet in flight.
-#[derive(Debug)]
+/// A packet in flight. `Clone` exists for the fault plane's
+/// duplication fault (two copies of one transmission on the wire).
+#[derive(Clone, Debug)]
 pub struct SimPacket {
     /// Raw packet bytes (headers + payload).
     pub bytes: Vec<u8>,

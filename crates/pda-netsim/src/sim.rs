@@ -5,6 +5,7 @@
 //! given scenario always produces byte-identical results — a property
 //! the integration tests assert.
 
+use crate::faults::{FaultPlan, FaultPlane, TxFate};
 use crate::packet::{EvidenceMode, SimPacket};
 use crate::topology::{DeviceKind, NodeId, SimTime, Topology};
 use pda_crypto::keyreg::{KeyRegistry, PrincipalId};
@@ -105,6 +106,9 @@ pub struct Simulator {
     pub enforcement: HashMap<NodeId, VerifyUnit>,
     /// Statistics.
     pub stats: SimStats,
+    /// The fault-injection plane, when a [`FaultPlan`] is installed.
+    /// `None` (the default) is the seed's perfect-world behaviour.
+    pub faults: Option<FaultPlane>,
     /// Telemetry handle: [`run`](Self::run) publishes [`SimStats`] as
     /// `netsim.*` gauges and times the drain. Disabled by default;
     /// attach with [`attach_telemetry`](Self::attach_telemetry).
@@ -131,9 +135,18 @@ impl Simulator {
             registry: KeyRegistry::new(),
             enforcement: HashMap::new(),
             stats: SimStats::default(),
+            faults: None,
             telemetry: pda_telemetry::Telemetry::off(),
         }
         .with_registry(registry)
+    }
+
+    /// Install a fault plan; faulted behaviour is a deterministic
+    /// function of the plan (including its seed) and the injection
+    /// sequence. Installing replaces any previous plane, resetting its
+    /// PRNG and counters.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultPlane::new(plan));
     }
 
     /// Attach a telemetry handle to the simulation *and* to every PERA
@@ -145,6 +158,9 @@ impl Simulator {
             if let DeviceKind::Pera(sw) = &mut node.kind {
                 sw.set_telemetry(tel.clone());
             }
+        }
+        for (node, unit) in self.enforcement.iter_mut() {
+            unit.set_telemetry(tel.clone(), self.topo.nodes[*node].name.clone());
         }
         self.telemetry = tel;
     }
@@ -163,8 +179,9 @@ impl Simulator {
             matches!(self.topo.nodes[node].kind, DeviceKind::Pera(_)),
             "enforcement requires a PERA device"
         );
-        self.enforcement
-            .insert(node, VerifyUnit::new(self.registry.clone(), policy));
+        let mut unit = VerifyUnit::new(self.registry.clone(), policy);
+        unit.set_telemetry(self.telemetry.clone(), self.topo.nodes[node].name.clone());
+        self.enforcement.insert(node, unit);
     }
 
     fn push(&mut self, time: SimTime, kind: EventKind) {
@@ -179,20 +196,68 @@ impl Simulator {
     /// Inject a packet from `host` out of its port `port` at `time`.
     pub fn inject(&mut self, time: SimTime, host: NodeId, port: u64, packet: SimPacket) {
         self.stats.injected += 1;
-        let Some(&link) = self.topo.nodes[host].ports.get(&port) else {
+        self.send_over_link(host, port, time, packet);
+    }
+
+    /// Put one packet on the wire from `node` out of `egress_port` at
+    /// `time`, consulting the fault plane (loss, duplication,
+    /// corruption, jitter, link-down) when one is installed.
+    fn send_over_link(&mut self, node: NodeId, egress_port: u64, time: SimTime, packet: SimPacket) {
+        let Some(&link) = self.topo.nodes[node].ports.get(&egress_port) else {
             self.stats.dropped += 1;
             return;
         };
-        let bytes = packet.wire_bytes();
-        self.stats.wire_bytes += bytes as u64;
-        self.push(
-            time + link.delay(bytes),
-            EventKind::Packet {
-                node: link.peer,
-                port: link.peer_port,
-                packet,
+        let fate = match self.faults.as_mut() {
+            None => TxFate::Deliver {
+                extra: 0,
+                duplicate_extra: None,
+                corrupt: false,
             },
-        );
+            Some(plane) => plane.data_fate(node, egress_port, time),
+        };
+        match fate {
+            TxFate::LinkDown => {
+                self.stats.dropped += 1;
+            }
+            TxFate::Lost => {
+                // The transmission consumed the wire before vanishing.
+                self.stats.wire_bytes += packet.wire_bytes() as u64;
+                self.stats.dropped += 1;
+            }
+            TxFate::Deliver {
+                extra,
+                duplicate_extra,
+                corrupt,
+            } => {
+                let mut packet = packet;
+                if corrupt {
+                    if let Some(plane) = self.faults.as_mut() {
+                        plane.corrupt_bytes(&mut packet.bytes);
+                    }
+                }
+                let bytes = packet.wire_bytes();
+                if let Some(dup_extra) = duplicate_extra {
+                    self.stats.wire_bytes += bytes as u64;
+                    self.push(
+                        time + link.delay(bytes) + dup_extra,
+                        EventKind::Packet {
+                            node: link.peer,
+                            port: link.peer_port,
+                            packet: packet.clone(),
+                        },
+                    );
+                }
+                self.stats.wire_bytes += bytes as u64;
+                self.push(
+                    time + link.delay(bytes) + extra,
+                    EventKind::Packet {
+                        node: link.peer,
+                        port: link.peer_port,
+                        packet,
+                    },
+                );
+            }
+        }
     }
 
     /// Run until the event queue drains; returns the final time.
@@ -234,6 +299,17 @@ impl Simulator {
         set("netsim.control_bytes", self.stats.control_bytes);
         set("netsim.enforcement_drops", self.stats.enforcement_drops);
         set("netsim.now", self.now);
+        if let Some(plane) = &self.faults {
+            let f = plane.stats;
+            set("netsim.faults.data_lost", f.data_lost);
+            set("netsim.faults.data_duplicated", f.data_duplicated);
+            set("netsim.faults.data_corrupted", f.data_corrupted);
+            set("netsim.faults.link_down_drops", f.link_down_drops);
+            set("netsim.faults.switch_down_drops", f.switch_down_drops);
+            set("netsim.faults.control_lost", f.control_lost);
+            set("netsim.faults.control_retransmits", f.control_retransmits);
+            set("netsim.faults.control_gave_up", f.control_gave_up);
+        }
     }
 
     fn handle_packet(&mut self, node: NodeId, port: u64, mut packet: SimPacket) {
@@ -241,6 +317,18 @@ impl Simulator {
         if packet.hops > MAX_HOPS {
             self.stats.dropped += 1;
             return;
+        }
+        // A switch inside one of its outage windows drops everything.
+        if !matches!(
+            self.topo.nodes[node].kind,
+            DeviceKind::Host | DeviceKind::Appraiser
+        ) {
+            if let Some(plane) = self.faults.as_mut() {
+                if plane.switch_down_drop(node, self.now) {
+                    self.stats.dropped += 1;
+                    return;
+                }
+            }
         }
         // Split-borrow: temporarily take the device out to mutate it
         // while scheduling through &mut self.
@@ -255,11 +343,12 @@ impl Simulator {
             }
             DeviceKind::Pera(sw) => {
                 // Ingress enforcement: Fig. 3 case (A), inspect in-band
-                // evidence before match+action.
+                // evidence before match+action. An unattested packet has
+                // no chain and no nonce; the policy decides its fate.
                 if let Some(unit) = self.enforcement.get_mut(&node) {
                     let verdict = match &packet.attest {
-                        Some(a) => unit.check(Some(&a.chain), a.nonce),
-                        None => unit.check(None, pda_crypto::nonce::Nonce(0)),
+                        Some(a) => unit.check(Some(&a.chain), Some(a.nonce)),
+                        None => unit.check(None, None),
                     };
                     if !verdict.admits() {
                         self.stats.dropped += 1;
@@ -287,14 +376,26 @@ impl Simulator {
                         EvidenceMode::OutOfBand { appraiser } => {
                             let bytes = record.wire_size();
                             attest.push(record.clone());
-                            self.push(
-                                self.now + CONTROL_LATENCY,
-                                EventKind::Control {
-                                    node: appraiser,
-                                    record,
-                                    bytes,
-                                },
-                            );
+                            // The control channel may lose the push;
+                            // the fault plane resolves the retransmit
+                            // timeline (timeout + exponential backoff)
+                            // at send time.
+                            let deliver_at = match self.faults.as_mut() {
+                                None => Some(self.now + CONTROL_LATENCY),
+                                Some(plane) => {
+                                    plane.control_delivery_time(self.now, CONTROL_LATENCY)
+                                }
+                            };
+                            if let Some(t) = deliver_at {
+                                self.push(
+                                    t,
+                                    EventKind::Control {
+                                        node: appraiser,
+                                        record,
+                                        bytes,
+                                    },
+                                );
+                            }
                         }
                     }
                 }
@@ -320,20 +421,7 @@ impl Simulator {
     }
 
     fn forward(&mut self, node: NodeId, egress_port: u64, packet: SimPacket) {
-        let Some(&link) = self.topo.nodes[node].ports.get(&egress_port) else {
-            self.stats.dropped += 1;
-            return;
-        };
-        let bytes = packet.wire_bytes();
-        self.stats.wire_bytes += bytes as u64;
-        self.push(
-            self.now + link.delay(bytes),
-            EventKind::Packet {
-                node: link.peer,
-                port: link.peer_port,
-                packet,
-            },
-        );
+        self.send_over_link(node, egress_port, self.now, packet);
     }
 
     /// Convenience: evidence records collected at an appraiser node.

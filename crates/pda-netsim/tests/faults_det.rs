@@ -1,0 +1,212 @@
+//! Fault-plane integration tests: same-seed runs are byte-identical,
+//! retransmits make out-of-band appraisal loss-tolerant, and the
+//! appraiser survives duplicated / reordered evidence deliveries.
+
+use pda_crypto::nonce::Nonce;
+use pda_netsim::{linear_path, ControlRetryPolicy, EvidenceMode, FaultPlan, LinkFaults, SimStats};
+use pda_pera::config::{PeraConfig, Sampling};
+use pda_pera::{assemble_chain, verify_chain, AdmissionPolicy};
+use pda_telemetry::Telemetry;
+use proptest::prelude::*;
+
+/// Everything observable about one run, for whole-run comparison.
+#[derive(Debug, PartialEq)]
+struct RunTrace {
+    stats: SimStats,
+    faults: pda_netsim::FaultStats,
+    now: u64,
+    /// (time, node, payload length) per delivery, in delivery order.
+    deliveries: Vec<(u64, usize, usize)>,
+    /// Chain digests of evidence collected at the appraiser, in order.
+    collected: Vec<[u8; 32]>,
+    audit_jsonl: String,
+}
+
+/// A moderately hostile run: data loss + duplication + jitter on every
+/// link, one switch outage window, 10% control-channel loss with the
+/// default retransmit budget, enforcement at the last switch.
+fn faulted_run(seed: u64) -> RunTrace {
+    let cfg = PeraConfig::default().with_sampling(Sampling::PerPacket);
+    let mut lp = linear_path(3, &cfg, &[]);
+    let tel = Telemetry::collecting();
+    lp.sim.attach_telemetry(tel.clone());
+    lp.sim
+        .install_enforcement(lp.switches[2], AdmissionPolicy::default());
+    lp.sim.install_faults(
+        FaultPlan::new(seed)
+            .with_default_link(LinkFaults {
+                loss: 0.05,
+                duplicate: 0.05,
+                corrupt: 0.02,
+                reorder_jitter_ns: 500,
+            })
+            .with_switch_down(lp.switches[1], 40_000, 60_000)
+            .with_control_loss(0.10)
+            .with_control_retry(ControlRetryPolicy::default()),
+    );
+    let appraiser = lp.appraiser;
+    for i in 0..40u64 {
+        let mode = if i % 2 == 0 {
+            EvidenceMode::InBand
+        } else {
+            EvidenceMode::OutOfBand { appraiser }
+        };
+        lp.send_attested(Nonce(i + 1), mode, b"payload!");
+    }
+    RunTrace {
+        stats: lp.sim.stats,
+        faults: lp.sim.faults.as_ref().unwrap().stats,
+        now: lp.sim.now,
+        deliveries: lp
+            .sim
+            .deliveries
+            .iter()
+            .map(|d| (d.time, d.node, d.packet.bytes.len()))
+            .collect(),
+        collected: lp
+            .sim
+            .evidence_at(appraiser)
+            .iter()
+            .map(|r| r.chain.0)
+            .collect(),
+        audit_jsonl: tel.audit_log().unwrap().to_jsonl(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole determinism guarantee: two runs of the same faulted
+    /// scenario under the same seed agree on *everything* — SimStats,
+    /// FaultStats, every delivery, the evidence collected at the
+    /// appraiser, and the full audit log.
+    #[test]
+    fn same_seed_faulted_runs_are_identical(seed in any::<u64>()) {
+        let a = faulted_run(seed);
+        let b = faulted_run(seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn the_fault_plane_actually_perturbs() {
+    let t = faulted_run(7);
+    let f = t.faults;
+    assert!(f.data_lost > 0, "5% loss over 40 multi-hop packets");
+    assert!(f.data_duplicated > 0);
+    assert!(f.switch_down_drops > 0, "outage window saw traffic");
+    assert!(
+        f.control_lost > 0 && f.control_retransmits > 0,
+        "lossy control channel retransmits: {f:?}"
+    );
+}
+
+#[test]
+fn control_retries_keep_out_of_band_appraisal_complete() {
+    // 3 PERA hops × 200 out-of-band packets = 600 evidence pushes over
+    // a control channel losing 10% of messages. With the default
+    // retransmit budget, ≥99% of records still reach the appraiser;
+    // fire-and-forget loses roughly the loss rate.
+    let run = |retry: ControlRetryPolicy| {
+        let cfg = PeraConfig::default().with_sampling(Sampling::PerPacket);
+        let mut lp = linear_path(3, &cfg, &[]);
+        lp.sim.install_faults(
+            FaultPlan::new(99)
+                .with_control_loss(0.10)
+                .with_control_retry(retry),
+        );
+        let appraiser = lp.appraiser;
+        for i in 0..200u64 {
+            lp.send_attested(
+                Nonce(i + 1),
+                EvidenceMode::OutOfBand { appraiser },
+                b"payload!",
+            );
+        }
+        lp.sim.evidence_at(appraiser).len() as f64 / 600.0
+    };
+    let with_retry = run(ControlRetryPolicy::default());
+    let without = run(ControlRetryPolicy::none());
+    assert!(
+        with_retry >= 0.99,
+        "completeness with retries: {with_retry}"
+    );
+    assert!(
+        without < 0.97,
+        "no-retry baseline should sit near the loss rate: {without}"
+    );
+}
+
+#[test]
+fn duplicated_deliveries_do_not_confuse_the_appraiser() {
+    // Heavy duplication on every data link: the appraiser receives the
+    // same hop evidence several times. assemble_chain dedups by chain
+    // digest and restores path order, so the chain still verifies.
+    let cfg = PeraConfig::default().with_sampling(Sampling::PerPacket);
+    let mut lp = linear_path(3, &cfg, &[]);
+    lp.sim
+        .install_faults(FaultPlan::new(3).with_default_link(LinkFaults {
+            duplicate: 0.8,
+            ..LinkFaults::default()
+        }));
+    let appraiser = lp.appraiser;
+    lp.send_attested(Nonce(1), EvidenceMode::OutOfBand { appraiser }, b"payload!");
+    let raw = lp.sim.evidence_at(appraiser).to_vec();
+    assert!(raw.len() > 3, "duplication produced extra deliveries");
+    let (ordered, orphans) = assemble_chain(&raw);
+    assert_eq!(ordered.len(), 3, "one record per hop after dedup");
+    assert!(orphans.is_empty());
+    assert_eq!(
+        verify_chain(&ordered, &lp.sim.registry, Nonce(1), true),
+        Ok(())
+    );
+}
+
+#[test]
+fn reordered_deliveries_reassemble_in_path_order() {
+    // Clean run, then adversarially scramble + duplicate what the
+    // appraiser stored: assemble_chain must restore sw1→sw2→sw3.
+    let cfg = PeraConfig::default().with_sampling(Sampling::PerPacket);
+    let mut lp = linear_path(3, &cfg, &[]);
+    let appraiser = lp.appraiser;
+    lp.send_attested(Nonce(9), EvidenceMode::OutOfBand { appraiser }, b"payload!");
+    let mut scrambled = lp.sim.evidence_at(appraiser).to_vec();
+    scrambled.reverse();
+    scrambled.push(scrambled[0].clone());
+    scrambled.push(scrambled[2].clone());
+    let (ordered, orphans) = assemble_chain(&scrambled);
+    assert!(orphans.is_empty());
+    let names: Vec<_> = ordered.iter().map(|r| r.switch.as_str()).collect();
+    assert_eq!(names, vec!["sw1", "sw2", "sw3"]);
+    assert_eq!(
+        verify_chain(&ordered, &lp.sim.registry, Nonce(9), true),
+        Ok(())
+    );
+}
+
+#[test]
+fn quiet_plan_is_byte_identical_to_no_plan() {
+    // Installing an all-quiet fault plane must not change a single
+    // observable relative to a fault-free simulator: the no-fault fast
+    // path draws nothing from the RNG.
+    let run = |faults: bool| {
+        let cfg = PeraConfig::default().with_sampling(Sampling::PerPacket);
+        let mut lp = linear_path(3, &cfg, &[]);
+        if faults {
+            lp.sim.install_faults(FaultPlan::new(1234));
+        }
+        for i in 0..10u64 {
+            lp.send_attested(Nonce(i + 1), EvidenceMode::InBand, b"payload!");
+        }
+        (
+            lp.sim.stats,
+            lp.sim.now,
+            lp.sim
+                .deliveries
+                .iter()
+                .map(|d| (d.time, d.node, d.packet.bytes.clone()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}

@@ -190,6 +190,46 @@ pub fn verify_chain(
     }
 }
 
+/// Reassemble a chain from records that may have arrived **duplicated
+/// and out of order** (the out-of-band control channel gives no
+/// ordering or at-most-once guarantee under faults).
+///
+/// Duplicates — records with an identical chain value — are dropped,
+/// then records are re-linked by their `prev`/`chain` digests starting
+/// from [`Digest::ZERO`]. The walk is purely structural: it restores
+/// the order the attesters *claimed*, and [`verify_chain`] must still
+/// be run on the result to check signatures and nonces. Records that
+/// don't link anywhere (orphans after a loss) are returned separately
+/// so the caller can distinguish "incomplete" from "inconsistent".
+pub fn assemble_chain(records: &[EvidenceRecord]) -> (Vec<EvidenceRecord>, Vec<EvidenceRecord>) {
+    let mut by_prev: std::collections::HashMap<Digest, &EvidenceRecord> =
+        std::collections::HashMap::new();
+    let mut seen_chain: std::collections::HashSet<Digest> = std::collections::HashSet::new();
+    let mut uniques: Vec<&EvidenceRecord> = Vec::new();
+    for r in records {
+        if seen_chain.insert(r.chain) {
+            uniques.push(r);
+            by_prev.entry(r.prev).or_insert(r);
+        }
+    }
+    let mut ordered = Vec::new();
+    let mut used: std::collections::HashSet<Digest> = std::collections::HashSet::new();
+    let mut cursor = Digest::ZERO;
+    while let Some(&r) = by_prev.get(&cursor) {
+        if !used.insert(r.chain) {
+            break; // defensive: a prev-cycle cannot make progress
+        }
+        ordered.push(r.clone());
+        cursor = r.chain;
+    }
+    let orphans = uniques
+        .into_iter()
+        .filter(|r| !used.contains(&r.chain))
+        .cloned()
+        .collect();
+    (ordered, orphans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +339,44 @@ mod tests {
         assert_eq!(verify_chain(&records, &reg, Nonce(5), false), Ok(()));
         // …but fail linkage in chained mode.
         assert!(verify_chain(&records, &reg, Nonce(5), true).is_err());
+    }
+
+    #[test]
+    fn assemble_restores_order_and_drops_duplicates() {
+        let names = ["sw1", "sw2", "sw3"];
+        let chain = chain_of(&names, Nonce(5));
+        let reg = registry(&names);
+        // Deliver duplicated and shuffled, as a lossy control channel
+        // with retransmits would.
+        let scrambled = vec![
+            chain[2].clone(),
+            chain[0].clone(),
+            chain[2].clone(),
+            chain[1].clone(),
+            chain[0].clone(),
+        ];
+        let (ordered, orphans) = assemble_chain(&scrambled);
+        assert!(orphans.is_empty());
+        assert_eq!(
+            ordered
+                .iter()
+                .map(|r| r.switch.as_str())
+                .collect::<Vec<_>>(),
+            names
+        );
+        assert_eq!(verify_chain(&ordered, &reg, Nonce(5), true), Ok(()));
+    }
+
+    #[test]
+    fn assemble_reports_orphans_after_loss() {
+        let chain = chain_of(&["sw1", "sw2", "sw3"], Nonce(5));
+        // The middle record was lost: sw3's record cannot link.
+        let partial = vec![chain[2].clone(), chain[0].clone()];
+        let (ordered, orphans) = assemble_chain(&partial);
+        assert_eq!(ordered.len(), 1);
+        assert_eq!(ordered[0].switch, "sw1");
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(orphans[0].switch, "sw3");
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub mod verify_unit;
 
 pub use cache::{CacheStats, EvidenceCache};
 pub use config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
-pub use evidence::{verify_chain, ChainFailure, EvidenceRecord};
+pub use evidence::{assemble_chain, verify_chain, ChainFailure, EvidenceRecord};
 pub use switch::{PeraOutput, PeraStats, PeraSwitch};
-pub use verify_unit::{AdmissionPolicy, Verdict as AdmissionVerdict, VerifyStats, VerifyUnit};
+pub use verify_unit::{
+    AdmissionPolicy, FailMode, Verdict as AdmissionVerdict, VerifyStats, VerifyUnit,
+};

@@ -19,7 +19,29 @@ use crate::evidence::{verify_chain, EvidenceRecord};
 use pda_crypto::digest::Digest;
 use pda_crypto::keyreg::KeyRegistry;
 use pda_crypto::nonce::Nonce;
+use pda_telemetry::{AuditEvent, Telemetry};
 use std::collections::HashMap;
+use std::fmt;
+
+/// How the gate treats evidence that is *absent* — plausibly lost in
+/// transit — as opposed to evidence that is *present but wrong*
+/// (forged, replayed, or from an unexpected program).
+///
+/// Under lossy conditions an in-band chain can legitimately arrive
+/// short (an upstream record was dropped with an earlier copy of the
+/// packet, or a switch was down during its attestation window).
+/// Fail-open trades enforcement strictness for availability in that
+/// regime; cryptographic failure is never forgiven in either mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FailMode {
+    /// Absent or short evidence is a drop (the safe default).
+    #[default]
+    FailClosed,
+    /// Absent or short evidence is admitted; only *invalid* evidence
+    /// (bad signature/linkage/nonce, wrong program, missing detail,
+    /// missing waypoint) is dropped.
+    FailOpen,
+}
 
 /// What the enforcement point requires of arriving traffic.
 #[derive(Clone, Debug)]
@@ -34,6 +56,8 @@ pub struct AdmissionPolicy {
     /// Switch names that must appear somewhere in the chain (the UC3
     /// "crossed a specific series of appliances" test; empty = any).
     pub required_waypoints: Vec<String>,
+    /// Degradation semantics for evidence missing due to loss.
+    pub fail_mode: FailMode,
 }
 
 impl Default for AdmissionPolicy {
@@ -43,6 +67,7 @@ impl Default for AdmissionPolicy {
             required_details: vec![DetailLevel::Program],
             expected_programs: HashMap::new(),
             required_waypoints: Vec::new(),
+            fail_mode: FailMode::FailClosed,
         }
     }
 }
@@ -79,6 +104,26 @@ impl Verdict {
     pub fn admits(&self) -> bool {
         matches!(self, Verdict::Admit)
     }
+
+    /// Is this rejection consistent with evidence lost in transit (as
+    /// opposed to evidence present but invalid)? Fail-open mode only
+    /// forgives loss-consistent rejections.
+    pub fn loss_consistent(&self) -> bool {
+        matches!(self, Verdict::NoEvidence | Verdict::TooFewHops { .. })
+    }
+
+    /// Short label for telemetry/audit (`"NoEvidence"`, `"BadChain"`…).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Admit => "Admit",
+            Verdict::NoEvidence => "NoEvidence",
+            Verdict::BadChain => "BadChain",
+            Verdict::TooFewHops { .. } => "TooFewHops",
+            Verdict::MissingDetail(_) => "MissingDetail",
+            Verdict::WrongProgram { .. } => "WrongProgram",
+            Verdict::MissingWaypoint(_) => "MissingWaypoint",
+        }
+    }
 }
 
 /// Verify-unit statistics.
@@ -90,10 +135,13 @@ pub struct VerifyStats {
     pub admitted: u64,
     /// Packets rejected.
     pub rejected: u64,
+    /// Subset of `admitted` let through only because the policy failed
+    /// open on loss-consistent missing evidence.
+    pub fail_open_admits: u64,
 }
 
 /// The in-switch verify unit.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct VerifyUnit {
     /// Keys of upstream attesting elements.
     pub registry: KeyRegistry,
@@ -101,6 +149,19 @@ pub struct VerifyUnit {
     pub policy: AdmissionPolicy,
     /// Counters.
     pub stats: VerifyStats,
+    /// Name used in audit records (the enforcing node).
+    pub name: String,
+    telemetry: Telemetry,
+}
+
+impl fmt::Debug for VerifyUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifyUnit")
+            .field("name", &self.name)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl VerifyUnit {
@@ -110,27 +171,75 @@ impl VerifyUnit {
             registry,
             policy,
             stats: VerifyStats::default(),
+            name: String::new(),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// Attach a telemetry handle: every verdict then bumps
+    /// `pera.enforce.admitted`/`pera.enforce.rejected` and appends an
+    /// [`AuditEvent::Enforcement`] record naming this unit.
+    pub fn set_telemetry(&mut self, tel: Telemetry, name: impl Into<String>) {
+        self.telemetry = tel;
+        self.name = name.into();
     }
 
     /// Check one packet's in-band chain against the admission policy.
-    pub fn check(&mut self, chain: Option<&[EvidenceRecord]>, nonce: Nonce) -> Verdict {
+    ///
+    /// `chain: None` (or empty) means the packet carries no evidence at
+    /// all; `nonce: None` means the packet carries no attestation
+    /// header to take a nonce from. A chain without a nonce cannot be
+    /// freshness-checked and is treated as [`Verdict::BadChain`].
+    ///
+    /// The returned verdict already reflects the policy's
+    /// [`FailMode`]: under [`FailMode::FailOpen`], loss-consistent
+    /// rejections are converted to [`Verdict::Admit`] (and counted in
+    /// [`VerifyStats::fail_open_admits`]); cryptographically invalid
+    /// evidence is rejected in either mode.
+    pub fn check(&mut self, chain: Option<&[EvidenceRecord]>, nonce: Option<Nonce>) -> Verdict {
         self.stats.checked += 1;
-        let verdict = self.evaluate(chain, nonce);
+        let raw = self.evaluate(chain, nonce);
+        let fail_open_admit =
+            !raw.admits() && raw.loss_consistent() && self.policy.fail_mode == FailMode::FailOpen;
+        let verdict = if fail_open_admit { Verdict::Admit } else { raw };
         if verdict.admits() {
             self.stats.admitted += 1;
+            if fail_open_admit {
+                self.stats.fail_open_admits += 1;
+            }
         } else {
             self.stats.rejected += 1;
         }
+        if let Some(reg) = self.telemetry.registry() {
+            reg.counter(if verdict.admits() {
+                "pera.enforce.admitted"
+            } else {
+                "pera.enforce.rejected"
+            })
+            .inc();
+            if fail_open_admit {
+                reg.counter("pera.enforce.fail_open").inc();
+            }
+        }
+        self.telemetry.audit_with(|| AuditEvent::Enforcement {
+            unit: self.name.clone(),
+            nonce: nonce.map(|n| n.0),
+            admitted: verdict.admits(),
+            cause: (!verdict.admits()).then(|| verdict.label().to_string()),
+        });
         verdict
     }
 
-    fn evaluate(&self, chain: Option<&[EvidenceRecord]>, nonce: Nonce) -> Verdict {
-        let Some(chain) = chain else {
-            return Verdict::NoEvidence;
-        };
+    fn evaluate(&self, chain: Option<&[EvidenceRecord]>, nonce: Option<Nonce>) -> Verdict {
+        let chain = chain.unwrap_or(&[]);
         if chain.is_empty() {
-            return Verdict::NoEvidence;
+            // An empty chain is only acceptable when the policy demands
+            // no attested hops at all.
+            return if self.policy.min_hops == 0 {
+                Verdict::Admit
+            } else {
+                Verdict::NoEvidence
+            };
         }
         if chain.len() < self.policy.min_hops {
             return Verdict::TooFewHops {
@@ -138,6 +247,11 @@ impl VerifyUnit {
                 need: self.policy.min_hops,
             };
         }
+        // Evidence without a nonce cannot be bound to this packet's
+        // attestation round — indistinguishable from a replay.
+        let Some(nonce) = nonce else {
+            return Verdict::BadChain;
+        };
         if verify_chain(chain, &self.registry, nonce, true).is_err() {
             return Verdict::BadChain;
         }
@@ -201,7 +315,7 @@ mod tests {
     fn admits_valid_chain() {
         let (chain, reg) = chain_and_registry(&["sw1", "sw2"], Nonce(1));
         let mut unit = VerifyUnit::new(reg, AdmissionPolicy::default());
-        assert_eq!(unit.check(Some(&chain), Nonce(1)), Verdict::Admit);
+        assert_eq!(unit.check(Some(&chain), Some(Nonce(1))), Verdict::Admit);
         assert_eq!(unit.stats.admitted, 1);
     }
 
@@ -209,8 +323,8 @@ mod tests {
     fn rejects_missing_and_empty_evidence() {
         let (_, reg) = chain_and_registry(&["sw1"], Nonce(1));
         let mut unit = VerifyUnit::new(reg, AdmissionPolicy::default());
-        assert_eq!(unit.check(None, Nonce(1)), Verdict::NoEvidence);
-        assert_eq!(unit.check(Some(&[]), Nonce(1)), Verdict::NoEvidence);
+        assert_eq!(unit.check(None, None), Verdict::NoEvidence);
+        assert_eq!(unit.check(Some(&[]), Some(Nonce(1))), Verdict::NoEvidence);
         assert_eq!(unit.stats.rejected, 2);
     }
 
@@ -218,9 +332,12 @@ mod tests {
     fn rejects_bad_chain_and_wrong_nonce() {
         let (mut chain, reg) = chain_and_registry(&["sw1", "sw2"], Nonce(1));
         let mut unit = VerifyUnit::new(reg, AdmissionPolicy::default());
-        assert_eq!(unit.check(Some(&chain), Nonce(2)), Verdict::BadChain);
+        assert_eq!(unit.check(Some(&chain), Some(Nonce(2))), Verdict::BadChain);
+        // A chain with no nonce to bind to is indistinguishable from a
+        // replay: always a cryptographic failure.
+        assert_eq!(unit.check(Some(&chain), None), Verdict::BadChain);
         chain[0].details[0].1 = Digest::of(b"tampered");
-        assert_eq!(unit.check(Some(&chain), Nonce(1)), Verdict::BadChain);
+        assert_eq!(unit.check(Some(&chain), Some(Nonce(1))), Verdict::BadChain);
     }
 
     #[test]
@@ -234,8 +351,105 @@ mod tests {
             },
         );
         assert_eq!(
-            unit.check(Some(&chain), Nonce(1)),
+            unit.check(Some(&chain), Some(Nonce(1))),
             Verdict::TooFewHops { got: 1, need: 3 }
+        );
+    }
+
+    #[test]
+    fn min_hops_zero_admits_unattested() {
+        // Regression: the seed dropped every unattested packet even
+        // under `min_hops: 0` — `NoEvidence` was unconditional.
+        let (_, reg) = chain_and_registry(&["sw1"], Nonce(1));
+        let mut unit = VerifyUnit::new(
+            reg,
+            AdmissionPolicy {
+                min_hops: 0,
+                ..AdmissionPolicy::default()
+            },
+        );
+        assert_eq!(unit.check(None, None), Verdict::Admit);
+        assert_eq!(unit.check(Some(&[]), None), Verdict::Admit);
+        assert_eq!(
+            unit.stats.fail_open_admits, 0,
+            "policy admit, not fail-open"
+        );
+    }
+
+    #[test]
+    fn fail_open_forgives_loss_but_not_forgery() {
+        let (mut chain, reg) = chain_and_registry(&["sw1"], Nonce(1));
+        let mut unit = VerifyUnit::new(
+            reg,
+            AdmissionPolicy {
+                min_hops: 2,
+                fail_mode: FailMode::FailOpen,
+                ..AdmissionPolicy::default()
+            },
+        );
+        // Loss-consistent: no evidence, or fewer hops than required.
+        assert_eq!(unit.check(None, None), Verdict::Admit);
+        assert_eq!(unit.check(Some(&chain), Some(Nonce(1))), Verdict::Admit);
+        assert_eq!(unit.stats.fail_open_admits, 2);
+        // Forgery-consistent: evidence present but cryptographically
+        // wrong stays a drop even when failing open.
+        chain[0].details[0].1 = Digest::of(b"tampered");
+        chain.push(chain[0].clone());
+        assert_eq!(unit.check(Some(&chain), Some(Nonce(1))), Verdict::BadChain);
+        assert_eq!(unit.stats.rejected, 1);
+    }
+
+    #[test]
+    fn telemetry_counters_match_stats() {
+        // The PR-2 observability bugfix: enforcement verdicts must be
+        // visible as counters and audit records that agree with
+        // `VerifyStats` exactly.
+        use pda_telemetry::Telemetry;
+        let (chain, reg) = chain_and_registry(&["sw1", "sw2"], Nonce(1));
+        let tel = Telemetry::collecting();
+        let mut unit = VerifyUnit::new(reg, AdmissionPolicy::default());
+        unit.set_telemetry(tel.clone(), "edge");
+        unit.check(Some(&chain), Some(Nonce(1)));
+        unit.check(Some(&chain), Some(Nonce(2)));
+        unit.check(None, None);
+        let reg = tel.registry().unwrap();
+        assert_eq!(
+            reg.counter("pera.enforce.admitted").get(),
+            unit.stats.admitted
+        );
+        assert_eq!(
+            reg.counter("pera.enforce.rejected").get(),
+            unit.stats.rejected
+        );
+        assert_eq!(
+            unit.stats,
+            VerifyStats {
+                checked: 3,
+                admitted: 1,
+                rejected: 2,
+                fail_open_admits: 0
+            }
+        );
+        let records = tel.audit_log().unwrap().records();
+        let enforce: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                pda_telemetry::AuditEvent::Enforcement {
+                    unit,
+                    admitted,
+                    cause,
+                    ..
+                } => Some((unit.clone(), *admitted, cause.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            enforce,
+            vec![
+                ("edge".into(), true, None),
+                ("edge".into(), false, Some("BadChain".into())),
+                ("edge".into(), false, Some("NoEvidence".into())),
+            ]
         );
     }
 
@@ -250,7 +464,7 @@ mod tests {
             },
         );
         assert_eq!(
-            unit.check(Some(&chain), Nonce(1)),
+            unit.check(Some(&chain), Some(Nonce(1))),
             Verdict::MissingDetail(DetailLevel::Tables)
         );
     }
@@ -268,7 +482,7 @@ mod tests {
             },
         );
         assert_eq!(
-            unit.check(Some(&chain), Nonce(1)),
+            unit.check(Some(&chain), Some(Nonce(1))),
             Verdict::WrongProgram {
                 switch: "sw1".into()
             }
@@ -287,7 +501,7 @@ mod tests {
             },
         );
         assert_eq!(
-            unit.check(Some(&chain), Nonce(1)),
+            unit.check(Some(&chain), Some(Nonce(1))),
             Verdict::MissingWaypoint("scrubber".into())
         );
         let (chain2, reg2) = chain_and_registry(&["sw1", "scrubber"], Nonce(1));
@@ -298,6 +512,6 @@ mod tests {
                 ..AdmissionPolicy::default()
             },
         );
-        assert_eq!(unit2.check(Some(&chain2), Nonce(1)), Verdict::Admit);
+        assert_eq!(unit2.check(Some(&chain2), Some(Nonce(1))), Verdict::Admit);
     }
 }

@@ -26,9 +26,13 @@
 pub mod appraise;
 pub mod evidence;
 pub mod protocol;
+pub mod retry;
 pub mod runtime;
 
 pub use appraise::{appraise, AppraisalResult, AppraiserService, Failure};
 pub use evidence::Ev;
-pub use protocol::{run_phrase, run_request, ProtocolError, RunReport, RunStats};
+pub use protocol::{
+    run_phrase, run_request, run_request_retrying, ProtocolError, RunReport, RunStats,
+};
+pub use retry::{FlakyChannel, RetryPolicy, RetrySession};
 pub use runtime::{Component, Environment, PlaceRuntime};

@@ -1,0 +1,239 @@
+//! Timeout/retry with exponential backoff for `@P` message legs.
+//!
+//! The executable protocol evaluator in [`crate::protocol`] assumed a
+//! perfect transport: every `@P` request and reply arrived. Petz &
+//! Alexander's "Faithful Execution of Remote Attestation Protocols"
+//! stresses that protocol *execution* must survive a hostile
+//! environment, not just verify in a clean one — so this module models
+//! the transport explicitly. A [`FlakyChannel`] (seeded, deterministic)
+//! decides whether each leg is delivered; a [`RetrySession`] wraps it
+//! with a [`RetryPolicy`] that retransmits lost legs after an
+//! exponentially backed-off timeout, until the budget is exhausted and
+//! the run fails with [`ProtocolError::Timeout`].
+//!
+//! Retransmissions are visible three ways: [`RunStats::retries`] /
+//! [`RunStats::backoff_ns`], the extra `messages`/`bytes` each
+//! retransmitted leg accounts, and the `ra.retry.*` telemetry counters
+//! (`legs`, `retransmits`, `timeouts`) when a handle is attached.
+//!
+//! Request-leg loss retries *before* the remote phrase runs; reply-leg
+//! loss re-sends the already-computed reply without re-executing the
+//! remote phrase — the model's legs are idempotent the way a real
+//! store-and-retransmit buffer makes them.
+
+use crate::protocol::{ProtocolError, RunStats};
+use pda_copland::ast::Place;
+use pda_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Retransmit budget and backoff shape for one protocol run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed per leg after the first attempt
+    /// (0 = fire-and-forget: any loss is an immediate timeout).
+    pub max_retries: u32,
+    /// Timeout before the first retransmit, in nanoseconds.
+    pub base_timeout_ns: u64,
+    /// Timeout multiplier per successive retransmit.
+    pub backoff: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_timeout_ns: 1_000_000, // 1 ms
+            backoff: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The no-retry baseline.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// A deterministic lossy message channel: each leg is independently
+/// lost with probability `loss`, decided by a seeded PRNG.
+#[derive(Clone, Debug)]
+pub struct FlakyChannel {
+    loss: f64,
+    rng: StdRng,
+}
+
+impl FlakyChannel {
+    /// Channel losing each leg with probability `loss` under `seed`.
+    pub fn new(seed: u64, loss: f64) -> FlakyChannel {
+        assert!((0.0..=1.0).contains(&loss), "loss={loss} not a probability");
+        FlakyChannel {
+            loss,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A channel that never loses anything.
+    pub fn perfect() -> FlakyChannel {
+        FlakyChannel::new(0, 0.0)
+    }
+
+    /// Sample one transmission attempt.
+    pub fn delivers(&mut self) -> bool {
+        self.loss == 0.0 || !self.rng.gen_bool(self.loss)
+    }
+}
+
+/// The retry layer threaded through one protocol run.
+#[derive(Clone)]
+pub struct RetrySession {
+    /// Budget and backoff shape.
+    pub policy: RetryPolicy,
+    /// The transport model.
+    pub channel: FlakyChannel,
+    /// Optional telemetry for `ra.retry.*` counters.
+    pub telemetry: Telemetry,
+}
+
+impl std::fmt::Debug for RetrySession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetrySession")
+            .field("policy", &self.policy)
+            .field("channel", &self.channel)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RetrySession {
+    /// Session over `channel` with `policy`; telemetry off.
+    pub fn new(policy: RetryPolicy, channel: FlakyChannel) -> RetrySession {
+        RetrySession {
+            policy,
+            channel,
+            telemetry: Telemetry::off(),
+        }
+    }
+
+    /// Attach a telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> RetrySession {
+        self.telemetry = telemetry;
+        self
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(reg) = self.telemetry.registry() {
+            reg.counter(name).inc();
+        }
+    }
+
+    /// Drive one message leg of `bytes` bytes toward `place`:
+    /// retransmit on loss with exponential backoff until delivered or
+    /// the budget is spent. Every retransmission accounts an extra
+    /// message carrying the same bytes.
+    pub(crate) fn leg(
+        &mut self,
+        place: &Place,
+        bytes: u64,
+        stats: &mut RunStats,
+    ) -> Result<(), ProtocolError> {
+        self.count("ra.retry.legs");
+        let mut timeout = self.policy.base_timeout_ns;
+        for attempt in 0..=self.policy.max_retries {
+            if self.channel.delivers() {
+                return Ok(());
+            }
+            if attempt == self.policy.max_retries {
+                break;
+            }
+            stats.retries += 1;
+            stats.backoff_ns += timeout;
+            stats.messages += 1;
+            stats.bytes += bytes;
+            self.count("ra.retry.retransmits");
+            timeout = timeout.saturating_mul(self.policy.backoff as u64);
+        }
+        self.count("ra.retry.timeouts");
+        Err(ProtocolError::Timeout(place.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn place(n: &str) -> Place {
+        n.into()
+    }
+
+    #[test]
+    fn perfect_channel_never_retries() {
+        let mut s = RetrySession::new(RetryPolicy::default(), FlakyChannel::perfect());
+        let mut stats = RunStats::default();
+        for _ in 0..100 {
+            s.leg(&place("p"), 64, &mut stats).unwrap();
+        }
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.messages, 0, "no retransmits, no extra messages");
+    }
+
+    #[test]
+    fn retries_recover_then_budget_exhausts() {
+        // p = 1: every attempt lost; budget 2 → 2 retransmits, then fail.
+        let mut s = RetrySession::new(
+            RetryPolicy {
+                max_retries: 2,
+                base_timeout_ns: 100,
+                backoff: 3,
+            },
+            FlakyChannel::new(7, 1.0),
+        );
+        let mut stats = RunStats::default();
+        let err = s.leg(&place("q"), 10, &mut stats).unwrap_err();
+        assert_eq!(err, ProtocolError::Timeout(place("q")));
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.backoff_ns, 100 + 300, "exponential backoff");
+        assert_eq!((stats.messages, stats.bytes), (2, 20));
+    }
+
+    #[test]
+    fn same_seed_same_outcome() {
+        let run = || {
+            let mut s = RetrySession::new(RetryPolicy::default(), FlakyChannel::new(42, 0.3));
+            let mut stats = RunStats::default();
+            let mut failures = 0u64;
+            for _ in 0..200 {
+                if s.leg(&place("p"), 8, &mut stats).is_err() {
+                    failures += 1;
+                }
+            }
+            (stats, failures)
+        };
+        let (s1, f1) = run();
+        let (s2, f2) = run();
+        assert_eq!((s1, f1), (s2, f2), "same seed, same decision stream");
+        assert!(s1.retries > 0, "p=0.3 over 200 legs must retransmit");
+    }
+
+    #[test]
+    fn telemetry_counters_track_legs() {
+        let tel = Telemetry::collecting();
+        let mut s = RetrySession::new(RetryPolicy::none(), FlakyChannel::new(5, 0.5))
+            .with_telemetry(tel.clone());
+        let mut stats = RunStats::default();
+        let mut timeouts = 0u64;
+        for _ in 0..50 {
+            if s.leg(&place("p"), 8, &mut stats).is_err() {
+                timeouts += 1;
+            }
+        }
+        let reg = tel.registry().unwrap();
+        assert_eq!(reg.counter("ra.retry.legs").get(), 50);
+        assert_eq!(reg.counter("ra.retry.timeouts").get(), timeouts);
+        assert_eq!(reg.counter("ra.retry.retransmits").get(), 0);
+        assert!(timeouts > 0, "p=0.5 with no budget must time out");
+    }
+}

@@ -57,6 +57,17 @@ pub enum AuditEvent {
         /// First failure cause, when the verdict is negative.
         cause: Option<String>,
     },
+    /// A verify-unit (dataplane enforcement) verdict on one packet.
+    Enforcement {
+        /// Enforcing node (verify-unit location).
+        unit: String,
+        /// Nonce the packet's chain was checked against, if any.
+        nonce: Option<u64>,
+        /// Whether the packet was admitted.
+        admitted: bool,
+        /// Rejection cause (e.g. `"NoEvidence"`), when not admitted.
+        cause: Option<String>,
+    },
 }
 
 impl AuditEvent {
@@ -67,6 +78,7 @@ impl AuditEvent {
             AuditEvent::CacheLookup { .. } => "cache_lookup",
             AuditEvent::Signature { .. } => "signature",
             AuditEvent::Appraisal { .. } => "appraisal",
+            AuditEvent::Enforcement { .. } => "enforcement",
         }
     }
 }
@@ -141,6 +153,23 @@ impl AuditRecord {
                     None => f.push(("cause".into(), Json::Null)),
                 }
             }
+            AuditEvent::Enforcement {
+                unit,
+                nonce,
+                admitted,
+                cause,
+            } => {
+                f.push(("unit".into(), Json::Str(unit.clone())));
+                match nonce {
+                    Some(n) => f.push(("nonce".into(), Json::UInt(*n))),
+                    None => f.push(("nonce".into(), Json::Null)),
+                }
+                f.push(("admitted".into(), Json::Bool(*admitted)));
+                match cause {
+                    Some(c) => f.push(("cause".into(), Json::Str(c.clone()))),
+                    None => f.push(("cause".into(), Json::Null)),
+                }
+            }
         }
         Json::Obj(f)
     }
@@ -201,6 +230,23 @@ impl AuditRecord {
                 },
                 ok: bool_field("ok")?,
                 checks: u64_field("checks")?,
+                cause: match field("cause")? {
+                    Json::Null => None,
+                    other => Some(
+                        other
+                            .as_str()
+                            .map(str::to_string)
+                            .ok_or(AuditParseErr::Type("cause".into()))?,
+                    ),
+                },
+            },
+            "enforcement" => AuditEvent::Enforcement {
+                unit: str_field("unit")?,
+                nonce: match field("nonce")? {
+                    Json::Null => None,
+                    other => Some(other.as_u64().ok_or(AuditParseErr::Type("nonce".into()))?),
+                },
+                admitted: bool_field("admitted")?,
                 cause: match field("cause")? {
                     Json::Null => None,
                     other => Some(
@@ -349,6 +395,12 @@ mod tests {
                 ok: true,
                 checks: 3,
                 cause: None,
+            },
+            AuditEvent::Enforcement {
+                unit: "edge".into(),
+                nonce: None,
+                admitted: false,
+                cause: Some("NoEvidence".into()),
             },
         ]
     }

@@ -71,7 +71,7 @@ proptest! {
     }
 }
 
-/// Strategy over all four audit-event variants with adversarial field
+/// Strategy over all audit-event variants with adversarial field
 /// contents (huge nonces, escapes, empty strings). The shim's
 /// regex-lite `&str` strategy covers character classes with ranges;
 /// the class below includes `\`, `"`, and space to exercise escaping.
@@ -110,7 +110,7 @@ fn audit_event() -> BoxedStrategy<AuditEvent> {
             }
         }),
         (
-            (name.clone(), name),
+            (name.clone(), name.clone()),
             any::<u64>(),
             any::<bool>(),
             any::<u64>(),
@@ -123,6 +123,20 @@ fn audit_event() -> BoxedStrategy<AuditEvent> {
                     ok,
                     checks,
                     cause: (!ok).then_some(cause),
+                }
+            }),
+        (
+            (name.clone(), name),
+            any::<u64>(),
+            any::<bool>(),
+            any::<bool>(),
+        )
+            .prop_map(|((unit, cause), nonce, has_nonce, admitted)| {
+                AuditEvent::Enforcement {
+                    unit,
+                    nonce: has_nonce.then_some(nonce),
+                    admitted,
+                    cause: (!admitted).then_some(cause),
                 }
             }),
     ]

@@ -25,6 +25,20 @@ pub trait Rng: RngCore {
     {
         range.sample_single(self)
     }
+
+    /// Return `true` with probability `p`. Mirrors `rand::Rng::gen_bool`:
+    /// panics unless `0.0 <= p <= 1.0`. Sampling maps one `next_u64`
+    /// draw onto the unit interval, so a given seed yields the same
+    /// decision sequence regardless of platform float quirks.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // 53 random bits give an exact dyadic rational in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
 }
 
 impl<R: RngCore> Rng for R {}
@@ -160,6 +174,23 @@ mod tests {
             let z: usize = rng.gen_range(0..100);
             assert!(z < 100);
         }
+    }
+
+    #[test]
+    fn gen_bool_edges_and_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0), "p=0 never fires");
+            assert!(rng.gen_bool(1.0), "p=1 always fires");
+        }
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.1)).count();
+        assert!((800..1200).contains(&hits), "p=0.1 rate off: {hits}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn gen_bool_rejects_out_of_range() {
+        StdRng::seed_from_u64(0).gen_bool(1.5);
     }
 
     #[test]
