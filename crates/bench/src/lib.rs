@@ -1095,6 +1095,9 @@ fn e15_run(
                         DetailLevel::Hardware => Digest::of_parts(&[b"hw:", hw_id.as_bytes()]),
                         DetailLevel::Program => sw.program.digest(),
                         DetailLevel::Tables => sw.program.tables_digest(),
+                        DetailLevel::LintVerdict => {
+                            pda_analyze::analyze_default(&sw.program).verdict_digest()
+                        }
                         DetailLevel::ProgState => Digest::of(&sw.regs.canonical_bytes()),
                         DetailLevel::Packets => Digest::of(&p[..]),
                     });
@@ -1305,4 +1308,69 @@ pub fn exp_e16_with(tel: &Telemetry) -> Vec<E16Row> {
         }
     }
     rows
+}
+
+// ---------------------------------------------------------------------
+// E17 — static appraisal: rogue/benign separation without hash lists
+// ---------------------------------------------------------------------
+
+/// One row of the E17 static-analysis sweep.
+#[derive(Debug)]
+pub struct E17Row {
+    /// Builtin program name (corpus key, not the claimed `.p4` name).
+    pub builtin: &'static str,
+    /// Ground truth: is this one of the rogue variants?
+    pub rogue: bool,
+    /// Info-severity diagnostics.
+    pub info: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Error-severity diagnostics.
+    pub errors: usize,
+    /// Verdict of `RequireLintClean { max_severity: Warning }` — the
+    /// hash-free appraisal that must equal `!rogue` for separation.
+    pub lint_clean_ok: bool,
+    /// Mean wall-clock time of one full analysis run.
+    pub analysis_ns: u64,
+}
+
+/// E17: run the `pda-analyze` static analyzer over every builtin
+/// program and appraise each with `RequireLintClean(Warning)`. The
+/// point of the experiment: both rogue variants are rejected and every
+/// benign program passes **with zero hash-list maintenance** — the
+/// analyzer never saw a blacklist, only the program itself. Also
+/// reports per-program analysis latency (it runs off the hot path, at
+/// `LintVerdict` cache-fill time).
+pub fn exp_e17() -> Vec<E17Row> {
+    exp_e17_with(&Telemetry::off())
+}
+
+/// Like [`exp_e17`], with every appraisal verdict recorded in `tel`'s
+/// audit log and `ra.*` counters.
+pub fn exp_e17_with(tel: &Telemetry) -> Vec<E17Row> {
+    use pda_analyze::{analyze_default, corpus, Severity};
+    let env = Environment::new().with_telemetry(tel.clone());
+    let policy = pda_ra::RequireLintClean::new(Severity::Warning);
+    corpus::builtins()
+        .into_iter()
+        .map(|(builtin, program, rogue)| {
+            const REPS: u32 = 16;
+            let start = Instant::now();
+            let mut report = analyze_default(&program);
+            for _ in 1..REPS {
+                report = analyze_default(&program);
+            }
+            let analysis_ns = (start.elapsed().as_nanos() / u128::from(REPS)) as u64;
+            let verdict = policy.appraise_program(&env, "bench-switch", &program, None);
+            E17Row {
+                builtin,
+                rogue,
+                info: report.count(Severity::Info),
+                warnings: report.count(Severity::Warning),
+                errors: report.count(Severity::Error),
+                lint_clean_ok: verdict.result.ok,
+                analysis_ns,
+            }
+        })
+        .collect()
 }

@@ -2,12 +2,12 @@
 //! the paper as text tables. `cargo run -p bench --bin harness --release`
 //!
 //! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 uc4
-//! enforce crypto wire netkat e15 e16`) to run a subset; no arguments
-//! runs everything.
+//! enforce crypto wire netkat e15 e16 e17`) to run a subset; no
+//! arguments runs everything.
 //!
 //! `--telemetry json|prom|off` (default `off`) collects metrics and the
 //! attestation audit log while the instrumented experiments (`fig1`,
-//! `fig3`, `e15`, `e16`) run, and writes `telemetry.json` /
+//! `fig3`, `e15`, `e16`, `e17`) run, and writes `telemetry.json` /
 //! `telemetry.prom` to the current directory on exit.
 
 use bench::*;
@@ -331,6 +331,35 @@ fn main() {
                 r.fail_open_admits,
             );
         }
+        println!();
+    }
+
+    if want("e17") {
+        println!(
+            "== E17: static appraisal over the builtin corpus (RequireLintClean @ warning) =="
+        );
+        println!(
+            "{:<20} {:>6} {:>5} {:>5} {:>6} {:>10} {:>12}",
+            "program", "rogue", "info", "warn", "error", "verdict", "analysis-ns"
+        );
+        let mut separated = true;
+        for r in exp_e17_with(&tel) {
+            separated &= r.lint_clean_ok != r.rogue;
+            println!(
+                "{:<20} {:>6} {:>5} {:>5} {:>6} {:>10} {:>12}",
+                r.builtin,
+                r.rogue,
+                r.info,
+                r.warnings,
+                r.errors,
+                if r.lint_clean_ok { "pass" } else { "REJECT" },
+                r.analysis_ns,
+            );
+        }
+        println!(
+            "rogue/benign separation: {} (no hash lists consulted)",
+            if separated { "complete" } else { "BROKEN" }
+        );
         println!();
     }
 

@@ -1,0 +1,67 @@
+//! Canonical instantiations of every builtin program in
+//! `pda_dataplane::programs` — the analyzer's lint corpus. The CLI
+//! (`pda lint`), experiment E17, the golden-diagnostics snapshot test,
+//! and the CI `analyze` job all share these exact instances so their
+//! digests and diagnostics agree.
+
+use pda_dataplane::{programs, DataplaneProgram};
+
+/// Canonical route set used wherever a program takes routes.
+pub const ROUTES: &[(u32, u8, u64)] = &[(0x0A00_0000, 8, 1), (0xC0A8_0100, 24, 2)];
+
+/// The canonical wiretap instance (one intercepted source, exfil on
+/// port 31) — same routes, same public identity as [`ROUTES`]
+/// forwarding.
+pub fn canonical_rogue_wiretap() -> DataplaneProgram {
+    programs::rogue_wiretap(ROUTES, &[0x0A00_0001], 31)
+}
+
+/// The canonical false-readings monitor (64 buckets, egress 1) — same
+/// declared registers as the benign `flow_monitor(64, 1)`.
+pub fn canonical_rogue_flow_monitor() -> DataplaneProgram {
+    programs::rogue_flow_monitor(64, 1)
+}
+
+/// Every builtin as `(short name, program, is_rogue)`. Short names are
+/// the CLI's `pda lint <name>` vocabulary.
+pub fn builtins() -> Vec<(&'static str, DataplaneProgram, bool)> {
+    vec![
+        ("forwarding", programs::forwarding(ROUTES), false),
+        (
+            "firewall",
+            programs::firewall(
+                &[(0x0A00_0002, 32, 0, 0, None), (0, 0, 0, 0, Some(6))],
+                ROUTES,
+            ),
+            false,
+        ),
+        ("acl", programs::acl(&[53, 123], ROUTES), false),
+        (
+            "load_balancer",
+            programs::load_balancer(&[1, 2, 3, 4]),
+            false,
+        ),
+        (
+            "scrubber",
+            programs::scrubber(&[(0x0A00_0000, 8)], 1, 7),
+            false,
+        ),
+        ("c2_scanner", programs::c2_scanner(&[0xBEEF], 1, 7), false),
+        ("flow_monitor", programs::flow_monitor(64, 1), false),
+        ("rogue_flow_monitor", canonical_rogue_flow_monitor(), true),
+        ("rogue_wiretap", canonical_rogue_wiretap(), true),
+    ]
+}
+
+/// Look up one canonical builtin by short name.
+pub fn builtin(name: &str) -> Option<(DataplaneProgram, bool)> {
+    builtins()
+        .into_iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, p, rogue)| (p, rogue))
+}
+
+/// The short names, in corpus order.
+pub fn names() -> Vec<&'static str> {
+    builtins().into_iter().map(|(n, _, _)| n).collect()
+}

@@ -1,0 +1,257 @@
+//! Diagnostic types: severity lattice, source locations, and the
+//! [`AnalysisReport`] whose digest becomes attestation evidence.
+
+use pda_crypto::digest::Digest;
+use pda_telemetry::json::Json;
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`, so policy
+/// thresholds (`RequireLintClean { max_severity }` in `pda-ra`) can use
+/// plain comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Behavior is well-defined but relies on pinned silent defaults
+    /// (see DESIGN.md "Silent-default semantics"); worth knowing, never
+    /// blocking.
+    Info,
+    /// Likely a program bug or a hardware-portability hazard.
+    Warning,
+    /// The program is broken or actively hostile.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name (used in JSON and in golden snapshots).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse the stable name back (for CLI flags).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where in the program a diagnostic points.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Location {
+    /// A parser state (by name).
+    Parser(String),
+    /// A match-action stage (index + table name).
+    Stage {
+        /// Stage index in `DataplaneProgram::stages`.
+        index: usize,
+        /// The stage's table name.
+        table: String,
+    },
+    /// The program as a whole (cross-stage findings).
+    Program,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Parser(state) => write!(f, "parser:{state}"),
+            Location::Stage { index, table } => write!(f, "stage[{index}]:{table}"),
+            Location::Program => write!(f, "program"),
+        }
+    }
+}
+
+/// One analyzer finding. `code` is stable across releases (PDA001…);
+/// `subject` names the field/register/state/port concerned so golden
+/// snapshots stay meaningful without pinning prose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code, e.g. `"PDA401"`.
+    pub code: &'static str,
+    /// Severity on the `Info < Warning < Error` lattice.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// The IR object concerned (field, register, state, port…).
+    pub subject: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The snapshot line: everything stable, nothing prose.
+    pub fn snapshot_line(&self) -> String {
+        format!(
+            "{} {} {} {}",
+            self.code, self.severity, self.location, self.subject
+        )
+    }
+
+    /// JSON object via the telemetry codec.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("code".into(), Json::Str(self.code.into())),
+            ("severity".into(), Json::Str(self.severity.name().into())),
+            ("location".into(), Json::Str(self.location.to_string())),
+            ("subject".into(), Json::Str(self.subject.clone())),
+            ("message".into(), Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} ({}): {}",
+            self.code, self.severity, self.location, self.subject, self.message
+        )
+    }
+}
+
+/// The full analyzer output for one program.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Program name (e.g. `forward_v2.p4`).
+    pub program: String,
+    /// The program digest the report speaks about — binds the verdict
+    /// to exactly one program version.
+    pub program_digest: Digest,
+    /// All findings, sorted by (code, location, subject).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Worst severity present, or `None` for a spotless program.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// `true` when no finding is *worse* than `max_tolerated`.
+    pub fn clean_at(&self, max_tolerated: Severity) -> bool {
+        self.worst().is_none_or(|w| w <= max_tolerated)
+    }
+
+    /// The **lint verdict digest**: a canonical hash over the program
+    /// digest and every finding's stable parts (code, severity,
+    /// location, subject — prose excluded so wording tweaks don't churn
+    /// evidence). This is what a PERA switch records alongside the
+    /// program digest, and what an appraiser compares against an
+    /// enrolled golden verdict.
+    pub fn verdict_digest(&self) -> Digest {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"pda-analyze-verdict\0");
+        bytes.extend_from_slice(self.program_digest.as_bytes());
+        for d in &self.diagnostics {
+            bytes.extend_from_slice(d.snapshot_line().as_bytes());
+            bytes.push(0);
+        }
+        Digest::of(&bytes)
+    }
+
+    /// JSON object: program identity, verdict digest, severity counts,
+    /// and the full diagnostic list.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("program".into(), Json::Str(self.program.clone())),
+            (
+                "program_digest".into(),
+                Json::Str(self.program_digest.to_hex()),
+            ),
+            (
+                "verdict_digest".into(),
+                Json::Str(self.verdict_digest().to_hex()),
+            ),
+            (
+                "worst".into(),
+                match self.worst() {
+                    Some(w) => Json::Str(w.name().into()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "counts".into(),
+                Json::Obj(vec![
+                    ("info".into(), Json::UInt(self.count(Severity::Info) as u64)),
+                    (
+                        "warning".into(),
+                        Json::UInt(self.count(Severity::Warning) as u64),
+                    ),
+                    (
+                        "error".into(),
+                        Json::UInt(self.count(Severity::Error) as u64),
+                    ),
+                ]),
+            ),
+            (
+                "diagnostics".into(),
+                Json::Arr(self.diagnostics.iter().map(Diagnostic::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_lattice_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::parse("warning"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("fatal"), None);
+    }
+
+    #[test]
+    fn verdict_digest_ignores_prose_but_not_structure() {
+        let base = AnalysisReport {
+            program: "p".into(),
+            program_digest: Digest::of(b"p"),
+            diagnostics: vec![Diagnostic {
+                code: "PDA401",
+                severity: Severity::Error,
+                location: Location::Program,
+                subject: "meta.mirror_to".into(),
+                message: "one wording".into(),
+            }],
+        };
+        let mut reworded = base.clone();
+        reworded.diagnostics[0].message = "another wording".into();
+        assert_eq!(base.verdict_digest(), reworded.verdict_digest());
+
+        let mut moved = base.clone();
+        moved.diagnostics[0].subject = "meta.clone_to".into();
+        assert_ne!(base.verdict_digest(), moved.verdict_digest());
+
+        let clean = AnalysisReport {
+            diagnostics: vec![],
+            ..base.clone()
+        };
+        assert_ne!(base.verdict_digest(), clean.verdict_digest());
+        assert_eq!(clean.worst(), None);
+        assert!(clean.clean_at(Severity::Info));
+        assert!(base.clean_at(Severity::Error));
+        assert!(!base.clean_at(Severity::Warning));
+    }
+}

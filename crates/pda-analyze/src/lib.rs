@@ -1,0 +1,157 @@
+//! # pda-analyze
+//!
+//! A static analyzer over the dataplane IR — the "appraise the
+//! program, not just its hash" half of the paper's argument. Golden
+//! digests (UC1) catch *unknown* programs; this crate judges what a
+//! program *does*, so a rogue program is rejected even when its hash
+//! has never been seen before and no blacklist entry exists.
+//!
+//! Five passes over [`DataplaneProgram`] (see [`passes`] for the full
+//! diagnostic-code table):
+//!
+//! 1. **Parser state-machine checks** — reachability, accept-path
+//!    existence, termination (no select cycles), dangling state refs.
+//! 2. **Header-validity dataflow** — use-before-extract: PHV accesses
+//!    on headers not guaranteed extracted on every parser path.
+//! 3. **Stage def-use hazards** — fields and registers read before any
+//!    possible definition; register index bounds; cross-stage register
+//!    sharing that races on real hardware.
+//! 4. **Action totality** — hit/miss paths that never decide the
+//!    packet's fate, forwards to undeclared ports, inert tables.
+//! 5. **P4BID-style taint lint** — flow-identifying fields as sources,
+//!    mirror/clone metadata as sinks; fires on both `rogue_*` builtins
+//!    and stays quiet on every benign one.
+//!
+//! The sorted findings hash to a **lint verdict digest**
+//! ([`AnalysisReport::verdict_digest`]) that a PERA switch records
+//! alongside the program digest, making semantic analysis an
+//! attestable evidence level, and `pda-ra`'s `RequireLintClean` policy
+//! atom turns the report into an appraisal verdict.
+
+pub mod corpus;
+pub mod diag;
+pub mod ir;
+pub mod passes;
+
+pub use diag::{AnalysisReport, Diagnostic, Location, Severity};
+use pda_dataplane::DataplaneProgram;
+use std::collections::BTreeSet;
+
+/// Knobs for the analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzeConfig {
+    /// When set, any `Forward` to a port outside this set is PDA302.
+    /// `None` (the default) disables the check — the appraiser usually
+    /// doesn't know the deployment's port map.
+    pub known_ports: Option<BTreeSet<u64>>,
+}
+
+impl AnalyzeConfig {
+    /// Enable the PDA302 port check for the given set.
+    pub fn with_known_ports(mut self, ports: impl IntoIterator<Item = u64>) -> AnalyzeConfig {
+        self.known_ports = Some(ports.into_iter().collect());
+        self
+    }
+}
+
+/// Run every pass over `program` under `config`.
+pub fn analyze(program: &DataplaneProgram, config: &AnalyzeConfig) -> AnalysisReport {
+    AnalysisReport {
+        program: program.name.clone(),
+        program_digest: program.digest(),
+        diagnostics: passes::run_all(program, config),
+    }
+}
+
+/// [`analyze`] with the default config.
+pub fn analyze_default(program: &DataplaneProgram) -> AnalysisReport {
+    analyze(program, &AnalyzeConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pda_dataplane::programs;
+
+    /// The headline property: rogue programs carry an Error-severity
+    /// taint diagnostic, benign ones stay below Warning — with zero
+    /// hash-list maintenance.
+    #[test]
+    fn rogue_benign_separation() {
+        for (name, program, rogue) in corpus::builtins() {
+            let report = analyze_default(&program);
+            if rogue {
+                assert!(
+                    report
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code.starts_with("PDA4") && d.severity == Severity::Error),
+                    "{name} must carry an Error-level taint diagnostic, got: {:?}",
+                    report.diagnostics
+                );
+            } else {
+                assert!(
+                    report.clean_at(Severity::Info),
+                    "{name} must stay below Warning, got: {:?}",
+                    report
+                        .diagnostics
+                        .iter()
+                        .filter(|d| d.severity > Severity::Info)
+                        .collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wiretap_fires_the_mirror_sink_lint() {
+        let report = analyze_default(&corpus::canonical_rogue_wiretap());
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PDA401")
+            .expect("wiretap must trip PDA401");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.subject, "meta.mirror_to");
+    }
+
+    #[test]
+    fn rogue_monitor_fires_the_severed_register_lint() {
+        let report = analyze_default(&corpus::canonical_rogue_flow_monitor());
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PDA402")
+            .expect("rogue monitor must trip PDA402");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.subject, "flow_counts");
+        // The benign twin — same declared registers, same stage shape —
+        // is quiet: the analyzer separates them semantically.
+        let benign = analyze_default(&programs::flow_monitor(64, 1));
+        assert!(benign.clean_at(Severity::Info));
+    }
+
+    #[test]
+    fn port_check_is_config_gated() {
+        let prog = programs::forwarding(&[(0x0A00_0000, 8, 1), (0xC0A8_0100, 24, 9)]);
+        assert!(analyze_default(&prog).clean_at(Severity::Info));
+        let cfg = AnalyzeConfig::default().with_known_ports([1, 2, 3]);
+        let report = analyze(&prog, &cfg);
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PDA302")
+            .expect("port 9 is outside the declared set");
+        assert_eq!(hit.subject, "9");
+        assert_eq!(hit.severity, Severity::Error);
+    }
+
+    #[test]
+    fn verdict_digest_tracks_program_changes() {
+        let a = analyze_default(&programs::flow_monitor(64, 1));
+        let b = analyze_default(&programs::flow_monitor(128, 1));
+        assert_ne!(a.verdict_digest(), b.verdict_digest());
+        let again = analyze_default(&programs::flow_monitor(64, 1));
+        assert_eq!(a.verdict_digest(), again.verdict_digest());
+    }
+}

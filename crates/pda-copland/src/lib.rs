@@ -27,8 +27,6 @@
 //! let a = analyze(&req, &AdversaryModel::controlling(&["us"]), "exts");
 //! assert_eq!(a.verdict, Verdict::RecentAttackOnly);
 //! ```
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod adversary;
 pub mod ast;

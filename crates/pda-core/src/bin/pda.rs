@@ -13,6 +13,8 @@
 //!              [--telemetry json|prom|off]
 //!              run the linear scenario and appraise
 //! pda netkat   '<policy>' [--equiv '<policy>']  parse / compare NetKAT
+//! pda lint     <builtin|all> [--format json] [--check]
+//!              run the static analyzer over builtin dataplane programs
 //! ```
 
 use pda_core::prelude::*;
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "decode" => cmd_decode(rest),
         "simulate" => cmd_simulate(rest),
         "netkat" => cmd_netkat(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -60,6 +63,7 @@ const USAGE: &str = "usage:
   pda simulate --hops N [--legacy i,j] [--oob] [--packets P]
                [--telemetry json|prom|off]
   pda netkat   '<policy>' [--equiv '<policy>']
+  pda lint     <builtin|all> [--format json] [--check]
 
 path spec: semicolon-separated nodes, each `name[:prop,...]` with props
   ra | key | runs=<fn> | test=<name>   (no props = legacy node)";
@@ -340,6 +344,83 @@ fn cmd_netkat(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    use pda_analyze::{analyze_default, corpus, Severity};
+    let target = first_positional(args)?;
+    let format = flag_value(args, "--format").unwrap_or("human");
+    if !matches!(format, "human" | "json") {
+        return Err(format!("unknown --format `{format}` (want human | json)"));
+    }
+    let check = has_flag(args, "--check");
+    let programs: Vec<(String, pda_dataplane::pipeline::DataplaneProgram, bool)> =
+        if target == "all" {
+            corpus::builtins()
+                .into_iter()
+                .map(|(n, p, r)| (n.to_string(), p, r))
+                .collect()
+        } else {
+            let (p, rogue) = corpus::builtin(target).ok_or_else(|| {
+                format!(
+                    "unknown builtin `{target}` (want one of {} or `all`)",
+                    corpus::names().join(", ")
+                )
+            })?;
+            vec![(target.to_string(), p, rogue)]
+        };
+    let mut json_out = Vec::new();
+    let mut check_failures = Vec::new();
+    for (name, program, rogue) in &programs {
+        let report = analyze_default(program);
+        match format {
+            "json" => json_out.push(pda_telemetry::json::Json::Obj(vec![
+                (
+                    "builtin".into(),
+                    pda_telemetry::json::Json::Str(name.clone()),
+                ),
+                ("rogue".into(), pda_telemetry::json::Json::Bool(*rogue)),
+                ("report".into(), report.to_json()),
+            ])),
+            _ => {
+                println!("== {name} ({}) ==", report.program);
+                println!("program digest: {}", report.program_digest.short());
+                println!("lint verdict:   {}", report.verdict_digest().short());
+                for d in &report.diagnostics {
+                    println!("  {}: {}", d.snapshot_line(), d.message);
+                }
+                let worst = report
+                    .worst()
+                    .map(|s| s.name().to_string())
+                    .unwrap_or_else(|| "clean".into());
+                println!("{} diagnostics, worst: {worst}", report.diagnostics.len());
+                println!();
+            }
+        }
+        if check {
+            // CI gate: rogues must trip an Error; benigns must emit
+            // nothing at Warning or above.
+            if *rogue && report.count(Severity::Error) == 0 {
+                check_failures.push(format!("{name}: rogue program not flagged at error"));
+            }
+            if !*rogue && !report.clean_at(Severity::Info) {
+                check_failures.push(format!(
+                    "{name}: benign program emits diagnostics above info"
+                ));
+            }
+        }
+    }
+    if format == "json" {
+        println!("{}", pda_telemetry::json::Json::Arr(json_out).encode());
+    }
+    if check_failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "lint check failed:\n  {}",
+            check_failures.join("\n  ")
+        ))
+    }
 }
 
 fn hex(bytes: &[u8]) -> String {

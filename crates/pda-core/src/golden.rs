@@ -103,6 +103,14 @@ pub fn appraise_chain(
                     // Zero/low-inertia values have no stable golden form;
                     // their presence in the signed chain is the guarantee.
                 }
+                None if *level == DetailLevel::LintVerdict => {
+                    // A lint verdict needs no enrolled golden value to be
+                    // useful: `pda_ra::semantic::RequireLintClean` can
+                    // re-derive and judge it from the claimed program.
+                    // When the operator *does* enroll one (the verdict
+                    // digest of the blessed program), it is compared like
+                    // any other level below.
+                }
                 None => failures.push(ChainAppraisalFailure::NoExpectation {
                     switch: r.switch.clone(),
                     level: *level,
@@ -182,6 +190,43 @@ mod tests {
         assert!(errs
             .iter()
             .any(|e| matches!(e, ChainAppraisalFailure::NoExpectation { .. })));
+    }
+
+    #[test]
+    fn lint_verdict_optional_but_compared_when_enrolled() {
+        let mut s = Signer::new(SigScheme::Hmac, Digest::of(b"sw1").0, 0);
+        let verdict = Digest::of(b"clean-verdict");
+        let r = EvidenceRecord::create(
+            "sw1",
+            vec![(DetailLevel::LintVerdict, verdict)],
+            Nonce(1),
+            Digest::ZERO,
+            &mut s,
+        )
+        .unwrap();
+        let reg = registry_for(&["sw1"]);
+        // No enrolled verdict: the level is exempt from NoExpectation.
+        assert_eq!(
+            appraise_chain(
+                std::slice::from_ref(&r),
+                &reg,
+                &GoldenStore::new(),
+                Nonce(1),
+                true
+            ),
+            Ok(())
+        );
+        // Enrolled and mismatching: flagged like any other level.
+        let mut golden = GoldenStore::new();
+        golden.expect("sw1", DetailLevel::LintVerdict, Digest::of(b"other"));
+        let errs = appraise_chain(&[r], &reg, &golden, Nonce(1), true).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            ChainAppraisalFailure::ValueMismatch {
+                level: DetailLevel::LintVerdict,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -41,8 +41,6 @@
 //!     .expect("clean network appraises clean");
 //! assert_eq!(hops, 3);
 //! ```
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod golden;
 pub mod usecases;

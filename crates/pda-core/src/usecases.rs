@@ -238,6 +238,9 @@ pub fn enroll_golden(sim: &pda_netsim::Simulator, levels: &[DetailLevel]) -> Gol
                     DetailLevel::Hardware => Digest::of_parts(&[b"hw:", sw.hardware_id.as_bytes()]),
                     DetailLevel::Program => sw.program.digest(),
                     DetailLevel::Tables => sw.program.tables_digest(),
+                    DetailLevel::LintVerdict => {
+                        pda_analyze::analyze_default(&sw.program).verdict_digest()
+                    }
                     DetailLevel::ProgState | DetailLevel::Packets => continue,
                 };
                 golden.expect(&node.name, level, d);

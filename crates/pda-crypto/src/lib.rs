@@ -30,9 +30,6 @@
 //! anyone verifies) as the ECDSA/RSA a production root of trust would
 //! use. See DESIGN.md §1.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod digest;
 pub mod hmac;
 pub mod keyreg;

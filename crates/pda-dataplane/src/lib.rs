@@ -20,8 +20,6 @@
 //!   name (`firewall_v5.p4`, `ACL_v3.p4`, load balancer, scrubber, C2
 //!   scanner, flow monitor) plus the rogue variants the attacks swap in
 //!   (wiretap forwarder, false-readings monitor).
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod actions;
 pub mod headers;

@@ -46,6 +46,18 @@ proptest! {
         let _ = standard_parser().parse(&bytes);
     }
 
+    /// On arbitrary garbage, whenever the parser *does* accept, the
+    /// deparser re-emits the consumed header prefix byte-for-byte and
+    /// appends the untouched payload — i.e. `deparse ∘ parse` is the
+    /// identity on every accepted input, not just builder-made packets.
+    #[test]
+    fn garbage_that_parses_roundtrips(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+        if let Ok(parsed) = standard_parser().parse(&bytes) {
+            prop_assert!(parsed.payload_offset <= bytes.len());
+            prop_assert_eq!(deparse(&parsed, &bytes), bytes);
+        }
+    }
+
     /// LPM lookup agrees with a straightforward reference implementation.
     #[test]
     fn lpm_agrees_with_reference(

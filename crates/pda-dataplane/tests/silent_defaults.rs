@@ -1,0 +1,83 @@
+//! Pins the substrate's *silent-default* semantics — the behaviors the
+//! `pda-analyze` lint codes PDA102/PDA201/PDA202/PDA212 warn about and
+//! DESIGN.md ("Silent-default semantics") documents. These are
+//! deliberate determinism choices, not bugs; this suite makes any
+//! change to them a conscious, test-breaking decision.
+
+use pda_dataplane::actions::Registers;
+use pda_dataplane::parser::standard_parser;
+use pda_dataplane::programs;
+use pda_dataplane::Phv;
+
+/// `Phv::get` on a field that was never set reads 0 (P4 leaves reads of
+/// invalid header fields undefined; we pin them to zero).
+#[test]
+fn phv_unset_field_reads_zero() {
+    let phv = Phv::new();
+    assert_eq!(phv.get("ipv4.dst"), 0);
+    assert_eq!(phv.get("meta.never_written"), 0);
+    assert!(!phv.is_valid("ipv4"));
+}
+
+/// Invalidating a header does not zero its fields: validity and value
+/// are independent planes, and reads keep returning the last value.
+#[test]
+fn invalidated_header_keeps_last_value() {
+    let mut phv = Phv::new();
+    phv.set("ipv4.ttl", 64);
+    phv.set_valid("ipv4", true);
+    phv.set_valid("ipv4", false);
+    assert!(!phv.is_valid("ipv4"));
+    assert_eq!(phv.get("ipv4.ttl"), 64);
+}
+
+/// `Registers::read` out of range or on an undeclared array reads 0.
+#[test]
+fn register_read_out_of_range_is_zero() {
+    let mut regs = Registers::default();
+    regs.declare("counts", 4);
+    regs.write("counts", 2, 7);
+    assert_eq!(regs.read("counts", 2), 7);
+    assert_eq!(regs.read("counts", 4), 0); // one past the end
+    assert_eq!(regs.read("counts", u64::MAX), 0);
+    assert_eq!(regs.read("no_such_array", 0), 0);
+}
+
+/// `Registers::write` out of range or on an undeclared array is
+/// silently dropped — state and write generation both unchanged.
+#[test]
+fn register_write_out_of_range_is_silently_dropped() {
+    let mut regs = Registers::default();
+    regs.declare("counts", 4);
+    let before = (regs.clone(), regs.generation());
+    regs.write("counts", 4, 99);
+    regs.write("counts", u64::MAX, 99);
+    regs.write("no_such_array", 0, 99);
+    assert_eq!(regs, before.0);
+    assert_eq!(regs.generation(), before.1);
+    assert_eq!(regs.read("counts", 4), 0);
+}
+
+/// The observable consequence PDA102 flags: a non-IP packet accepts on
+/// the eth-only parser path, so a stage keyed on `ipv4.dst` computes on
+/// the zero default — deterministically missing every route and taking
+/// the table's default (drop).
+#[test]
+fn non_ip_packet_computes_on_zero_defaults() {
+    // Ethernet II, ethertype 0x0806 (ARP): the standard parser accepts
+    // after `eth` without extracting ipv4.
+    let mut pkt = vec![0u8; 14];
+    pkt[12] = 0x08;
+    pkt[13] = 0x06;
+    let parsed = standard_parser().parse(&pkt).expect("implicit accept");
+    assert!(parsed.phv.is_valid("eth"));
+    assert!(!parsed.phv.is_valid("ipv4"));
+    assert_eq!(parsed.phv.get("ipv4.dst"), 0);
+
+    // Routes cover 10/8 and 192.168.1/24 — nothing matches dst 0.0.0.0,
+    // so the LPM default (drop) fires.
+    let prog = programs::forwarding(&[(0x0A00_0000, 8, 1), (0xC0A8_0100, 24, 2)]);
+    let mut regs = prog.make_registers();
+    let out = prog.process(&pkt, 0, &mut regs).expect("processes");
+    assert_eq!(out.egress_port, u64::MAX, "drop sentinel");
+}

@@ -34,8 +34,6 @@
 //! assert_eq!(r.bindings["client"], "laptop");
 //! assert_eq!(r.skipped, vec!["old-router".to_string()]);
 //! ```
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod ast;
 pub mod nkcompile;

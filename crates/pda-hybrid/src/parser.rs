@@ -325,14 +325,14 @@ mod tests {
     use crate::ast::table1;
 
     /// Concrete-syntax forms of the paper's Table 1.
-    pub const AP1_SRC: &str = "*bank<n, X> : forall hop, client : \
+    const AP1_SRC: &str = "*bank<n, X> : forall hop, client : \
         (@hop [K |> attest(n, X) -> !] -+> @Appraiser [appraise -> store(n)]) \
         *=> @client [K |> @ks [av us bmon -> !] -<- @us [bmon us exts -> !]]";
 
-    pub const AP2_SRC: &str =
+    const AP2_SRC: &str =
         "*scanner<P> : @scanner [P |> attest(P) -> !] -+> @Appraiser [appraise -> store]";
 
-    pub const AP3_SRC: &str = "*pathCheck<F1, F2, Peer1, Peer2> : \
+    const AP3_SRC: &str = "*pathCheck<F1, F2, Peer1, Peer2> : \
         forall p, q, r, peer1, peer2 : \
         (@peer1 [Peer1 |> !] -+> @p [runs(F1) |> attest(F1) -> !] \
          -+> @q [runs(F2) |> attest(F2) -> !] -+> @Appraiser [appraise -> store]) \

@@ -29,8 +29,6 @@
 //! let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1)])]);
 //! assert!(can_reach(&step, &init, &Pred::test(Field::Switch, 3)));
 //! ```
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod ast;
 pub mod equiv;

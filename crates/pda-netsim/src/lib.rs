@@ -16,8 +16,6 @@
 //! * [`faults`] — the seeded, deterministic fault-injection plane:
 //!   per-link loss/duplication/corruption/jitter, link- and
 //!   switch-down windows, lossy control channel with retransmits.
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod ddos;
 pub mod faults;

@@ -24,6 +24,14 @@ pub enum DetailLevel {
     Program,
     /// Match-action table contents. Changes on rule updates.
     Tables,
+    /// The static-analysis verdict over the loaded program + tables
+    /// (`pda-analyze`): a digest of the sorted diagnostic list, so an
+    /// appraiser can demand *semantic* cleanliness, not just a known
+    /// hash. Changes when the program or its rules change — the enum
+    /// position (after `Tables`, before `ProgState`) makes the cache's
+    /// `>=` invalidation cascade re-lint on both reload and rule
+    /// update.
+    LintVerdict,
     /// Register/program state. Changes continuously.
     ProgState,
     /// The packet being processed. Different every time.
@@ -32,10 +40,11 @@ pub enum DetailLevel {
 
 impl DetailLevel {
     /// All levels, highest inertia first.
-    pub const ALL: [DetailLevel; 5] = [
+    pub const ALL: [DetailLevel; 6] = [
         DetailLevel::Hardware,
         DetailLevel::Program,
         DetailLevel::Tables,
+        DetailLevel::LintVerdict,
         DetailLevel::ProgState,
         DetailLevel::Packets,
     ];
@@ -47,6 +56,9 @@ impl DetailLevel {
             DetailLevel::Hardware => u64::MAX,
             DetailLevel::Program => 1_000_000,
             DetailLevel::Tables => 10_000,
+            // Re-analyzed whenever program or tables change; slightly
+            // lower inertia than Tables because either event churns it.
+            DetailLevel::LintVerdict => 1_000,
             DetailLevel::ProgState => 1,
             DetailLevel::Packets => 0,
         }
@@ -59,6 +71,7 @@ impl fmt::Display for DetailLevel {
             DetailLevel::Hardware => "hardware",
             DetailLevel::Program => "program",
             DetailLevel::Tables => "tables",
+            DetailLevel::LintVerdict => "lint-verdict",
             DetailLevel::ProgState => "prog-state",
             DetailLevel::Packets => "packets",
         };

@@ -47,6 +47,9 @@ impl EvidenceRecord {
                 DetailLevel::Tables => 2,
                 DetailLevel::ProgState => 3,
                 DetailLevel::Packets => 4,
+                // Appended after the original five so pre-lint wire
+                // encodings keep their tags.
+                DetailLevel::LintVerdict => 5,
             });
             out.extend_from_slice(d.as_bytes());
         }

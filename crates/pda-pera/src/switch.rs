@@ -34,6 +34,11 @@ pub struct PeraStats {
     /// where `attest` measured eagerly and the cache merely *recorded*
     /// hits without saving the measurement cost.
     pub measurements: u64,
+    /// Static-analysis runs (`DetailLevel::LintVerdict` cache misses —
+    /// the analyzer executes only when program or tables changed).
+    pub lint_runs: u64,
+    /// Total diagnostics found across all lint runs.
+    pub lint_findings: u64,
 }
 
 /// Pre-resolved registry counter handles mirroring [`PeraStats`] and
@@ -49,6 +54,9 @@ struct SwitchMetrics {
     evidence_bytes: Counter,
     signatures: Counter,
     measurements: Counter,
+    lint_runs: Counter,
+    lint_findings: Counter,
+    lint_errors: Counter,
     cache_hits: Counter,
     cache_misses: Counter,
     cache_lookups: Counter,
@@ -135,6 +143,9 @@ impl PeraSwitch {
             evidence_bytes: r.counter("pera.evidence_bytes"),
             signatures: r.counter("pera.signatures"),
             measurements: r.counter("pera.measurements"),
+            lint_runs: r.counter("pera.lint.runs"),
+            lint_findings: r.counter("pera.lint.findings"),
+            lint_errors: r.counter("pera.lint.errors"),
             cache_hits: r.counter("pera.cache.hits"),
             cache_misses: r.counter("pera.cache.misses"),
             cache_lookups: r.counter("pera.cache.lookups"),
@@ -209,9 +220,14 @@ impl PeraSwitch {
         let stats = &mut self.stats;
         let (program, regs, hardware_id) = (&self.program, &self.regs, &*self.hardware_id);
         let cache_enabled = self.config.cache_enabled;
+        // When the LintVerdict level actually measures (analyzer run,
+        // not a cache hit), the full report lands here so the lint
+        // counters and audit event below see the findings.
+        let mut lint_outcome: Option<pda_analyze::AnalysisReport> = None;
         for &level in &self.config.details {
             let hits_before = cache.stats.hits;
             let d = if cache_enabled {
+                let lint_out = &mut lint_outcome;
                 cache.get_or_measure(level, || {
                     measure_level(
                         program,
@@ -220,6 +236,7 @@ impl PeraSwitch {
                         level,
                         packet,
                         &mut stats.measurements,
+                        lint_out,
                     )
                 })
             } else {
@@ -231,6 +248,7 @@ impl PeraSwitch {
                     level,
                     packet,
                     &mut stats.measurements,
+                    &mut lint_outcome,
                 )
             };
             let hit = cache.stats.hits > hits_before;
@@ -244,6 +262,25 @@ impl PeraSwitch {
                 hit,
             });
             details.push((level, d));
+        }
+        if let Some(report) = lint_outcome.take() {
+            let findings = report.diagnostics.len() as u64;
+            let errors = report.count(pda_analyze::Severity::Error) as u64;
+            self.stats.lint_runs += 1;
+            self.stats.lint_findings += findings;
+            if let Some(m) = &self.metrics {
+                m.lint_runs.inc();
+                m.lint_findings.add(findings);
+                m.lint_errors.add(errors);
+            }
+            self.tel.audit_with(|| AuditEvent::Lint {
+                subject: self.name.clone(),
+                program: self.program.name.clone(),
+                findings,
+                errors,
+                worst: report.worst().map(|w| w.name().to_string()),
+                verdict: report.verdict_digest().to_hex(),
+            });
         }
         let record = EvidenceRecord::create(&self.name, details, nonce, prev, &mut self.signer)
             .expect("evidence signer exhausted — raise mss_height");
@@ -360,6 +397,11 @@ impl PeraSwitch {
 /// so that *every* path that computes a digest counts it — the
 /// regression tests rely on this to detect any future reintroduction of
 /// eager measurement ahead of the cache lookup.
+///
+/// `lint_out` receives the full analysis report when (and only when)
+/// the `LintVerdict` level is measured, so `attest` can surface the
+/// findings through counters and the audit log without re-running the
+/// analyzer.
 fn measure_level(
     program: &DataplaneProgram,
     regs: &Registers,
@@ -367,12 +409,19 @@ fn measure_level(
     level: DetailLevel,
     packet: &[u8],
     measurements: &mut u64,
+    lint_out: &mut Option<pda_analyze::AnalysisReport>,
 ) -> Digest {
     *measurements += 1;
     match level {
         DetailLevel::Hardware => Digest::of_parts(&[b"hw:", hardware_id.as_bytes()]),
         DetailLevel::Program => program.digest(),
         DetailLevel::Tables => program.tables_digest(),
+        DetailLevel::LintVerdict => {
+            let report = pda_analyze::analyze_default(program);
+            let d = report.verdict_digest();
+            *lint_out = Some(report);
+            d
+        }
         DetailLevel::ProgState => Digest::of(&regs.canonical_bytes()),
         DetailLevel::Packets => Digest::of(packet),
     }
@@ -583,6 +632,110 @@ mod tests {
             "second attestation of an unchanged switch must perform zero measurements"
         );
         assert_eq!(sw.cache.stats.hits, 3);
+    }
+
+    /// The LintVerdict evidence level: the analyzer runs once on the
+    /// cold cache, its digest separates rogue from benign programs
+    /// with no golden-hash maintenance, a program swap re-lints via
+    /// the `>=`-cascade invalidation, and the run lands in telemetry
+    /// as `pera.lint.*` counters plus an audit event.
+    #[test]
+    fn lint_verdict_detail_attests_the_analyzer_verdict() {
+        let tel = pda_telemetry::Telemetry::collecting();
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[DetailLevel::Program, DetailLevel::LintVerdict]),
+        )
+        .with_telemetry(tel.clone());
+        let benign_verdict = pda_analyze::analyze_default(&sw.program).verdict_digest();
+
+        let a = sw
+            .process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        assert_eq!(a.detail(DetailLevel::LintVerdict), Some(benign_verdict));
+        let b = sw
+            .process_packet(&pkt(2, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        assert_eq!(
+            a.detail(DetailLevel::LintVerdict),
+            b.detail(DetailLevel::LintVerdict)
+        );
+        assert_eq!(
+            sw.stats.lint_runs, 1,
+            "warm cache must not re-run the analyzer"
+        );
+
+        // Program swap: the cascade invalidation re-lints, and the rogue
+        // verdict digest differs even though nothing compared hashes.
+        sw.load_program(programs::rogue_wiretap(&[(0, 0, 1)], &[1], 31));
+        let c = sw
+            .process_packet(&pkt(3, 53), 0, Some((Nonce(2), Digest::ZERO)))
+            .unwrap()
+            .evidence
+            .unwrap();
+        assert_ne!(c.detail(DetailLevel::LintVerdict), Some(benign_verdict));
+        assert_eq!(sw.stats.lint_runs, 2);
+        assert!(sw.stats.lint_findings > 0);
+
+        let reg = tel.registry().unwrap();
+        assert_eq!(reg.counter("pera.lint.runs").get(), sw.stats.lint_runs);
+        assert_eq!(
+            reg.counter("pera.lint.findings").get(),
+            sw.stats.lint_findings
+        );
+        assert!(
+            reg.counter("pera.lint.errors").get() > 0,
+            "the rogue run must contribute error-severity findings"
+        );
+        let lint_events: Vec<_> = tel
+            .audit_log()
+            .unwrap()
+            .records()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                pda_telemetry::AuditEvent::Lint {
+                    program, errors, ..
+                } => Some((program, errors)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lint_events.len(), 2, "one audit event per analyzer run");
+        assert_eq!(lint_events[0].1, 0, "benign program lints clean of errors");
+        assert!(lint_events[1].1 > 0, "rogue program lints with errors");
+    }
+
+    /// Rule updates also churn the lint verdict: `invalidate(Tables)`
+    /// cascades to `LintVerdict` via the detail-axis ordering.
+    #[test]
+    fn table_update_invalidates_lint_verdict() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[DetailLevel::LintVerdict]),
+        );
+        sw.process_packet(&pkt(1, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap();
+        assert_eq!(sw.stats.lint_runs, 1);
+        sw.table_update(
+            "ipv4_lpm",
+            pda_dataplane::tables::Entry {
+                key: vec![pda_dataplane::tables::KeyCell::Lpm {
+                    value: 0x0b00_0000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: pda_dataplane::actions::Action::fwd(2),
+            },
+        )
+        .unwrap();
+        sw.process_packet(&pkt(2, 53), 0, Some((Nonce(1), Digest::ZERO)))
+            .unwrap();
+        assert_eq!(sw.stats.lint_runs, 2, "rule update must force a re-lint");
     }
 
     #[test]

@@ -75,6 +75,20 @@ pub enum Failure {
         /// The hashing place.
         place: Place,
     },
+    /// The static analyzer found a diagnostic worse than the
+    /// [`crate::semantic::RequireLintClean`] policy tolerates — the
+    /// program misbehaves semantically even if its hash is on no
+    /// blacklist.
+    LintViolation {
+        /// The analyzed program.
+        program: String,
+        /// The diagnostic code (e.g. `PDA401`).
+        code: String,
+        /// The diagnostic severity name.
+        severity: String,
+        /// Location, subject, and message of the finding.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Failure {
@@ -113,6 +127,17 @@ impl fmt::Display for Failure {
                 write!(
                     f,
                     "hashed evidence from {place} does not match expected digest"
+                )
+            }
+            Failure::LintViolation {
+                program,
+                code,
+                severity,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "lint violation {code} ({severity}) in {program}: {detail}"
                 )
             }
         }
@@ -181,7 +206,12 @@ pub fn appraise(
 
 /// Record one appraisal verdict in the environment's audit log and
 /// counters; the single choke point every appraisal path goes through.
-fn audit_verdict(env: &Environment, subject: &str, nonce: Option<Nonce>, result: &AppraisalResult) {
+pub(crate) fn audit_verdict(
+    env: &Environment,
+    subject: &str,
+    nonce: Option<Nonce>,
+    result: &AppraisalResult,
+) {
     if let Some(registry) = env.telemetry.registry() {
         registry.counter("ra.appraisals").inc();
         if !result.ok {

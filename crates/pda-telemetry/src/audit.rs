@@ -57,6 +57,24 @@ pub enum AuditEvent {
         /// First failure cause, when the verdict is negative.
         cause: Option<String>,
     },
+    /// A static-analysis (lint) verdict over a loaded program — emitted
+    /// when a PERA switch measures the `LintVerdict` evidence level or
+    /// an appraiser evaluates a `RequireLintClean` policy.
+    Lint {
+        /// Where the analysis ran (switch or appraiser name).
+        subject: String,
+        /// The analyzed program's name.
+        program: String,
+        /// Total diagnostics found.
+        findings: u64,
+        /// Diagnostics at Error severity.
+        errors: u64,
+        /// Worst severity present (`"info"`/`"warning"`/`"error"`),
+        /// `None` for a spotless program.
+        worst: Option<String>,
+        /// Hex lint-verdict digest (what evidence records carry).
+        verdict: String,
+    },
     /// A verify-unit (dataplane enforcement) verdict on one packet.
     Enforcement {
         /// Enforcing node (verify-unit location).
@@ -78,6 +96,7 @@ impl AuditEvent {
             AuditEvent::CacheLookup { .. } => "cache_lookup",
             AuditEvent::Signature { .. } => "signature",
             AuditEvent::Appraisal { .. } => "appraisal",
+            AuditEvent::Lint { .. } => "lint",
             AuditEvent::Enforcement { .. } => "enforcement",
         }
     }
@@ -152,6 +171,24 @@ impl AuditRecord {
                     Some(c) => f.push(("cause".into(), Json::Str(c.clone()))),
                     None => f.push(("cause".into(), Json::Null)),
                 }
+            }
+            AuditEvent::Lint {
+                subject,
+                program,
+                findings,
+                errors,
+                worst,
+                verdict,
+            } => {
+                f.push(("subject".into(), Json::Str(subject.clone())));
+                f.push(("program".into(), Json::Str(program.clone())));
+                f.push(("findings".into(), Json::UInt(*findings)));
+                f.push(("errors".into(), Json::UInt(*errors)));
+                match worst {
+                    Some(w) => f.push(("worst".into(), Json::Str(w.clone()))),
+                    None => f.push(("worst".into(), Json::Null)),
+                }
+                f.push(("verdict".into(), Json::Str(verdict.clone())));
             }
             AuditEvent::Enforcement {
                 unit,
@@ -239,6 +276,22 @@ impl AuditRecord {
                             .ok_or(AuditParseErr::Type("cause".into()))?,
                     ),
                 },
+            },
+            "lint" => AuditEvent::Lint {
+                subject: str_field("subject")?,
+                program: str_field("program")?,
+                findings: u64_field("findings")?,
+                errors: u64_field("errors")?,
+                worst: match field("worst")? {
+                    Json::Null => None,
+                    other => Some(
+                        other
+                            .as_str()
+                            .map(str::to_string)
+                            .ok_or(AuditParseErr::Type("worst".into()))?,
+                    ),
+                },
+                verdict: str_field("verdict")?,
             },
             "enforcement" => AuditEvent::Enforcement {
                 unit: str_field("unit")?,
@@ -395,6 +448,22 @@ mod tests {
                 ok: true,
                 checks: 3,
                 cause: None,
+            },
+            AuditEvent::Lint {
+                subject: "sw0".into(),
+                program: "forward_v2.p4".into(),
+                findings: 3,
+                errors: 1,
+                worst: Some("error".into()),
+                verdict: "ab".repeat(32),
+            },
+            AuditEvent::Lint {
+                subject: "appraiser".into(),
+                program: "monitor_v1.p4".into(),
+                findings: 0,
+                errors: 0,
+                worst: None,
+                verdict: "00".repeat(32),
             },
             AuditEvent::Enforcement {
                 unit: "edge".into(),

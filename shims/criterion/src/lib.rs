@@ -264,6 +264,7 @@ fn fmt_ns(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Criterion group runner (shim-generated).
         pub fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+

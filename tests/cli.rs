@@ -99,6 +99,55 @@ fn netkat_equivalence() {
 }
 
 #[test]
+fn lint_flags_rogues_and_passes_benigns() {
+    // The acceptance split: both rogues carry an `error` diagnostic,
+    // every benign builtin stays at `info` or below.
+    let (ok, stdout, _) = pda(&["lint", "rogue_wiretap"]);
+    assert!(ok);
+    assert!(stdout.contains("PDA401 error"), "{stdout}");
+    let (ok, stdout, _) = pda(&["lint", "rogue_flow_monitor"]);
+    assert!(ok);
+    assert!(stdout.contains("PDA402 error"), "{stdout}");
+    let (ok, stdout, _) = pda(&["lint", "forwarding"]);
+    assert!(ok);
+    assert!(stdout.contains("worst: info"), "{stdout}");
+    assert!(!stdout.contains("error"), "{stdout}");
+}
+
+#[test]
+fn lint_check_gate_passes_over_the_whole_corpus() {
+    let (ok, _, stderr) = pda(&["lint", "all", "--check"]);
+    assert!(ok, "{stderr}");
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let (ok, stdout, _) = pda(&["lint", "all", "--format", "json"]);
+    assert!(ok);
+    let parsed = pda_telemetry::json::parse(stdout.trim()).expect("valid json");
+    let arr = parsed.as_arr().expect("array");
+    assert_eq!(arr.len(), 9);
+    let rogues: Vec<_> = arr
+        .iter()
+        .filter(|p| p.get("rogue").and_then(|r| r.as_bool()) == Some(true))
+        .filter_map(|p| p.get("builtin").and_then(|b| b.as_str()))
+        .collect();
+    assert_eq!(rogues, vec!["rogue_flow_monitor", "rogue_wiretap"]);
+    for p in arr {
+        let report = p.get("report").expect("report");
+        assert!(report.get("program_digest").is_some());
+        assert!(report.get("verdict_digest").is_some());
+    }
+}
+
+#[test]
+fn lint_rejects_unknown_builtin() {
+    let (ok, _, stderr) = pda(&["lint", "nosuch"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown builtin"), "{stderr}");
+}
+
+#[test]
 fn errors_exit_nonzero() {
     let (ok, _, stderr) = pda(&["parse", "not a + valid ^ policy"]);
     assert!(!ok);
