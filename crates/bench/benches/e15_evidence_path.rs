@@ -61,6 +61,45 @@ fn bench_evidence_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// Batch-amortized signing: one 32-packet burst through
+/// `process_batch` per iteration, varying records-per-signature. At
+/// batch 1 every record costs a full signature; at batch 32 the burst
+/// shares one Merkle root signature. Lamport is the scheme where the
+/// amortization matters (per-record OTS signing dominates); HMAC bounds
+/// the constant overhead of the batch machinery itself. (MerkleMss is
+/// excluded: criterion's iteration count would exhaust any reasonable
+/// MSS key tree.)
+fn bench_batch_signing(c: &mut Criterion) {
+    use pda_crypto::sig::SigScheme;
+    const BURST: usize = 32;
+    let mut g = c.benchmark_group("e15_batch_signing");
+    g.throughput(Throughput::Elements(BURST as u64));
+    let pkts: Vec<Vec<u8>> = (0..BURST as u32).map(packet).collect();
+    for scheme in [SigScheme::Hmac, SigScheme::LamportOts] {
+        for batch in [1u32, 8, 32] {
+            let id = BenchmarkId::new(format!("{scheme}"), batch);
+            g.bench_with_input(id, &batch, |b, &batch| {
+                let config = PeraConfig::default()
+                    .with_details(&[
+                        DetailLevel::Hardware,
+                        DetailLevel::Program,
+                        DetailLevel::Tables,
+                    ])
+                    .with_sampling(Sampling::PerPacket)
+                    .with_batch(batch);
+                let mut sw =
+                    PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
+                        .with_scheme(scheme, 10);
+                b.iter(|| {
+                    let out = sw.process_batch(black_box(&pkts), 0, Some((Nonce(1), Digest::ZERO)));
+                    black_box(out.evidence.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_removed_costs(c: &mut Criterion) {
     let mut g = c.benchmark_group("e15_removed_costs");
     // The two serializations the dirty-generation check replaced.
@@ -96,6 +135,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_evidence_path, bench_removed_costs
+    targets = bench_evidence_path, bench_batch_signing, bench_removed_costs
 }
 criterion_main!(benches);

@@ -1033,6 +1033,9 @@ pub struct E15Row {
     pub variant: String,
     /// Is this the seed-behaviour emulation (pre-fix hot path)?
     pub seed_emulation: bool,
+    /// Evidence batch size (1 = per-record signing via `process_packet`;
+    /// >1 = `process_batch` with one signature per batch).
+    pub batch: u32,
     /// Packets pushed through `process_packet`.
     pub packets: u64,
     /// Throughput, packets per second (wall clock, single-threaded).
@@ -1113,6 +1116,49 @@ fn e15_run(
     E15Row {
         variant: variant.into(),
         seed_emulation,
+        batch: 1,
+        packets: pkts.len() as u64,
+        pkts_per_sec: pkts.len() as f64 / elapsed,
+        records: sw.stats.records,
+        measurements: sw.stats.measurements,
+        hit_rate: sw.cache.stats.hit_rate(),
+    }
+}
+
+/// The batch-amortized hot path: `process_batch` with `batch` records
+/// per signature (Merkle root signature + per-record inclusion proofs).
+/// Same detail set, same warm-cache steady state as [`e15_run`], so the
+/// delta against the matching `batch == 1` row isolates signing
+/// amortization.
+fn e15_batch_run(
+    variant: &str,
+    scheme: SigScheme,
+    sampling: Sampling,
+    batch: u32,
+    pkts: &[Vec<u8>],
+    tel: &Telemetry,
+) -> E15Row {
+    let config = PeraConfig::default()
+        .with_details(&[
+            DetailLevel::Hardware,
+            DetailLevel::Program,
+            DetailLevel::Tables,
+        ])
+        .with_sampling(sampling)
+        .with_batch(batch);
+    let mut sw = PeraSwitch::new("sw", "hw", programs::forwarding(&[(0, 0, 1)]), config)
+        .with_scheme(scheme, 12)
+        .with_telemetry(tel.clone());
+
+    let t0 = Instant::now();
+    let out = sw.process_batch(pkts, 0, Some((Nonce(1), Digest::ZERO)));
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert!(out.forwards.iter().all(|f| f.is_ok()), "all packets parse");
+
+    E15Row {
+        variant: variant.into(),
+        seed_emulation: false,
+        batch,
         packets: pkts.len() as u64,
         pkts_per_sec: pkts.len() as f64 / elapsed,
         records: sw.stats.records,
@@ -1198,6 +1244,46 @@ pub fn exp_e15_with(packets: usize, tel: &Telemetry) -> Vec<E15Row> {
             Sampling::EveryN(100),
             true,
             false,
+            &pkts,
+            tel,
+        ),
+        // The batch-signing tentpole rows: per-packet *signed* evidence
+        // with one signature per 32 records. The lamport pair (batch 1
+        // vs batch 32) is the headline delta — per-record OTS signing
+        // dominates the unbatched row, and the Merkle commit amortizes
+        // it away. (No unbatched merkle/per-packet row: 10k records
+        // would exhaust a height-12 MSS key tree; batch 32 needs only
+        // ⌈10k/32⌉ = 313 of its 4096 keys.)
+        e15_run(
+            "lamport / per-packet / cache",
+            SigScheme::LamportOts,
+            Sampling::PerPacket,
+            true,
+            false,
+            &pkts,
+            tel,
+        ),
+        e15_batch_run(
+            "lamport / per-packet / cache / batch-32",
+            SigScheme::LamportOts,
+            Sampling::PerPacket,
+            32,
+            &pkts,
+            tel,
+        ),
+        e15_batch_run(
+            "merkle / per-packet / cache / batch-32",
+            SigScheme::MerkleMss,
+            Sampling::PerPacket,
+            32,
+            &pkts,
+            tel,
+        ),
+        e15_batch_run(
+            "hmac / per-packet / cache / batch-32",
+            SigScheme::Hmac,
+            Sampling::PerPacket,
+            32,
             &pkts,
             tel,
         ),

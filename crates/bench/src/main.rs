@@ -9,9 +9,15 @@
 //! attestation audit log while the instrumented experiments (`fig1`,
 //! `fig3`, `e15`, `e16`, `e17`) run, and writes `telemetry.json` /
 //! `telemetry.prom` to the current directory on exit.
+//!
+//! `--bench-json <path>` additionally writes the E15 evidence-path rows
+//! as a machine-readable JSON document (ns/packet, packets/sec, batch
+//! size, git revision) — what CI uploads as the `BENCH_e15.json`
+//! artifact so throughput regressions are diffable across commits.
 
 use bench::*;
 use pda_pera::config::Sampling;
+use pda_telemetry::json::Json;
 use pda_telemetry::Telemetry;
 
 /// How `--telemetry` asks for the registry dump.
@@ -56,9 +62,71 @@ fn parse_telemetry(args: &mut Vec<String>) -> TelemetryMode {
     mode
 }
 
+/// Pull `--bench-json <path>` (or `--bench-json=<path>`) out of `args`.
+fn parse_bench_json(args: &mut Vec<String>) -> Option<String> {
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--bench-json" {
+            if i + 1 >= args.len() {
+                eprintln!("--bench-json needs a path, e.g. --bench-json BENCH_e15.json");
+                std::process::exit(2);
+            }
+            path = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(v) = args[i].strip_prefix("--bench-json=") {
+            path = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    path
+}
+
+/// The current git revision, or "unknown" outside a checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Render the E15 rows as the `BENCH_e15.json` document.
+fn e15_json(rows: &[E15Row]) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("e15".into())),
+        ("git_rev".into(), Json::Str(git_rev())),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("variant".into(), Json::Str(r.variant.clone())),
+                            ("seed_emulation".into(), Json::Bool(r.seed_emulation)),
+                            ("batch".into(), Json::UInt(u64::from(r.batch))),
+                            ("packets".into(), Json::UInt(r.packets)),
+                            ("pkts_per_sec".into(), Json::Num(r.pkts_per_sec)),
+                            ("ns_per_packet".into(), Json::Num(1e9 / r.pkts_per_sec)),
+                            ("records".into(), Json::UInt(r.records)),
+                            ("measurements".into(), Json::UInt(r.measurements)),
+                            ("hit_rate".into(), Json::Num(r.hit_rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mode = parse_telemetry(&mut args);
+    let bench_json = parse_bench_json(&mut args);
     let tel = match mode {
         TelemetryMode::Off => Telemetry::off(),
         _ => Telemetry::collecting(),
@@ -282,8 +350,8 @@ fn main() {
     if want("e15") {
         println!("== E15: evidence-path throughput (10k packets, 64 flows) ==");
         println!(
-            "{:<38} {:>12} {:>8} {:>9} {:>9} {:>8}",
-            "variant", "pkts/sec", "records", "measures", "hit-rate", "vs-seed"
+            "{:<40} {:>5} {:>12} {:>8} {:>9} {:>9} {:>8}",
+            "variant", "batch", "pkts/sec", "records", "measures", "hit-rate", "vs-seed"
         );
         let rows = exp_e15_with(10_000, &tel);
         let seed_pps = rows
@@ -293,8 +361,9 @@ fn main() {
             .unwrap_or(f64::NAN);
         for r in &rows {
             println!(
-                "{:<38} {:>12.0} {:>8} {:>9} {:>8.1}% {:>7.2}x",
+                "{:<40} {:>5} {:>12.0} {:>8} {:>9} {:>8.1}% {:>7.2}x",
                 r.variant,
+                r.batch,
                 r.pkts_per_sec,
                 r.records,
                 r.measurements,
@@ -303,6 +372,16 @@ fn main() {
             );
         }
         println!();
+        if let Some(path) = &bench_json {
+            let body = e15_json(&rows).encode();
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("bench-json: wrote E15 rows to {path}");
+        }
+    } else if bench_json.is_some() {
+        eprintln!("--bench-json has no effect unless the e15 experiment runs");
     }
 
     if want("e16") {

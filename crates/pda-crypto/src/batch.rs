@@ -1,0 +1,182 @@
+//! Batch-amortized evidence signing.
+//!
+//! The paper bounds evidence generation at "at most, per hop and per
+//! packet" (§5.2) — but a hash-based signature per packet means ~8 KB
+//! of Lamport reveal and a full key derivation *each time*. This module
+//! amortizes that: commit N evidence leaves under one Merkle root, sign
+//! the **root** once with the device's [`Signer`], and hand each leaf a
+//! [`Signature::Batch`] carrying its inclusion proof plus a shared
+//! reference to the root signature. Verification recomputes the leaf's
+//! path to the root and then checks the root signature under the same
+//! [`crate::sig::VerifyKey`] — so registries, replay windows, and
+//! chained composition are untouched; only the per-leaf cost changes
+//! from one signing operation to `1/N`th of one.
+
+use crate::digest::Digest;
+use crate::merkle::{MerkleProof, MerkleTree};
+use crate::sig::{SignError, Signature, Signer};
+use std::sync::Arc;
+
+/// The per-batch commitment every leaf signature shares: the Merkle
+/// root over the batch's messages and the one real signature over it.
+#[derive(Clone, Debug)]
+pub struct BatchCommit {
+    /// Root of the tree whose leaves are the batched messages.
+    pub root: Digest,
+    /// Number of leaves committed (the amortization denominator).
+    pub len: u32,
+    /// The underlying scheme's signature over `root.as_bytes()`.
+    pub root_sig: Signature,
+}
+
+/// One leaf's share of a batch signature: its inclusion proof plus the
+/// shared commitment. Cloning is cheap — the ~8 KB root signature lives
+/// once behind the [`Arc`], not per leaf.
+#[derive(Clone, Debug)]
+pub struct BatchLeaf {
+    /// Membership proof of the signed message under [`BatchCommit::root`].
+    pub proof: MerkleProof,
+    /// The shared root commitment and signature.
+    pub commit: Arc<BatchCommit>,
+}
+
+/// Sign `msgs` as one batch: one underlying signing operation, one
+/// [`Signature::Batch`] per message (in input order).
+///
+/// The root signature is produced by `signer` exactly as a plain
+/// [`Signer::sign`] over the root bytes would be, so key consumption
+/// (Lamport epochs, MSS leaves) advances by **one** per batch rather
+/// than one per message. Returns an empty vector for an empty batch
+/// without consuming any key material.
+pub fn sign_batch(signer: &mut Signer, msgs: &[&[u8]]) -> Result<Vec<Signature>, SignError> {
+    if msgs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let tree = MerkleTree::build(msgs);
+    let root_sig = signer.sign(tree.root().as_bytes())?;
+    let commit = Arc::new(BatchCommit {
+        root: tree.root(),
+        len: msgs.len() as u32,
+        root_sig,
+    });
+    Ok((0..msgs.len())
+        .map(|i| {
+            Signature::Batch(BatchLeaf {
+                proof: tree.prove(i).expect("i < len implies provable"),
+                commit: Arc::clone(&commit),
+            })
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::{verify, SigScheme};
+
+    fn msgs(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| format!("evidence {i}").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn batch_verifies_under_each_scheme() {
+        for scheme in SigScheme::ALL {
+            let mut s = Signer::new(scheme, [3u8; 32], 4);
+            let vk = s.verify_key(4);
+            let owned = msgs(5);
+            let refs: Vec<&[u8]> = owned.iter().map(|m| m.as_slice()).collect();
+            let sigs = sign_batch(&mut s, &refs).unwrap();
+            assert_eq!(sigs.len(), 5);
+            for (m, sig) in owned.iter().zip(&sigs) {
+                assert!(verify(&vk, m, sig), "{scheme}");
+                assert!(!verify(&vk, b"tampered", sig), "{scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_consumes_one_key_per_batch() {
+        let mut s = Signer::new(SigScheme::MerkleMss, [4u8; 32], 2); // 4 keys
+        let owned = msgs(64);
+        let refs: Vec<&[u8]> = owned.iter().map(|m| m.as_slice()).collect();
+        for _ in 0..4 {
+            sign_batch(&mut s, &refs).unwrap();
+        }
+        assert_eq!(s.remaining(), Some(0));
+        assert!(matches!(
+            sign_batch(&mut s, &refs),
+            Err(SignError::KeysExhausted)
+        ));
+    }
+
+    #[test]
+    fn leaf_proof_not_transferable() {
+        let mut s = Signer::new(SigScheme::Hmac, [5u8; 32], 0);
+        let vk = s.verify_key(0);
+        let owned = msgs(3);
+        let refs: Vec<&[u8]> = owned.iter().map(|m| m.as_slice()).collect();
+        let sigs = sign_batch(&mut s, &refs).unwrap();
+        // Leaf 0's signature must not verify leaf 1's message.
+        assert!(!verify(&vk, &owned[1], &sigs[0]));
+    }
+
+    #[test]
+    fn batch_under_wrong_key_rejected() {
+        let mut s = Signer::new(SigScheme::Hmac, [6u8; 32], 0);
+        let other = Signer::new(SigScheme::Hmac, [7u8; 32], 0);
+        let owned = msgs(2);
+        let refs: Vec<&[u8]> = owned.iter().map(|m| m.as_slice()).collect();
+        let sigs = sign_batch(&mut s, &refs).unwrap();
+        assert!(!verify(&other.verify_key(0), &owned[0], &sigs[0]));
+    }
+
+    #[test]
+    fn nested_batch_rejected() {
+        // A batch whose root signature is itself a batch signature could
+        // chain amortization indefinitely; the verifier refuses.
+        let mut s = Signer::new(SigScheme::Hmac, [8u8; 32], 0);
+        let vk = s.verify_key(0);
+        let owned = msgs(2);
+        let refs: Vec<&[u8]> = owned.iter().map(|m| m.as_slice()).collect();
+        let inner = sign_batch(&mut s, &refs).unwrap();
+        let tree = MerkleTree::build(&[&owned[0]]);
+        let forged = Signature::Batch(BatchLeaf {
+            proof: tree.prove(0).unwrap(),
+            commit: Arc::new(BatchCommit {
+                root: tree.root(),
+                len: 1,
+                root_sig: inner[0].clone(),
+            }),
+        });
+        assert!(!verify(&vk, &owned[0], &forged));
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut s = Signer::new(SigScheme::MerkleMss, [9u8; 32], 1);
+        assert!(sign_batch(&mut s, &[]).unwrap().is_empty());
+        assert_eq!(s.remaining(), Some(2));
+    }
+
+    #[test]
+    fn single_leaf_batch_verifies() {
+        let mut s = Signer::new(SigScheme::LamportOts, [10u8; 32], 0);
+        let vk = s.verify_key(1);
+        let sigs = sign_batch(&mut s, &[b"only"]).unwrap();
+        assert!(verify(&vk, b"only", &sigs[0]));
+    }
+
+    #[test]
+    fn batch_wire_size_amortizes() {
+        let mut s = Signer::new(SigScheme::LamportOts, [11u8; 32], 0);
+        let owned = msgs(32);
+        let refs: Vec<&[u8]> = owned.iter().map(|m| m.as_slice()).collect();
+        let batched = sign_batch(&mut s, &refs).unwrap();
+        let mut plain = Signer::new(SigScheme::LamportOts, [11u8; 32], 0);
+        let plain_size = plain.sign(&owned[0]).unwrap().wire_size();
+        // Per-leaf share must come in well under a standalone signature.
+        assert!(batched[0].wire_size() * 8 < plain_size);
+    }
+}

@@ -65,6 +65,29 @@ impl HmacKeySchedule {
         m.update(msg);
         m.finalize()
     }
+
+    /// Midstate past the `key ⊕ ipad` block — feed message bytes from
+    /// here. Exposed so batch callers can push many messages through
+    /// [`crate::sha256::digest_many_from`] in one multi-lane pass.
+    pub fn inner_midstate(&self) -> Midstate {
+        self.inner_start
+    }
+
+    /// Midstate past the `key ⊕ opad` block — feed the inner digest from
+    /// here to finish a tag.
+    pub fn outer_midstate(&self) -> Midstate {
+        self.outer_start
+    }
+
+    /// MAC `L` equal-length messages in one multi-lane pass, exactly
+    /// matching [`HmacKeySchedule::mac`] per lane. Both HMAC passes (the
+    /// message absorption and the outer finalization) run 8-wide, which
+    /// is where Lamport key derivation spends nearly all of its time.
+    pub fn mac_many<const L: usize>(&self, msgs: [&[u8]; L]) -> [[u8; 32]; L] {
+        let inner = crate::sha256::digest_many_from(self.inner_start, msgs);
+        let inner_refs: [&[u8]; L] = std::array::from_fn(|l| inner[l].as_slice());
+        crate::sha256::digest_many_from(self.outer_start, inner_refs)
+    }
 }
 
 /// Incremental HMAC-SHA-256.
@@ -252,5 +275,19 @@ larger than block-size data. The key needs to be hashed before being used by the
         let tag1 = hmac_sha256(b"key1", b"msg");
         let tag2 = hmac_sha256(b"key2", b"msg");
         assert_ne!(tag1, tag2);
+    }
+
+    #[test]
+    fn mac_many_matches_scalar() {
+        let ks = HmacKeySchedule::new(b"batch-key");
+        for msg_len in [0usize, 16, 32, 55, 56, 64, 200] {
+            let msgs_owned: Vec<Vec<u8>> =
+                (0..8u8).map(|l| vec![l.wrapping_add(1); msg_len]).collect();
+            let msgs: [&[u8]; 8] = std::array::from_fn(|l| msgs_owned[l].as_slice());
+            let tags = ks.mac_many(msgs);
+            for l in 0..8 {
+                assert_eq!(tags[l], ks.mac(msgs[l]), "len {msg_len} lane {l}");
+            }
+        }
     }
 }

@@ -10,8 +10,8 @@
 //! lifts this to a many-time scheme by committing a tree of one-time
 //! public keys.
 
-use crate::hmac::hmac_sha256;
-use crate::sha256::Sha256;
+use crate::hmac::HmacKeySchedule;
+use crate::sha256::{digest_many, Sha256};
 use rand::RngCore;
 
 /// Number of message bits covered (SHA-256 of the message is signed).
@@ -40,13 +40,32 @@ impl LamportSignature {
     /// Size of the serialized signature in bytes.
     pub const SIZE: usize = BITS * 32;
 
+    /// The 256 revealed preimages, in bit-position order. Exposed so
+    /// tests can assert on record identity (the heap allocation behind
+    /// this slice survives moves but not clones).
+    pub fn reveals(&self) -> &[[u8; 32]] {
+        &self.reveal
+    }
+
     /// Serialize to a flat byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::SIZE);
-        for r in self.reveal.iter() {
-            out.extend_from_slice(r);
-        }
+        let mut out = vec![0u8; Self::SIZE];
+        self.write_to(&mut out).expect("sized buffer");
         out
+    }
+
+    /// Serialize into the front of `out` without allocating; returns the
+    /// number of bytes written, or `None` if `out` is shorter than
+    /// [`Self::SIZE`]. This is the wire-path variant: an 8 KB signature
+    /// per record is too large to bounce through a fresh `Vec` each time.
+    pub fn write_to(&self, out: &mut [u8]) -> Option<usize> {
+        if out.len() < Self::SIZE {
+            return None;
+        }
+        for (chunk, r) in out.chunks_exact_mut(32).zip(self.reveal.iter()) {
+            chunk.copy_from_slice(r);
+        }
+        Some(Self::SIZE)
     }
 
     /// Parse from bytes produced by [`Self::to_bytes`].
@@ -54,6 +73,13 @@ impl LamportSignature {
         if bytes.len() != Self::SIZE {
             return None;
         }
+        Self::read_from(bytes)
+    }
+
+    /// Parse from the first [`Self::SIZE`] bytes of `bytes` (a prefix
+    /// read — trailing bytes are the caller's to interpret).
+    pub fn read_from(bytes: &[u8]) -> Option<Self> {
+        let bytes = bytes.get(..Self::SIZE)?;
         let mut reveal = Vec::with_capacity(BITS);
         for chunk in bytes.chunks_exact(32) {
             let mut r = [0u8; 32];
@@ -83,11 +109,21 @@ impl LamportPublicKey {
 
     /// Serialize to a flat byte vector.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::SIZE);
-        for i in self.img.iter() {
-            out.extend_from_slice(i);
-        }
+        let mut out = vec![0u8; Self::SIZE];
+        self.write_to(&mut out).expect("sized buffer");
         out
+    }
+
+    /// Serialize into the front of `out` without allocating; returns the
+    /// number of bytes written, or `None` if `out` is too short.
+    pub fn write_to(&self, out: &mut [u8]) -> Option<usize> {
+        if out.len() < Self::SIZE {
+            return None;
+        }
+        for (chunk, i) in out.chunks_exact_mut(32).zip(self.img.iter()) {
+            chunk.copy_from_slice(i);
+        }
+        Some(Self::SIZE)
     }
 
     /// Parse from bytes produced by [`Self::to_bytes`].
@@ -95,6 +131,13 @@ impl LamportPublicKey {
         if bytes.len() != Self::SIZE {
             return None;
         }
+        Self::read_from(bytes)
+    }
+
+    /// Parse from the first [`Self::SIZE`] bytes of `bytes` (a prefix
+    /// read — trailing bytes are the caller's to interpret).
+    pub fn read_from(bytes: &[u8]) -> Option<Self> {
+        let bytes = bytes.get(..Self::SIZE)?;
         let mut img = Vec::with_capacity(2 * BITS);
         for chunk in bytes.chunks_exact(32) {
             let mut r = [0u8; 32];
@@ -121,19 +164,43 @@ impl LamportSecretKey {
     /// index. This is how PERA switches mint per-epoch one-time keys
     /// without storing them all: `HMAC(seed, index || position)` expands
     /// the seed into the 512 preimages.
+    ///
+    /// The 512 HMAC inputs are independent 16-byte messages, so the
+    /// expansion runs eight positions per multi-lane pass (the key-block
+    /// compressions are shared through the schedule); derivation is the
+    /// dominant cost of every Lamport/MSS signing operation.
     pub fn derive(seed: &[u8; 32], index: u64) -> (LamportSecretKey, LamportPublicKey) {
-        let mut pre = vec![[0u8; 32]; 2 * BITS];
-        for (pos, p) in pre.iter_mut().enumerate() {
-            let mut msg = [0u8; 16];
+        const L: usize = 8;
+        let ks = HmacKeySchedule::new(seed);
+        let mut msgs = [[0u8; 16]; 2 * BITS];
+        for (pos, msg) in msgs.iter_mut().enumerate() {
             msg[..8].copy_from_slice(&index.to_be_bytes());
             msg[8..].copy_from_slice(&(pos as u64).to_be_bytes());
-            *p = hmac_sha256(seed, &msg);
+        }
+        let mut pre = vec![[0u8; 32]; 2 * BITS];
+        // 2*BITS = 512 is a multiple of the lane count; no scalar tail.
+        for (prs, ms) in pre.chunks_exact_mut(L).zip(msgs.chunks_exact(L)) {
+            let lanes: [&[u8]; L] = std::array::from_fn(|l| ms[l].as_slice());
+            prs.copy_from_slice(&ks.mac_many(lanes));
         }
         Self::finish(pre)
     }
 
     fn finish(pre: Vec<[u8; 32]>) -> (LamportSecretKey, LamportPublicKey) {
-        let img: Vec<[u8; 32]> = pre.iter().map(|p| Sha256::digest(p)).collect();
+        const L: usize = 8;
+        let mut img = vec![[0u8; 32]; pre.len()];
+        let mut chunks = img.chunks_exact_mut(L).zip(pre.chunks_exact(L));
+        for (is, ps) in &mut chunks {
+            let lanes: [&[u8]; L] = std::array::from_fn(|l| ps[l].as_slice());
+            is.copy_from_slice(&digest_many(lanes));
+        }
+        let rem = pre.len() % L;
+        for (i, p) in img[pre.len() - rem..]
+            .iter_mut()
+            .zip(&pre[pre.len() - rem..])
+        {
+            *i = Sha256::digest(p);
+        }
         (
             LamportSecretKey {
                 pre: pre.into_boxed_slice(),
@@ -164,19 +231,31 @@ impl LamportSecretKey {
 }
 
 /// Verify `sig` on `msg` under `pk`.
+///
+/// Hashes the 256 revealed preimages eight per multi-lane pass and
+/// accumulates the comparison over all positions (no early exit — same
+/// no-timing-channel discipline as [`crate::hmac::ct_eq`]).
 pub fn lamport_verify(pk: &LamportPublicKey, msg: &[u8], sig: &LamportSignature) -> bool {
+    const L: usize = 8;
     if sig.reveal.len() != BITS {
         return false;
     }
     let digest = Sha256::digest(msg);
-    for i in 0..BITS {
-        let bit = (digest[i / 8] >> (7 - (i % 8))) & 1;
-        let expect = &pk.img[2 * i + bit as usize];
-        if &Sha256::digest(&sig.reveal[i]) != expect {
-            return false;
+    let mut acc = 0u8;
+    // BITS = 256 is a multiple of the lane count; no scalar tail.
+    for (base, rs) in sig.reveal.chunks_exact(L).enumerate() {
+        let lanes: [&[u8]; L] = std::array::from_fn(|l| rs[l].as_slice());
+        let hashed = digest_many(lanes);
+        for (l, h) in hashed.iter().enumerate() {
+            let i = base * L + l;
+            let bit = (digest[i / 8] >> (7 - (i % 8))) & 1;
+            let expect = &pk.img[2 * i + bit as usize];
+            for (x, y) in h.iter().zip(expect.iter()) {
+                acc |= x ^ y;
+            }
         }
     }
-    true
+    acc == 0
 }
 
 #[cfg(test)]
@@ -244,5 +323,44 @@ mod tests {
     fn fingerprint_is_stable() {
         let (_, pk) = LamportSecretKey::derive(&[1u8; 32], 0);
         assert_eq!(pk.fingerprint(), pk.fingerprint());
+    }
+
+    #[test]
+    fn derive_matches_per_position_hmac() {
+        // The multi-lane expansion must produce byte-identical keys to
+        // the definitional per-position HMAC (old wire formats and
+        // registry fingerprints depend on it).
+        use crate::hmac::hmac_sha256;
+        let seed = [9u8; 32];
+        let (sk, _) = LamportSecretKey::derive(&seed, 5);
+        for pos in [0usize, 1, 7, 8, 255, 511] {
+            let mut msg = [0u8; 16];
+            msg[..8].copy_from_slice(&5u64.to_be_bytes());
+            msg[8..].copy_from_slice(&(pos as u64).to_be_bytes());
+            assert_eq!(sk.pre[pos], hmac_sha256(&seed, &msg), "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn write_to_matches_to_bytes_and_prefix_reads() {
+        let (sk, pk) = LamportSecretKey::generate(&mut rng());
+        let sig = sk.sign(b"slice wire");
+
+        let mut buf = vec![0xffu8; LamportSignature::SIZE + 10];
+        assert_eq!(sig.write_to(&mut buf), Some(LamportSignature::SIZE));
+        assert_eq!(&buf[..LamportSignature::SIZE], &sig.to_bytes()[..]);
+        assert_eq!(&buf[LamportSignature::SIZE..], &[0xff; 10]); // untouched tail
+        let back = LamportSignature::read_from(&buf).unwrap(); // prefix read
+        assert!(lamport_verify(&pk, b"slice wire", &back));
+
+        let mut short = vec![0u8; LamportSignature::SIZE - 1];
+        assert_eq!(sig.write_to(&mut short), None);
+        assert!(LamportSignature::read_from(&short).is_none());
+
+        let mut pk_buf = vec![0u8; LamportPublicKey::SIZE];
+        assert_eq!(pk.write_to(&mut pk_buf), Some(LamportPublicKey::SIZE));
+        let pk_back = LamportPublicKey::read_from(&pk_buf).unwrap();
+        assert_eq!(pk_back.fingerprint(), pk.fingerprint());
+        assert_eq!(pk.write_to(&mut pk_buf[..1]), None);
     }
 }

@@ -17,6 +17,8 @@
 //!   signature scheme over Lamport leaves.
 //! * [`sig`] — pluggable signing backends (HMAC / Lamport / Merkle-MSS)
 //!   behind one [`sig::Signer`]/[`sig::verify`] interface.
+//! * [`batch`] — batch-amortized signing: one root signature over a
+//!   Merkle commitment of N messages, per-leaf inclusion proofs.
 //! * [`nonce`] — nonces and replay windows.
 //! * [`keyreg`] — principal→key registry with operator pseudonyms.
 //!
@@ -30,6 +32,7 @@
 //! anyone verifies) as the ECDSA/RSA a production root of trust would
 //! use. See DESIGN.md §1.
 
+pub mod batch;
 pub mod digest;
 pub mod hmac;
 pub mod keyreg;
@@ -39,6 +42,7 @@ pub mod nonce;
 pub mod sha256;
 pub mod sig;
 
+pub use batch::{sign_batch, BatchCommit, BatchLeaf};
 pub use digest::Digest;
 pub use keyreg::{KeyRegistry, PrincipalId, RegistryError};
 pub use nonce::{Nonce, ReplayWindow};

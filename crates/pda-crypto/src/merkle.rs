@@ -13,6 +13,7 @@
 
 use crate::digest::Digest;
 use crate::lamport::{lamport_verify, LamportPublicKey, LamportSecretKey, LamportSignature};
+use crate::sha256::digest_many;
 
 /// A binary Merkle hash tree over arbitrary leaf values.
 ///
@@ -42,26 +43,68 @@ fn node_hash(l: &Digest, r: &Digest) -> Digest {
     Digest::of_parts(&[&[0x01], l.as_bytes(), r.as_bytes()])
 }
 
+/// Hash all leaves, eight per multi-lane pass when they share a (short)
+/// length — the common case for this stack, whose trees commit 32-byte
+/// fingerprints or evidence chain digests. Mixed or long leaves fall
+/// back to the scalar path per chunk.
+fn leaf_hashes<T: AsRef<[u8]>>(leaves: &[T]) -> Vec<Digest> {
+    const L: usize = 8;
+    let mut out = Vec::with_capacity(leaves.len());
+    let mut chunks = leaves.chunks_exact(L);
+    for chunk in &mut chunks {
+        let n = chunk[0].as_ref().len();
+        if n > 63 || chunk.iter().any(|l| l.as_ref().len() != n) {
+            out.extend(chunk.iter().map(|l| leaf_hash(l.as_ref())));
+            continue;
+        }
+        // Prefix byte + leaf fits one stack block per lane.
+        let mut bufs = [[0u8; 64]; L];
+        for (buf, leaf) in bufs.iter_mut().zip(chunk) {
+            buf[1..1 + n].copy_from_slice(leaf.as_ref());
+        }
+        let lanes: [&[u8]; L] = std::array::from_fn(|l| &bufs[l][..1 + n]);
+        out.extend(digest_many(lanes).map(Digest));
+    }
+    out.extend(chunks.remainder().iter().map(|l| leaf_hash(l.as_ref())));
+    out
+}
+
+/// One level up: hash adjacent pairs eight at a time, promote a trailing
+/// odd node.
+fn next_level(prev: &[Digest]) -> Vec<Digest> {
+    const L: usize = 8;
+    let pairs = prev.len() / 2;
+    let mut next = Vec::with_capacity(prev.len().div_ceil(2));
+    let mut p = 0;
+    while p + L <= pairs {
+        let mut bufs = [[0u8; 65]; L];
+        for (l, buf) in bufs.iter_mut().enumerate() {
+            let i = (p + l) * 2;
+            buf[0] = 0x01;
+            buf[1..33].copy_from_slice(prev[i].as_bytes());
+            buf[33..].copy_from_slice(prev[i + 1].as_bytes());
+        }
+        let lanes: [&[u8]; L] = std::array::from_fn(|l| bufs[l].as_slice());
+        next.extend(digest_many(lanes).map(Digest));
+        p += L;
+    }
+    for i in (p * 2..pairs * 2).step_by(2) {
+        next.push(node_hash(&prev[i], &prev[i + 1]));
+    }
+    if prev.len() % 2 == 1 {
+        next.push(*prev.last().unwrap()); // promote odd node
+    }
+    next
+}
+
 impl MerkleTree {
     /// Build a tree over `leaves` (raw leaf byte strings). Panics on empty
     /// input — an empty audit log has no root to commit to.
     pub fn build<T: AsRef<[u8]>>(leaves: &[T]) -> MerkleTree {
         assert!(!leaves.is_empty(), "MerkleTree::build on empty leaf set");
-        let mut levels = vec![leaves
-            .iter()
-            .map(|l| leaf_hash(l.as_ref()))
-            .collect::<Vec<_>>()];
+        let mut levels = vec![leaf_hashes(leaves)];
         while levels.last().unwrap().len() > 1 {
-            let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
-            for pair in prev.chunks(2) {
-                next.push(match pair {
-                    [l, r] => node_hash(l, r),
-                    [only] => *only, // promote odd node
-                    _ => unreachable!(),
-                });
-            }
-            levels.push(next);
+            levels.push(next_level(levels.last().unwrap()));
         }
         MerkleTree { levels }
     }
@@ -258,7 +301,9 @@ mod tests {
 
     #[test]
     fn proofs_verify_for_all_sizes() {
-        for n in 1..=17 {
+        // Past 16 leaves both the 8-wide leaf and node paths engage;
+        // 33-leaf trees also exercise tail + promoted-node interplay.
+        for n in (1..=17).chain([24, 32, 33]) {
             let leaves: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 3]).collect();
             let tree = MerkleTree::build(&leaves);
             for (i, leaf) in leaves.iter().enumerate() {
@@ -268,6 +313,48 @@ mod tests {
                     "n={n} i={i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn multi_lane_build_matches_scalar_definition() {
+        // Reference build straight from the definition, no lane tricks.
+        fn scalar_root<T: AsRef<[u8]>>(leaves: &[T]) -> Digest {
+            let mut level: Vec<Digest> = leaves.iter().map(|l| leaf_hash(l.as_ref())).collect();
+            while level.len() > 1 {
+                level = level
+                    .chunks(2)
+                    .map(|p| match p {
+                        [l, r] => node_hash(l, r),
+                        [only] => *only,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+            }
+            level[0]
+        }
+        for n in [1usize, 2, 7, 8, 9, 16, 17, 31, 32, 33, 100] {
+            // 32-byte leaves: the digest-commitment fast path.
+            let short: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 32]).collect();
+            assert_eq!(
+                MerkleTree::build(&short).root(),
+                scalar_root(&short),
+                "short n={n}"
+            );
+            // >63-byte leaves: forced scalar leaf hashing.
+            let long: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 80]).collect();
+            assert_eq!(
+                MerkleTree::build(&long).root(),
+                scalar_root(&long),
+                "long n={n}"
+            );
+            // Mixed lengths: per-chunk fallback.
+            let mixed: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 1 + i % 5]).collect();
+            assert_eq!(
+                MerkleTree::build(&mixed).root(),
+                scalar_root(&mixed),
+                "mixed n={n}"
+            );
         }
     }
 

@@ -179,6 +179,12 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Number of independent messages the wide digest paths
+    /// ([`digest_many`], [`digest_many_from`]) process per compression
+    /// pass. Eight 32-bit lanes fill one 256-bit vector register, which
+    /// is what the structure-of-arrays layout below is shaped for.
+    pub const LANES: usize = 8;
+
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
@@ -224,6 +230,146 @@ impl Sha256 {
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
     }
+}
+
+// ---------------------------------------------------------------------
+// Multi-message block layout: L independent messages per compression
+// pass. The hash-based signature schemes hash hundreds of *independent*
+// short messages per operation (512 preimages per Lamport key, one leaf
+// per batch entry), where the scalar schedule leaves 7/8 of a vector
+// register idle. The structure-of-arrays compressor below carries one
+// message per 32-bit lane — every round operation is a straight-line
+// elementwise loop over `[u32; L]`, which the autovectorizer lowers to
+// vector code without any explicit SIMD (the workspace forbids
+// `unsafe`). Digests are bit-identical to [`Sha256::digest`].
+// ---------------------------------------------------------------------
+
+/// One compression pass over `L` independent 64-byte blocks, carried in
+/// structure-of-arrays form: `state[word][lane]`.
+fn compress_multi<const L: usize>(state: &mut [[u32; L]; 8], blocks: &[&[u8]; L]) {
+    let mut w = [[0u32; L]; 64];
+    for t in 0..16 {
+        for l in 0..L {
+            let b = &blocks[l][t * 4..t * 4 + 4];
+            w[t][l] = u32::from_be_bytes([b[0], b[1], b[2], b[3]]);
+        }
+    }
+    for t in 16..64 {
+        let (prev, cur) = w.split_at_mut(t);
+        for (l, out) in cur[0].iter_mut().enumerate() {
+            let x = prev[t - 15][l];
+            let y = prev[t - 2][l];
+            let s0 = x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3);
+            let s1 = y.rotate_right(17) ^ y.rotate_right(19) ^ (y >> 10);
+            *out = prev[t - 16][l]
+                .wrapping_add(s0)
+                .wrapping_add(prev[t - 7][l])
+                .wrapping_add(s1);
+        }
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for t in 0..64 {
+        let mut t1 = [0u32; L];
+        let mut t2 = [0u32; L];
+        for l in 0..L {
+            let big_s1 = e[l].rotate_right(6) ^ e[l].rotate_right(11) ^ e[l].rotate_right(25);
+            let ch = (e[l] & f[l]) ^ (!e[l] & g[l]);
+            t1[l] = h[l]
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t][l]);
+            let big_s0 = a[l].rotate_right(2) ^ a[l].rotate_right(13) ^ a[l].rotate_right(22);
+            let maj = (a[l] & b[l]) ^ (a[l] & c[l]) ^ (b[l] & c[l]);
+            t2[l] = big_s0.wrapping_add(maj);
+        }
+        h = g;
+        g = f;
+        f = e;
+        for l in 0..L {
+            e[l] = d[l].wrapping_add(t1[l]);
+        }
+        d = c;
+        c = b;
+        b = a;
+        for l in 0..L {
+            a[l] = t1[l].wrapping_add(t2[l]);
+        }
+    }
+
+    let sum = [a, b, c, d, e, f, g, h];
+    for (wrd, add) in state.iter_mut().zip(sum) {
+        for l in 0..L {
+            wrd[l] = wrd[l].wrapping_add(add[l]);
+        }
+    }
+}
+
+/// Hash `L` independent messages in one multi-lane pass.
+///
+/// Equal-length messages share every compression (the fast path the
+/// signature schemes hit: all preimages, images, and Merkle leaves of
+/// one operation have one size); mixed lengths fall back to the scalar
+/// hasher per lane. Either way each output equals
+/// [`Sha256::digest`] of the corresponding input.
+pub fn digest_many<const L: usize>(msgs: [&[u8]; L]) -> [[u8; 32]; L] {
+    digest_many_from(Midstate { state: H0, len: 0 }, msgs)
+}
+
+/// [`digest_many`] resuming every lane from the same block-aligned
+/// [`Midstate`] — the multi-lane analogue of [`Sha256::from_midstate`].
+/// This is what lets HMAC-heavy callers (Lamport key derivation) batch
+/// the per-message compressions while the key-block compressions stay
+/// precomputed.
+pub fn digest_many_from<const L: usize>(start: Midstate, msgs: [&[u8]; L]) -> [[u8; 32]; L] {
+    let mut out = [[0u8; 32]; L];
+    if L == 0 {
+        return out;
+    }
+    let n = msgs[0].len();
+    if msgs.iter().any(|m| m.len() != n) {
+        for (o, m) in out.iter_mut().zip(msgs) {
+            let mut h = Sha256::from_midstate(start);
+            h.update(m);
+            *o = h.finalize();
+        }
+        return out;
+    }
+
+    let mut state = [[0u32; L]; 8];
+    for (word, lanes) in state.iter_mut().enumerate() {
+        *lanes = [start.state[word]; L];
+    }
+
+    // Whole blocks straight from the inputs.
+    let full = n / 64;
+    for blk in 0..full {
+        let blocks: [&[u8]; L] = std::array::from_fn(|l| &msgs[l][blk * 64..blk * 64 + 64]);
+        compress_multi(&mut state, &blocks);
+    }
+
+    // Padded tail: identical layout in every lane since lengths match.
+    let rem = n % 64;
+    let tail_blocks = if rem < 56 { 1 } else { 2 };
+    let bit_len = (start.len + n as u64).wrapping_mul(8);
+    let mut tails = [[0u8; 128]; L];
+    for (tail, msg) in tails.iter_mut().zip(msgs) {
+        tail[..rem].copy_from_slice(&msg[full * 64..]);
+        tail[rem] = 0x80;
+        tail[tail_blocks * 64 - 8..tail_blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+    }
+    for blk in 0..tail_blocks {
+        let blocks: [&[u8]; L] = std::array::from_fn(|l| &tails[l][blk * 64..blk * 64 + 64]);
+        compress_multi(&mut state, &blocks);
+    }
+
+    for (word, lanes) in state.iter().enumerate() {
+        for l in 0..L {
+            out[l][word * 4..word * 4 + 4].copy_from_slice(&lanes[l].to_be_bytes());
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -341,6 +487,50 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
                 h.update(std::slice::from_ref(byte));
             }
             assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn digest_many_matches_scalar_across_lengths() {
+        // The same padding-boundary gauntlet, through the multi-lane path.
+        for len in [
+            0usize, 1, 3, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 200,
+        ] {
+            let msgs_owned: Vec<Vec<u8>> =
+                (0..8u8).map(|l| vec![l.wrapping_mul(37); len]).collect();
+            let msgs: [&[u8]; 8] = std::array::from_fn(|l| msgs_owned[l].as_slice());
+            let wide = digest_many(msgs);
+            for l in 0..8 {
+                assert_eq!(wide[l], Sha256::digest(msgs[l]), "len {len} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn digest_many_mixed_lengths_fall_back() {
+        let msgs_owned: Vec<Vec<u8>> = (0..4usize).map(|l| vec![0x5au8; l * 31]).collect();
+        let msgs: [&[u8]; 4] = std::array::from_fn(|l| msgs_owned[l].as_slice());
+        let wide = digest_many(msgs);
+        for l in 0..4 {
+            assert_eq!(wide[l], Sha256::digest(msgs[l]), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn digest_many_from_matches_resumed_scalar() {
+        let prefix = vec![0xc3u8; 128]; // block-aligned
+        let mut h = Sha256::new();
+        h.update(&prefix);
+        let mid = h.midstate().expect("aligned");
+        for len in [0usize, 16, 32, 55, 56, 64, 100] {
+            let msgs_owned: Vec<Vec<u8>> = (0..8u8).map(|l| vec![l ^ 0x41; len]).collect();
+            let msgs: [&[u8]; 8] = std::array::from_fn(|l| msgs_owned[l].as_slice());
+            let wide = digest_many_from(mid, msgs);
+            for l in 0..8 {
+                let mut s = Sha256::from_midstate(mid);
+                s.update(msgs[l]);
+                assert_eq!(wide[l], s.finalize(), "len {len} lane {l}");
+            }
         }
     }
 }

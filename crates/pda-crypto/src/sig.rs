@@ -15,10 +15,11 @@
 //!
 //! The ablation experiments E7/E11 (DESIGN.md §4) sweep these backends.
 
+use crate::batch::BatchLeaf;
 use crate::digest::Digest;
 use crate::hmac::{ct_eq, hmac_sha256, HmacKeySchedule};
 use crate::lamport::{lamport_verify, LamportPublicKey, LamportSecretKey, LamportSignature};
-use crate::merkle::{merkle_verify, MerkleSignature, MerkleSigner, MssError};
+use crate::merkle::{merkle_proof_verify, merkle_verify, MerkleSignature, MerkleSigner, MssError};
 use std::fmt;
 
 /// Which signing backend a device uses.
@@ -62,25 +63,108 @@ pub enum Signature {
     },
     /// Merkle many-time signature.
     Merkle(Box<MerkleSignature>),
+    /// One leaf's share of a batch signature (see [`crate::batch`]): an
+    /// inclusion proof under a Merkle root plus a shared reference to
+    /// the one real signature over that root.
+    Batch(BatchLeaf),
 }
 
 impl Signature {
     /// Bytes this signature occupies on the wire — the quantity the
     /// overhead experiments track.
+    ///
+    /// For [`Signature::Batch`] this is the *amortized* per-leaf share:
+    /// the leaf's own proof bytes plus `1/N`th of the shared root
+    /// commitment and signature, which is what a wire format that sends
+    /// the commitment once per batch actually costs per record.
     pub fn wire_size(&self) -> usize {
         match self {
             Signature::Hmac(_) => 32,
             Signature::Lamport { .. } => 8 + LamportSignature::SIZE,
             Signature::Merkle(m) => m.wire_size(),
+            Signature::Batch(b) => {
+                let own = 8 + b.proof.siblings.len() * 33;
+                let shared = 32 + b.commit.root_sig.wire_size();
+                own + shared.div_ceil(b.commit.len.max(1) as usize)
+            }
         }
     }
 
-    /// The scheme this signature belongs to.
+    /// The scheme this signature belongs to. A batch signature belongs
+    /// to its **root** signature's scheme — registries and telemetry
+    /// treat a batch leaf exactly like the signature that anchors it.
     pub fn scheme(&self) -> SigScheme {
         match self {
             Signature::Hmac(_) => SigScheme::Hmac,
             Signature::Lamport { .. } => SigScheme::LamportOts,
             Signature::Merkle(_) => SigScheme::MerkleMss,
+            Signature::Batch(b) => b.commit.root_sig.scheme(),
+        }
+    }
+
+    /// Human-readable kind label: the scheme name, wrapped in
+    /// `batch(...)` for batch leaves — what audit-log events record, so
+    /// batched and per-packet runs stay distinguishable after the fact.
+    pub fn label(&self) -> String {
+        match self {
+            Signature::Batch(b) => format!("batch({})", b.commit.root_sig.scheme()),
+            other => other.scheme().to_string(),
+        }
+    }
+
+    /// Append a self-contained, tagged encoding to `out` — the zero-copy
+    /// wire path: large signatures write straight into the caller's
+    /// buffer through the slice serializers instead of bouncing through
+    /// per-signature `Vec`s. (Unlike [`Signature::wire_size`], which
+    /// estimates the *amortized* payload for batch leaves, this writes
+    /// the full self-contained encoding including framing tags.)
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        fn put_lamport(out: &mut Vec<u8>, sig: &LamportSignature) {
+            let off = out.len();
+            out.resize(off + LamportSignature::SIZE, 0);
+            sig.write_to(&mut out[off..]).expect("sized buffer");
+        }
+        fn put_proof(out: &mut Vec<u8>, proof: &crate::merkle::MerkleProof) {
+            out.extend_from_slice(&(proof.index as u64).to_be_bytes());
+            out.extend_from_slice(&(proof.siblings.len() as u32).to_be_bytes());
+            for sib in &proof.siblings {
+                match sib {
+                    Some(d) => {
+                        out.push(1);
+                        out.extend_from_slice(d.as_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        match self {
+            Signature::Hmac(tag) => {
+                out.push(0);
+                out.extend_from_slice(tag);
+            }
+            Signature::Lamport { index, sig } => {
+                out.push(1);
+                out.extend_from_slice(&index.to_be_bytes());
+                put_lamport(out, sig);
+            }
+            Signature::Merkle(m) => {
+                out.push(2);
+                out.extend_from_slice(&(m.index as u64).to_be_bytes());
+                let off = out.len();
+                out.resize(off + LamportPublicKey::SIZE, 0);
+                m.ots_public
+                    .write_to(&mut out[off..])
+                    .expect("sized buffer");
+                put_lamport(out, &m.ots_sig);
+                put_proof(out, &m.proof);
+            }
+            Signature::Batch(b) => {
+                out.push(3);
+                put_proof(out, &b.proof);
+                out.extend_from_slice(b.commit.root.as_bytes());
+                out.extend_from_slice(&b.commit.len.to_be_bytes());
+                b.commit.root_sig.write_wire(out);
+            }
         }
     }
 }
@@ -239,9 +323,21 @@ impl Signer {
     pub fn remaining(&self) -> Option<usize> {
         self.mss.as_ref().map(|m| m.remaining())
     }
+
+    /// Sign `msgs` as one batch: one key consumed, one
+    /// [`Signature::Batch`] per message. See [`crate::batch::sign_batch`].
+    pub fn sign_batch(&mut self, msgs: &[&[u8]]) -> Result<Vec<Signature>, SignError> {
+        crate::batch::sign_batch(self, msgs)
+    }
 }
 
 /// Verify a signature against a registered verification key.
+///
+/// A [`Signature::Batch`] leaf verifies in two steps: the message must
+/// prove membership under the batch root, and the root signature must
+/// verify under `key` exactly as a plain signature over the root bytes.
+/// Nested batches (a batch anchored by another batch) are rejected —
+/// amortization must bottom out in one real signing operation.
 pub fn verify(key: &VerifyKey, msg: &[u8], sig: &Signature) -> bool {
     match (key, sig) {
         (VerifyKey::Hmac(k), Signature::Hmac(tag)) => ct_eq(&hmac_sha256(k, msg), tag),
@@ -249,6 +345,11 @@ pub fn verify(key: &VerifyKey, msg: &[u8], sig: &Signature) -> bool {
             .get(*index as usize)
             .is_some_and(|pk| lamport_verify(pk, msg, sig)),
         (VerifyKey::Merkle(root), Signature::Merkle(m)) => merkle_verify(root, msg, m),
+        (key, Signature::Batch(b)) => {
+            !matches!(b.commit.root_sig, Signature::Batch(_))
+                && merkle_proof_verify(&b.commit.root, msg, &b.proof)
+                && verify(key, b.commit.root.as_bytes(), &b.commit.root_sig)
+        }
         _ => false, // scheme mismatch
     }
 }

@@ -153,7 +153,7 @@ fn duplicated_deliveries_do_not_confuse_the_appraiser() {
     lp.send_attested(Nonce(1), EvidenceMode::OutOfBand { appraiser }, b"payload!");
     let raw = lp.sim.evidence_at(appraiser).to_vec();
     assert!(raw.len() > 3, "duplication produced extra deliveries");
-    let (ordered, orphans) = assemble_chain(&raw);
+    let (ordered, orphans) = assemble_chain(raw);
     assert_eq!(ordered.len(), 3, "one record per hop after dedup");
     assert!(orphans.is_empty());
     assert_eq!(
@@ -174,7 +174,7 @@ fn reordered_deliveries_reassemble_in_path_order() {
     scrambled.reverse();
     scrambled.push(scrambled[0].clone());
     scrambled.push(scrambled[2].clone());
-    let (ordered, orphans) = assemble_chain(&scrambled);
+    let (ordered, orphans) = assemble_chain(scrambled);
     assert!(orphans.is_empty());
     let names: Vec<_> = ordered.iter().map(|r| r.switch.as_str()).collect();
     assert_eq!(names, vec!["sw1", "sw2", "sw3"]);

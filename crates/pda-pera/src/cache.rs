@@ -16,26 +16,33 @@ use std::collections::HashMap;
 pub struct CacheStats {
     /// Lookups answered from cache.
     pub hits: u64,
-    /// Lookups that had to re-measure.
+    /// Cacheable lookups that had to re-measure.
     pub misses: u64,
+    /// Lookups for levels that can never cache (`Packets`, zero
+    /// inertia). Counted apart from `misses`: a per-packet measurement
+    /// is not a cache failure, and folding it into the miss column
+    /// deflated `hit_rate()` whenever `Packets` was in the detail set.
+    pub uncacheable: u64,
 }
 
 impl CacheStats {
-    /// Total lookups. Derived from hits + misses in exactly one place
-    /// so the two breakdowns can never drift apart — the telemetry
-    /// counters (`pera.cache.*`) mirror this identity and the switch
-    /// tests assert it across attested runs.
+    /// Total lookups. Derived from the three breakdowns in exactly one
+    /// place so they can never drift apart — the telemetry counters
+    /// (`pera.cache.*`) mirror this identity and the switch tests
+    /// assert it across attested runs.
     pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
+        self.hits + self.misses + self.uncacheable
     }
 
-    /// Hit rate in [0, 1]; 0 when no lookups happened.
+    /// Hit rate in [0, 1] over *cacheable* lookups only; 0 when none
+    /// happened. Uncacheable lookups are excluded — they say nothing
+    /// about how well the cache is working.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.lookups();
-        if total == 0 {
+        let cacheable = self.hits + self.misses;
+        if cacheable == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            self.hits as f64 / cacheable as f64
         }
     }
 }
@@ -80,7 +87,7 @@ impl EvidenceCache {
         measure: impl FnOnce() -> Digest,
     ) -> Digest {
         if level == DetailLevel::Packets {
-            self.stats.misses += 1;
+            self.stats.uncacheable += 1;
             return measure();
         }
         let gen = self.generation(level);
@@ -111,7 +118,14 @@ mod tests {
         let a = c.get_or_measure(DetailLevel::Program, || d(1));
         let b = c.get_or_measure(DetailLevel::Program, || panic!("must not re-measure"));
         assert_eq!(a, b);
-        assert_eq!(c.stats, CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            c.stats,
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                uncacheable: 0
+            }
+        );
     }
 
     #[test]
@@ -161,6 +175,10 @@ mod tests {
         let again = c.get_or_measure(DetailLevel::Packets, || d(2));
         assert_eq!(again, d(2));
         assert_eq!(c.stats.hits, 0);
+        // Per-packet lookups are not cache failures: they land in the
+        // uncacheable column, not misses.
+        assert_eq!(c.stats.misses, 0);
+        assert_eq!(c.stats.uncacheable, 2);
     }
 
     #[test]
@@ -172,5 +190,25 @@ mod tests {
             c.get_or_measure(DetailLevel::Program, || d(1));
         }
         assert!((c.stats.hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncacheable_lookups_do_not_deflate_hit_rate() {
+        // The regression this PR fixes: with Packets in the detail set,
+        // a perfectly-warm cache used to report a sinking hit rate.
+        let mut c = EvidenceCache::new();
+        c.get_or_measure(DetailLevel::Program, || d(1));
+        for _ in 0..9 {
+            c.get_or_measure(DetailLevel::Program, || d(1));
+            c.get_or_measure(DetailLevel::Packets, || d(2));
+        }
+        assert!((c.stats.hit_rate() - 0.9).abs() < 1e-9);
+        assert_eq!(c.stats.uncacheable, 9);
+        // The three-way breakdown still accounts for every lookup.
+        assert_eq!(c.stats.lookups(), 19);
+        assert_eq!(
+            c.stats.hits + c.stats.misses + c.stats.uncacheable,
+            c.stats.lookups()
+        );
     }
 }

@@ -141,6 +141,14 @@ pub struct PeraConfig {
     pub composition: EvidenceComposition,
     /// Whether the inertia-keyed evidence cache is enabled.
     pub cache_enabled: bool,
+    /// Evidence batch size for [`crate::PeraSwitch::process_batch`]:
+    /// records accumulate unsigned and are batch-signed (one root
+    /// signature + per-record inclusion proofs) every `batch_size`
+    /// packets. `1` (the default) signs each record individually,
+    /// matching the per-packet path exactly. Has no effect on
+    /// [`crate::PeraSwitch::process_packet`], which always signs
+    /// immediately.
+    pub batch_size: u32,
 }
 
 impl Default for PeraConfig {
@@ -152,6 +160,7 @@ impl Default for PeraConfig {
             sampling: Sampling::PerFlow,
             composition: EvidenceComposition::Chained,
             cache_enabled: true,
+            batch_size: 1,
         }
     }
 }
@@ -178,6 +187,12 @@ impl PeraConfig {
     /// Builder: toggle the cache.
     pub fn with_cache(mut self, on: bool) -> PeraConfig {
         self.cache_enabled = on;
+        self
+    }
+
+    /// Builder: set the evidence batch size (clamped to at least 1).
+    pub fn with_batch(mut self, n: u32) -> PeraConfig {
+        self.batch_size = n.max(1);
         self
     }
 }
@@ -208,10 +223,13 @@ mod tests {
             .with_details(&[DetailLevel::Packets])
             .with_sampling(Sampling::EveryN(10))
             .with_composition(EvidenceComposition::Pointwise)
-            .with_cache(false);
+            .with_cache(false)
+            .with_batch(32);
         assert_eq!(c.details, vec![DetailLevel::Packets]);
         assert_eq!(c.sampling, Sampling::EveryN(10));
         assert!(!c.cache_enabled);
+        assert_eq!(c.batch_size, 32);
+        assert_eq!(PeraConfig::default().with_batch(0).batch_size, 1);
     }
 
     #[test]

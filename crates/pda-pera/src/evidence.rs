@@ -12,6 +12,7 @@ use crate::config::DetailLevel;
 use pda_crypto::digest::Digest;
 use pda_crypto::keyreg::KeyRegistry;
 use pda_crypto::nonce::Nonce;
+use pda_crypto::sha256::Sha256;
 use pda_crypto::sig::{SignError, Signature, Signer};
 use std::fmt;
 
@@ -33,28 +34,59 @@ pub struct EvidenceRecord {
     pub sig: Signature,
 }
 
+fn level_tag(level: DetailLevel) -> u8 {
+    match level {
+        DetailLevel::Hardware => 0,
+        DetailLevel::Program => 1,
+        DetailLevel::Tables => 2,
+        DetailLevel::ProgState => 3,
+        DetailLevel::Packets => 4,
+        // Appended after the original five so pre-lint wire
+        // encodings keep their tags.
+        DetailLevel::LintVerdict => 5,
+    }
+}
+
+/// Stream the body fields into `sink` — one definition of the body
+/// byte layout shared by the chain hasher (which consumes the bytes
+/// directly, no intermediate `Vec`) and the wire serializer.
+fn feed_body(
+    mut sink: impl FnMut(&[u8]),
+    switch: &str,
+    details: &[(DetailLevel, Digest)],
+    nonce: Nonce,
+) {
+    sink(&(switch.len() as u32).to_be_bytes());
+    sink(switch.as_bytes());
+    sink(&(details.len() as u32).to_be_bytes());
+    for (level, d) in details {
+        sink(&[level_tag(*level)]);
+        sink(d.as_bytes());
+    }
+    sink(&nonce.to_bytes());
+}
+
+/// `H(prev ‖ body)` computed by streaming the body fields straight into
+/// the hasher. Byte-identical to `prev.chain(&body_bytes)` — the chain
+/// definition concatenates with no framing between prev and body — but
+/// allocation-free, which matters at per-packet rates.
+fn chain_digest(
+    switch: &str,
+    details: &[(DetailLevel, Digest)],
+    nonce: Nonce,
+    prev: Digest,
+) -> Digest {
+    let mut h = Sha256::new();
+    h.update(prev.as_bytes());
+    feed_body(|part| h.update(part), switch, details, nonce);
+    Digest(h.finalize())
+}
+
 impl EvidenceRecord {
-    /// The signed body bytes (everything but the signature).
-    fn body_bytes(switch: &str, details: &[(DetailLevel, Digest)], nonce: Nonce) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64);
-        out.extend_from_slice(&(switch.len() as u32).to_be_bytes());
-        out.extend_from_slice(switch.as_bytes());
-        out.extend_from_slice(&(details.len() as u32).to_be_bytes());
-        for (level, d) in details {
-            out.push(match level {
-                DetailLevel::Hardware => 0,
-                DetailLevel::Program => 1,
-                DetailLevel::Tables => 2,
-                DetailLevel::ProgState => 3,
-                DetailLevel::Packets => 4,
-                // Appended after the original five so pre-lint wire
-                // encodings keep their tags.
-                DetailLevel::LintVerdict => 5,
-            });
-            out.extend_from_slice(d.as_bytes());
-        }
-        out.extend_from_slice(&nonce.to_bytes());
-        out
+    /// Serialized body length (everything but prev/chain/signature):
+    /// pure arithmetic, no serialization.
+    pub fn body_len(&self) -> usize {
+        4 + self.switch.len() + 4 + self.details.len() * 33 + 8
     }
 
     /// Create and sign a record.
@@ -65,8 +97,7 @@ impl EvidenceRecord {
         prev: Digest,
         signer: &mut Signer,
     ) -> Result<EvidenceRecord, SignError> {
-        let body = Self::body_bytes(switch, &details, nonce);
-        let chain = prev.chain(&body);
+        let chain = chain_digest(switch, &details, nonce, prev);
         let sig = signer.sign(chain.as_bytes())?;
         Ok(EvidenceRecord {
             switch: switch.to_string(),
@@ -80,13 +111,31 @@ impl EvidenceRecord {
 
     /// Recompute the chain value from the record's own fields.
     pub fn recompute_chain(&self) -> Digest {
-        self.prev
-            .chain(&Self::body_bytes(&self.switch, &self.details, self.nonce))
+        chain_digest(&self.switch, &self.details, self.nonce, self.prev)
     }
 
-    /// Wire size: body + signature + chain linkage.
+    /// Serialize the full record — body, chain linkage, signature — by
+    /// appending to a caller-provided buffer. This is the hot-path wire
+    /// format: a switch flushing a batch writes every record into one
+    /// buffer with no per-record allocation.
+    pub fn write_wire(&self, out: &mut Vec<u8>) {
+        feed_body(
+            |part| out.extend_from_slice(part),
+            &self.switch,
+            &self.details,
+            self.nonce,
+        );
+        out.extend_from_slice(self.prev.as_bytes());
+        out.extend_from_slice(self.chain.as_bytes());
+        self.sig.write_wire(out);
+    }
+
+    /// Wire size: body + signature + chain linkage. Computed
+    /// arithmetically (no serialization); for batch-signed records the
+    /// signature contribution is the amortized per-leaf share — see
+    /// [`Signature::wire_size`].
     pub fn wire_size(&self) -> usize {
-        Self::body_bytes(&self.switch, &self.details, self.nonce).len()
+        self.body_len()
             + 64 // prev + chain digests
             + self.sig.wire_size()
     }
@@ -97,6 +146,57 @@ impl EvidenceRecord {
             .iter()
             .find(|(l, _)| *l == level)
             .map(|(_, d)| *d)
+    }
+}
+
+/// An evidence record measured but not yet signed: everything an
+/// [`EvidenceRecord`] carries except the signature. The batching switch
+/// accumulates these, chain values already threaded, then signs all
+/// their chain digests in one [`pda_crypto::batch::sign_batch`] call at
+/// flush time.
+#[derive(Clone, Debug)]
+pub struct PendingRecord {
+    /// Switch identity (or operator pseudonym).
+    pub switch: String,
+    /// Attested (level, digest) pairs, in detail-axis order.
+    pub details: Vec<(DetailLevel, Digest)>,
+    /// Request nonce this evidence answers.
+    pub nonce: Nonce,
+    /// Previous record's chain value.
+    pub prev: Digest,
+    /// This record's chain value, computed eagerly so the next record
+    /// can link to it before the batch is signed.
+    pub chain: Digest,
+}
+
+impl PendingRecord {
+    /// Measure a record's chain value without signing it.
+    pub fn new(
+        switch: &str,
+        details: Vec<(DetailLevel, Digest)>,
+        nonce: Nonce,
+        prev: Digest,
+    ) -> PendingRecord {
+        let chain = chain_digest(switch, &details, nonce, prev);
+        PendingRecord {
+            switch: switch.to_string(),
+            details,
+            nonce,
+            prev,
+            chain,
+        }
+    }
+
+    /// Attach the signature produced over this record's chain digest.
+    pub fn into_record(self, sig: Signature) -> EvidenceRecord {
+        EvidenceRecord {
+            switch: self.switch,
+            details: self.details,
+            nonce: self.nonce,
+            prev: self.prev,
+            chain: self.chain,
+            sig,
+        }
     }
 }
 
@@ -204,32 +304,32 @@ pub fn verify_chain(
 /// be run on the result to check signatures and nonces. Records that
 /// don't link anywhere (orphans after a loss) are returned separately
 /// so the caller can distinguish "incomplete" from "inconsistent".
-pub fn assemble_chain(records: &[EvidenceRecord]) -> (Vec<EvidenceRecord>, Vec<EvidenceRecord>) {
-    let mut by_prev: std::collections::HashMap<Digest, &EvidenceRecord> =
-        std::collections::HashMap::new();
+///
+/// Consumes the input: every surviving record is **moved** into the
+/// ordered chain or the orphan list, never cloned — with ~8 KB Lamport
+/// signatures attached, per-record deep copies dominated reassembly
+/// cost.
+pub fn assemble_chain(records: Vec<EvidenceRecord>) -> (Vec<EvidenceRecord>, Vec<EvidenceRecord>) {
+    // Dedup into slots; `by_prev` maps a record's prev digest to its
+    // slot (first unique wins, matching delivery order).
+    let mut by_prev: std::collections::HashMap<Digest, usize> = std::collections::HashMap::new();
     let mut seen_chain: std::collections::HashSet<Digest> = std::collections::HashSet::new();
-    let mut uniques: Vec<&EvidenceRecord> = Vec::new();
+    let mut slots: Vec<Option<EvidenceRecord>> = Vec::with_capacity(records.len());
     for r in records {
         if seen_chain.insert(r.chain) {
-            uniques.push(r);
-            by_prev.entry(r.prev).or_insert(r);
+            by_prev.entry(r.prev).or_insert(slots.len());
+            slots.push(Some(r));
         }
     }
     let mut ordered = Vec::new();
-    let mut used: std::collections::HashSet<Digest> = std::collections::HashSet::new();
     let mut cursor = Digest::ZERO;
-    while let Some(&r) = by_prev.get(&cursor) {
-        if !used.insert(r.chain) {
-            break; // defensive: a prev-cycle cannot make progress
-        }
-        ordered.push(r.clone());
+    while let Some(&slot) = by_prev.get(&cursor) {
+        // An already-taken slot means a prev-cycle; stop making progress.
+        let Some(r) = slots[slot].take() else { break };
         cursor = r.chain;
+        ordered.push(r);
     }
-    let orphans = uniques
-        .into_iter()
-        .filter(|r| !used.contains(&r.chain))
-        .cloned()
-        .collect();
+    let orphans = slots.into_iter().flatten().collect();
     (ordered, orphans)
 }
 
@@ -358,7 +458,7 @@ mod tests {
             chain[1].clone(),
             chain[0].clone(),
         ];
-        let (ordered, orphans) = assemble_chain(&scrambled);
+        let (ordered, orphans) = assemble_chain(scrambled);
         assert!(orphans.is_empty());
         assert_eq!(
             ordered
@@ -375,7 +475,7 @@ mod tests {
         let chain = chain_of(&["sw1", "sw2", "sw3"], Nonce(5));
         // The middle record was lost: sw3's record cannot link.
         let partial = vec![chain[2].clone(), chain[0].clone()];
-        let (ordered, orphans) = assemble_chain(&partial);
+        let (ordered, orphans) = assemble_chain(partial);
         assert_eq!(ordered.len(), 1);
         assert_eq!(ordered[0].switch, "sw1");
         assert_eq!(orphans.len(), 1);
@@ -407,5 +507,153 @@ mod tests {
         assert!(large.wire_size() > small.wire_size());
         assert_eq!(large.detail(DetailLevel::Tables), Some(Digest::ZERO));
         assert_eq!(small.detail(DetailLevel::Tables), None);
+    }
+
+    #[test]
+    fn assemble_moves_records_instead_of_cloning() {
+        // Regression for the deep-clone reassembly: with Lamport
+        // signatures a clone re-allocates the 8 KB reveal buffer, so a
+        // moved record keeps its heap pointer and a cloned one cannot.
+        let mut s = Signer::new(SigScheme::LamportOts, [1u8; 32], 0);
+        let mut prev = Digest::ZERO;
+        let mut chain = Vec::new();
+        let mut ptrs = Vec::new();
+        for i in 0..3 {
+            let r = EvidenceRecord::create(
+                "sw",
+                vec![(DetailLevel::Program, Digest::of(&[i]))],
+                Nonce(1),
+                prev,
+                &mut s,
+            )
+            .unwrap();
+            prev = r.chain;
+            let Signature::Lamport { sig, .. } = &r.sig else {
+                panic!()
+            };
+            ptrs.push((r.chain, sig.reveals().as_ptr()));
+            chain.push(r);
+        }
+        chain.swap(0, 2); // scramble, no duplicates: every record unique
+        let (ordered, orphans) = assemble_chain(chain);
+        assert_eq!(ordered.len(), 3);
+        assert!(orphans.is_empty());
+        for r in &ordered {
+            let Signature::Lamport { sig, .. } = &r.sig else {
+                panic!()
+            };
+            let expect = ptrs.iter().find(|(c, _)| *c == r.chain).unwrap().1;
+            assert_eq!(
+                sig.reveals().as_ptr(),
+                expect,
+                "record {} was cloned during reassembly",
+                r.switch
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_chain_matches_buffered_definition() {
+        // The streamed chain digest must equal H(prev ‖ body) with the
+        // body serialized the old way — the wire layout is frozen.
+        let details = vec![
+            (DetailLevel::Hardware, Digest::of(b"hw")),
+            (DetailLevel::Program, Digest::of(b"prog")),
+            (DetailLevel::LintVerdict, Digest::of(b"lint")),
+        ];
+        let prev = Digest::of(b"previous");
+        let mut body = Vec::new();
+        body.extend_from_slice(&(2u32.to_be_bytes())); // "sw".len()
+        body.extend_from_slice(b"sw");
+        body.extend_from_slice(&(3u32.to_be_bytes()));
+        for (tag, (_, d)) in [0u8, 1, 5].iter().zip(&details) {
+            body.push(*tag);
+            body.extend_from_slice(d.as_bytes());
+        }
+        body.extend_from_slice(&Nonce(77).to_bytes());
+        let expected = prev.chain(&body);
+
+        let mut s = signer("sw");
+        let r = EvidenceRecord::create("sw", details, Nonce(77), prev, &mut s).unwrap();
+        assert_eq!(r.chain, expected);
+        assert_eq!(r.recompute_chain(), expected);
+        assert_eq!(r.body_len(), body.len());
+    }
+
+    #[test]
+    fn write_wire_appends_and_matches_layout() {
+        let mut s = signer("sw");
+        let r = EvidenceRecord::create(
+            "sw",
+            vec![(DetailLevel::Program, Digest::of(b"p"))],
+            Nonce(9),
+            Digest::ZERO,
+            &mut s,
+        )
+        .unwrap();
+        let mut buf = vec![0xee; 4]; // pre-existing bytes must survive
+        r.write_wire(&mut buf);
+        assert_eq!(&buf[..4], &[0xee; 4]);
+        let body = &buf[4..4 + r.body_len()];
+        assert_eq!(&body[..4], &2u32.to_be_bytes()); // switch len
+        let rest = &buf[4 + r.body_len()..];
+        assert_eq!(&rest[..32], r.prev.as_bytes());
+        assert_eq!(&rest[32..64], r.chain.as_bytes());
+        assert_eq!(rest[64], 0); // hmac signature tag
+        assert_eq!(rest.len(), 64 + 33);
+    }
+
+    #[test]
+    fn pending_record_matches_direct_create() {
+        let mut s = signer("sw");
+        let details = vec![(DetailLevel::Program, Digest::of(b"p"))];
+        let direct =
+            EvidenceRecord::create("sw", details.clone(), Nonce(3), Digest::ZERO, &mut s).unwrap();
+        let pending = PendingRecord::new("sw", details, Nonce(3), Digest::ZERO);
+        assert_eq!(pending.chain, direct.chain);
+        let mut s2 = signer("sw");
+        let rec = pending.into_record(s2.sign(direct.chain.as_bytes()).unwrap());
+        assert_eq!(rec.recompute_chain(), rec.chain);
+        let reg = registry(&["sw"]);
+        assert_eq!(verify_chain(&[rec], &reg, Nonce(3), true), Ok(()));
+    }
+
+    #[test]
+    fn batch_signed_chain_verifies() {
+        // Chain semantics are unchanged under batch signing: thread the
+        // pending records, sign all chain digests at once, verify as a
+        // normal chained run.
+        let mut s = signer("sw");
+        let mut prev = Digest::ZERO;
+        let pendings: Vec<PendingRecord> = (0..5u8)
+            .map(|i| {
+                let p = PendingRecord::new(
+                    "sw",
+                    vec![(DetailLevel::Program, Digest::of(&[i]))],
+                    Nonce(4),
+                    prev,
+                );
+                prev = p.chain;
+                p
+            })
+            .collect();
+        let msgs: Vec<&[u8]> = pendings
+            .iter()
+            .map(|p| p.chain.as_bytes() as &[u8])
+            .collect();
+        let sigs = s.sign_batch(&msgs).unwrap();
+        let records: Vec<EvidenceRecord> = pendings
+            .into_iter()
+            .zip(sigs)
+            .map(|(p, sig)| p.into_record(sig))
+            .collect();
+        let reg = registry(&["sw"]);
+        assert_eq!(verify_chain(&records, &reg, Nonce(4), true), Ok(()));
+        // And reassembly + verification still work on a scrambled copy.
+        let mut scrambled = records.clone();
+        scrambled.reverse();
+        let (ordered, orphans) = assemble_chain(scrambled);
+        assert!(orphans.is_empty());
+        assert_eq!(verify_chain(&ordered, &reg, Nonce(4), true), Ok(()));
     }
 }

@@ -25,8 +25,8 @@ pub mod verify_unit;
 
 pub use cache::{CacheStats, EvidenceCache};
 pub use config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
-pub use evidence::{assemble_chain, verify_chain, ChainFailure, EvidenceRecord};
-pub use switch::{PeraOutput, PeraStats, PeraSwitch};
+pub use evidence::{assemble_chain, verify_chain, ChainFailure, EvidenceRecord, PendingRecord};
+pub use switch::{PeraBatchOutput, PeraOutput, PeraStats, PeraSwitch};
 pub use verify_unit::{
     AdmissionPolicy, FailMode, Verdict as AdmissionVerdict, VerifyStats, VerifyUnit,
 };

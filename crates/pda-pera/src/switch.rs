@@ -4,7 +4,7 @@
 
 use crate::cache::EvidenceCache;
 use crate::config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
-use crate::evidence::EvidenceRecord;
+use crate::evidence::{EvidenceRecord, PendingRecord};
 use pda_crypto::digest::Digest;
 use pda_crypto::nonce::Nonce;
 use pda_crypto::sig::{SigScheme, Signer, VerifyKey};
@@ -59,6 +59,7 @@ struct SwitchMetrics {
     lint_errors: Counter,
     cache_hits: Counter,
     cache_misses: Counter,
+    cache_uncacheable: Counter,
     cache_lookups: Counter,
 }
 
@@ -70,6 +71,17 @@ pub struct PeraOutput {
     /// Evidence produced for this packet (None when sampling skipped it
     /// or the packet carried no attestation request).
     pub evidence: Option<EvidenceRecord>,
+}
+
+/// Output of processing a burst of packets through a PERA switch.
+#[derive(Debug)]
+pub struct PeraBatchOutput {
+    /// Per-packet forwarding results, index-aligned with the input.
+    pub forwards: Vec<Result<PipelineOutput, ParseErr>>,
+    /// Evidence produced for the burst, in attestation order. Under
+    /// chained composition consecutive records link through the burst
+    /// (the first onto the caller-provided prev digest).
+    pub evidence: Vec<EvidenceRecord>,
 }
 
 /// A PISA switch extended with RA (the paper's PERA device).
@@ -148,6 +160,7 @@ impl PeraSwitch {
             lint_errors: r.counter("pera.lint.errors"),
             cache_hits: r.counter("pera.cache.hits"),
             cache_misses: r.counter("pera.cache.misses"),
+            cache_uncacheable: r.counter("pera.cache.uncacheable"),
             cache_lookups: r.counter("pera.cache.lookups"),
         });
         self.tel = tel;
@@ -208,6 +221,24 @@ impl PeraSwitch {
         let _span = self.tel.span("pera.attest");
         let chained = matches!(self.config.composition, EvidenceComposition::Chained);
         let prev = if chained { prev } else { Digest::ZERO };
+        let details = self.measure_details(packet);
+        let record = EvidenceRecord::create(&self.name, details, nonce, prev, &mut self.signer)
+            .expect("evidence signer exhausted — raise mss_height");
+        self.stats.signatures += 1;
+        if let Some(m) = &self.metrics {
+            m.signatures.inc();
+        }
+        self.record_emitted(&record, chained);
+        record
+    }
+
+    /// Measure every configured detail level through the cache — the
+    /// Create/Inspect half of the evidence engine, shared by the
+    /// per-packet [`Self::attest`] and the batching
+    /// [`Self::process_batch`]. Bumps the cache counters (hit / miss /
+    /// uncacheable per lookup), runs the analyzer bookkeeping when a
+    /// `LintVerdict` miss executed it, and audits every lookup.
+    fn measure_details(&mut self, packet: &[u8]) -> Vec<(DetailLevel, Digest)> {
         let measurements_before = self.stats.measurements;
         let mut details = Vec::with_capacity(self.config.details.len());
         // Split the borrows up front: the cache (and the measurement
@@ -226,6 +257,7 @@ impl PeraSwitch {
         let mut lint_outcome: Option<pda_analyze::AnalysisReport> = None;
         for &level in &self.config.details {
             let hits_before = cache.stats.hits;
+            let uncacheable_before = cache.stats.uncacheable;
             let d = if cache_enabled {
                 let lint_out = &mut lint_outcome;
                 cache.get_or_measure(level, || {
@@ -253,7 +285,13 @@ impl PeraSwitch {
             };
             let hit = cache.stats.hits > hits_before;
             if let Some(m) = &self.metrics {
-                (if hit { &m.cache_hits } else { &m.cache_misses }).inc();
+                if hit {
+                    m.cache_hits.inc();
+                } else if cache.stats.uncacheable > uncacheable_before {
+                    m.cache_uncacheable.inc();
+                } else {
+                    m.cache_misses.inc();
+                }
                 m.cache_lookups.inc();
             }
             self.tel.audit_with(|| AuditEvent::CacheLookup {
@@ -282,21 +320,28 @@ impl PeraSwitch {
                 verdict: report.verdict_digest().to_hex(),
             });
         }
-        let record = EvidenceRecord::create(&self.name, details, nonce, prev, &mut self.signer)
-            .expect("evidence signer exhausted — raise mss_height");
-        self.stats.records += 1;
-        self.stats.signatures += 1;
-        self.stats.evidence_bytes += record.wire_size() as u64;
         if let Some(m) = &self.metrics {
-            m.records.inc();
-            m.signatures.inc();
-            m.evidence_bytes.add(record.wire_size() as u64);
             m.measurements
                 .add(self.stats.measurements - measurements_before);
         }
+        details
+    }
+
+    /// Account for one finished (signed) record: the `records` /
+    /// `evidence_bytes` counters plus the per-record Evidence and
+    /// Signature audit events. Signature *operations* are counted where
+    /// they happen (one per [`Self::attest`], one per batch flush), not
+    /// here — under batching, N records share one signature.
+    fn record_emitted(&mut self, record: &EvidenceRecord, chained: bool) {
+        self.stats.records += 1;
+        self.stats.evidence_bytes += record.wire_size() as u64;
+        if let Some(m) = &self.metrics {
+            m.records.inc();
+            m.evidence_bytes.add(record.wire_size() as u64);
+        }
         self.tel.audit_with(|| AuditEvent::Evidence {
             attester: self.name.clone(),
-            nonce: nonce.0,
+            nonce: record.nonce.0,
             levels: record
                 .details
                 .iter()
@@ -307,10 +352,56 @@ impl PeraSwitch {
         });
         self.tel.audit_with(|| AuditEvent::Signature {
             signer: self.name.clone(),
-            scheme: self.signer.scheme().to_string(),
+            scheme: record.sig.label(),
             sig_bytes: record.sig.wire_size() as u64,
         });
-        record
+    }
+
+    /// Sign everything in `pending` with ONE signing operation and move
+    /// the finished records into `out`. A single pending record is
+    /// signed directly (bit-identical to the per-packet path); two or
+    /// more get one Merkle root signature plus per-record inclusion
+    /// proofs ([`Signer::sign_batch`]). No-op when `pending` is empty.
+    fn flush_pending(
+        &mut self,
+        pending: &mut Vec<PendingRecord>,
+        out: &mut Vec<EvidenceRecord>,
+        chained: bool,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let drained = std::mem::take(pending);
+        let records: Vec<EvidenceRecord> = if drained.len() == 1 {
+            let p = drained.into_iter().next().expect("len checked");
+            let sig = self
+                .signer
+                .sign(p.chain.as_bytes())
+                .expect("evidence signer exhausted — raise mss_height");
+            vec![p.into_record(sig)]
+        } else {
+            let msgs: Vec<&[u8]> = drained
+                .iter()
+                .map(|p| p.chain.as_bytes() as &[u8])
+                .collect();
+            let sigs = self
+                .signer
+                .sign_batch(&msgs)
+                .expect("evidence signer exhausted — raise mss_height");
+            drained
+                .into_iter()
+                .zip(sigs)
+                .map(|(p, sig)| p.into_record(sig))
+                .collect()
+        };
+        self.stats.signatures += 1;
+        if let Some(m) = &self.metrics {
+            m.signatures.inc();
+        }
+        for record in records {
+            self.record_emitted(&record, chained);
+            out.push(record);
+        }
     }
 
     /// Process one packet: run the PISA pipeline; if the packet carries
@@ -347,11 +438,7 @@ impl PeraSwitch {
 
         let evidence = match attestation {
             Some((nonce, prev)) if forward.packet.is_some() => {
-                let flow_hash = forward.phv.get(meta::HASH)
-                    ^ forward.phv.get("ipv4.src")
-                    ^ forward.phv.get("ipv4.dst").rotate_left(16)
-                    ^ forward.phv.get("udp.sport").rotate_left(32)
-                    ^ forward.phv.get("udp.dport").rotate_left(48);
+                let flow_hash = flow_hash(&forward.phv);
                 if self.sample(flow_hash) {
                     self.stats.attested_packets += 1;
                     if let Some(m) = &self.metrics {
@@ -365,6 +452,97 @@ impl PeraSwitch {
             _ => None,
         };
         Ok(PeraOutput { forward, evidence })
+    }
+
+    /// Process a burst of packets — the batch-amortized hot path. The
+    /// pipeline runs stage-major over each `batch_size` chunk
+    /// ([`DataplaneProgram::process_batch`]), and the evidence engine
+    /// accumulates the chunk's sampled records *unsigned*, then signs
+    /// them all with ONE signing operation at the chunk boundary: a
+    /// Merkle root signature plus a per-record inclusion proof
+    /// ([`pda_crypto::sign_batch`]). Pending records also flush early
+    /// at epoch boundaries (`PerEpoch` / `PerFlowEpoch` sampling), so
+    /// one batch commit never spans two epochs.
+    ///
+    /// With `batch_size == 1` (the default) every record is signed
+    /// individually, and per-packet results — forwarding, evidence,
+    /// stats, audit events — match [`Self::process_packet`] exactly.
+    ///
+    /// Under chained composition evidence links *through* the burst:
+    /// the first record onto `attestation`'s prev digest, each later
+    /// record onto its predecessor's chain value.
+    pub fn process_batch<P: AsRef<[u8]>>(
+        &mut self,
+        packets: &[P],
+        ingress_port: u64,
+        attestation: Option<(Nonce, Digest)>,
+    ) -> PeraBatchOutput {
+        let batch = self.config.batch_size.max(1) as usize;
+        let chained = matches!(self.config.composition, EvidenceComposition::Chained);
+        let mut forwards = Vec::with_capacity(packets.len());
+        let mut evidence = Vec::new();
+        let mut pending: Vec<PendingRecord> = Vec::new();
+        let mut prev = match attestation {
+            Some((_, p)) if chained => p,
+            _ => Digest::ZERO,
+        };
+        for chunk in packets.chunks(batch) {
+            let regs_gen_before = self.regs.generation();
+            let outs = {
+                let mut regs = std::mem::take(&mut self.regs);
+                let r =
+                    self.program
+                        .process_batch_traced(chunk, ingress_port, &mut regs, &self.tel);
+                self.regs = regs;
+                r
+            };
+            if self.regs.generation() != regs_gen_before {
+                self.cache.invalidate(DetailLevel::ProgState);
+            }
+            for (bytes, forward) in chunk.iter().zip(outs) {
+                let forward = match forward {
+                    Ok(f) => f,
+                    Err(e) => {
+                        forwards.push(Err(e));
+                        continue;
+                    }
+                };
+                self.stats.packets += 1;
+                if let Some(m) = &self.metrics {
+                    m.packets.inc();
+                }
+                if let Some((nonce, _)) = attestation {
+                    if forward.packet.is_some() && self.sample(flow_hash(&forward.phv)) {
+                        // Epoch boundary: flush what the previous epoch
+                        // accumulated before this epoch's first record.
+                        let index0 = self.stats.packets - 1;
+                        let epoch_opens = match self.config.sampling {
+                            Sampling::PerEpoch(n) | Sampling::PerFlowEpoch(n) => {
+                                index0.is_multiple_of(n.max(1))
+                            }
+                            _ => false,
+                        };
+                        if epoch_opens {
+                            self.flush_pending(&mut pending, &mut evidence, chained);
+                        }
+                        self.stats.attested_packets += 1;
+                        if let Some(m) = &self.metrics {
+                            m.attested_packets.inc();
+                        }
+                        let _span = self.tel.span("pera.attest");
+                        let details = self.measure_details(bytes.as_ref());
+                        let link = if chained { prev } else { Digest::ZERO };
+                        let p = PendingRecord::new(&self.name, details, nonce, link);
+                        prev = p.chain;
+                        pending.push(p);
+                    }
+                }
+                forwards.push(Ok(forward));
+            }
+            // Size boundary: the chunk ends, sign what it produced.
+            self.flush_pending(&mut pending, &mut evidence, chained);
+        }
+        PeraBatchOutput { forwards, evidence }
     }
 
     /// Update a table entry at runtime (control-plane write): bumps the
@@ -385,6 +563,18 @@ impl PeraSwitch {
         self.cache.invalidate(DetailLevel::Tables);
         Ok(())
     }
+}
+
+/// The 5-tuple-ish flow hash used by the sampling axis: the pipeline's
+/// own hash metadata folded with the addressing fields, so distinct
+/// flows land in distinct PerFlow buckets even when the program never
+/// set `meta::HASH`.
+fn flow_hash(phv: &pda_dataplane::phv::Phv) -> u64 {
+    phv.get(meta::HASH)
+        ^ phv.get("ipv4.src")
+        ^ phv.get("ipv4.dst").rotate_left(16)
+        ^ phv.get("udp.sport").rotate_left(32)
+        ^ phv.get("udp.dport").rotate_left(48)
 }
 
 /// Measure one detail level right now (uncached). A free function over
@@ -907,6 +1097,133 @@ mod tests {
             sw.stats.packets,
             "one parse span per packet"
         );
+    }
+
+    /// The uncacheable counter: `Packets`-level lookups land in
+    /// `pera.cache.uncacheable` (not `misses`), and the three-way split
+    /// still sums to `lookups` — in both the stats struct and the
+    /// telemetry registry.
+    #[test]
+    fn uncacheable_lookups_mirror_into_telemetry() {
+        let tel = pda_telemetry::Telemetry::collecting();
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_details(&[DetailLevel::Program, DetailLevel::Packets]),
+        )
+        .with_telemetry(tel.clone());
+        for i in 0..10 {
+            sw.process_packet(&pkt(i, 53), 0, Some((Nonce(1), Digest::ZERO)))
+                .unwrap();
+        }
+        assert_eq!(sw.cache.stats.uncacheable, 10, "one Packets lookup each");
+        let reg = tel.registry().unwrap();
+        let get = |name: &str| reg.counter(name).get();
+        assert_eq!(get("pera.cache.uncacheable"), sw.cache.stats.uncacheable);
+        assert_eq!(get("pera.cache.hits"), sw.cache.stats.hits);
+        assert_eq!(get("pera.cache.misses"), sw.cache.stats.misses);
+        assert_eq!(
+            get("pera.cache.hits") + get("pera.cache.misses") + get("pera.cache.uncacheable"),
+            get("pera.cache.lookups"),
+        );
+        assert_eq!(get("pera.cache.lookups"), sw.cache.stats.lookups());
+    }
+
+    /// `process_batch` with `batch_size == 1` is the per-packet path:
+    /// same forwarding results, same evidence chain digests, same stats.
+    #[test]
+    fn batch_of_one_matches_process_packet() {
+        let cfg = PeraConfig::default()
+            .with_sampling(Sampling::PerPacket)
+            .with_details(&[DetailLevel::Hardware, DetailLevel::Program])
+            .with_batch(1);
+        let packets: Vec<Vec<u8>> = (0..6).map(|i| pkt(i, 53)).collect();
+
+        let mut single = switch(cfg.clone());
+        let mut prev = Digest::ZERO;
+        let mut single_evidence = Vec::new();
+        for p in &packets {
+            let out = single.process_packet(p, 0, Some((Nonce(5), prev))).unwrap();
+            if let Some(r) = out.evidence {
+                prev = r.chain;
+                single_evidence.push(r);
+            }
+        }
+
+        let mut batched = switch(cfg);
+        let out = batched.process_batch(&packets, 0, Some((Nonce(5), Digest::ZERO)));
+        assert_eq!(out.forwards.len(), packets.len());
+        assert!(out.forwards.iter().all(|f| f.is_ok()));
+
+        assert_eq!(out.evidence.len(), single_evidence.len());
+        for (a, b) in out.evidence.iter().zip(&single_evidence) {
+            assert_eq!(a.chain, b.chain, "identical chain digests");
+        }
+        assert_eq!(batched.stats, single.stats);
+    }
+
+    /// The tentpole: batch signing amortizes the sign/verify unit. At
+    /// batch 8, 16 attested packets cost 2 signing operations instead
+    /// of 16, every record carries a verifiable (batch) signature, and
+    /// the chain appraises exactly like a per-packet run.
+    #[test]
+    fn batch_signing_amortizes_signatures_and_verifies() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_batch(8),
+        );
+        let mut reg = KeyRegistry::new();
+        reg.register(PrincipalId::new("sw1"), sw.verify_key(0));
+        let packets: Vec<Vec<u8>> = (0..16).map(|i| pkt(i, 53)).collect();
+        let out = sw.process_batch(&packets, 0, Some((Nonce(3), Digest::ZERO)));
+        assert_eq!(out.evidence.len(), 16);
+        assert_eq!(sw.stats.records, 16);
+        assert_eq!(sw.stats.signatures, 2, "one signature per batch of 8");
+        assert!(out.evidence.iter().all(|r| r.sig.label() == "batch(hmac)"));
+        assert_eq!(
+            crate::evidence::verify_chain(&out.evidence, &reg, Nonce(3), true),
+            Ok(())
+        );
+    }
+
+    /// Epoch boundaries force a flush: with PerEpoch sampling one batch
+    /// commit never spans two epochs, even when batch_size is larger
+    /// than the epoch.
+    #[test]
+    fn batch_flushes_at_epoch_boundaries() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerEpoch(2))
+                .with_batch(64),
+        );
+        let packets: Vec<Vec<u8>> = (0..8).map(|i| pkt(i, 53)).collect();
+        let out = sw.process_batch(&packets, 0, Some((Nonce(1), Digest::ZERO)));
+        // Epochs of 2 over 8 packets → records at packets 1,3,5,7; each
+        // epoch's single record flushes alone (signed individually).
+        assert_eq!(out.evidence.len(), 4);
+        assert_eq!(sw.stats.signatures, 4);
+        assert!(out.evidence.iter().all(|r| r.sig.label() == "hmac"));
+    }
+
+    /// Malformed packets inside a burst surface as per-packet parse
+    /// errors without disturbing their neighbours' evidence.
+    #[test]
+    fn batch_carries_per_packet_parse_errors() {
+        let mut sw = switch(
+            PeraConfig::default()
+                .with_sampling(Sampling::PerPacket)
+                .with_batch(4),
+        );
+        let good = pkt(1, 53);
+        let runt = vec![0u8; 3];
+        let packets = [good.as_slice(), runt.as_slice(), good.as_slice()];
+        let out = sw.process_batch(&packets, 0, Some((Nonce(1), Digest::ZERO)));
+        assert!(out.forwards[0].is_ok());
+        assert!(out.forwards[1].is_err());
+        assert!(out.forwards[2].is_ok());
+        assert_eq!(out.evidence.len(), 2, "only parsed packets attest");
+        assert_eq!(sw.stats.packets, 2, "parse errors are not counted");
     }
 
     #[test]

@@ -208,6 +208,15 @@ impl Ev {
 /// Injective encoding of a signature for evidence chaining (verification
 /// itself uses the structured value).
 fn sig_encoding(sig: &Signature) -> Vec<u8> {
+    use pda_crypto::lamport::LamportSignature;
+    // Append a Lamport signature via the slice writer: the 8 KB reveal
+    // goes straight into the chaining buffer instead of detouring
+    // through a temporary Vec per encode.
+    fn put_lamport(v: &mut Vec<u8>, sig: &LamportSignature) {
+        let off = v.len();
+        v.resize(off + LamportSignature::SIZE, 0);
+        sig.write_to(&mut v[off..]).expect("sized buffer");
+    }
     match sig {
         Signature::Hmac(tag) => {
             let mut v = vec![0u8];
@@ -217,14 +226,35 @@ fn sig_encoding(sig: &Signature) -> Vec<u8> {
         Signature::Lamport { index, sig } => {
             let mut v = vec![1u8];
             v.extend_from_slice(&index.to_be_bytes());
-            v.extend_from_slice(&sig.to_bytes());
+            put_lamport(&mut v, sig);
             v
         }
         Signature::Merkle(m) => {
             let mut v = vec![2u8];
             v.extend_from_slice(&(m.index as u64).to_be_bytes());
             v.extend_from_slice(&m.ots_public.fingerprint());
-            v.extend_from_slice(&m.ots_sig.to_bytes());
+            put_lamport(&mut v, &m.ots_sig);
+            v
+        }
+        Signature::Batch(b) => {
+            // Leaf index + proof shape + root + the root signature's own
+            // encoding: two batch leaves differ in index or proof, two
+            // batches differ in root or anchor.
+            let mut v = vec![3u8];
+            v.extend_from_slice(&(b.proof.index as u64).to_be_bytes());
+            v.extend_from_slice(&(b.proof.siblings.len() as u32).to_be_bytes());
+            for sib in &b.proof.siblings {
+                match sib {
+                    Some(d) => {
+                        v.push(1);
+                        v.extend_from_slice(d.as_bytes());
+                    }
+                    None => v.push(0),
+                }
+            }
+            v.extend_from_slice(b.commit.root.as_bytes());
+            v.extend_from_slice(&b.commit.len.to_be_bytes());
+            v.extend_from_slice(&sig_encoding(&b.commit.root_sig));
             v
         }
     }
