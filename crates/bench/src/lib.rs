@@ -1460,3 +1460,119 @@ pub fn exp_e17_with(tel: &Telemetry) -> Vec<E17Row> {
         })
         .collect()
 }
+
+// ---------------------------------------------------------------------
+// E18 — the appraisal service under churn (pda-svc, live TCP)
+// ---------------------------------------------------------------------
+
+/// One row of the E18 service-under-churn experiment.
+#[derive(Debug)]
+pub struct E18Row {
+    /// Scenario label (`majority/clean`, `2-of-3/churn+corrupt`, …).
+    pub variant: String,
+    /// Quorum rule in force.
+    pub quorum: String,
+    /// Whether one appraiser's golden store was deliberately poisoned.
+    pub corrupt_appraiser: bool,
+    /// Churn epochs driven (each one a fleet restart).
+    pub epochs: usize,
+    /// Appraisals completed through the live service.
+    pub appraisals: u64,
+    /// Quorum accepted / rejected.
+    pub accepted: u64,
+    /// Quorum rejections.
+    pub rejected: u64,
+    /// Verdicts matching ground truth (rogue reloads rejected,
+    /// clean complete chains accepted).
+    pub correct: u64,
+    /// Epochs where a switch restarted with a rogue program.
+    pub rogue_epochs: usize,
+    /// Rogue-epoch appraisals correctly rejected.
+    pub rogue_detected: u64,
+    /// Individual appraiser verdicts that disagreed with the quorum
+    /// (from the service's `svc.dissent` counter).
+    pub dissent: u64,
+    /// Sustained verdict throughput through the live API.
+    pub appraisals_per_sec: f64,
+    /// Client-observed verdict latency, 50th percentile (ns).
+    pub p50_ns: u64,
+    /// Client-observed verdict latency, 99th percentile (ns).
+    pub p99_ns: u64,
+}
+
+/// E18: boot the `pda-svc` appraisal service on a loopback port and
+/// stream churn-driven continuous attestation through it over real
+/// TCP — fleet restarts every epoch, lossy links, control-channel loss
+/// with retries, switch-down windows, periodic rogue program reloads.
+/// Three scenarios: a clean majority-quorum baseline, the same
+/// federation under full churn, and a 2-of-3 quorum with one appraiser
+/// deliberately corrupted (its dissent must stay visible while the
+/// quorum out-votes it).
+pub fn exp_e18() -> Vec<E18Row> {
+    use pda_svc::{run_churn, AppraisalService, ChurnConfig, Quorum, SvcClient, SvcConfig};
+    use std::sync::Arc;
+
+    let clean = ChurnConfig {
+        epochs: 6,
+        packets_per_epoch: 25,
+        link_loss: 0.0,
+        control_loss: 0.0,
+        rogue_every: 0,
+        switch_down: false,
+        ..ChurnConfig::default()
+    };
+    let churn = ChurnConfig {
+        epochs: 6,
+        packets_per_epoch: 25,
+        link_loss: 0.05,
+        control_loss: 0.2,
+        rogue_every: 3,
+        switch_down: true,
+        ..ChurnConfig::default()
+    };
+    let scenarios = [
+        ("majority/clean", Quorum::Majority, false, clean),
+        ("majority/churn", Quorum::Majority, false, churn.clone()),
+        ("2-of-3/churn+corrupt", Quorum::KOfN(2), true, churn),
+    ];
+
+    scenarios
+        .into_iter()
+        .map(|(variant, quorum, corrupt, churn_cfg)| {
+            let svc = Arc::new(AppraisalService::new(
+                SvcConfig {
+                    quorum,
+                    corrupt,
+                    ..SvcConfig::default()
+                },
+                Telemetry::collecting(),
+            ));
+            let mut server =
+                pda_svc::serve("127.0.0.1:0", 4, Arc::clone(&svc)).expect("bind loopback");
+            let client = SvcClient::new(server.addr);
+            let report = run_churn(&client, &churn_cfg).expect("churn run completes");
+            let dissent = svc
+                .telemetry()
+                .registry()
+                .map(|r| r.counter("svc.dissent").get())
+                .unwrap_or(0);
+            server.stop();
+            E18Row {
+                variant: variant.to_string(),
+                quorum: quorum.to_string(),
+                corrupt_appraiser: corrupt,
+                epochs: report.epochs,
+                appraisals: report.appraisals,
+                accepted: report.accepted,
+                rejected: report.rejected,
+                correct: report.correct,
+                rogue_epochs: report.rogue_epochs,
+                rogue_detected: report.rogue_detected,
+                dissent,
+                appraisals_per_sec: report.appraisals_per_sec,
+                p50_ns: report.p50_ns,
+                p99_ns: report.p99_ns,
+            }
+        })
+        .collect()
+}

@@ -2,7 +2,7 @@
 //! the paper as text tables. `cargo run -p bench --bin harness --release`
 //!
 //! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 uc4
-//! enforce crypto wire netkat e15 e16 e17`) to run a subset; no
+//! enforce crypto wire netkat e15 e16 e17 e18`) to run a subset; no
 //! arguments runs everything.
 //!
 //! `--telemetry json|prom|off` (default `off`) collects metrics and the
@@ -11,9 +11,11 @@
 //! `telemetry.prom` to the current directory on exit.
 //!
 //! `--bench-json <path>` additionally writes the E15 evidence-path rows
-//! as a machine-readable JSON document (ns/packet, packets/sec, batch
-//! size, git revision) — what CI uploads as the `BENCH_e15.json`
-//! artifact so throughput regressions are diffable across commits.
+//! (or the E18 service-under-churn rows, whichever ran) as a
+//! machine-readable JSON document — what CI uploads as the
+//! `BENCH_e15.json` / `BENCH_e18.json` artifacts so regressions are
+//! diffable across commits. When both experiments run, the file holds
+//! an array of both documents.
 
 use bench::*;
 use pda_pera::config::Sampling;
@@ -123,10 +125,44 @@ fn e15_json(rows: &[E15Row]) -> Json {
     ])
 }
 
+/// Render the E18 rows as the `BENCH_e18.json` document.
+fn e18_json(rows: &[E18Row]) -> Json {
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("e18".into())),
+        ("git_rev".into(), Json::Str(git_rev())),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("variant".into(), Json::Str(r.variant.clone())),
+                            ("quorum".into(), Json::Str(r.quorum.clone())),
+                            ("corrupt_appraiser".into(), Json::Bool(r.corrupt_appraiser)),
+                            ("epochs".into(), Json::UInt(r.epochs as u64)),
+                            ("appraisals".into(), Json::UInt(r.appraisals)),
+                            ("accepted".into(), Json::UInt(r.accepted)),
+                            ("rejected".into(), Json::UInt(r.rejected)),
+                            ("correct".into(), Json::UInt(r.correct)),
+                            ("rogue_epochs".into(), Json::UInt(r.rogue_epochs as u64)),
+                            ("rogue_detected".into(), Json::UInt(r.rogue_detected)),
+                            ("dissent".into(), Json::UInt(r.dissent)),
+                            ("appraisals_per_sec".into(), Json::Num(r.appraisals_per_sec)),
+                            ("p50_ns".into(), Json::UInt(r.p50_ns)),
+                            ("p99_ns".into(), Json::UInt(r.p99_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mode = parse_telemetry(&mut args);
     let bench_json = parse_bench_json(&mut args);
+    let mut bench_docs: Vec<Json> = Vec::new();
     let tel = match mode {
         TelemetryMode::Off => Telemetry::off(),
         _ => Telemetry::collecting(),
@@ -372,16 +408,9 @@ fn main() {
             );
         }
         println!();
-        if let Some(path) = &bench_json {
-            let body = e15_json(&rows).encode();
-            if let Err(e) = std::fs::write(path, body) {
-                eprintln!("failed to write {path}: {e}");
-                std::process::exit(1);
-            }
-            eprintln!("bench-json: wrote E15 rows to {path}");
+        if bench_json.is_some() {
+            bench_docs.push(e15_json(&rows));
         }
-    } else if bench_json.is_some() {
-        eprintln!("--bench-json has no effect unless the e15 experiment runs");
     }
 
     if want("e16") {
@@ -442,6 +471,46 @@ fn main() {
         println!();
     }
 
+    if want("e18") {
+        println!("== E18: appraisal service under churn (pda-svc, live TCP, 3 appraisers) ==");
+        println!(
+            "{:<22} {:<9} {:>7} {:>10} {:>8} {:>8} {:>8} {:>7} {:>12} {:>9} {:>9}",
+            "variant",
+            "quorum",
+            "corrupt",
+            "appraisals",
+            "accepted",
+            "correct",
+            "rogue",
+            "dissent",
+            "verdicts/s",
+            "p50-us",
+            "p99-us"
+        );
+        let rows = exp_e18();
+        for r in &rows {
+            println!(
+                "{:<22} {:<9} {:>7} {:>10} {:>8} {:>8} {:>4}/{:<3} {:>7} {:>12.0} {:>9.1} {:>9.1}",
+                r.variant,
+                r.quorum,
+                r.corrupt_appraiser,
+                r.appraisals,
+                r.accepted,
+                r.correct,
+                r.rogue_detected,
+                r.rogue_epochs,
+                r.dissent,
+                r.appraisals_per_sec,
+                r.p50_ns as f64 / 1e3,
+                r.p99_ns as f64 / 1e3,
+            );
+        }
+        println!();
+        if bench_json.is_some() {
+            bench_docs.push(e18_json(&rows));
+        }
+    }
+
     if want("netkat") {
         println!("== NetKAT reachability scaling (resolver backend) ==");
         println!(
@@ -455,6 +524,23 @@ fn main() {
             );
         }
         println!();
+    }
+
+    if let Some(path) = &bench_json {
+        if bench_docs.is_empty() {
+            eprintln!("--bench-json has no effect unless the e15 or e18 experiment runs");
+        } else {
+            let doc = if bench_docs.len() == 1 {
+                bench_docs.pop().expect("one doc")
+            } else {
+                Json::Arr(bench_docs)
+            };
+            if let Err(e) = std::fs::write(path, doc.encode()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("bench-json: wrote bench rows to {path}");
+        }
     }
 
     match mode {

@@ -15,6 +15,11 @@
 //! pda netkat   '<policy>' [--equiv '<policy>']  parse / compare NetKAT
 //! pda lint     <builtin|all> [--format json] [--check]
 //!              run the static analyzer over builtin dataplane programs
+//! pda serve    [--port P] [--hops N] [--appraisers N] [--quorum Q]
+//!              [--corrupt] [--workers W]
+//!              run the long-lived appraisal service (pda-svc)
+//! pda client   --addr H:P <health|metrics|submit|appraise|audit|churn|shutdown>
+//!              talk to a running appraisal service
 //! ```
 
 use pda_core::prelude::*;
@@ -38,6 +43,8 @@ fn main() -> ExitCode {
         "simulate" => cmd_simulate(rest),
         "netkat" => cmd_netkat(rest),
         "lint" => cmd_lint(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -64,6 +71,13 @@ const USAGE: &str = "usage:
                [--telemetry json|prom|off]
   pda netkat   '<policy>' [--equiv '<policy>']
   pda lint     <builtin|all> [--format json] [--check]
+  pda serve    [--port P] [--hops N] [--appraisers N]
+               [--quorum majority|unanimous|K-of-N] [--corrupt] [--workers W]
+  pda client   --addr H:P health | metrics | shutdown
+  pda client   --addr H:P submit [--hops N] [--nonce N] [--packets P] [--rogue]
+  pda client   --addr H:P appraise --nonce N [--expect ok|reject]
+  pda client   --addr H:P audit [--subject S] [--limit N]
+  pda client   --addr H:P churn [--epochs E] [--packets P] [--rogue-every K]
 
 path spec: semicolon-separated nodes, each `name[:prop,...]` with props
   ra | key | runs=<fn> | test=<name>   (no props = legacy node)";
@@ -99,6 +113,24 @@ fn first_positional(args: &[String]) -> Result<&str, String> {
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .ok_or_else(|| "missing input".to_string())
+}
+
+/// First positional argument, skipping the values of `valued` flags so
+/// `--addr 127.0.0.1:7421 health` resolves to `health`.
+fn positional_after_flags<'a>(args: &'a [String], valued: &[&str]) -> Result<&'a str, String> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if valued.contains(&a) {
+                i += 1;
+            }
+        } else {
+            return Ok(a);
+        }
+        i += 1;
+    }
+    Err("missing action".to_string())
 }
 
 fn cmd_parse(args: &[String]) -> Result<(), String> {
@@ -421,6 +453,183 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
             check_failures.join("\n  ")
         ))
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use pda_svc::{AppraisalService, Quorum, SvcConfig};
+    use std::sync::Arc;
+
+    let port: u16 = flag_value(args, "--port")
+        .unwrap_or("7421")
+        .parse()
+        .map_err(|_| "bad --port".to_string())?;
+    let hops: usize = flag_value(args, "--hops")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|_| "bad --hops".to_string())?;
+    let appraisers: usize = flag_value(args, "--appraisers")
+        .unwrap_or("3")
+        .parse()
+        .map_err(|_| "bad --appraisers".to_string())?;
+    let quorum_spec = flag_value(args, "--quorum").unwrap_or("majority");
+    let quorum = Quorum::parse(quorum_spec)
+        .ok_or_else(|| format!("bad --quorum `{quorum_spec}` (want majority|unanimous|K-of-N)"))?;
+    let workers: usize = flag_value(args, "--workers")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "bad --workers".to_string())?;
+    let config = SvcConfig {
+        hops,
+        appraisers,
+        quorum,
+        corrupt: has_flag(args, "--corrupt"),
+        workers,
+    };
+
+    let svc = Arc::new(AppraisalService::new(
+        config.clone(),
+        pda_telemetry::Telemetry::collecting(),
+    ));
+    let mut server = pda_svc::serve(&format!("127.0.0.1:{port}"), workers, Arc::clone(&svc))
+        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    println!("pda-svc listening on {}", server.addr);
+    println!(
+        "fleet: {hops} hops; federation: {appraisers} appraisers, quorum {}{}",
+        config.quorum,
+        if config.corrupt {
+            " (last appraiser deliberately corrupted)"
+        } else {
+            ""
+        }
+    );
+    // Serve until a `shutdown` RPC arrives.
+    while !svc.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.stop();
+    println!("pda-svc stopped (shutdown RPC)");
+    Ok(())
+}
+
+/// Drive a fleet to produce evidence for `packets` consecutive nonces
+/// starting at `base`, optionally with `sw1` reloaded rogue.
+fn generate_evidence(
+    hops: usize,
+    base: u64,
+    packets: u64,
+    rogue: bool,
+) -> Vec<pda_pera::EvidenceRecord> {
+    let mut fleet = pda_svc::fleet::standard_fleet(hops);
+    if rogue {
+        pda_svc::rogue_reload(&mut fleet);
+    }
+    let appraiser = fleet.appraiser;
+    for i in 0..packets {
+        fleet.send_attested(
+            Nonce(base + i),
+            EvidenceMode::OutOfBand { appraiser },
+            b"pda-client",
+        );
+    }
+    fleet.sim.evidence_at(appraiser).to_vec()
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    use pda_svc::SvcClient;
+
+    let addr: std::net::SocketAddr = flag_value(args, "--addr")
+        .ok_or("--addr H:P is required")?
+        .parse()
+        .map_err(|_| "bad --addr (want host:port)".to_string())?;
+    let client = SvcClient::new(addr);
+    let action = positional_after_flags(
+        args,
+        &[
+            "--addr",
+            "--nonce",
+            "--hops",
+            "--packets",
+            "--expect",
+            "--subject",
+            "--limit",
+            "--epochs",
+            "--rogue-every",
+        ],
+    )?;
+    let nonce: u64 = flag_value(args, "--nonce")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "bad --nonce".to_string())?;
+    match action {
+        "health" => println!("{}", client.health()?.encode()),
+        "metrics" => println!("{}", client.metrics()?.encode()),
+        "shutdown" => println!("{}", client.shutdown()?.encode()),
+        "submit" => {
+            let hops: usize = flag_value(args, "--hops")
+                .unwrap_or("3")
+                .parse()
+                .map_err(|_| "bad --hops".to_string())?;
+            let packets: u64 = flag_value(args, "--packets")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| "bad --packets".to_string())?;
+            let records = generate_evidence(hops, nonce, packets, has_flag(args, "--rogue"));
+            if records.is_empty() {
+                return Err("fleet produced no evidence".into());
+            }
+            println!("{}", client.submit_evidence(&records)?.encode());
+        }
+        "appraise" => {
+            let verdict = client.appraise(nonce)?;
+            println!("{}", verdict.encode());
+            if let Some(expect) = flag_value(args, "--expect") {
+                let ok = verdict
+                    .get("ok")
+                    .and_then(pda_telemetry::json::Json::as_bool)
+                    .unwrap_or(false);
+                let matches = match expect {
+                    "ok" => ok,
+                    "reject" => !ok,
+                    other => return Err(format!("bad --expect `{other}` (want ok|reject)")),
+                };
+                if !matches {
+                    return Err(format!("verdict ok={ok}, expected {expect}"));
+                }
+            }
+        }
+        "audit" => {
+            let subject = flag_value(args, "--subject");
+            let limit = flag_value(args, "--limit")
+                .map(|v| v.parse::<u64>().map_err(|_| "bad --limit".to_string()))
+                .transpose()?;
+            println!("{}", client.query_audit_log(subject, limit)?.encode());
+        }
+        "churn" => {
+            let cfg = pda_svc::ChurnConfig {
+                epochs: flag_value(args, "--epochs")
+                    .unwrap_or("5")
+                    .parse()
+                    .map_err(|_| "bad --epochs".to_string())?,
+                packets_per_epoch: flag_value(args, "--packets")
+                    .unwrap_or("10")
+                    .parse()
+                    .map_err(|_| "bad --packets".to_string())?,
+                rogue_every: flag_value(args, "--rogue-every")
+                    .unwrap_or("4")
+                    .parse()
+                    .map_err(|_| "bad --rogue-every".to_string())?,
+                ..pda_svc::ChurnConfig::default()
+            };
+            let report = pda_svc::run_churn(&client, &cfg)?;
+            println!("{report:#?}");
+        }
+        other => {
+            return Err(format!(
+                "unknown client action `{other}` (want health|metrics|submit|appraise|audit|churn|shutdown)"
+            ))
+        }
+    }
+    Ok(())
 }
 
 fn hex(bytes: &[u8]) -> String {

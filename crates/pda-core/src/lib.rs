@@ -42,10 +42,14 @@
 //! assert_eq!(hops, 3);
 //! ```
 
-pub mod golden;
 pub mod usecases;
 
-pub use golden::{appraise_chain, ChainAppraisalFailure, GoldenStore};
+// Golden-value chain appraisal moved down into `pda-pera` so the
+// long-running appraisal service (`pda-svc`) can use it without
+// depending on this facade crate; these re-exports keep the historical
+// `pda_core::golden::*` paths working.
+pub use pda_pera::golden;
+pub use pda_pera::golden::{appraise_chain, ChainAppraisalFailure, GoldenStore};
 pub use usecases::{
     enroll_golden, uc1_configuration_assurance, uc2_path_authentication, uc5_cross_attestation,
     AuditCommitment, AuditTrail, CrossAttestation, EvidenceGate, PathAuthScore,

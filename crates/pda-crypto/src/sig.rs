@@ -169,6 +169,126 @@ impl Signature {
     }
 }
 
+/// Bounds-checked cursor over untrusted wire bytes. Every accessor
+/// returns `None` instead of panicking — the decode path faces network
+/// input, so there must be no slice-index panics.
+struct WireCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireCursor<'a> {
+    fn new(buf: &'a [u8]) -> WireCursor<'a> {
+        WireCursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32_be(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_be_bytes(s.try_into().expect("4B")))
+    }
+
+    fn u64_be(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_be_bytes(s.try_into().expect("8B")))
+    }
+
+    fn digest(&mut self) -> Option<Digest> {
+        let s = self.take(32)?;
+        let mut d = [0u8; 32];
+        d.copy_from_slice(s);
+        Some(Digest(d))
+    }
+}
+
+/// Hard cap on decoded Merkle proof depth: a tree of 2^64 leaves needs
+/// 64 levels, so anything deeper is garbage and would otherwise let a
+/// hostile length prefix drive allocation.
+const MAX_PROOF_DEPTH: u32 = 64;
+
+fn read_proof(c: &mut WireCursor<'_>) -> Option<crate::merkle::MerkleProof> {
+    let index = c.u64_be()? as usize;
+    let n = c.u32_be()?;
+    if n > MAX_PROOF_DEPTH {
+        return None;
+    }
+    let mut siblings = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        siblings.push(match c.u8()? {
+            0 => None,
+            1 => Some(c.digest()?),
+            _ => return None,
+        });
+    }
+    Some(crate::merkle::MerkleProof { index, siblings })
+}
+
+fn read_signature(c: &mut WireCursor<'_>, allow_batch: bool) -> Option<Signature> {
+    match c.u8()? {
+        0 => {
+            let mut tag = [0u8; 32];
+            tag.copy_from_slice(c.take(32)?);
+            Some(Signature::Hmac(tag))
+        }
+        1 => {
+            let index = c.u64_be()?;
+            let sig = LamportSignature::read_from(c.take(LamportSignature::SIZE)?)?;
+            Some(Signature::Lamport { index, sig })
+        }
+        2 => {
+            let index = c.u64_be()? as usize;
+            let ots_public = LamportPublicKey::read_from(c.take(LamportPublicKey::SIZE)?)?;
+            let ots_sig = LamportSignature::read_from(c.take(LamportSignature::SIZE)?)?;
+            let proof = read_proof(c)?;
+            Some(Signature::Merkle(Box::new(MerkleSignature {
+                index,
+                ots_public,
+                ots_sig,
+                proof,
+            })))
+        }
+        3 if allow_batch => {
+            let proof = read_proof(c)?;
+            let root = c.digest()?;
+            let len = c.u32_be()?;
+            // A batch must bottom out in one real signature; nested
+            // batch framing is rejected exactly like `verify` rejects it.
+            let root_sig = read_signature(c, false)?;
+            Some(Signature::Batch(BatchLeaf {
+                proof,
+                commit: std::sync::Arc::new(crate::batch::BatchCommit {
+                    root,
+                    len,
+                    root_sig,
+                }),
+            }))
+        }
+        _ => None,
+    }
+}
+
+impl Signature {
+    /// Decode one signature from the front of `buf`: the inverse of
+    /// [`Signature::write_wire`]. Returns the signature and the number
+    /// of bytes consumed, or `None` on truncated, malformed, or
+    /// nested-batch input. Never panics on arbitrary bytes.
+    pub fn read_wire(buf: &[u8]) -> Option<(Signature, usize)> {
+        let mut c = WireCursor::new(buf);
+        let sig = read_signature(&mut c, true)?;
+        Some((sig, c.pos))
+    }
+}
+
 impl fmt::Debug for Signature {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Signature({}, {}B)", self.scheme(), self.wire_size())
@@ -441,6 +561,62 @@ mod tests {
         let sm = m.sign(b"x").unwrap().wire_size();
         assert!(sh < sl, "hmac ({sh}) < lamport ({sl})");
         assert!(sl < sm, "lamport ({sl}) < merkle ({sm})");
+    }
+
+    #[test]
+    fn wire_round_trip_all_schemes() {
+        let mut signers = [
+            Signer::new(SigScheme::Hmac, [1u8; 32], 0),
+            Signer::new(SigScheme::LamportOts, [2u8; 32], 0),
+            Signer::new(SigScheme::MerkleMss, [3u8; 32], 2),
+        ];
+        for s in &mut signers {
+            let vk = s.verify_key(4);
+            let sig = s.sign(b"round-trip").unwrap();
+            let mut wire = Vec::new();
+            sig.write_wire(&mut wire);
+            let (decoded, used) = Signature::read_wire(&wire).expect("decodes");
+            assert_eq!(used, wire.len(), "{}: full frame consumed", s.scheme());
+            assert!(verify(&vk, b"round-trip", &decoded), "{}", s.scheme());
+            // Re-encoding is byte-identical.
+            let mut wire2 = Vec::new();
+            decoded.write_wire(&mut wire2);
+            assert_eq!(wire, wire2, "{}: stable re-encode", s.scheme());
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_batch() {
+        let mut s = Signer::new(SigScheme::MerkleMss, [4u8; 32], 2);
+        let vk = s.verify_key(0);
+        let msgs: Vec<&[u8]> = vec![b"a", b"bb", b"ccc"];
+        let sigs = s.sign_batch(&msgs).unwrap();
+        for (msg, sig) in msgs.iter().zip(&sigs) {
+            let mut wire = Vec::new();
+            sig.write_wire(&mut wire);
+            let (decoded, used) = Signature::read_wire(&wire).expect("decodes");
+            assert_eq!(used, wire.len());
+            assert!(verify(&vk, msg, &decoded));
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_garbage_without_panicking() {
+        assert!(Signature::read_wire(&[]).is_none());
+        assert!(Signature::read_wire(&[9]).is_none(), "unknown tag");
+        assert!(Signature::read_wire(&[0, 1, 2]).is_none(), "truncated hmac");
+        // Hostile proof depth must be rejected, not allocated.
+        let mut evil = vec![3u8]; // batch tag
+        evil.extend_from_slice(&u64::MAX.to_be_bytes()); // proof index
+        evil.extend_from_slice(&u32::MAX.to_be_bytes()); // absurd sibling count
+        assert!(Signature::read_wire(&evil).is_none());
+        // Truncations of a valid frame never panic and never decode.
+        let mut s = Signer::new(SigScheme::Hmac, [5u8; 32], 0);
+        let mut wire = Vec::new();
+        s.sign(b"m").unwrap().write_wire(&mut wire);
+        for cut in 0..wire.len() {
+            assert!(Signature::read_wire(&wire[..cut]).is_none(), "cut={cut}");
+        }
     }
 
     #[test]

@@ -47,6 +47,24 @@ fn level_tag(level: DetailLevel) -> u8 {
     }
 }
 
+fn level_from_tag(tag: u8) -> Option<DetailLevel> {
+    Some(match tag {
+        0 => DetailLevel::Hardware,
+        1 => DetailLevel::Program,
+        2 => DetailLevel::Tables,
+        3 => DetailLevel::ProgState,
+        4 => DetailLevel::Packets,
+        5 => DetailLevel::LintVerdict,
+        _ => return None,
+    })
+}
+
+/// Decode caps for untrusted wire input: a switch name and detail list
+/// beyond these bounds is garbage, and rejecting early keeps a hostile
+/// length prefix from driving allocation.
+const MAX_WIRE_SWITCH_LEN: u32 = 1024;
+const MAX_WIRE_DETAILS: u32 = 64;
+
 /// Stream the body fields into `sink` — one definition of the body
 /// byte layout shared by the chain hasher (which consumes the bytes
 /// directly, no intermediate `Vec`) and the wire serializer.
@@ -138,6 +156,74 @@ impl EvidenceRecord {
         self.body_len()
             + 64 // prev + chain digests
             + self.sig.wire_size()
+    }
+
+    /// Decode one record from the front of `buf`: the inverse of
+    /// [`EvidenceRecord::write_wire`]. Returns the record and the bytes
+    /// consumed, or `None` on truncated or malformed input. Never
+    /// panics — this is the service-side entry point for evidence
+    /// submitted over the network.
+    ///
+    /// Decoding is purely structural: the chain value is taken from the
+    /// wire as-is, so [`verify_chain`] (or golden appraisal) must still
+    /// run on the result.
+    pub fn read_wire(buf: &[u8]) -> Option<(EvidenceRecord, usize)> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let end = pos.checked_add(n)?;
+            let s = buf.get(*pos..end)?;
+            *pos = end;
+            Some(s)
+        };
+        let switch_len = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        if switch_len > MAX_WIRE_SWITCH_LEN {
+            return None;
+        }
+        let switch = std::str::from_utf8(take(&mut pos, switch_len as usize)?)
+            .ok()?
+            .to_string();
+        let n_details = u32::from_be_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        if n_details > MAX_WIRE_DETAILS {
+            return None;
+        }
+        let mut details = Vec::with_capacity(n_details as usize);
+        for _ in 0..n_details {
+            let level = level_from_tag(take(&mut pos, 1)?[0])?;
+            let mut d = [0u8; 32];
+            d.copy_from_slice(take(&mut pos, 32)?);
+            details.push((level, Digest(d)));
+        }
+        let nonce = Nonce::from_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let mut prev = [0u8; 32];
+        prev.copy_from_slice(take(&mut pos, 32)?);
+        let mut chain = [0u8; 32];
+        chain.copy_from_slice(take(&mut pos, 32)?);
+        let (sig, sig_len) = Signature::read_wire(buf.get(pos..)?)?;
+        Some((
+            EvidenceRecord {
+                switch,
+                details,
+                nonce,
+                prev: Digest(prev),
+                chain: Digest(chain),
+                sig,
+            },
+            pos + sig_len,
+        ))
+    }
+
+    /// Decode a buffer of concatenated records (a switch's flushed
+    /// batch, or a chain submitted to the appraisal service). The whole
+    /// buffer must parse with no trailing bytes.
+    pub fn read_wire_all(buf: &[u8]) -> Option<Vec<EvidenceRecord>> {
+        let mut out = Vec::new();
+        let mut rest = buf;
+        while !rest.is_empty() {
+            let (r, used) = EvidenceRecord::read_wire(rest)?;
+            out.push(r);
+            rest = &rest[used..];
+        }
+        Some(out)
     }
 
     /// The digest attested for a given level, if present.
@@ -601,6 +687,89 @@ mod tests {
         assert_eq!(&rest[32..64], r.chain.as_bytes());
         assert_eq!(rest[64], 0); // hmac signature tag
         assert_eq!(rest.len(), 64 + 33);
+    }
+
+    #[test]
+    fn wire_round_trip_single_record() {
+        let mut s = signer("edge-sw");
+        let r = EvidenceRecord::create(
+            "edge-sw",
+            vec![
+                (DetailLevel::Hardware, Digest::of(b"hw")),
+                (DetailLevel::Program, Digest::of(b"prog")),
+                (DetailLevel::LintVerdict, Digest::of(b"lint")),
+            ],
+            Nonce(0xDEAD_BEEF),
+            Digest::of(b"prev"),
+            &mut s,
+        )
+        .unwrap();
+        let mut wire = Vec::new();
+        r.write_wire(&mut wire);
+        let (back, used) = EvidenceRecord::read_wire(&wire).expect("decodes");
+        assert_eq!(used, wire.len());
+        assert_eq!(back.switch, r.switch);
+        assert_eq!(back.details, r.details);
+        assert_eq!(back.nonce, r.nonce);
+        assert_eq!(back.prev, r.prev);
+        assert_eq!(back.chain, r.chain);
+        // Decoded record still verifies as a chain of one.
+        let reg = registry(&["edge-sw"]);
+        assert!(verify_chain(&[back], &reg, Nonce(0xDEAD_BEEF), false).is_ok());
+    }
+
+    #[test]
+    fn wire_round_trip_whole_chain() {
+        let names = ["sw1", "sw2", "sw3"];
+        let chain = chain_of(&names, Nonce(11));
+        let mut wire = Vec::new();
+        for r in &chain {
+            r.write_wire(&mut wire);
+        }
+        let back = EvidenceRecord::read_wire_all(&wire).expect("decodes");
+        assert_eq!(back.len(), 3);
+        let reg = registry(&names);
+        assert_eq!(verify_chain(&back, &reg, Nonce(11), true), Ok(()));
+        // Re-encoding the decoded chain is byte-identical.
+        let mut wire2 = Vec::new();
+        for r in &back {
+            r.write_wire(&mut wire2);
+        }
+        assert_eq!(wire, wire2);
+    }
+
+    #[test]
+    fn wire_decode_rejects_malformed_input() {
+        assert!(EvidenceRecord::read_wire(&[]).is_none());
+        // Hostile switch length.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(EvidenceRecord::read_wire(&evil).is_none());
+        // Unknown detail tag.
+        let mut s = signer("sw");
+        let r = EvidenceRecord::create(
+            "sw",
+            vec![(DetailLevel::Program, Digest::of(b"p"))],
+            Nonce(1),
+            Digest::ZERO,
+            &mut s,
+        )
+        .unwrap();
+        let mut wire = Vec::new();
+        r.write_wire(&mut wire);
+        let mut bad_tag = wire.clone();
+        bad_tag[4 + 2 + 4] = 0xFF; // first detail's level tag
+        assert!(EvidenceRecord::read_wire(&bad_tag).is_none());
+        // Every truncation fails cleanly.
+        for cut in 0..wire.len() {
+            assert!(
+                EvidenceRecord::read_wire(&wire[..cut]).is_none(),
+                "cut={cut}"
+            );
+        }
+        // Trailing garbage fails the all-records parse.
+        wire.push(0xAB);
+        assert!(EvidenceRecord::read_wire_all(&wire).is_none());
     }
 
     #[test]

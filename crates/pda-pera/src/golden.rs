@@ -2,11 +2,11 @@
 //! side checks that verify not just *who* signed, but *what* they
 //! attested — detecting the UC1 program swap.
 
+use crate::config::DetailLevel;
+use crate::evidence::{verify_chain, ChainFailure, EvidenceRecord};
 use pda_crypto::digest::Digest;
 use pda_crypto::keyreg::KeyRegistry;
 use pda_crypto::nonce::Nonce;
-use pda_pera::config::DetailLevel;
-use pda_pera::evidence::{verify_chain, ChainFailure, EvidenceRecord};
 use std::collections::HashMap;
 use std::fmt;
 

@@ -20,12 +20,14 @@
 pub mod cache;
 pub mod config;
 pub mod evidence;
+pub mod golden;
 pub mod switch;
 pub mod verify_unit;
 
 pub use cache::{CacheStats, EvidenceCache};
 pub use config::{DetailLevel, EvidenceComposition, PeraConfig, Sampling};
 pub use evidence::{assemble_chain, verify_chain, ChainFailure, EvidenceRecord, PendingRecord};
+pub use golden::{appraise_chain, ChainAppraisalFailure, GoldenStore};
 pub use switch::{PeraBatchOutput, PeraOutput, PeraStats, PeraSwitch};
 pub use verify_unit::{
     AdmissionPolicy, FailMode, Verdict as AdmissionVerdict, VerifyStats, VerifyUnit,

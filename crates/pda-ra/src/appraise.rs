@@ -200,32 +200,125 @@ pub fn appraise(
         checks: 0,
     };
     walk(ev, shape, env, expected_nonce, &mut result);
-    audit_verdict(env, &brief(ev), expected_nonce, &result);
+    audit_verdict(&env.telemetry, &brief(ev), expected_nonce, &result);
     result
 }
 
-/// Record one appraisal verdict in the environment's audit log and
-/// counters; the single choke point every appraisal path goes through.
+/// Record one appraisal verdict in the audit log and counters; the
+/// single choke point every appraisal path goes through.
 pub(crate) fn audit_verdict(
-    env: &Environment,
+    telemetry: &pda_telemetry::Telemetry,
     subject: &str,
     nonce: Option<Nonce>,
     result: &AppraisalResult,
 ) {
-    if let Some(registry) = env.telemetry.registry() {
+    if let Some(registry) = telemetry.registry() {
         registry.counter("ra.appraisals").inc();
         if !result.ok {
             registry.counter("ra.appraisal_failures").inc();
         }
     }
-    env.telemetry
-        .audit_with(|| pda_telemetry::AuditEvent::Appraisal {
-            subject: subject.to_string(),
-            nonce: nonce.map(|n| n.0),
-            ok: result.ok,
-            checks: result.checks,
-            cause: result.failures.first().map(Failure::to_string),
-        });
+    telemetry.audit_with(|| pda_telemetry::AuditEvent::Appraisal {
+        subject: subject.to_string(),
+        nonce: nonce.map(|n| n.0),
+        ok: result.ok,
+        checks: result.checks,
+        cause: result.failures.first().map(Failure::to_string),
+    });
+}
+
+/// Appraise a chain of PERA hop-evidence records: cryptographic chain
+/// validity (linkage, signatures, nonce) plus golden-value comparison,
+/// reported in this module's [`Failure`] taxonomy and audit-logged
+/// through the same choke point as phrase appraisal.
+///
+/// This is the entry point each federated appraiser instance of the
+/// appraisal service runs independently: `subject` names the appraiser
+/// (e.g. `svc/a1`), so dissenting verdicts from a corrupted instance
+/// stay distinguishable in the shared audit log.
+pub fn appraise_records(
+    records: &[pda_pera::EvidenceRecord],
+    registry: &KeyRegistry,
+    golden: &pda_pera::GoldenStore,
+    expected_nonce: Nonce,
+    chained: bool,
+    telemetry: &pda_telemetry::Telemetry,
+    subject: &str,
+) -> AppraisalResult {
+    use pda_pera::evidence::ChainFailure;
+    use pda_pera::golden::ChainAppraisalFailure;
+
+    let _span = telemetry.span("ra.appraise_records");
+    let place_of = |index: usize| -> Place {
+        records
+            .get(index)
+            .map(|r| Place::new(r.switch.clone()))
+            .unwrap_or_else(|| Place::new("?"))
+    };
+    let mut result = AppraisalResult {
+        ok: true,
+        failures: Vec::new(),
+        // verify_chain performs four checks per record (nonce, chain
+        // value, linkage, signature); golden comparison adds one per
+        // carried detail.
+        checks: records.len() as u64 * 4
+            + records.iter().map(|r| r.details.len() as u64).sum::<u64>(),
+    };
+    if let Err(errs) =
+        pda_pera::golden::appraise_chain(records, registry, golden, expected_nonce, chained)
+    {
+        for e in errs {
+            result.fail(match e {
+                ChainAppraisalFailure::Chain(ChainFailure::BadSignature { index, switch }) => {
+                    if registry.contains(&switch.as_str().into()) {
+                        Failure::BadSignature {
+                            place: place_of(index),
+                        }
+                    } else {
+                        Failure::UnknownSigner {
+                            place: Place::new(switch),
+                        }
+                    }
+                }
+                ChainAppraisalFailure::Chain(ChainFailure::WrongNonce { index }) => {
+                    Failure::WrongNonce {
+                        got: records.get(index).map(|r| r.nonce),
+                        expected: expected_nonce,
+                    }
+                }
+                ChainAppraisalFailure::Chain(ChainFailure::BrokenChainValue { index }) => {
+                    Failure::HashMismatch {
+                        place: place_of(index),
+                    }
+                }
+                ChainAppraisalFailure::Chain(ChainFailure::BrokenLink { index }) => {
+                    Failure::ShapeMismatch {
+                        expected: "hop-linked evidence chain".to_string(),
+                        got: format!("record {index} does not link to its predecessor"),
+                    }
+                }
+                ChainAppraisalFailure::ValueMismatch {
+                    switch,
+                    level,
+                    observed,
+                    expected,
+                } => Failure::CorruptMeasurement {
+                    target: level.to_string(),
+                    target_place: Place::new(switch),
+                    observed,
+                    expected,
+                },
+                ChainAppraisalFailure::NoExpectation { switch, level } => {
+                    Failure::UnknownComponent {
+                        target: level.to_string(),
+                        target_place: Place::new(switch),
+                    }
+                }
+            });
+        }
+    }
+    audit_verdict(telemetry, subject, Some(expected_nonce), &result);
+    result
 }
 
 fn brief(e: &Ev) -> String {
@@ -742,7 +835,7 @@ impl AppraiserService {
                 checks: 1,
             };
             // `appraise` never ran, so audit the replay rejection here.
-            audit_verdict(env, &brief(ev), Some(nonce), &result);
+            audit_verdict(&env.telemetry, &brief(ev), Some(nonce), &result);
             result
         };
         // Fail closed: a replayed nonce invalidates even clean evidence.
@@ -837,5 +930,123 @@ mod service_tests {
             assert!(r.ok, "nonce {n}: {:?}", r.failures);
         }
         assert_eq!(service.appraisals(), 5);
+    }
+}
+
+#[cfg(test)]
+mod record_tests {
+    use super::*;
+    use pda_crypto::sig::{SigScheme, Signer};
+    use pda_pera::config::DetailLevel;
+    use pda_pera::{EvidenceRecord, GoldenStore};
+
+    fn fixture() -> (Vec<EvidenceRecord>, KeyRegistry, GoldenStore) {
+        let mut reg = KeyRegistry::new();
+        let mut golden = GoldenStore::new();
+        let mut prev = Digest::ZERO;
+        let mut records = Vec::new();
+        for name in ["sw1", "sw2"] {
+            let mut s = Signer::new(SigScheme::Hmac, Digest::of(name.as_bytes()).0, 0);
+            reg.register(name.into(), s.verify_key(0));
+            let prog = Digest::of_parts(&[b"prog:", name.as_bytes()]);
+            golden.expect(name, DetailLevel::Program, prog);
+            let r = EvidenceRecord::create(
+                name,
+                vec![(DetailLevel::Program, prog)],
+                Nonce(9),
+                prev,
+                &mut s,
+            )
+            .unwrap();
+            prev = r.chain;
+            records.push(r);
+        }
+        (records, reg, golden)
+    }
+
+    #[test]
+    fn clean_chain_passes_and_audits_with_subject() {
+        let (records, reg, golden) = fixture();
+        let tel = pda_telemetry::Telemetry::collecting();
+        let r = appraise_records(&records, &reg, &golden, Nonce(9), true, &tel, "svc/a1");
+        assert!(r.ok, "{:?}", r.failures);
+        assert_eq!(r.checks, 2 * 4 + 2);
+        let log = tel.audit_log().unwrap().records();
+        assert!(log.iter().any(|rec| matches!(
+            &rec.event,
+            pda_telemetry::AuditEvent::Appraisal { subject, ok: true, .. } if subject == "svc/a1"
+        )));
+        assert_eq!(tel.registry().unwrap().counter("ra.appraisals").get(), 1);
+    }
+
+    #[test]
+    fn corrupted_golden_store_dissents_as_corrupt_measurement() {
+        let (records, reg, mut golden) = fixture();
+        // An appraiser whose reference values were poisoned dissents on
+        // an honest chain — the Byzantine-appraiser case federation
+        // must out-vote.
+        golden.expect("sw1", DetailLevel::Program, Digest::of(b"poisoned"));
+        let tel = pda_telemetry::Telemetry::collecting();
+        let r = appraise_records(&records, &reg, &golden, Nonce(9), true, &tel, "svc/bad");
+        assert!(!r.ok);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| matches!(f, Failure::CorruptMeasurement { .. })));
+        assert_eq!(
+            tel.registry()
+                .unwrap()
+                .counter("ra.appraisal_failures")
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn chain_failures_map_into_ra_taxonomy() {
+        let (mut records, reg, golden) = fixture();
+        records[1].nonce = Nonce(1000); // breaks chain value + nonce
+        let r = appraise_records(
+            &records,
+            &reg,
+            &golden,
+            Nonce(9),
+            true,
+            &pda_telemetry::Telemetry::off(),
+            "svc/a1",
+        );
+        assert!(!r.ok);
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| matches!(f, Failure::WrongNonce { .. })));
+        assert!(r
+            .failures
+            .iter()
+            .any(|f| matches!(f, Failure::HashMismatch { .. })));
+        // And an unknown signer maps to UnknownSigner.
+        let (mut records2, _, _) = fixture();
+        let mut rogue = Signer::new(SigScheme::Hmac, [9u8; 32], 0);
+        records2[0] = EvidenceRecord::create(
+            "ghost",
+            vec![(DetailLevel::Program, Digest::of(b"x"))],
+            Nonce(9),
+            Digest::ZERO,
+            &mut rogue,
+        )
+        .unwrap();
+        let r2 = appraise_records(
+            &records2[..1],
+            &reg,
+            &golden,
+            Nonce(9),
+            false,
+            &pda_telemetry::Telemetry::off(),
+            "svc/a1",
+        );
+        assert!(r2
+            .failures
+            .iter()
+            .any(|f| matches!(f, Failure::UnknownSigner { place } if place.0 == "ghost")));
     }
 }

@@ -37,6 +37,12 @@ pub struct RetryPolicy {
     pub base_timeout_ns: u64,
     /// Timeout multiplier per successive retransmit.
     pub backoff: u32,
+    /// Deterministic jitter amplitude in percent (0 = none): each wait
+    /// is scaled by a seeded factor in `[100-j, 100+j]%` so a fleet of
+    /// federated clients sharing one policy doesn't retransmit in
+    /// lockstep after a correlated loss burst. The backoff *base* keeps
+    /// growing un-jittered, so jitter never compounds across attempts.
+    pub jitter_pct: u32,
 }
 
 impl Default for RetryPolicy {
@@ -45,6 +51,7 @@ impl Default for RetryPolicy {
             max_retries: 3,
             base_timeout_ns: 1_000_000, // 1 ms
             backoff: 2,
+            jitter_pct: 0,
         }
     }
 }
@@ -56,6 +63,13 @@ impl RetryPolicy {
             max_retries: 0,
             ..RetryPolicy::default()
         }
+    }
+
+    /// Builder: enable backoff jitter with amplitude `pct` (clamped to
+    /// 100 — a wait can shrink to zero but never go negative).
+    pub fn with_jitter(mut self, pct: u32) -> RetryPolicy {
+        self.jitter_pct = pct.min(100);
+        self
     }
 }
 
@@ -97,6 +111,10 @@ pub struct RetrySession {
     pub channel: FlakyChannel,
     /// Optional telemetry for `ra.retry.*` counters.
     pub telemetry: Telemetry,
+    /// Dedicated PRNG for backoff jitter. Kept separate from the
+    /// channel's loss PRNG so enabling jitter never perturbs the
+    /// delivery decision stream of an existing seed.
+    jitter_rng: StdRng,
 }
 
 impl std::fmt::Debug for RetrySession {
@@ -109,18 +127,28 @@ impl std::fmt::Debug for RetrySession {
 }
 
 impl RetrySession {
-    /// Session over `channel` with `policy`; telemetry off.
+    /// Session over `channel` with `policy`; telemetry off, jitter
+    /// seeded at 0 (override with [`RetrySession::with_jitter_seed`] to
+    /// desynchronize clients sharing a policy).
     pub fn new(policy: RetryPolicy, channel: FlakyChannel) -> RetrySession {
         RetrySession {
             policy,
             channel,
             telemetry: Telemetry::off(),
+            jitter_rng: StdRng::seed_from_u64(0),
         }
     }
 
     /// Attach a telemetry handle.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> RetrySession {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Re-seed the jitter PRNG: same seed, same backoff waits — the
+    /// seed-stability contract federated clients rely on.
+    pub fn with_jitter_seed(mut self, seed: u64) -> RetrySession {
+        self.jitter_rng = StdRng::seed_from_u64(seed);
         self
     }
 
@@ -149,8 +177,15 @@ impl RetrySession {
             if attempt == self.policy.max_retries {
                 break;
             }
+            let wait = if self.policy.jitter_pct == 0 {
+                timeout
+            } else {
+                let j = u64::from(self.policy.jitter_pct.min(100));
+                let pct: u64 = self.jitter_rng.gen_range(100 - j..=100 + j);
+                (timeout / 100).saturating_mul(pct) + (timeout % 100) * pct / 100
+            };
             stats.retries += 1;
-            stats.backoff_ns += timeout;
+            stats.backoff_ns += wait;
             stats.messages += 1;
             stats.bytes += bytes;
             self.count("ra.retry.retransmits");
@@ -188,6 +223,7 @@ mod tests {
                 max_retries: 2,
                 base_timeout_ns: 100,
                 backoff: 3,
+                jitter_pct: 0,
             },
             FlakyChannel::new(7, 1.0),
         );
@@ -216,6 +252,55 @@ mod tests {
         let (s2, f2) = run();
         assert_eq!((s1, f1), (s2, f2), "same seed, same decision stream");
         assert!(s1.retries > 0, "p=0.3 over 200 legs must retransmit");
+    }
+
+    #[test]
+    fn jitter_waits_are_seed_stable_and_bounded() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            base_timeout_ns: 1_000,
+            backoff: 3,
+            jitter_pct: 20,
+        };
+        let run = |seed: u64| {
+            // p = 1: both retransmits fire, then the leg times out.
+            let mut s = RetrySession::new(policy, FlakyChannel::new(7, 1.0)).with_jitter_seed(seed);
+            let mut stats = RunStats::default();
+            s.leg(&place("q"), 10, &mut stats).unwrap_err();
+            stats
+        };
+        let a = run(1);
+        assert_eq!(a, run(1), "same jitter seed, same backoff_ns");
+        // RunStats threading is unchanged: retries/messages/bytes still
+        // account every retransmission.
+        assert_eq!((a.retries, a.messages, a.bytes), (2, 2, 20));
+        // Each wait stays within ±20% of its un-jittered value
+        // (1000 then 3000 → total in [3200, 4800]).
+        assert!(
+            (3_200..=4_800).contains(&a.backoff_ns),
+            "backoff_ns={} outside jitter envelope",
+            a.backoff_ns
+        );
+        // Different seeds desynchronize: some pair of the fleet differs.
+        let totals: Vec<u64> = (0..8).map(|s| run(s).backoff_ns).collect();
+        assert!(
+            totals.iter().any(|t| *t != totals[0]),
+            "8 seeds all landed on {}: jitter is not desynchronizing",
+            totals[0]
+        );
+    }
+
+    #[test]
+    fn zero_jitter_keeps_exact_exponential_waits() {
+        // jitter_pct = 0 must not draw from the jitter PRNG at all:
+        // waits match the pre-jitter arithmetic exactly.
+        let mut s = RetrySession::new(
+            RetryPolicy::default().with_jitter(0),
+            FlakyChannel::new(7, 1.0),
+        );
+        let mut stats = RunStats::default();
+        s.leg(&place("q"), 1, &mut stats).unwrap_err();
+        assert_eq!(stats.backoff_ns, 1_000_000 + 2_000_000 + 4_000_000);
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl RequireLintClean {
             });
         }
         audit_verdict(
-            env,
+            &env.telemetry,
             &format!("lint({attester},{})", program.name),
             None,
             &result,

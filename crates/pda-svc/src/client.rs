@@ -1,0 +1,123 @@
+//! Blocking client for the appraisal service.
+//!
+//! One TCP connection per call (the server speaks
+//! `Connection: close`), so the client is stateless and trivially
+//! thread-safe to clone around.
+
+use crate::rpc::{parse_response, to_hex, RpcRequest};
+use pda_pera::EvidenceRecord;
+use pda_telemetry::json::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Per-call I/O timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A client bound to one service address.
+pub struct SvcClient {
+    addr: SocketAddr,
+    next_id: AtomicU64,
+}
+
+impl SvcClient {
+    /// Client for the service at `addr`.
+    pub fn new(addr: SocketAddr) -> SvcClient {
+        SvcClient {
+            addr,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Issue one JSON-RPC call; returns the `result` value.
+    pub fn call(&self, method: &str, params: Json) -> Result<Json, String> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let body = RpcRequest::new(id, method, params).encode();
+        let wire = format!(
+            "POST /rpc HTTP/1.1\r\nHost: pda-svc\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let reply = self.exchange(wire.as_bytes())?;
+        parse_response(http_body(&reply)?)
+    }
+
+    /// Submit evidence records (hex-encoded wire form).
+    pub fn submit_evidence(&self, records: &[EvidenceRecord]) -> Result<Json, String> {
+        let mut bytes = Vec::new();
+        for r in records {
+            r.write_wire(&mut bytes);
+        }
+        self.call(
+            "submit-evidence",
+            Json::Obj(vec![("records".to_string(), Json::Str(to_hex(&bytes)))]),
+        )
+    }
+
+    /// Request a quorum appraisal of everything submitted for `nonce`.
+    pub fn appraise(&self, nonce: u64) -> Result<Json, String> {
+        self.call(
+            "appraise",
+            Json::Obj(vec![("nonce".to_string(), Json::UInt(nonce))]),
+        )
+    }
+
+    /// Query the audit log, optionally filtered by subject substring.
+    pub fn query_audit_log(
+        &self,
+        subject: Option<&str>,
+        limit: Option<u64>,
+    ) -> Result<Json, String> {
+        let mut fields = Vec::new();
+        if let Some(s) = subject {
+            fields.push(("subject".to_string(), Json::Str(s.to_string())));
+        }
+        if let Some(l) = limit {
+            fields.push(("limit".to_string(), Json::UInt(l)));
+        }
+        self.call("query-audit-log", Json::Obj(fields))
+    }
+
+    /// Service health probe.
+    pub fn health(&self) -> Result<Json, String> {
+        self.call("health", Json::Null)
+    }
+
+    /// Metrics snapshot (JSON form).
+    pub fn metrics(&self) -> Result<Json, String> {
+        self.call("metrics", Json::Null)
+    }
+
+    /// Ask the service to stop.
+    pub fn shutdown(&self) -> Result<Json, String> {
+        self.call("shutdown", Json::Null)
+    }
+
+    /// Fetch the Prometheus text rendition from GET `/metrics`.
+    pub fn metrics_text(&self) -> Result<String, String> {
+        let reply =
+            self.exchange(b"GET /metrics HTTP/1.1\r\nHost: pda-svc\r\nConnection: close\r\n\r\n")?;
+        Ok(http_body(&reply)?.to_string())
+    }
+
+    fn exchange(&self, wire: &[u8]) -> Result<String, String> {
+        let mut conn =
+            TcpStream::connect(self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+        conn.set_read_timeout(Some(IO_TIMEOUT)).ok();
+        conn.set_write_timeout(Some(IO_TIMEOUT)).ok();
+        conn.write_all(wire).map_err(|e| format!("send: {e}"))?;
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        Ok(reply)
+    }
+}
+
+/// Split an HTTP reply at the head/body boundary.
+fn http_body(reply: &str) -> Result<&str, String> {
+    reply
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .ok_or_else(|| "malformed HTTP reply (no body)".to_string())
+}

@@ -1,0 +1,230 @@
+//! Multi-appraiser federation: N independent appraisers, one quorum.
+//!
+//! Each [`Appraiser`] holds its *own* golden store and key registry and
+//! runs the full `pda_ra` appraisal machinery over submitted evidence.
+//! The coordinator combines the independent verdicts under a
+//! [`Quorum`] rule, so a single faulty or corrupted appraiser — wrong
+//! golden values, stale keys, outright malice — is out-voted rather
+//! than trusted. Every individual verdict lands in the shared audit
+//! log under the appraiser's own subject (`svc/a1`, …), so dissent is
+//! visible and attributable, followed by one combined `svc/quorum`
+//! event.
+
+use pda_crypto::keyreg::KeyRegistry;
+use pda_crypto::nonce::Nonce;
+use pda_pera::config::DetailLevel;
+use pda_pera::{EvidenceRecord, GoldenStore};
+use pda_ra::appraise::AppraisalResult;
+use pda_telemetry::Telemetry;
+use std::fmt;
+
+/// How many appraisers must say *yes* for the federation to say yes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Quorum {
+    /// Strict majority (`n/2 + 1`).
+    Majority,
+    /// Every appraiser must agree.
+    Unanimous,
+    /// At least `k` of the `n` appraisers.
+    KOfN(usize),
+}
+
+impl Quorum {
+    /// Yes-votes required for a federation of `n` appraisers.
+    pub fn required(&self, n: usize) -> usize {
+        match self {
+            Quorum::Majority => n / 2 + 1,
+            Quorum::Unanimous => n,
+            Quorum::KOfN(k) => (*k).clamp(1, n.max(1)),
+        }
+    }
+
+    /// Parse `majority`, `unanimous`, or `K-of-N` (e.g. `2-of-3`;
+    /// only `K` is read — `N` is fixed by the federation size).
+    pub fn parse(s: &str) -> Option<Quorum> {
+        match s {
+            "majority" => Some(Quorum::Majority),
+            "unanimous" => Some(Quorum::Unanimous),
+            _ => {
+                let (k, _) = s.split_once("-of-")?;
+                Some(Quorum::KOfN(k.parse().ok().filter(|&k| k > 0)?))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Quorum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quorum::Majority => write!(f, "majority"),
+            Quorum::Unanimous => write!(f, "unanimous"),
+            Quorum::KOfN(k) => write!(f, "{k}-of-n"),
+        }
+    }
+}
+
+/// One independent appraiser instance.
+pub struct Appraiser {
+    /// Instance name (audit-log subject is `svc/<name>`).
+    pub name: String,
+    /// This instance's reference values.
+    pub golden: GoldenStore,
+    /// This instance's view of the fleet's verification keys.
+    pub registry: KeyRegistry,
+}
+
+impl Appraiser {
+    /// Build an appraiser over its own copies of the reference state.
+    pub fn new(name: impl Into<String>, golden: GoldenStore, registry: KeyRegistry) -> Appraiser {
+        Appraiser {
+            name: name.into(),
+            golden,
+            registry,
+        }
+    }
+
+    /// Corrupt this appraiser's golden store: overwrite one switch's
+    /// expectation with garbage, turning it into the deliberately
+    /// faulty federation member the quorum must out-vote.
+    pub fn poison(&mut self, switch: &str, level: DetailLevel) {
+        self.golden.expect(
+            switch,
+            level,
+            pda_crypto::digest::Digest::of(b"poisoned golden value"),
+        );
+    }
+
+    /// Run a full independent appraisal of `records`.
+    pub fn appraise(
+        &self,
+        records: &[EvidenceRecord],
+        nonce: Nonce,
+        chained: bool,
+        telemetry: &Telemetry,
+    ) -> AppraisalResult {
+        pda_ra::appraise::appraise_records(
+            records,
+            &self.registry,
+            &self.golden,
+            nonce,
+            chained,
+            telemetry,
+            &format!("svc/{}", self.name),
+        )
+    }
+}
+
+/// The combined federation verdict for one evidence chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuorumVerdict {
+    /// Did the quorum accept the evidence?
+    pub ok: bool,
+    /// Yes-votes.
+    pub yes: usize,
+    /// Federation size.
+    pub total: usize,
+    /// Yes-votes needed under the active quorum rule.
+    pub required: usize,
+    /// Names of appraisers whose individual verdict disagreed with
+    /// the combined one.
+    pub dissenters: Vec<String>,
+    /// First failure cause from each no-voting appraiser, as
+    /// `name: cause` lines.
+    pub causes: Vec<String>,
+}
+
+/// A federation of appraisers plus the quorum rule combining them.
+pub struct Federation {
+    /// The member appraisers.
+    pub appraisers: Vec<Appraiser>,
+    /// Active quorum rule.
+    pub quorum: Quorum,
+}
+
+impl Federation {
+    /// Appraise `records` on every member independently and combine.
+    ///
+    /// Audit trail: one `Appraisal` event per member (its own
+    /// verdict), then one `svc/quorum` event with the combined
+    /// outcome; `svc.dissent` counts members that disagreed with the
+    /// quorum.
+    pub fn appraise(
+        &self,
+        records: &[EvidenceRecord],
+        nonce: Nonce,
+        chained: bool,
+        telemetry: &Telemetry,
+    ) -> QuorumVerdict {
+        let total = self.appraisers.len();
+        let required = self.quorum.required(total);
+        let mut yes = 0usize;
+        let mut votes = Vec::with_capacity(total);
+        let mut causes = Vec::new();
+        let mut checks = 0u64;
+        for a in &self.appraisers {
+            let r = a.appraise(records, nonce, chained, telemetry);
+            checks += r.checks;
+            if r.ok {
+                yes += 1;
+            } else if let Some(f) = r.failures.first() {
+                causes.push(format!("{}: {f}", a.name));
+            }
+            votes.push((a.name.clone(), r.ok));
+        }
+        let ok = yes >= required;
+        let dissenters: Vec<String> = votes
+            .iter()
+            .filter(|(_, v)| *v != ok)
+            .map(|(n, _)| n.clone())
+            .collect();
+        if let Some(reg) = telemetry.registry() {
+            reg.counter("svc.dissent").add(dissenters.len() as u64);
+        }
+        telemetry.audit_with(|| pda_telemetry::AuditEvent::Appraisal {
+            subject: "svc/quorum".to_string(),
+            nonce: Some(nonce.0),
+            ok,
+            checks,
+            cause: if ok {
+                None
+            } else {
+                Some(format!(
+                    "quorum not met: {yes}/{total} yes, {required} required"
+                ))
+            },
+        });
+        QuorumVerdict {
+            ok,
+            yes,
+            total,
+            required,
+            dissenters,
+            causes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_thresholds() {
+        assert_eq!(Quorum::Majority.required(3), 2);
+        assert_eq!(Quorum::Majority.required(4), 3);
+        assert_eq!(Quorum::Unanimous.required(3), 3);
+        assert_eq!(Quorum::KOfN(2).required(3), 2);
+        assert_eq!(Quorum::KOfN(9).required(3), 3, "k clamps to n");
+        assert_eq!(Quorum::KOfN(0).required(3), 1, "k clamps up to 1");
+    }
+
+    #[test]
+    fn quorum_parses() {
+        assert_eq!(Quorum::parse("majority"), Some(Quorum::Majority));
+        assert_eq!(Quorum::parse("unanimous"), Some(Quorum::Unanimous));
+        assert_eq!(Quorum::parse("2-of-3"), Some(Quorum::KOfN(2)));
+        assert_eq!(Quorum::parse("0-of-3"), None);
+        assert_eq!(Quorum::parse("x-of-3"), None);
+        assert_eq!(Quorum::parse("twice"), None);
+    }
+}

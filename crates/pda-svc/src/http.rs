@@ -1,0 +1,246 @@
+//! Minimal HTTP/1.1 server-side codec on untrusted bytes.
+//!
+//! The service runs on a bare `TcpListener`, so this module does the
+//! protocol work a framework would: parse a request head + body out of
+//! a byte buffer and render responses. The parser is incremental
+//! (returns [`HttpParse::Incomplete`] until a full request is buffered)
+//! and hardened the way any network-facing parser must be: every access
+//! is bounds-checked, lengths are capped, and **no input can panic it**
+//! — a property the codec proptests pin.
+
+use std::fmt;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body. Evidence batches are the biggest
+/// payloads; a full Lamport chain is ~100 KiB hex-encoded, so 16 MiB
+/// leaves ample headroom while bounding hostile `Content-Length`s.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Maximum number of headers per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), as sent.
+    pub method: String,
+    /// Request target path (`/rpc`, `/metrics`, …), as sent.
+    pub path: String,
+    /// Header name/value pairs in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of one parse attempt over a (possibly partial) buffer.
+#[derive(Debug)]
+pub enum HttpParse {
+    /// A complete request and the number of bytes it consumed.
+    Complete(Box<HttpRequest>, usize),
+    /// The buffer holds a valid prefix; read more bytes and retry.
+    Incomplete,
+    /// The buffer can never become a valid request.
+    Invalid(&'static str),
+}
+
+/// Parse one request from the front of `buf`. Never panics, for any
+/// input whatsoever.
+pub fn parse_request(buf: &[u8]) -> HttpParse {
+    // Locate the end of the head: CRLFCRLF.
+    let head_end = match find_head_end(buf) {
+        Some(e) => e,
+        None if buf.len() > MAX_HEAD_BYTES => return HttpParse::Invalid("head too large"),
+        None => return HttpParse::Incomplete,
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return HttpParse::Invalid("head too large");
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return HttpParse::Invalid("head is not UTF-8"),
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && parts.next().is_none() => (m, p, v),
+        _ => return HttpParse::Invalid("malformed request line"),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return HttpParse::Invalid("unsupported HTTP version");
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return HttpParse::Invalid("too many headers");
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return HttpParse::Invalid("malformed header");
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+    {
+        None => 0,
+        Some(Ok(n)) if n <= MAX_BODY_BYTES => n,
+        Some(Ok(_)) => return HttpParse::Invalid("body too large"),
+        Some(Err(_)) => return HttpParse::Invalid("bad content-length"),
+    };
+    let body_start = head_end + 4;
+    let total = match body_start.checked_add(content_length) {
+        Some(t) => t,
+        None => return HttpParse::Invalid("bad content-length"),
+    };
+    if buf.len() < total {
+        return HttpParse::Incomplete;
+    }
+    HttpParse::Complete(
+        Box::new(HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body: buf[body_start..total].to_vec(),
+        }),
+        total,
+    )
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 404, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Serialize to wire bytes (`Connection: close` framing — the
+    /// service speaks one request per connection).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Error",
+        };
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+impl fmt::Display for HttpRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} ({}B body)",
+            self.method,
+            self.path,
+            self.body.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_post_with_body() {
+        let wire = b"POST /rpc HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let HttpParse::Complete(req, used) = parse_request(wire) else {
+            panic!("expected complete parse");
+        };
+        assert_eq!(used, wire.len());
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/rpc");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn incomplete_until_body_arrives() {
+        let wire = b"POST /rpc HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel";
+        assert!(matches!(parse_request(wire), HttpParse::Incomplete));
+        assert!(matches!(parse_request(b"GET /"), HttpParse::Incomplete));
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert!(matches!(
+            parse_request(b"NOT A REQUEST\r\n\r\n"),
+            HttpParse::Invalid(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / SPDY/3\r\n\r\n"),
+            HttpParse::Invalid(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nContent-Length: 99999999999999\r\n\r\n"),
+            HttpParse::Invalid(_)
+        ));
+        assert!(matches!(
+            parse_request(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            HttpParse::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_framing() {
+        let r = HttpResponse::json(200, "{\"ok\": true}".to_string());
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 12\r\n"));
+        assert!(text.ends_with("{\"ok\": true}"));
+    }
+}

@@ -1,0 +1,214 @@
+//! JSON-RPC 2.0 codec over [`pda_telemetry::json`].
+//!
+//! The service API is JSON-RPC over HTTP POST: one request object per
+//! call, one response object per reply. Encoding is canonical — field
+//! order is fixed — so `parse(encode(r))` re-encodes byte-identically,
+//! a property the codec proptests pin.
+
+use pda_telemetry::json::{parse as parse_json, Json};
+use std::fmt;
+
+/// One JSON-RPC request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RpcRequest {
+    /// Caller-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Method name (`submit-evidence`, `appraise`, …).
+    pub method: String,
+    /// Method parameters (an object, or `Json::Null` when absent).
+    pub params: Json,
+}
+
+/// Why a request failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpcError {
+    /// The body is not valid JSON.
+    BadJson(String),
+    /// The JSON is not a valid JSON-RPC request.
+    BadRequest(&'static str),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::BadJson(e) => write!(f, "invalid JSON: {e}"),
+            RpcError::BadRequest(e) => write!(f, "invalid JSON-RPC request: {e}"),
+        }
+    }
+}
+
+impl RpcRequest {
+    /// Build a request with parameters.
+    pub fn new(id: u64, method: &str, params: Json) -> RpcRequest {
+        RpcRequest {
+            id,
+            method: method.to_string(),
+            params,
+        }
+    }
+
+    /// Parse a request from a JSON text body. Never panics on
+    /// arbitrary input.
+    pub fn parse(text: &str) -> Result<RpcRequest, RpcError> {
+        let v = parse_json(text).map_err(|e| RpcError::BadJson(e.to_string()))?;
+        let obj_err = RpcError::BadRequest("request must be an object");
+        let Json::Obj(_) = v else {
+            return Err(obj_err);
+        };
+        match v.get("jsonrpc").and_then(Json::as_str) {
+            Some("2.0") => {}
+            _ => return Err(RpcError::BadRequest("jsonrpc must be \"2.0\"")),
+        }
+        let id = v
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or(RpcError::BadRequest("id must be an unsigned integer"))?;
+        let method = v
+            .get("method")
+            .and_then(Json::as_str)
+            .ok_or(RpcError::BadRequest("method must be a string"))?
+            .to_string();
+        let params = v.get("params").cloned().unwrap_or(Json::Null);
+        Ok(RpcRequest { id, method, params })
+    }
+
+    /// Canonical encoding: fixed field order, `params` omitted when
+    /// null.
+    pub fn encode(&self) -> String {
+        let mut fields = vec![
+            ("jsonrpc".to_string(), Json::Str("2.0".to_string())),
+            ("id".to_string(), Json::UInt(self.id)),
+            ("method".to_string(), Json::Str(self.method.clone())),
+        ];
+        if self.params != Json::Null {
+            fields.push(("params".to_string(), self.params.clone()));
+        }
+        Json::Obj(fields).encode()
+    }
+}
+
+/// Encode a success response.
+pub fn ok_response(id: u64, result: Json) -> String {
+    Json::Obj(vec![
+        ("jsonrpc".to_string(), Json::Str("2.0".to_string())),
+        ("id".to_string(), Json::UInt(id)),
+        ("result".to_string(), result),
+    ])
+    .encode()
+}
+
+/// Encode an error response.
+pub fn err_response(id: u64, code: i64, message: &str) -> String {
+    Json::Obj(vec![
+        ("jsonrpc".to_string(), Json::Str("2.0".to_string())),
+        ("id".to_string(), Json::UInt(id)),
+        (
+            "error".to_string(),
+            Json::Obj(vec![
+                ("code".to_string(), Json::Num(code as f64)),
+                ("message".to_string(), Json::Str(message.to_string())),
+            ]),
+        ),
+    ])
+    .encode()
+}
+
+/// Decode a response body: `Ok(result)` or `Err(message)`.
+pub fn parse_response(text: &str) -> Result<Json, String> {
+    let v = parse_json(text).map_err(|e| format!("invalid JSON response: {e}"))?;
+    if let Some(err) = v.get("error") {
+        return Err(err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown error")
+            .to_string());
+    }
+    v.get("result")
+        .cloned()
+        .ok_or_else(|| "response has neither result nor error".to_string())
+}
+
+/// Lower-case hex encoding of arbitrary bytes (evidence submission
+/// payloads travel as hex strings inside JSON).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode lower/upper-case hex; `None` on odd length or non-hex bytes.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_is_byte_identical() {
+        let r = RpcRequest::new(
+            7,
+            "appraise",
+            Json::Obj(vec![("nonce".to_string(), Json::UInt(9))]),
+        );
+        let text = r.encode();
+        let back = RpcRequest::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn paramless_request_round_trips() {
+        let r = RpcRequest::new(1, "health", Json::Null);
+        let back = RpcRequest::parse(&r.encode()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.encode(), r.encode());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(matches!(RpcRequest::parse(""), Err(RpcError::BadJson(_))));
+        assert!(matches!(
+            RpcRequest::parse("[1,2]"),
+            Err(RpcError::BadRequest(_))
+        ));
+        assert!(matches!(
+            RpcRequest::parse("{\"jsonrpc\": \"1.0\", \"id\": 1, \"method\": \"x\"}"),
+            Err(RpcError::BadRequest(_))
+        ));
+        assert!(matches!(
+            RpcRequest::parse("{\"jsonrpc\": \"2.0\", \"method\": \"x\"}"),
+            Err(RpcError::BadRequest(_))
+        ));
+        assert!(matches!(
+            RpcRequest::parse("{\"jsonrpc\": \"2.0\", \"id\": 1}"),
+            Err(RpcError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn responses_encode_and_decode() {
+        let ok = ok_response(3, Json::Bool(true));
+        assert_eq!(parse_response(&ok), Ok(Json::Bool(true)));
+        let err = err_response(3, -32600, "nope");
+        assert_eq!(parse_response(&err), Err("nope".to_string()));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)), Some(bytes));
+        assert_eq!(from_hex("abc"), None, "odd length");
+        assert_eq!(from_hex("zz"), None, "non-hex");
+        assert_eq!(from_hex(""), Some(Vec::new()));
+    }
+}

@@ -1,0 +1,214 @@
+//! A tiny blocking server runtime: `TcpListener` + worker pool.
+//!
+//! crates.io is unreachable from this build environment, so there is no
+//! async stack to lean on; instead the service runs on the primitives
+//! std already ships. An accept thread pushes connections onto a
+//! `Mutex<VecDeque>` guarded by a `Condvar`; a fixed pool of workers
+//! pops and serves them. One request per connection
+//! (`Connection: close`), which keeps the framing trivial and is ample
+//! for an appraisal-rate workload (E18 sustains thousands of verdicts
+//! per second through it).
+//!
+//! Graceful shutdown: flip an `AtomicBool`, then self-connect once to
+//! unblock the accept loop; workers drain the queue and exit when they
+//! see the flag with an empty queue.
+
+use crate::http::{parse_request, HttpParse, HttpRequest, HttpResponse};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection read timeout — bounds how long a slow or hostile
+/// client can hold a worker.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Something that turns requests into responses. The service
+/// implements this; the runtime stays protocol-agnostic above HTTP.
+pub trait Handler: Send + Sync + 'static {
+    /// Handle one parsed request.
+    fn handle(&self, req: &HttpRequest) -> HttpResponse;
+}
+
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    stop: AtomicBool,
+}
+
+impl ConnQueue {
+    fn push(&self, conn: TcpStream) {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.push_back(conn);
+        self.ready.notify_one();
+    }
+
+    /// Pop the next connection, blocking; `None` once stopped and
+    /// drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("queue poisoned");
+        loop {
+            if let Some(conn) = q.pop_front() {
+                return Some(conn);
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.ready.wait(q).expect("queue poisoned");
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; call
+/// [`ServerHandle::stop`].
+pub struct ServerHandle {
+    /// Address the server actually bound (useful with port 0).
+    pub addr: SocketAddr,
+    conns: Arc<ConnQueue>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signal shutdown and join every thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.conns.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.conns.ready.notify_all();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve `handler` on `workers` threads until
+/// [`ServerHandle::stop`] is called.
+pub fn serve<H: Handler>(
+    addr: &str,
+    workers: usize,
+    handler: Arc<H>,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let conns = Arc::new(ConnQueue {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        stop: AtomicBool::new(false),
+    });
+
+    let accept_conns = Arc::clone(&conns);
+    let accept = std::thread::Builder::new()
+        .name("svc-accept".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_conns.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(conn) = conn {
+                    accept_conns.push(conn);
+                }
+            }
+        })?;
+
+    let mut pool = Vec::with_capacity(workers.max(1));
+    for i in 0..workers.max(1) {
+        let conns = Arc::clone(&conns);
+        let handler = Arc::clone(&handler);
+        pool.push(
+            std::thread::Builder::new()
+                .name(format!("svc-worker-{i}"))
+                .spawn(move || {
+                    while let Some(conn) = conns.pop() {
+                        serve_connection(conn, handler.as_ref());
+                    }
+                })?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr: bound,
+        conns,
+        accept: Some(accept),
+        workers: pool,
+    })
+}
+
+/// Read one request off `conn`, dispatch it, write the response. All
+/// I/O errors are swallowed — a dropped client costs nothing but its
+/// own reply.
+fn serve_connection<H: Handler>(mut conn: TcpStream, handler: &H) {
+    let _ = conn.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let response = loop {
+        match parse_request(&buf) {
+            HttpParse::Complete(req, _) => break handler.handle(&req),
+            HttpParse::Invalid(reason) => {
+                break HttpResponse::text(400, format!("bad request: {reason}\n"))
+            }
+            HttpParse::Incomplete => match conn.read(&mut chunk) {
+                Ok(0) => return, // peer hung up mid-request
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => return, // timeout or reset
+            },
+        }
+    };
+    let _ = conn.write_all(&response.to_bytes());
+    let _ = conn.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Handler for Echo {
+        fn handle(&self, req: &HttpRequest) -> HttpResponse {
+            HttpResponse::text(200, format!("{} {}", req.method, req.path))
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, wire: &[u8]) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(wire).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_concurrent_requests_and_stops_cleanly() {
+        let mut server = serve("127.0.0.1:0", 4, Arc::new(Echo)).unwrap();
+        let addr = server.addr;
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    roundtrip(addr, format!("GET /t{i} HTTP/1.1\r\n\r\n").as_bytes())
+                })
+            })
+            .collect();
+        for (i, t) in threads.into_iter().enumerate() {
+            let reply = t.join().unwrap();
+            assert!(reply.ends_with(&format!("GET /t{i}")), "reply: {reply}");
+        }
+        server.stop();
+        server.stop(); // idempotent
+    }
+
+    #[test]
+    fn malformed_request_gets_a_400() {
+        let mut server = serve("127.0.0.1:0", 1, Arc::new(Echo)).unwrap();
+        let reply = roundtrip(server.addr, b"GARBAGE\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400 "), "reply: {reply}");
+        server.stop();
+    }
+}

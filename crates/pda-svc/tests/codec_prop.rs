@@ -1,0 +1,94 @@
+//! Property tests for the service's network-facing codecs.
+//!
+//! Two guarantees the service makes to the open network:
+//! 1. **No panic, ever**: arbitrary bytes thrown at the HTTP request
+//!    parser and the JSON-RPC parser produce a verdict, never a crash.
+//! 2. **Canonical round trip**: a well-formed JSON-RPC request
+//!    re-encodes byte-identically after parsing.
+
+use pda_svc::http::{parse_request, HttpParse};
+use pda_svc::rpc::{from_hex, to_hex, RpcRequest};
+use pda_telemetry::json::Json;
+use proptest::prelude::*;
+
+/// A strategy over JSON-RPC method parameter values (flat objects of
+/// the shapes the service's methods actually take).
+fn params_strategy() -> impl Strategy<Value = Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<u64>().prop_map(|n| Json::Obj(vec![("nonce".to_string(), Json::UInt(n))])),
+        "[a-z0-9]{0,64}".prop_map(|s| Json::Obj(vec![("records".to_string(), Json::Str(s))])),
+        ("[a-z/0-9]{0,16}", any::<u64>()).prop_map(|(s, l)| Json::Obj(vec![
+            ("subject".to_string(), Json::Str(s)),
+            ("limit".to_string(), Json::UInt(l)),
+        ])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The HTTP parser never panics on arbitrary input bytes.
+    #[test]
+    fn http_parser_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = parse_request(&buf);
+    }
+
+    /// Neither does it panic when the input *looks* like HTTP.
+    #[test]
+    fn http_parser_never_panics_on_http_like_input(
+        method in "[A-Z]{1,8}",
+        path in "[ -~]{0,64}",
+        garbage in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut wire = format!("{method} /{path} HTTP/1.1\r\n").into_bytes();
+        wire.extend_from_slice(&garbage);
+        let _ = parse_request(&wire);
+    }
+
+    /// A correctly framed request parses completely and faithfully.
+    #[test]
+    fn http_well_formed_requests_parse(body in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut wire = format!(
+            "POST /rpc HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        ).into_bytes();
+        wire.extend_from_slice(&body);
+        let HttpParse::Complete(req, used) = parse_request(&wire) else {
+            return Err(TestCaseError::fail("expected complete parse"));
+        };
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(req.body, body);
+    }
+
+    /// The JSON-RPC parser never panics on arbitrary text.
+    #[test]
+    fn rpc_parser_never_panics(text in "[ -~\\r\\n\\t]{0,512}") {
+        let _ = RpcRequest::parse(&text);
+    }
+
+    /// Well-formed requests round-trip byte-identically:
+    /// `encode(parse(encode(r))) == encode(r)`.
+    #[test]
+    fn rpc_round_trip_is_byte_identical(
+        id in any::<u64>(),
+        method in "[a-z-]{1,24}",
+        params in params_strategy(),
+    ) {
+        let req = RpcRequest::new(id, &method, params);
+        let wire = req.encode();
+        let back = RpcRequest::parse(&wire)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(back.encode(), wire);
+    }
+
+    /// Hex codec: encode∘decode is the identity, and decode never
+    /// panics on arbitrary strings.
+    #[test]
+    fn hex_round_trip_and_no_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256),
+                                   junk in "[ -~]{0,64}") {
+        prop_assert_eq!(from_hex(&to_hex(&bytes)), Some(bytes));
+        let _ = from_hex(&junk);
+    }
+}
