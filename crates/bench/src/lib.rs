@@ -1509,7 +1509,16 @@ pub struct E18Row {
 /// deliberately corrupted (its dissent must stay visible while the
 /// quorum out-votes it).
 pub fn exp_e18() -> Vec<E18Row> {
-    use pda_svc::{run_churn, AppraisalService, ChurnConfig, Quorum, SvcClient, SvcConfig};
+    exp_e18_with(&Telemetry::off())
+}
+
+/// [`exp_e18`] with a telemetry handle shared by the service *and*
+/// every epoch's fleet: one subscriber sees the whole evidence
+/// lifecycle (switch attest spans, channel send/retry events,
+/// per-appraiser and quorum spans), all joined by nonce-derived trace
+/// ids.
+pub fn exp_e18_with(tel: &Telemetry) -> Vec<E18Row> {
+    use pda_svc::{run_churn_with, AppraisalService, ChurnConfig, Quorum, SvcClient, SvcConfig};
     use std::sync::Arc;
 
     let clean = ChurnConfig {
@@ -1539,23 +1548,33 @@ pub fn exp_e18() -> Vec<E18Row> {
     scenarios
         .into_iter()
         .map(|(variant, quorum, corrupt, churn_cfg)| {
+            // Share the harness handle when instrumented; scenarios
+            // then accumulate into one registry, so the per-scenario
+            // dissent figure is a before/after delta.
+            let svc_tel = if tel.enabled() {
+                tel.clone()
+            } else {
+                Telemetry::collecting()
+            };
+            let dissent_at = |t: &Telemetry| {
+                t.registry()
+                    .map(|r| r.counter("svc.dissent").get())
+                    .unwrap_or(0)
+            };
+            let dissent_before = dissent_at(&svc_tel);
             let svc = Arc::new(AppraisalService::new(
                 SvcConfig {
                     quorum,
                     corrupt,
                     ..SvcConfig::default()
                 },
-                Telemetry::collecting(),
+                svc_tel.clone(),
             ));
             let mut server =
                 pda_svc::serve("127.0.0.1:0", 4, Arc::clone(&svc)).expect("bind loopback");
             let client = SvcClient::new(server.addr);
-            let report = run_churn(&client, &churn_cfg).expect("churn run completes");
-            let dissent = svc
-                .telemetry()
-                .registry()
-                .map(|r| r.counter("svc.dissent").get())
-                .unwrap_or(0);
+            let report = run_churn_with(&client, &churn_cfg, tel).expect("churn run completes");
+            let dissent = dissent_at(&svc_tel) - dissent_before;
             server.stop();
             E18Row {
                 variant: variant.to_string(),

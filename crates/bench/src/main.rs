@@ -7,8 +7,10 @@
 //!
 //! `--telemetry json|prom|off` (default `off`) collects metrics and the
 //! attestation audit log while the instrumented experiments (`fig1`,
-//! `fig3`, `e15`, `e16`, `e17`) run, and writes `telemetry.json` /
-//! `telemetry.prom` to the current directory on exit.
+//! `fig3`, `e15`, `e16`, `e17`, `e18`) run, and writes
+//! `telemetry.json` / `telemetry.prom` to the current directory on
+//! exit. Under `e18` the same handle is shared by the service and the
+//! churning fleets, so the dump carries end-to-end traces.
 //!
 //! `--bench-json <path>` additionally writes the E15 evidence-path rows
 //! (or the E18 service-under-churn rows, whichever ran) as a
@@ -487,7 +489,7 @@ fn main() {
             "p50-us",
             "p99-us"
         );
-        let rows = exp_e18();
+        let rows = exp_e18_with(&tel);
         for r in &rows {
             println!(
                 "{:<22} {:<9} {:>7} {:>10} {:>8} {:>8} {:>4}/{:<3} {:>7} {:>12.0} {:>9.1} {:>9.1}",

@@ -47,6 +47,13 @@ fn check_dump(dump: &str, source: &str) {
         "{source}: no per-stage `pipeline.stage.*` histogram"
     );
 
+    // The dump declares how many events its subscriber evicted, so a
+    // consumer can tell a complete timeline from a truncated one.
+    assert!(
+        v.get("events_dropped").and_then(Json::as_u64).is_some(),
+        "{source}: no `events_dropped` counter"
+    );
+
     // At least one attestation audit event, and every record carries a
     // recognised kind.
     let audit = v

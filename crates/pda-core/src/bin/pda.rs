@@ -16,10 +16,13 @@
 //! pda lint     <builtin|all> [--format json] [--check]
 //!              run the static analyzer over builtin dataplane programs
 //! pda serve    [--port P] [--hops N] [--appraisers N] [--quorum Q]
-//!              [--corrupt] [--workers W]
+//!              [--corrupt] [--workers W] [--flight-recorder <path>]
+//!              [--slo-target-ns N]
 //!              run the long-lived appraisal service (pda-svc)
 //! pda client   --addr H:P <health|metrics|submit|appraise|audit|churn|shutdown>
 //!              talk to a running appraisal service
+//! pda trace    <dump.jsonl> [--trace <16-hex id>]
+//!              render flight-recorder dumps as per-trace span trees
 //! ```
 
 use pda_core::prelude::*;
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -73,11 +77,13 @@ const USAGE: &str = "usage:
   pda lint     <builtin|all> [--format json] [--check]
   pda serve    [--port P] [--hops N] [--appraisers N]
                [--quorum majority|unanimous|K-of-N] [--corrupt] [--workers W]
+               [--flight-recorder <dump.jsonl>] [--slo-target-ns N]
   pda client   --addr H:P health | metrics | shutdown
   pda client   --addr H:P submit [--hops N] [--nonce N] [--packets P] [--rogue]
   pda client   --addr H:P appraise --nonce N [--expect ok|reject]
   pda client   --addr H:P audit [--subject S] [--limit N]
   pda client   --addr H:P churn [--epochs E] [--packets P] [--rogue-every K]
+  pda trace    <dump.jsonl> [--trace <16-hex id>]
 
 path spec: semicolon-separated nodes, each `name[:prop,...]` with props
   ra | key | runs=<fn> | test=<name>   (no props = legacy node)";
@@ -486,10 +492,35 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         workers,
     };
 
-    let svc = Arc::new(AppraisalService::new(
-        config.clone(),
-        pda_telemetry::Telemetry::collecting(),
-    ));
+    // Optional observability extras: a flight recorder dumping
+    // anomalous traces to a JSONL file, and a verdict-latency SLO.
+    let flight_path = flag_value(args, "--flight-recorder");
+    let slo_target: Option<u64> = flag_value(args, "--slo-target-ns")
+        .map(|v| v.parse().map_err(|_| "bad --slo-target-ns".to_string()))
+        .transpose()?;
+    let (tel, recorder) = match flight_path {
+        Some(_) => {
+            let rec = Arc::new(pda_telemetry::FlightRecorder::new(256, 256));
+            (pda_telemetry::Telemetry::new(rec.clone()), Some(rec))
+        }
+        None => (pda_telemetry::Telemetry::collecting(), None),
+    };
+    let mut svc = AppraisalService::new(config.clone(), tel);
+    if let (Some(rec), Some(path)) = (recorder, flight_path) {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        rec.set_sink(Box::new(file));
+        svc = svc.with_flight_recorder(rec);
+        println!("flight recorder: dumping anomalous traces to {path}");
+    }
+    if let Some(target) = slo_target {
+        svc = svc.with_slo(pda_telemetry::SloPolicy::new(
+            "svc.verdict.ns",
+            target,
+            0.99,
+        ));
+        println!("slo: 99% of verdicts within {target} ns (gauges on /metrics)");
+    }
+    let svc = Arc::new(svc);
     let mut server = pda_svc::serve(&format!("127.0.0.1:{port}"), workers, Arc::clone(&svc))
         .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     println!("pda-svc listening on {}", server.addr);
@@ -629,6 +660,20 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             ))
         }
     }
+    Ok(())
+}
+
+/// Render a flight-recorder JSONL dump as per-trace span trees.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = first_positional(args)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let filter = flag_value(args, "--trace")
+        .map(|s| {
+            pda_telemetry::TraceId::from_hex(s)
+                .ok_or_else(|| format!("bad --trace `{s}` (want 16 hex chars)"))
+        })
+        .transpose()?;
+    print!("{}", pda_telemetry::render_trace_trees(&text, filter)?);
     Ok(())
 }
 

@@ -380,12 +380,46 @@ impl Simulator {
                             // the fault plane resolves the retransmit
                             // timeline (timeout + exponential backoff)
                             // at send time.
+                            let retrans_before = self
+                                .faults
+                                .as_ref()
+                                .map_or(0, |p| p.stats.control_retransmits);
                             let deliver_at = match self.faults.as_mut() {
                                 None => Some(self.now + CONTROL_LATENCY),
                                 Some(plane) => {
                                     plane.control_delivery_time(self.now, CONTROL_LATENCY)
                                 }
                             };
+                            if self.telemetry.enabled() {
+                                let retransmits = self
+                                    .faults
+                                    .as_ref()
+                                    .map_or(0, |p| p.stats.control_retransmits)
+                                    - retrans_before;
+                                let name = match (deliver_at.is_some(), retransmits) {
+                                    (false, _) => "channel.gave_up",
+                                    (true, 0) => "channel.send",
+                                    (true, _) => "channel.retry",
+                                };
+                                // Span index from the chained digest: unique
+                                // per record yet identical on replay, so the
+                                // channel span is deterministic.
+                                let chain8 = u64::from_le_bytes(
+                                    record.chain.as_bytes()[..8]
+                                        .try_into()
+                                        .expect("digest holds at least 8 bytes"),
+                                );
+                                let ctx = record.trace_ctx().child("channel", chain8);
+                                let mut fields = ctx.fields();
+                                fields.push((
+                                    "switch".to_string(),
+                                    self.topo.nodes[node].name.clone().into(),
+                                ));
+                                fields.push(("retransmits".to_string(), retransmits.into()));
+                                fields.push(("delivered".to_string(), deliver_at.is_some().into()));
+                                fields.push(("bytes".to_string(), bytes.into()));
+                                self.telemetry.event(name, fields);
+                            }
                             if let Some(t) = deliver_at {
                                 self.push(
                                     t,

@@ -107,6 +107,16 @@ impl EvidenceRecord {
         4 + self.switch.len() + 4 + self.details.len() * 33 + 8
     }
 
+    /// The causal trace context this record belongs to, derived from
+    /// its nonce. The trace ID travels *with* the record through
+    /// signing, batching, and wire emission by construction — the
+    /// nonce is already a signed, chained field — so no wire-format
+    /// change is needed and every hop that reassembles the record
+    /// recovers the same trace.
+    pub fn trace_ctx(&self) -> pda_telemetry::TraceCtx {
+        pda_telemetry::TraceCtx::for_nonce(self.nonce.0)
+    }
+
     /// Create and sign a record.
     pub fn create(
         switch: &str,

@@ -218,7 +218,18 @@ impl PeraSwitch {
     /// and the building block of the in-band path). `prev` links chained
     /// composition; pass `Digest::ZERO` for the first hop or pointwise.
     pub fn attest(&mut self, nonce: Nonce, prev: Digest, packet: &[u8]) -> EvidenceRecord {
-        let _span = self.tel.span("pera.attest");
+        let mut span = self.tel.span("pera.attest");
+        if span.is_active() {
+            // Trace identity is stamped at measurement time: the trace
+            // is the nonce's canonical one, the span is site-scoped by
+            // (switch, attested-packet index) — the same derivation the
+            // batch path uses, so batch≡per-packet holds for traces too.
+            span.set("switch", self.name.as_str());
+            pda_telemetry::TraceCtx::for_nonce(nonce.0)
+                .child(&self.name, self.stats.attested_packets)
+                .stamp(&mut span);
+        }
+        let _span = span;
         let chained = matches!(self.config.composition, EvidenceComposition::Chained);
         let prev = if chained { prev } else { Digest::ZERO };
         let details = self.measure_details(packet);
@@ -529,7 +540,14 @@ impl PeraSwitch {
                         if let Some(m) = &self.metrics {
                             m.attested_packets.inc();
                         }
-                        let _span = self.tel.span("pera.attest");
+                        let mut span = self.tel.span("pera.attest");
+                        if span.is_active() {
+                            span.set("switch", self.name.as_str());
+                            pda_telemetry::TraceCtx::for_nonce(nonce.0)
+                                .child(&self.name, self.stats.attested_packets)
+                                .stamp(&mut span);
+                        }
+                        let _span = span;
                         let details = self.measure_details(bytes.as_ref());
                         let link = if chained { prev } else { Digest::ZERO };
                         let p = PendingRecord::new(&self.name, details, nonce, link);

@@ -57,11 +57,41 @@ struct Run {
     evidence: Vec<EvidenceRecord>,
     stats: pda_pera::PeraStats,
     audit: Vec<pda_telemetry::AuditRecord>,
+    /// `(name, trace, span, parent)` of every trace-stamped span
+    /// event, in emission order — the run's trace tree.
+    trace_tree: Vec<(String, String, String, String)>,
     key: pda_crypto::sig::VerifyKey,
 }
 
+/// The trace-identity skeleton of a run's span events: timing and
+/// free-form fields stripped, causal identity kept.
+fn trace_tree(ring: &pda_telemetry::MemorySubscriber) -> Vec<(String, String, String, String)> {
+    let field = |e: &pda_telemetry::Event, k: &str| {
+        e.fields
+            .iter()
+            .find(|(n, _)| n == k)
+            .and_then(|(_, v)| match v {
+                pda_telemetry::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default()
+    };
+    ring.events()
+        .iter()
+        .filter(|e| e.fields.iter().any(|(n, _)| n == "trace"))
+        .map(|e| {
+            (
+                e.name.clone(),
+                field(e, "trace"),
+                field(e, "span"),
+                field(e, "parent"),
+            )
+        })
+        .collect()
+}
+
 fn run_per_packet(cfg: &PeraConfig, packets: &[Vec<u8>]) -> Run {
-    let tel = Telemetry::collecting();
+    let (tel, ring) = Telemetry::in_memory(256);
     let mut sw = fresh_switch(cfg, &tel);
     let key = sw.verify_key(0);
     let mut prev = Digest::ZERO;
@@ -80,12 +110,13 @@ fn run_per_packet(cfg: &PeraConfig, packets: &[Vec<u8>]) -> Run {
         evidence,
         stats: sw.stats,
         audit: tel.audit_log().unwrap().records(),
+        trace_tree: trace_tree(&ring),
         key,
     }
 }
 
 fn run_batched(cfg: &PeraConfig, packets: &[Vec<u8>]) -> Run {
-    let tel = Telemetry::collecting();
+    let (tel, ring) = Telemetry::in_memory(256);
     let mut sw = fresh_switch(cfg, &tel);
     let key = sw.verify_key(0);
     let out = sw.process_batch(packets, 0, Some((NONCE, Digest::ZERO)));
@@ -98,6 +129,7 @@ fn run_batched(cfg: &PeraConfig, packets: &[Vec<u8>]) -> Run {
         evidence: out.evidence,
         stats: sw.stats,
         audit: tel.audit_log().unwrap().records(),
+        trace_tree: trace_tree(&ring),
         key,
     }
 }
@@ -211,6 +243,13 @@ proptest! {
         for s in &sig_schemes {
             prop_assert!(s == "hmac" || s == "batch(hmac)", "unexpected scheme {}", s);
         }
+
+        // The trace tree is identical too: span ids derive from
+        // (trace, switch, attested-packet index), and the batch path
+        // counts attested packets exactly like the per-packet path, so
+        // both runs stamp the same spans in the same causal order.
+        prop_assert!(!single.trace_tree.is_empty(), "attest spans were stamped");
+        prop_assert_eq!(&single.trace_tree, &batched.trace_tree);
 
         // The appraisal verdict — including under evidence loss — is
         // identical: same reassembly shape, same verify_chain result.

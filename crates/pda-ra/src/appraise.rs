@@ -224,6 +224,10 @@ pub(crate) fn audit_verdict(
         ok: result.ok,
         checks: result.checks,
         cause: result.failures.first().map(Failure::to_string),
+        // The canonical trace for a nonce is derivable by every
+        // component that knows it, so the verdict links back to the
+        // switch-side measurement without any wire-format change.
+        trace: nonce.map(|n| pda_telemetry::TraceId::for_nonce(n.0).to_hex()),
     });
 }
 
@@ -248,7 +252,14 @@ pub fn appraise_records(
     use pda_pera::evidence::ChainFailure;
     use pda_pera::golden::ChainAppraisalFailure;
 
-    let _span = telemetry.span("ra.appraise_records");
+    let mut span = telemetry.span("ra.appraise_records");
+    if span.is_active() {
+        span.set("subject", subject);
+        pda_telemetry::TraceCtx::for_nonce(expected_nonce.0)
+            .child(subject, 0)
+            .stamp(&mut span);
+    }
+    let _span = span;
     let place_of = |index: usize| -> Place {
         records
             .get(index)

@@ -111,6 +111,11 @@ pub struct RetrySession {
     pub channel: FlakyChannel,
     /// Optional telemetry for `ra.retry.*` counters.
     pub telemetry: Telemetry,
+    /// Optional causal trace context: when set (and telemetry is
+    /// enabled), every retransmission and timeout is emitted as a
+    /// trace-stamped instant event, making channel backoff visible in
+    /// the flight recorder's per-trace timeline.
+    pub trace: Option<pda_telemetry::TraceCtx>,
     /// Dedicated PRNG for backoff jitter. Kept separate from the
     /// channel's loss PRNG so enabling jitter never perturbs the
     /// delivery decision stream of an existing seed.
@@ -135,6 +140,7 @@ impl RetrySession {
             policy,
             channel,
             telemetry: Telemetry::off(),
+            trace: None,
             jitter_rng: StdRng::seed_from_u64(0),
         }
     }
@@ -142,6 +148,12 @@ impl RetrySession {
     /// Attach a telemetry handle.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> RetrySession {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a trace context; see the `trace` field.
+    pub fn with_trace(mut self, ctx: pda_telemetry::TraceCtx) -> RetrySession {
+        self.trace = Some(ctx);
         self
     }
 
@@ -155,6 +167,22 @@ impl RetrySession {
     fn count(&self, name: &str) {
         if let Some(reg) = self.telemetry.registry() {
             reg.counter(name).inc();
+        }
+    }
+
+    /// Emit a trace-stamped retry event (only when both telemetry and
+    /// a trace context are attached).
+    fn trace_event(&self, name: &str, place: &Place, extra: &[(&str, u64)]) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        if let Some(ctx) = &self.trace {
+            let mut fields = ctx.fields();
+            fields.push(("place".to_string(), format!("{place}").into()));
+            for (k, v) in extra {
+                fields.push((k.to_string(), (*v).into()));
+            }
+            self.telemetry.event(name, fields);
         }
     }
 
@@ -189,9 +217,19 @@ impl RetrySession {
             stats.messages += 1;
             stats.bytes += bytes;
             self.count("ra.retry.retransmits");
+            self.trace_event(
+                "ra.retry.backoff",
+                place,
+                &[("attempt", u64::from(attempt) + 1), ("wait_ns", wait)],
+            );
             timeout = timeout.saturating_mul(self.policy.backoff as u64);
         }
         self.count("ra.retry.timeouts");
+        self.trace_event(
+            "ra.retry.timeout",
+            place,
+            &[("attempts", u64::from(self.policy.max_retries) + 1)],
+        );
         Err(ProtocolError::Timeout(place.clone()))
     }
 }

@@ -18,6 +18,7 @@ use pda_dataplane::programs;
 use pda_netsim::{ControlRetryPolicy, DeviceKind, EvidenceMode, FaultPlan, LinearPath, LinkFaults};
 use pda_pera::EvidenceRecord;
 use pda_telemetry::json::Json;
+use pda_telemetry::Telemetry;
 use std::time::Instant;
 
 /// Churn-run shape.
@@ -123,6 +124,19 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 /// Drive `config.epochs` of churn through the service at `client`.
 pub fn run_churn(client: &SvcClient, config: &ChurnConfig) -> Result<ChurnReport, String> {
+    run_churn_with(client, config, &Telemetry::off())
+}
+
+/// [`run_churn`] with a telemetry handle attached to every epoch's
+/// fleet, so one subscriber observes the whole evidence lifecycle:
+/// the switch-side `pera.attest` spans and channel send/retry events
+/// land on the same handle that (when it also backs the service) sees
+/// the federation spans — one trace from measurement to verdict.
+pub fn run_churn_with(
+    client: &SvcClient,
+    config: &ChurnConfig,
+    telemetry: &Telemetry,
+) -> Result<ChurnReport, String> {
     let mut report = ChurnReport {
         epochs: config.epochs,
         ..ChurnReport::default()
@@ -134,6 +148,9 @@ pub fn run_churn(client: &SvcClient, config: &ChurnConfig) -> Result<ChurnReport
         // A fresh fleet IS the restart: same names, same deterministic
         // keys, state gone.
         let mut fleet = standard_fleet(config.hops);
+        if telemetry.enabled() {
+            fleet.sim.attach_telemetry(telemetry.clone());
+        }
         let rogue = config.rogue_every > 0 && (epoch + 1) % config.rogue_every == 0;
         if rogue {
             rogue_reload(&mut fleet);

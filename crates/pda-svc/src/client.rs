@@ -4,9 +4,10 @@
 //! `Connection: close`), so the client is stateless and trivially
 //! thread-safe to clone around.
 
-use crate::rpc::{parse_response, to_hex, RpcRequest};
+use crate::rpc::{parse_response, response_traceparent, to_hex, RpcRequest};
 use pda_pera::EvidenceRecord;
 use pda_telemetry::json::Json;
+use pda_telemetry::TraceCtx;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,34 +33,71 @@ impl SvcClient {
 
     /// Issue one JSON-RPC call; returns the `result` value.
     pub fn call(&self, method: &str, params: Json) -> Result<Json, String> {
+        self.call_traced(method, params, None).map(|(v, _)| v)
+    }
+
+    /// Issue one JSON-RPC call carrying a `traceparent` header;
+    /// returns the `result` value plus the traceparent the service
+    /// echoed back (proof it joined the caller's trace).
+    pub fn call_traced(
+        &self,
+        method: &str,
+        params: Json,
+        ctx: Option<&TraceCtx>,
+    ) -> Result<(Json, Option<String>), String> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let body = RpcRequest::new(id, method, params).encode();
+        let mut req = RpcRequest::new(id, method, params);
+        if let Some(ctx) = ctx {
+            req = req.with_traceparent(ctx.traceparent());
+        }
+        let body = req.encode();
         let wire = format!(
             "POST /rpc HTTP/1.1\r\nHost: pda-svc\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
             body.len(),
             body
         );
         let reply = self.exchange(wire.as_bytes())?;
-        parse_response(http_body(&reply)?)
+        let body = http_body(&reply)?;
+        Ok((parse_response(body)?, response_traceparent(body)))
     }
 
     /// Submit evidence records (hex-encoded wire form).
     pub fn submit_evidence(&self, records: &[EvidenceRecord]) -> Result<Json, String> {
+        self.submit_evidence_traced(records).map(|(v, _)| v)
+    }
+
+    /// [`submit_evidence`](Self::submit_evidence), traced: stamps the
+    /// nonce-derived trace context of the first record on the request
+    /// and returns the service's echo alongside the result.
+    pub fn submit_evidence_traced(
+        &self,
+        records: &[EvidenceRecord],
+    ) -> Result<(Json, Option<String>), String> {
         let mut bytes = Vec::new();
         for r in records {
             r.write_wire(&mut bytes);
         }
-        self.call(
+        let ctx = records.first().map(|r| TraceCtx::for_nonce(r.nonce.0));
+        self.call_traced(
             "submit-evidence",
             Json::Obj(vec![("records".to_string(), Json::Str(to_hex(&bytes)))]),
+            ctx.as_ref(),
         )
     }
 
     /// Request a quorum appraisal of everything submitted for `nonce`.
     pub fn appraise(&self, nonce: u64) -> Result<Json, String> {
-        self.call(
+        self.appraise_traced(nonce).map(|(v, _)| v)
+    }
+
+    /// [`appraise`](Self::appraise), traced: the request carries the
+    /// nonce-derived trace context, so the service's spans join the
+    /// same trace the switch stamped at measurement time.
+    pub fn appraise_traced(&self, nonce: u64) -> Result<(Json, Option<String>), String> {
+        self.call_traced(
             "appraise",
             Json::Obj(vec![("nonce".to_string(), Json::UInt(nonce))]),
+            Some(&TraceCtx::for_nonce(nonce)),
         )
     }
 

@@ -161,7 +161,14 @@ impl Federation {
         let mut votes = Vec::with_capacity(total);
         let mut causes = Vec::new();
         let mut checks = 0u64;
-        for a in &self.appraisers {
+        // All members share the nonce-derived trace the switch stamped
+        // at measurement time; each gets its own child span.
+        let ctx = pda_telemetry::TraceCtx::for_nonce(nonce.0);
+        for (i, a) in self.appraisers.iter().enumerate() {
+            let mut span = telemetry.span_with(|| format!("svc.appraiser.{}", a.name));
+            if span.is_active() {
+                ctx.child(&a.name, i as u64).stamp(&mut span);
+            }
             let r = a.appraise(records, nonce, chained, telemetry);
             checks += r.checks;
             if r.ok {
@@ -180,6 +187,14 @@ impl Federation {
         if let Some(reg) = telemetry.registry() {
             reg.counter("svc.dissent").add(dissenters.len() as u64);
         }
+        if telemetry.enabled() {
+            let mut fields = ctx.child("quorum", 0).fields();
+            fields.push(("ok".to_string(), ok.into()));
+            fields.push(("yes".to_string(), (yes as u64).into()));
+            fields.push(("required".to_string(), (required as u64).into()));
+            fields.push(("dissent".to_string(), (dissenters.len() as u64).into()));
+            telemetry.event("svc.quorum", fields);
+        }
         telemetry.audit_with(|| pda_telemetry::AuditEvent::Appraisal {
             subject: "svc/quorum".to_string(),
             nonce: Some(nonce.0),
@@ -192,6 +207,7 @@ impl Federation {
                     "quorum not met: {yes}/{total} yes, {required} required"
                 ))
             },
+            trace: Some(ctx.trace.to_hex()),
         });
         QuorumVerdict {
             ok,

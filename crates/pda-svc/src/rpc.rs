@@ -15,6 +15,9 @@ pub struct RpcRequest {
     pub id: u64,
     /// Method name (`submit-evidence`, `appraise`, …).
     pub method: String,
+    /// W3C-style trace context (`00-<trace>-<span>-01`), echoed in the
+    /// response so the caller can confirm the service joined its trace.
+    pub traceparent: Option<String>,
     /// Method parameters (an object, or `Json::Null` when absent).
     pub params: Json,
 }
@@ -43,8 +46,15 @@ impl RpcRequest {
         RpcRequest {
             id,
             method: method.to_string(),
+            traceparent: None,
             params,
         }
+    }
+
+    /// Attach a trace context header to this request.
+    pub fn with_traceparent(mut self, traceparent: impl Into<String>) -> RpcRequest {
+        self.traceparent = Some(traceparent.into());
+        self
     }
 
     /// Parse a request from a JSON text body. Never panics on
@@ -68,18 +78,30 @@ impl RpcRequest {
             .and_then(Json::as_str)
             .ok_or(RpcError::BadRequest("method must be a string"))?
             .to_string();
+        let traceparent = v
+            .get("traceparent")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         let params = v.get("params").cloned().unwrap_or(Json::Null);
-        Ok(RpcRequest { id, method, params })
+        Ok(RpcRequest {
+            id,
+            method,
+            traceparent,
+            params,
+        })
     }
 
-    /// Canonical encoding: fixed field order, `params` omitted when
-    /// null.
+    /// Canonical encoding: fixed field order, `traceparent` and
+    /// `params` omitted when absent.
     pub fn encode(&self) -> String {
         let mut fields = vec![
             ("jsonrpc".to_string(), Json::Str("2.0".to_string())),
             ("id".to_string(), Json::UInt(self.id)),
             ("method".to_string(), Json::Str(self.method.clone())),
         ];
+        if let Some(tp) = &self.traceparent {
+            fields.push(("traceparent".to_string(), Json::Str(tp.clone())));
+        }
         if self.params != Json::Null {
             fields.push(("params".to_string(), self.params.clone()));
         }
@@ -89,12 +111,30 @@ impl RpcRequest {
 
 /// Encode a success response.
 pub fn ok_response(id: u64, result: Json) -> String {
-    Json::Obj(vec![
+    ok_response_traced(id, result, None)
+}
+
+/// Encode a success response, echoing the request's `traceparent` so
+/// the caller can verify the service joined its trace.
+pub fn ok_response_traced(id: u64, result: Json, traceparent: Option<&str>) -> String {
+    let mut fields = vec![
         ("jsonrpc".to_string(), Json::Str("2.0".to_string())),
         ("id".to_string(), Json::UInt(id)),
-        ("result".to_string(), result),
-    ])
-    .encode()
+    ];
+    if let Some(tp) = traceparent {
+        fields.push(("traceparent".to_string(), Json::Str(tp.to_string())));
+    }
+    fields.push(("result".to_string(), result));
+    Json::Obj(fields).encode()
+}
+
+/// The `traceparent` echoed in a response body, if any.
+pub fn response_traceparent(text: &str) -> Option<String> {
+    parse_json(text)
+        .ok()?
+        .get("traceparent")
+        .and_then(Json::as_str)
+        .map(str::to_string)
 }
 
 /// Encode an error response.
@@ -201,6 +241,30 @@ mod tests {
         assert_eq!(parse_response(&ok), Ok(Json::Bool(true)));
         let err = err_response(3, -32600, "nope");
         assert_eq!(parse_response(&err), Err("nope".to_string()));
+    }
+
+    #[test]
+    fn traceparent_round_trips_and_is_echoed() {
+        let tp = pda_telemetry::TraceCtx::for_nonce(42).traceparent();
+        let r = RpcRequest::new(
+            5,
+            "appraise",
+            Json::Obj(vec![("nonce".to_string(), Json::UInt(42))]),
+        )
+        .with_traceparent(tp.clone());
+        let text = r.encode();
+        let back = RpcRequest::parse(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.encode(), text, "traced round trip is byte-identical");
+
+        let reply = ok_response_traced(5, Json::Bool(true), back.traceparent.as_deref());
+        assert_eq!(parse_response(&reply), Ok(Json::Bool(true)));
+        assert_eq!(response_traceparent(&reply), Some(tp));
+        assert_eq!(
+            response_traceparent(&ok_response(5, Json::Bool(true))),
+            None,
+            "untraced responses carry no echo"
+        );
     }
 
     #[test]

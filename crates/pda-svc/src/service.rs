@@ -17,17 +17,17 @@
 use crate::federation::{Appraiser, Federation, Quorum, QuorumVerdict};
 use crate::fleet::{enroll_fleet_golden, fleet_registry, standard_fleet};
 use crate::http::{HttpRequest, HttpResponse};
-use crate::rpc::{err_response, from_hex, ok_response, RpcRequest};
+use crate::rpc::{err_response, from_hex, ok_response_traced, RpcRequest};
 use crate::runtime::Handler;
 use pda_crypto::nonce::Nonce;
 use pda_pera::config::DetailLevel;
 use pda_pera::evidence::assemble_chain;
 use pda_pera::EvidenceRecord;
 use pda_telemetry::json::Json;
-use pda_telemetry::Telemetry;
+use pda_telemetry::{FlightRecorder, SloPolicy, Telemetry, TraceCtx, TraceId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Service configuration.
@@ -69,6 +69,11 @@ pub struct AppraisalService {
     store: Mutex<HashMap<u64, Vec<EvidenceRecord>>>,
     /// Set by the `shutdown` RPC; the serve driver polls it.
     shutdown_requested: AtomicBool,
+    /// Flight recorder fed by the same telemetry handle; anomalous
+    /// verdicts trigger a per-trace dump.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Verdict-latency SLO, re-evaluated and published per appraisal.
+    slo: Option<SloPolicy>,
 }
 
 impl AppraisalService {
@@ -97,7 +102,31 @@ impl AppraisalService {
             telemetry,
             store: Mutex::new(HashMap::new()),
             shutdown_requested: AtomicBool::new(false),
+            flight: None,
+            slo: None,
         }
+    }
+
+    /// Attach a flight recorder. The recorder must be (part of) the
+    /// subscriber behind this service's [`Telemetry`] handle to see
+    /// any events; the service only drives its anomaly triggers
+    /// (rejected verdict, dissent, indeterminate appraisal, p99 SLO
+    /// breach).
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> AppraisalService {
+        self.flight = Some(recorder);
+        self
+    }
+
+    /// Track a verdict-latency SLO over `svc.verdict.ns`, publishing
+    /// compliance and burn-rate gauges after every appraisal.
+    pub fn with_slo(mut self, policy: SloPolicy) -> AppraisalService {
+        self.slo = Some(policy);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
     }
 
     /// The service's telemetry handle.
@@ -169,17 +198,33 @@ impl AppraisalService {
         // Loss-tolerant ingest: submissions may arrive duplicated or
         // reordered (lossy control channels retry); reassemble first.
         let (chain, _extras) = assemble_chain(records);
+        let trace = TraceId::for_nonce(nonce);
         let start = Instant::now();
         let verdict = self
             .federation
             .appraise(&chain, Nonce(nonce), self.chained, &self.telemetry);
         let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let mut p99_breached = false;
         if let Some(reg) = self.telemetry.registry() {
-            reg.histogram("svc.verdict.ns").record(elapsed_ns);
+            let hist = reg.histogram("svc.verdict.ns");
+            hist.record_traced(elapsed_ns, trace);
+            if let Some(slo) = &self.slo {
+                p99_breached = slo.publish(reg, &hist).p99_breached;
+            }
         }
         self.bump("svc.appraisals", 1);
         if !verdict.ok {
             self.bump("svc.appraisal_failures", 1);
+        }
+        if let Some(flight) = &self.flight {
+            if !verdict.ok {
+                flight.trigger("rejected", trace);
+            } else if !verdict.dissenters.is_empty() {
+                flight.trigger("dissent", trace);
+            }
+            if p99_breached {
+                flight.trigger("slo_p99_breach", trace);
+            }
         }
         Ok(verdict_json(&verdict, nonce, chain.len(), elapsed_ns))
     }
@@ -242,6 +287,26 @@ impl AppraisalService {
 
     /// Dispatch one JSON-RPC request.
     pub fn dispatch(&self, req: &RpcRequest) -> String {
+        // Join the caller's trace: an explicit traceparent wins, else
+        // derive from the nonce parameter (the canonical trace key).
+        let ctx = req
+            .traceparent
+            .as_deref()
+            .and_then(TraceCtx::parse_traceparent)
+            .or_else(|| {
+                req.params
+                    .get("nonce")
+                    .and_then(Json::as_u64)
+                    .map(TraceCtx::for_nonce)
+            });
+        let mut span = self.telemetry.span("svc.rpc");
+        if span.is_active() {
+            span.set("method", req.method.as_str());
+            if let Some(c) = &ctx {
+                c.child("svc.rpc", req.id).stamp(&mut span);
+            }
+        }
+        let _span = span;
         let result = match req.method.as_str() {
             "submit-evidence" => self.rpc_submit(&req.params),
             "appraise" => self.rpc_appraise(&req.params),
@@ -254,8 +319,15 @@ impl AppraisalService {
             }
             other => Err(format!("unknown method {other:?}")),
         };
+        // An appraisal that could not run at all (e.g. no evidence
+        // under the nonce) is an indeterminate verdict: worth a dump.
+        if let (Some(flight), Some(c)) = (&self.flight, &ctx) {
+            if req.method == "appraise" && result.is_err() {
+                flight.trigger("indeterminate", c.trace);
+            }
+        }
         match result {
-            Ok(v) => ok_response(req.id, v),
+            Ok(v) => ok_response_traced(req.id, v, req.traceparent.as_deref()),
             Err(msg) => err_response(req.id, -32000, &msg),
         }
     }
@@ -295,7 +367,14 @@ impl Handler for AppraisalService {
                 }
             }
             ("GET", "/metrics") => match self.telemetry.registry() {
-                Some(reg) => HttpResponse::text(200, reg.encode_prometheus()),
+                Some(reg) => {
+                    // Refresh the SLO gauges so scrapes always see
+                    // values consistent with the histogram they read.
+                    if let Some(slo) = &self.slo {
+                        slo.publish(reg, &reg.histogram("svc.verdict.ns"));
+                    }
+                    HttpResponse::text(200, reg.encode_prometheus())
+                }
                 None => HttpResponse::text(404, "telemetry disabled\n".to_string()),
             },
             ("GET", "/health") => HttpResponse::json(200, self.health_json().encode()),

@@ -74,8 +74,13 @@ proptest! {
         id in any::<u64>(),
         method in "[a-z-]{1,24}",
         params in params_strategy(),
+        trace_nonce in any::<u64>(),
     ) {
-        let req = RpcRequest::new(id, &method, params);
+        let mut req = RpcRequest::new(id, &method, params);
+        // Half the cases carry a traceparent, half don't.
+        if trace_nonce % 2 == 1 {
+            req = req.with_traceparent(pda_telemetry::TraceCtx::for_nonce(trace_nonce).traceparent());
+        }
         let wire = req.encode();
         let back = RpcRequest::parse(&wire)
             .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;

@@ -56,6 +56,10 @@ pub enum AuditEvent {
         checks: u64,
         /// First failure cause, when the verdict is negative.
         cause: Option<String>,
+        /// Causal trace ID (16-char hex) linking this verdict back to
+        /// the switch-side measurement; absent on untraced appraisals
+        /// and in pre-trace logs (the field is optional on parse).
+        trace: Option<String>,
     },
     /// A static-analysis (lint) verdict over a loaded program — emitted
     /// when a PERA switch measures the `LintVerdict` evidence level or
@@ -159,6 +163,7 @@ impl AuditRecord {
                 ok,
                 checks,
                 cause,
+                trace,
             } => {
                 f.push(("subject".into(), Json::Str(subject.clone())));
                 match nonce {
@@ -170,6 +175,10 @@ impl AuditRecord {
                 match cause {
                     Some(c) => f.push(("cause".into(), Json::Str(c.clone()))),
                     None => f.push(("cause".into(), Json::Null)),
+                }
+                // Omitted when absent, keeping pre-trace logs parseable.
+                if let Some(t) = trace {
+                    f.push(("trace".into(), Json::Str(t.clone())));
                 }
             }
             AuditEvent::Lint {
@@ -274,6 +283,15 @@ impl AuditRecord {
                             .as_str()
                             .map(str::to_string)
                             .ok_or(AuditParseErr::Type("cause".into()))?,
+                    ),
+                },
+                trace: match v.get("trace") {
+                    None | Some(Json::Null) => None,
+                    Some(other) => Some(
+                        other
+                            .as_str()
+                            .map(str::to_string)
+                            .ok_or(AuditParseErr::Type("trace".into()))?,
                     ),
                 },
             },
@@ -441,6 +459,7 @@ mod tests {
                 ok: false,
                 checks: 5,
                 cause: Some("golden value mismatch at Program".into()),
+                trace: Some(crate::trace::TraceId::for_nonce(42).to_hex()),
             },
             AuditEvent::Appraisal {
                 subject: "sw1".into(),
@@ -448,6 +467,7 @@ mod tests {
                 ok: true,
                 checks: 3,
                 cause: None,
+                trace: None,
             },
             AuditEvent::Lint {
                 subject: "sw0".into(),
@@ -517,6 +537,17 @@ mod tests {
                 r#"{"seq": 0, "kind": "signature", "signer": 3, "scheme": "x", "sig_bytes": 1}"#
             ),
             Err(AuditParseErr::Type(_))
+        ));
+    }
+
+    #[test]
+    fn pre_trace_appraisal_lines_still_parse() {
+        // Logs written before the trace field existed omit it.
+        let line = r#"{"seq": 0, "kind": "appraisal", "subject": "sw0", "nonce": 1, "ok": true, "checks": 2, "cause": null}"#;
+        let recs = parse_jsonl(line).unwrap();
+        assert!(matches!(
+            &recs[0].event,
+            AuditEvent::Appraisal { trace: None, .. }
         ));
     }
 

@@ -10,6 +10,7 @@
 use crate::json::Json;
 use std::collections::VecDeque;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A field value attached to an event.
@@ -112,6 +113,13 @@ impl Event {
 pub trait Subscriber: Send + Sync {
     /// Receive one finished event.
     fn observe(&self, event: &Event);
+
+    /// How many observed events this sink has since discarded (ring
+    /// eviction, truncation). Lossless sinks report 0; bounded sinks
+    /// override so truncated traces are detectable in dumps.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Drops every event. The default sink; [`crate::Telemetry::off`]
@@ -128,6 +136,7 @@ impl Subscriber for NoopSubscriber {
 pub struct MemorySubscriber {
     capacity: usize,
     events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
 }
 
 impl MemorySubscriber {
@@ -136,7 +145,13 @@ impl MemorySubscriber {
         MemorySubscriber {
             capacity: capacity.max(1),
             events: Mutex::new(VecDeque::new()),
+            dropped: AtomicU64::new(0),
         }
+    }
+
+    /// Events evicted to make room since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the retained events, oldest first.
@@ -160,8 +175,13 @@ impl Subscriber for MemorySubscriber {
         let mut q = self.events.lock().unwrap();
         if q.len() == self.capacity {
             q.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         q.push_back(event.clone());
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped()
     }
 }
 
@@ -210,6 +230,7 @@ mod tests {
     fn memory_ring_evicts_oldest() {
         let sub = MemorySubscriber::new(2);
         assert!(sub.is_empty());
+        assert_eq!(sub.dropped(), 0);
         for i in 0..5 {
             sub.observe(&ev("e", i));
         }
@@ -217,6 +238,8 @@ mod tests {
         assert_eq!(kept.len(), 2);
         assert_eq!(kept[0].seq, 3);
         assert_eq!(kept[1].seq, 4);
+        assert_eq!(sub.dropped(), 3, "three evictions counted");
+        assert_eq!(sub.dropped_events(), 3);
     }
 
     #[test]

@@ -24,13 +24,19 @@
 
 pub mod audit;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod slo;
+pub mod trace;
 
 pub use audit::{AuditEvent, AuditLog, AuditRecord};
 pub use event::{Event, JsonlSubscriber, MemorySubscriber, NoopSubscriber, Subscriber, Value};
+pub use flight::{render_trace_trees, FlightRecorder};
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, Registry};
+pub use slo::{SloPolicy, SloStatus};
+pub use trace::{SpanId, TraceCtx, TraceId};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -105,7 +111,7 @@ impl Telemetry {
     #[inline]
     pub fn audit(&self, event: AuditEvent) {
         if let Some(inner) = &self.inner {
-            inner.audit.append(event);
+            audit_slow(inner, event);
         }
     }
 
@@ -115,7 +121,7 @@ impl Telemetry {
     #[inline]
     pub fn audit_with(&self, build: impl FnOnce() -> AuditEvent) {
         if let Some(inner) = &self.inner {
-            inner.audit.append(build());
+            audit_build_slow(inner, build);
         }
     }
 
@@ -127,14 +133,7 @@ impl Telemetry {
     pub fn span(&self, name: impl Into<String>) -> Span {
         match &self.inner {
             None => Span { data: None },
-            Some(inner) => Span {
-                data: Some(SpanData {
-                    inner: inner.clone(),
-                    name: name.into(),
-                    start: Instant::now(),
-                    fields: Vec::new(),
-                }),
-            },
+            Some(inner) => span_slow(inner, name),
         }
     }
 
@@ -145,7 +144,20 @@ impl Telemetry {
     pub fn span_with(&self, name: impl FnOnce() -> String) -> Span {
         match &self.inner {
             None => Span { data: None },
-            Some(_) => self.span(name()),
+            Some(inner) => span_slow(inner, name()),
+        }
+    }
+
+    /// [`span`](Self::span) stamped with a trace context: the span's
+    /// event carries `trace`/`span`/`parent` fields so subscribers
+    /// (notably the flight recorder) can attribute it causally. The
+    /// context closure only runs when telemetry is enabled — disabled
+    /// handles pay the usual single branch.
+    #[inline]
+    pub fn span_in(&self, name: impl Into<String>, ctx: impl FnOnce() -> TraceCtx) -> Span {
+        match &self.inner {
+            None => Span { data: None },
+            Some(inner) => span_in_slow(inner, name, ctx),
         }
     }
 
@@ -153,24 +165,23 @@ impl Telemetry {
     #[inline]
     pub fn event(&self, name: impl Into<String>, fields: Vec<(String, Value)>) {
         if let Some(inner) = &self.inner {
-            let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-            inner.subscriber.observe(&Event {
-                name: name.into(),
-                elapsed_ns: None,
-                fields,
-                seq,
-            });
+            event_slow(inner, name, fields);
         }
     }
 
-    /// Full dump — metrics registry plus audit log — as one JSON
-    /// object. Returns `Json::Null` when disabled.
+    /// Full dump — metrics registry, audit log, and the subscriber's
+    /// dropped-event count (non-zero means truncated traces) — as one
+    /// JSON object. Returns `Json::Null` when disabled.
     pub fn dump_json(&self) -> Json {
         match &self.inner {
             None => Json::Null,
             Some(inner) => Json::Obj(vec![
                 ("metrics".to_string(), inner.registry.encode_json()),
                 ("audit".to_string(), inner.audit.to_json()),
+                (
+                    "events_dropped".to_string(),
+                    Json::UInt(inner.subscriber.dropped_events()),
+                ),
             ]),
         }
     }
@@ -192,6 +203,83 @@ impl Telemetry {
     }
 }
 
+// Enabled-path bodies live in `#[cold]`, never-inlined functions so
+// the code a call site actually inlines is just the `inner` null
+// check. Without this, a hot loop with several instrumentation points
+// inlines every enabled path's allocation and clock read, and the
+// resulting code-size/register pressure taxes the loop even when the
+// handle is off — the overhead test caught exactly that. `log` and
+// `tracing` outline their enabled paths for the same reason.
+
+#[cold]
+#[inline(never)]
+fn span_slow(inner: &Arc<Inner>, name: impl Into<String>) -> Span {
+    Span {
+        data: Some(Box::new(SpanData {
+            inner: inner.clone(),
+            name: name.into(),
+            start: Instant::now(),
+            fields: Vec::new(),
+        })),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn span_in_slow(
+    inner: &Arc<Inner>,
+    name: impl Into<String>,
+    ctx: impl FnOnce() -> TraceCtx,
+) -> Span {
+    let mut span = span_slow(inner, name);
+    ctx().stamp(&mut span);
+    span
+}
+
+#[cold]
+#[inline(never)]
+fn audit_slow(inner: &Arc<Inner>, event: AuditEvent) {
+    inner.audit.append(event);
+}
+
+#[cold]
+#[inline(never)]
+fn audit_build_slow(inner: &Arc<Inner>, build: impl FnOnce() -> AuditEvent) {
+    inner.audit.append(build());
+}
+
+#[cold]
+#[inline(never)]
+fn event_slow(inner: &Arc<Inner>, name: impl Into<String>, fields: Vec<(String, Value)>) {
+    let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+    inner.subscriber.observe(&Event {
+        name: name.into(),
+        elapsed_ns: None,
+        fields,
+        seq,
+    });
+}
+
+// Takes the Box so the inlined drop passes one pointer instead of
+// copying the payload out on the way to the cold path.
+#[allow(clippy::boxed_local)]
+#[cold]
+#[inline(never)]
+fn span_close_slow(d: Box<SpanData>) {
+    let elapsed_ns = d.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    d.inner
+        .registry
+        .histogram(&format!("{}.ns", d.name))
+        .record(elapsed_ns);
+    let seq = d.inner.seq.fetch_add(1, Ordering::Relaxed);
+    d.inner.subscriber.observe(&Event {
+        name: d.name,
+        elapsed_ns: Some(elapsed_ns),
+        fields: d.fields,
+        seq,
+    });
+}
+
 struct SpanData {
     inner: Arc<Inner>,
     name: String,
@@ -200,9 +288,16 @@ struct SpanData {
 }
 
 /// An RAII timed-span guard; see [`Telemetry::span`].
+///
+/// The payload is boxed so an inert guard (disabled handle) is a
+/// single nullable pointer: opening and dropping one costs a null
+/// check instead of shuffling the ~80-byte payload through the stack,
+/// which keeps disabled-handle instrumentation inside the hot-loop
+/// overhead budget. Enabled spans pay one allocation, noise next to
+/// the name `String` and the per-drop histogram lookup they already do.
 #[must_use = "a span measures until dropped; binding it to `_` drops it immediately"]
 pub struct Span {
-    data: Option<SpanData>,
+    data: Option<Box<SpanData>>,
 }
 
 impl Span {
@@ -213,24 +308,21 @@ impl Span {
             d.fields.push((key.to_string(), value.into()));
         }
     }
+
+    /// Whether this guard records anything (false for spans opened on
+    /// a disabled handle). Lets callers skip field-construction work.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.data.is_some()
+    }
 }
 
 impl Drop for Span {
     #[inline]
     fn drop(&mut self) {
-        let Some(d) = self.data.take() else { return };
-        let elapsed_ns = d.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        d.inner
-            .registry
-            .histogram(&format!("{}.ns", d.name))
-            .record(elapsed_ns);
-        let seq = d.inner.seq.fetch_add(1, Ordering::Relaxed);
-        d.inner.subscriber.observe(&Event {
-            name: d.name,
-            elapsed_ns: Some(elapsed_ns),
-            fields: d.fields,
-            seq,
-        });
+        if let Some(d) = self.data.take() {
+            span_close_slow(d);
+        }
     }
 }
 
@@ -329,6 +421,7 @@ mod tests {
             ok: true,
             checks: 2,
             cause: None,
+            trace: None,
         });
         let dump = tel.dump_json().encode();
         let v = json::parse(&dump).unwrap();

@@ -7,6 +7,7 @@
 //! (6.25%) while keeping the bucket array small and allocation-free.
 
 use crate::json::Json;
+use crate::trace::TraceId;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -86,12 +87,29 @@ impl Gauge {
     }
 }
 
+/// How many exemplars a histogram retains (the top-valued ones).
+pub const EXEMPLAR_CAP: usize = 4;
+
+/// A sample that carries the trace that produced it, so a p99-ish
+/// histogram observation links back to its causal timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value.
+    pub value: u64,
+    /// The trace the value was observed under.
+    pub trace: TraceId,
+}
+
 struct HistogramInner {
     buckets: Vec<AtomicU64>, // BUCKETS cells
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64, // u64::MAX when empty
     max: AtomicU64,
+    exemplars: Mutex<Vec<Exemplar>>,
+    /// Smallest retained exemplar value once the cap is reached; lets
+    /// `record_traced` reject small samples without taking the lock.
+    exemplar_floor: AtomicU64,
 }
 
 /// A log-linear histogram of `u64` samples (typically nanoseconds).
@@ -108,6 +126,8 @@ impl Default for Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplars: Mutex::new(Vec::new()),
+            exemplar_floor: AtomicU64::new(0),
         }))
     }
 }
@@ -181,6 +201,53 @@ impl Histogram {
         Some(self.0.max.load(Ordering::Relaxed))
     }
 
+    /// Record one sample and offer it as an exemplar carrying `trace`.
+    /// Only the top [`EXEMPLAR_CAP`] values are retained; smaller
+    /// samples are rejected on an atomic threshold without locking, so
+    /// the hot-path cost matches plain [`record`](Self::record) except
+    /// near the current maximum.
+    pub fn record_traced(&self, v: u64, trace: TraceId) {
+        self.record(v);
+        let inner = &*self.0;
+        // Floor stays 0 until the cap is reached, so nothing is
+        // wrongly rejected while the set is still filling.
+        if v < inner.exemplar_floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut ex = inner.exemplars.lock().unwrap();
+        ex.push(Exemplar { value: v, trace });
+        if ex.len() > EXEMPLAR_CAP {
+            let (drop_at, _) = ex
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.value)
+                .expect("non-empty");
+            ex.swap_remove(drop_at);
+        }
+        if ex.len() == EXEMPLAR_CAP {
+            let floor = ex.iter().map(|e| e.value).min().unwrap_or(0);
+            inner.exemplar_floor.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// Retained exemplars, highest value first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let mut ex = self.0.exemplars.lock().unwrap().clone();
+        ex.sort_by_key(|e| std::cmp::Reverse(e.value));
+        ex
+    }
+
+    /// Samples whose bucket lower bound is ≤ `v` — the histogram's
+    /// CDF at `v`, over-counting by at most the bucket containing `v`
+    /// (1/16 relative width). Used by SLO compliance computation.
+    pub fn count_at_or_below(&self, v: u64) -> u64 {
+        let top = bucket_index(v);
+        self.0.buckets[..=top]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Non-empty buckets as `(lower_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.0
@@ -206,6 +273,7 @@ enum Metric {
 #[derive(Clone, Default)]
 pub struct Registry {
     metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+    help: Arc<Mutex<BTreeMap<String, String>>>,
 }
 
 impl Registry {
@@ -259,6 +327,20 @@ impl Registry {
         }
     }
 
+    /// Register help text for metric `name`, rendered as the
+    /// Prometheus `# HELP` line. Idempotent; the latest text wins.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// The registered help text for `name`, if any.
+    pub fn help_text(&self, name: &str) -> Option<String> {
+        self.help.lock().unwrap().get(name).cloned()
+    }
+
     /// Names of all registered metrics, sorted.
     pub fn names(&self) -> Vec<String> {
         self.metrics.lock().unwrap().keys().cloned().collect()
@@ -307,6 +389,20 @@ impl Registry {
                                         .collect(),
                                 ),
                             ),
+                            (
+                                "exemplars".into(),
+                                Json::Arr(
+                                    h.exemplars()
+                                        .into_iter()
+                                        .map(|ex| {
+                                            Json::Obj(vec![
+                                                ("value".into(), Json::UInt(ex.value)),
+                                                ("trace".into(), Json::Str(ex.trace.to_hex())),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
                         ])
                     }
                 };
@@ -317,14 +413,24 @@ impl Registry {
     }
 
     /// Encode the registry in the Prometheus text exposition format.
-    /// Histograms are rendered summary-style (quantile series plus
-    /// `_sum`/`_count`); metric names are mangled to the allowed
+    /// Every metric gets a `# HELP` line (registered text via
+    /// [`describe`](Self::describe), or the metric's own name as a
+    /// fallback) and a `# TYPE` line. Histograms are rendered
+    /// summary-style (quantile series plus `_sum`/`_count`), with the
+    /// top retained exemplar attached to the p99 series
+    /// OpenMetrics-style; metric names are mangled to the allowed
     /// character set (`.` and `-` become `_`).
     pub fn encode_prometheus(&self) -> String {
         let m = self.metrics.lock().unwrap();
+        let help = self.help.lock().unwrap();
         let mut out = String::new();
         for (name, metric) in m.iter() {
             let pname = prom_name(name);
+            let text = help
+                .get(name)
+                .map(|h| prom_help(h))
+                .unwrap_or_else(|| name.clone());
+            out.push_str(&format!("# HELP {pname} {text}\n"));
             match metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("# TYPE {pname} counter\n{pname} {}\n", c.get()));
@@ -334,9 +440,20 @@ impl Registry {
                 }
                 Metric::Histogram(h) => {
                     out.push_str(&format!("# TYPE {pname} summary\n"));
+                    let exemplar = h.exemplars().into_iter().next();
                     for q in [0.5, 0.9, 0.99] {
                         let v = h.quantile(q).unwrap_or(0);
-                        out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}\n"));
+                        out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}"));
+                        if q == 0.99 {
+                            if let Some(ex) = &exemplar {
+                                out.push_str(&format!(
+                                    " # {{trace_id=\"{}\"}} {}",
+                                    ex.trace.to_hex(),
+                                    ex.value
+                                ));
+                            }
+                        }
+                        out.push('\n');
                     }
                     out.push_str(&format!("{pname}_sum {}\n", h.sum()));
                     out.push_str(&format!("{pname}_count {}\n", h.count()));
@@ -354,6 +471,11 @@ fn prom_name(name: &str) -> String {
             _ => '_',
         })
         .collect()
+}
+
+/// Escape help text per the exposition format: backslash and newline.
+fn prom_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -487,5 +609,79 @@ mod tests {
         assert!(text.contains("pera_cache_hits 9"));
         assert!(text.contains("pipeline_stage_acl_ns{quantile=\"0.5\"}"));
         assert!(text.contains("pipeline_stage_acl_ns_count 1"));
+    }
+
+    #[test]
+    fn prometheus_help_lines_precede_type_lines() {
+        let r = Registry::new();
+        r.counter("pera.cache.hits").add(9);
+        r.describe("pera.cache.hits", "measurement cache hits");
+        r.gauge("netsim.depth").set(2);
+        r.histogram("lat.ns").record(7);
+        r.describe("lat.ns", "line one\nline two \\ backslash");
+        let text = r.encode_prometheus();
+        // Registered help is emitted, escaped, directly above TYPE.
+        assert!(text.contains(
+            "# HELP pera_cache_hits measurement cache hits\n# TYPE pera_cache_hits counter\n"
+        ));
+        assert!(text
+            .contains("# HELP lat_ns line one\\nline two \\\\ backslash\n# TYPE lat_ns summary\n"));
+        // Undescribed metrics fall back to their own name.
+        assert!(text.contains("# HELP netsim_depth netsim.depth\n# TYPE netsim_depth gauge\n"));
+        // Every TYPE line has a HELP line.
+        let helps = text.matches("# HELP ").count();
+        let types = text.matches("# TYPE ").count();
+        assert_eq!(helps, types);
+        assert_eq!(helps, 3);
+    }
+
+    #[test]
+    fn exemplars_keep_top_values_and_render() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record_traced(v, TraceId::for_nonce(v));
+        }
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), EXEMPLAR_CAP);
+        assert_eq!(ex[0].value, 100);
+        assert_eq!(ex[0].trace, TraceId::for_nonce(100));
+        assert!(ex.iter().all(|e| e.value > 100 - 2 * EXEMPLAR_CAP as u64));
+        let r = Registry::new();
+        let rh = r.histogram("lat.ns");
+        rh.record_traced(5000, TraceId::for_nonce(7));
+        let text = r.encode_prometheus();
+        let p99_line = text
+            .lines()
+            .find(|l| l.contains("quantile=\"0.99\""))
+            .unwrap();
+        assert!(
+            p99_line.contains(&format!(
+                "# {{trace_id=\"{}\"}} 5000",
+                TraceId::for_nonce(7).to_hex()
+            )),
+            "p99 line carries the exemplar: {p99_line}"
+        );
+        let v = crate::json::parse(&r.encode_json().encode()).unwrap();
+        let exs = v
+            .get("lat.ns")
+            .and_then(|m| m.get("exemplars"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(exs.len(), 1);
+        assert_eq!(exs[0].get("value").and_then(Json::as_u64), Some(5000));
+    }
+
+    #[test]
+    fn count_at_or_below_is_a_cdf() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count_at_or_below(0), 0);
+        assert!(h.count_at_or_below(10) >= 10);
+        assert_eq!(h.count_at_or_below(u64::MAX), 100);
+        let at_50 = h.count_at_or_below(50);
+        // Over-counts by at most the bucket containing 50 (width 4).
+        assert!((50..=54).contains(&at_50), "cdf(50) = {at_50}");
     }
 }

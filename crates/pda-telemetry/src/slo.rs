@@ -1,0 +1,149 @@
+//! Service-level objectives over histograms: a latency (or
+//! completeness) target, the fraction of samples meeting it, and the
+//! error-budget burn rate.
+//!
+//! An [`SloPolicy`] says "`objective` of samples must be at or below
+//! `target`". Evaluation reads a histogram's CDF at the target
+//! ([`crate::Histogram::count_at_or_below`]); the burn rate is the
+//! observed bad fraction divided by the allowed bad fraction, so 1.0
+//! means the budget is being consumed exactly as provisioned and
+//! anything above it means the budget will be exhausted early.
+//! [`SloPolicy::publish`] mirrors the evaluation into gauges
+//! (`{name}.slo.*`, parts-per-million to stay integral) so `/metrics`
+//! exposes compliance alongside the raw histograms.
+
+use crate::metrics::{Histogram, Registry};
+
+/// A target + objective over one histogram-tracked signal.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloPolicy {
+    /// Metric family the gauges are published under (e.g.
+    /// `svc.verdict`).
+    pub name: String,
+    /// Samples at or below this value are "good" (same unit as the
+    /// histogram, typically nanoseconds).
+    pub target: u64,
+    /// Required good fraction in `(0.0, 1.0)`, e.g. `0.99`.
+    pub objective: f64,
+}
+
+/// One evaluation of an [`SloPolicy`] against a histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloStatus {
+    /// Total samples observed.
+    pub count: u64,
+    /// Samples meeting the target.
+    pub good: u64,
+    /// `good / count` (1.0 when empty — no evidence of violation).
+    pub compliance: f64,
+    /// Bad fraction over allowed bad fraction; > 1.0 burns the error
+    /// budget faster than provisioned.
+    pub burn_rate: f64,
+    /// Whether the histogram's p99 exceeds the target — the anomaly
+    /// trigger condition for the flight recorder.
+    pub p99_breached: bool,
+}
+
+impl SloPolicy {
+    /// A policy requiring `objective` of samples at or below `target`.
+    pub fn new(name: &str, target: u64, objective: f64) -> SloPolicy {
+        SloPolicy {
+            name: name.to_string(),
+            target,
+            objective: objective.clamp(0.0, 0.9999),
+        }
+    }
+
+    /// Evaluate against `hist`.
+    pub fn evaluate(&self, hist: &Histogram) -> SloStatus {
+        let count = hist.count();
+        let good = hist.count_at_or_below(self.target).min(count);
+        let compliance = if count == 0 {
+            1.0
+        } else {
+            good as f64 / count as f64
+        };
+        let allowed_bad = (1.0 - self.objective).max(f64::EPSILON);
+        let burn_rate = (1.0 - compliance) / allowed_bad;
+        let p99_breached = hist.quantile(0.99).is_some_and(|p99| p99 > self.target);
+        SloStatus {
+            count,
+            good,
+            compliance,
+            burn_rate,
+            p99_breached,
+        }
+    }
+
+    /// Evaluate and mirror into `registry` gauges:
+    /// `{name}.slo.compliance_ppm`, `{name}.slo.burn_rate_ppm`, and
+    /// `{name}.slo.p99_breached` (0/1).
+    pub fn publish(&self, registry: &Registry, hist: &Histogram) -> SloStatus {
+        let status = self.evaluate(hist);
+        let g = |suffix: &str| registry.gauge(&format!("{}.slo.{suffix}", self.name));
+        registry.describe(
+            &format!("{}.slo.compliance_ppm", self.name),
+            "fraction of samples meeting the SLO target, in parts per million",
+        );
+        registry.describe(
+            &format!("{}.slo.burn_rate_ppm", self.name),
+            "error-budget burn rate (bad fraction / allowed bad fraction), in parts per million",
+        );
+        registry.describe(
+            &format!("{}.slo.p99_breached", self.name),
+            "1 when the histogram p99 exceeds the SLO target",
+        );
+        g("compliance_ppm").set((status.compliance * 1e6) as i64);
+        g("burn_rate_ppm").set((status.burn_rate * 1e6) as i64);
+        g("p99_breached").set(i64::from(status.p99_breached));
+        status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_compliant() {
+        let h = Histogram::default();
+        let s = SloPolicy::new("x", 100, 0.99).evaluate(&h);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.compliance, 1.0);
+        assert_eq!(s.burn_rate, 0.0);
+        assert!(!s.p99_breached);
+    }
+
+    #[test]
+    fn burn_rate_scales_with_bad_fraction() {
+        let h = Histogram::default();
+        // 98 good (≤100), 2 bad: bad fraction 2% against a 1% budget.
+        for _ in 0..98 {
+            h.record(10);
+        }
+        h.record(100_000);
+        h.record(100_000);
+        let s = SloPolicy::new("x", 100, 0.99).evaluate(&h);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.good, 98);
+        assert!((s.burn_rate - 2.0).abs() < 0.05, "burn = {}", s.burn_rate);
+        assert!(s.p99_breached, "p99 is far above target");
+    }
+
+    #[test]
+    fn publish_mirrors_into_gauges() {
+        let r = Registry::new();
+        let h = r.histogram("svc.verdict.ns");
+        for _ in 0..10 {
+            h.record(50);
+        }
+        let s = SloPolicy::new("svc.verdict", 100, 0.99).publish(&r, &h);
+        assert_eq!(s.compliance, 1.0);
+        assert_eq!(r.gauge("svc.verdict.slo.compliance_ppm").get(), 1_000_000);
+        assert_eq!(r.gauge("svc.verdict.slo.burn_rate_ppm").get(), 0);
+        assert_eq!(r.gauge("svc.verdict.slo.p99_breached").get(), 0);
+        let prom = r.encode_prometheus();
+        assert!(prom.contains("svc_verdict_slo_compliance_ppm 1000000"));
+        assert!(prom.contains("# HELP svc_verdict_slo_burn_rate_ppm"));
+    }
+}
