@@ -205,11 +205,18 @@ impl AppraisalService {
             .appraise(&chain, Nonce(nonce), self.chained, &self.telemetry);
         let elapsed_ns = start.elapsed().as_nanos() as u64;
         let mut p99_breached = false;
+        let mut slow_traces: Vec<TraceId> = Vec::new();
         if let Some(reg) = self.telemetry.registry() {
             let hist = reg.histogram("svc.verdict.ns");
             hist.record_traced(elapsed_ns, trace);
             if let Some(slo) = &self.slo {
                 p99_breached = slo.publish(reg, &hist).p99_breached;
+                if p99_breached {
+                    // A p99 breach is an aggregate symptom: the slow
+                    // requests are the histogram's exemplars, not
+                    // necessarily the request that tipped the quantile.
+                    slow_traces = hist.exemplars().into_iter().map(|e| e.trace).collect();
+                }
             }
         }
         self.bump("svc.appraisals", 1);
@@ -223,7 +230,14 @@ impl AppraisalService {
                 flight.trigger("dissent", trace);
             }
             if p99_breached {
-                flight.trigger("slo_p99_breach", trace);
+                // Dump the exemplar (actually-slow) traces plus the
+                // current one, deduplicated.
+                if !slow_traces.contains(&trace) {
+                    slow_traces.push(trace);
+                }
+                for t in &slow_traces {
+                    flight.trigger("slo_p99_breach", *t);
+                }
             }
         }
         Ok(verdict_json(&verdict, nonce, chain.len(), elapsed_ns))

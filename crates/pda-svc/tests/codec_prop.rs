@@ -88,6 +88,39 @@ proptest! {
         prop_assert_eq!(back.encode(), wire);
     }
 
+    /// The traceparent parser never panics on arbitrary field
+    /// contents — including multi-byte UTF-8 straddling the 32-byte
+    /// trace field's split point — whether fed raw or through a full
+    /// JSON-RPC round trip, the way `dispatch` receives it from the
+    /// network.
+    #[test]
+    fn traceparent_parser_never_panics(
+        raw in "[0-9a-f é☃-]{0,64}",
+        head in "[0-9a-f]{0,20}",
+        mid in "[0-9a-fé☃]",
+        span in "[0-9a-f]{16}",
+    ) {
+        let _ = pda_telemetry::TraceCtx::parse_traceparent(&raw);
+        // A correctly framed header whose trace field may contain a
+        // multi-byte char at any byte offset, padded to 32 bytes so
+        // the length check passes and the split point is exercised.
+        let mut field = head;
+        field.push_str(&mid);
+        let used = field.len();
+        if used <= 32 {
+            field.push_str(&"0".repeat(32 - used));
+        }
+        let framed = format!("00-{field}-{span}-01");
+        let _ = pda_telemetry::TraceCtx::parse_traceparent(&framed);
+        // And via the RPC codec, as the service's dispatch path does.
+        let req = RpcRequest::new(1, "appraise", Json::Null).with_traceparent(framed);
+        let back = RpcRequest::parse(&req.encode())
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        if let Some(tp) = back.traceparent.as_deref() {
+            let _ = pda_telemetry::TraceCtx::parse_traceparent(tp);
+        }
+    }
+
     /// Hex codec: encode∘decode is the identity, and decode never
     /// panics on arbitrary strings.
     #[test]

@@ -90,6 +90,15 @@ impl Gauge {
 /// How many exemplars a histogram retains (the top-valued ones).
 pub const EXEMPLAR_CAP: usize = 4;
 
+/// Exemplars older than this many subsequent observations are stale:
+/// they are evicted on the next windowed sweep and hidden from
+/// [`Histogram::exemplars`], so exported exemplars always point at
+/// recent traces whose flight-recorder rings are still dumpable — an
+/// early latency spike cannot pin the exemplar set (or its admission
+/// floor) forever. Measured in observations, not wall time, to keep
+/// the histogram deterministic and replayable.
+pub const EXEMPLAR_WINDOW: u64 = 1024;
+
 /// A sample that carries the trace that produced it, so a p99-ish
 /// histogram observation links back to its causal timeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,16 +109,29 @@ pub struct Exemplar {
     pub trace: TraceId,
 }
 
+/// A retained exemplar plus the observation count at which it was
+/// recorded, for window-based staleness.
+struct ExemplarSlot {
+    value: u64,
+    trace: TraceId,
+    seq: u64,
+}
+
 struct HistogramInner {
     buckets: Vec<AtomicU64>, // BUCKETS cells
     count: AtomicU64,
     sum: AtomicU64,
     min: AtomicU64, // u64::MAX when empty
     max: AtomicU64,
-    exemplars: Mutex<Vec<Exemplar>>,
+    exemplars: Mutex<Vec<ExemplarSlot>>,
     /// Smallest retained exemplar value once the cap is reached; lets
     /// `record_traced` reject small samples without taking the lock.
+    /// Recomputed after every admission and windowed sweep, so it can
+    /// fall back down once stale high-water exemplars expire.
     exemplar_floor: AtomicU64,
+    /// Observation count at the last staleness sweep; a sweep runs
+    /// every [`EXEMPLAR_WINDOW`] observations.
+    exemplar_sweep: AtomicU64,
 }
 
 /// A log-linear histogram of `u64` samples (typically nanoseconds).
@@ -128,6 +150,7 @@ impl Default for Histogram {
             max: AtomicU64::new(0),
             exemplars: Mutex::new(Vec::new()),
             exemplar_floor: AtomicU64::new(0),
+            exemplar_sweep: AtomicU64::new(0),
         }))
     }
 }
@@ -202,20 +225,34 @@ impl Histogram {
     }
 
     /// Record one sample and offer it as an exemplar carrying `trace`.
-    /// Only the top [`EXEMPLAR_CAP`] values are retained; smaller
+    /// Only the top [`EXEMPLAR_CAP`] values within the last
+    /// [`EXEMPLAR_WINDOW`]-ish observations are retained; smaller
     /// samples are rejected on an atomic threshold without locking, so
     /// the hot-path cost matches plain [`record`](Self::record) except
-    /// near the current maximum.
+    /// near the current maximum and at window boundaries.
     pub fn record_traced(&self, v: u64, trace: TraceId) {
         self.record(v);
         let inner = &*self.0;
+        let seq = inner.count.load(Ordering::Relaxed);
+        let sweep_due =
+            seq.wrapping_sub(inner.exemplar_sweep.load(Ordering::Relaxed)) >= EXEMPLAR_WINDOW;
         // Floor stays 0 until the cap is reached, so nothing is
-        // wrongly rejected while the set is still filling.
-        if v < inner.exemplar_floor.load(Ordering::Relaxed) {
+        // wrongly rejected while the set is still filling. When a
+        // sweep is due we take the lock regardless: stale exemplars
+        // must expire even if every new sample sits below the floor.
+        if !sweep_due && v < inner.exemplar_floor.load(Ordering::Relaxed) {
             return;
         }
         let mut ex = inner.exemplars.lock().unwrap();
-        ex.push(Exemplar { value: v, trace });
+        if sweep_due {
+            inner.exemplar_sweep.store(seq, Ordering::Relaxed);
+            ex.retain(|e| seq.wrapping_sub(e.seq) < EXEMPLAR_WINDOW);
+        }
+        ex.push(ExemplarSlot {
+            value: v,
+            trace,
+            seq,
+        });
         if ex.len() > EXEMPLAR_CAP {
             let (drop_at, _) = ex
                 .iter()
@@ -224,15 +261,30 @@ impl Histogram {
                 .expect("non-empty");
             ex.swap_remove(drop_at);
         }
-        if ex.len() == EXEMPLAR_CAP {
-            let floor = ex.iter().map(|e| e.value).min().unwrap_or(0);
-            inner.exemplar_floor.store(floor, Ordering::Relaxed);
-        }
+        let floor = if ex.len() == EXEMPLAR_CAP {
+            ex.iter().map(|e| e.value).min().unwrap_or(0)
+        } else {
+            0
+        };
+        inner.exemplar_floor.store(floor, Ordering::Relaxed);
     }
 
-    /// Retained exemplars, highest value first.
+    /// Retained non-stale exemplars (recorded within the last
+    /// [`EXEMPLAR_WINDOW`] observations), highest value first.
     pub fn exemplars(&self) -> Vec<Exemplar> {
-        let mut ex = self.0.exemplars.lock().unwrap().clone();
+        let seq = self.0.count.load(Ordering::Relaxed);
+        let mut ex: Vec<Exemplar> = self
+            .0
+            .exemplars
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| seq.wrapping_sub(e.seq) < EXEMPLAR_WINDOW)
+            .map(|e| Exemplar {
+                value: e.value,
+                trace: e.trace,
+            })
+            .collect();
         ex.sort_by_key(|e| std::cmp::Reverse(e.value));
         ex
     }
@@ -416,10 +468,13 @@ impl Registry {
     /// Every metric gets a `# HELP` line (registered text via
     /// [`describe`](Self::describe), or the metric's own name as a
     /// fallback) and a `# TYPE` line. Histograms are rendered
-    /// summary-style (quantile series plus `_sum`/`_count`), with the
-    /// top retained exemplar attached to the p99 series
-    /// OpenMetrics-style; metric names are mangled to the allowed
-    /// character set (`.` and `-` become `_`).
+    /// summary-style (quantile series plus `_sum`/`_count`); metric
+    /// names are mangled to the allowed character set (`.` and `-`
+    /// become `_`). Exemplars are deliberately absent here: the
+    /// classic text format has no exemplar syntax at all, and even
+    /// OpenMetrics forbids them on summaries, so attaching one would
+    /// make real scrapes fail to parse — exemplars are exported via
+    /// [`encode_json`](Self::encode_json) instead.
     pub fn encode_prometheus(&self) -> String {
         let m = self.metrics.lock().unwrap();
         let help = self.help.lock().unwrap();
@@ -440,20 +495,9 @@ impl Registry {
                 }
                 Metric::Histogram(h) => {
                     out.push_str(&format!("# TYPE {pname} summary\n"));
-                    let exemplar = h.exemplars().into_iter().next();
                     for q in [0.5, 0.9, 0.99] {
                         let v = h.quantile(q).unwrap_or(0);
-                        out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}"));
-                        if q == 0.99 {
-                            if let Some(ex) = &exemplar {
-                                out.push_str(&format!(
-                                    " # {{trace_id=\"{}\"}} {}",
-                                    ex.trace.to_hex(),
-                                    ex.value
-                                ));
-                            }
-                        }
-                        out.push('\n');
+                        out.push_str(&format!("{pname}{{quantile=\"{q}\"}} {v}\n"));
                     }
                     out.push_str(&format!("{pname}_sum {}\n", h.sum()));
                     out.push_str(&format!("{pname}_count {}\n", h.count()));
@@ -649,18 +693,17 @@ mod tests {
         let r = Registry::new();
         let rh = r.histogram("lat.ns");
         rh.record_traced(5000, TraceId::for_nonce(7));
+        // Exemplars live in the JSON exposition only; the Prometheus
+        // text format has no legal syntax for them (classic forbids
+        // trailing exemplars outright, OpenMetrics forbids them on
+        // summaries), so every sample line must stay plain.
         let text = r.encode_prometheus();
-        let p99_line = text
-            .lines()
-            .find(|l| l.contains("quantile=\"0.99\""))
-            .unwrap();
-        assert!(
-            p99_line.contains(&format!(
-                "# {{trace_id=\"{}\"}} 5000",
-                TraceId::for_nonce(7).to_hex()
-            )),
-            "p99 line carries the exemplar: {p99_line}"
-        );
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                !line.contains(" # "),
+                "sample line must not carry an exemplar: {line}"
+            );
+        }
         let v = crate::json::parse(&r.encode_json().encode()).unwrap();
         let exs = v
             .get("lat.ns")
@@ -669,6 +712,45 @@ mod tests {
             .unwrap();
         assert_eq!(exs.len(), 1);
         assert_eq!(exs[0].get("value").and_then(Json::as_u64), Some(5000));
+        assert_eq!(
+            exs[0].get("trace").and_then(Json::as_str),
+            Some(TraceId::for_nonce(7).to_hex().as_str())
+        );
+    }
+
+    #[test]
+    fn exemplars_age_out_after_window() {
+        let h = Histogram::default();
+        // An early latency spike tops the exemplar set and raises the
+        // admission floor...
+        h.record_traced(1_000_000, TraceId::for_nonce(1));
+        assert_eq!(h.exemplars()[0].value, 1_000_000);
+        // ...but after a couple of windows of ordinary samples the
+        // spike has expired, the floor has fallen, and every exported
+        // exemplar references a recent observation.
+        for i in 0..2 * EXEMPLAR_WINDOW + 10 {
+            h.record_traced(10 + (i % 5), TraceId::for_nonce(100 + i));
+        }
+        let ex = h.exemplars();
+        assert!(!ex.is_empty(), "recent samples refill the set");
+        assert!(
+            ex.iter().all(|e| e.value < 1_000_000),
+            "stale spike expired: {:?}",
+            ex.iter().map(|e| e.value).collect::<Vec<_>>()
+        );
+        assert_ne!(ex[0].trace, TraceId::for_nonce(1));
+    }
+
+    #[test]
+    fn stale_exemplars_are_hidden_even_without_a_sweep() {
+        let h = Histogram::default();
+        h.record_traced(9999, TraceId::for_nonce(3));
+        // Untraced records age the exemplar past the window; the next
+        // read must not export it even though no sweep has run.
+        for _ in 0..EXEMPLAR_WINDOW {
+            h.record(1);
+        }
+        assert!(h.exemplars().is_empty(), "stale exemplar hidden on read");
     }
 
     #[test]

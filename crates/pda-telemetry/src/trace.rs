@@ -144,8 +144,17 @@ impl TraceCtx {
     /// Parse a [`traceparent`](Self::traceparent) header. Accepts any
     /// version byte; takes the low 64 bits of the trace field. The
     /// parsed span becomes the parent-to-be: callers derive children
-    /// from the returned context.
+    /// from the returned context. Never panics: the header arrives
+    /// from the network (the JSON-RPC `traceparent` field), so
+    /// arbitrary UTF-8 — including multi-byte characters straddling
+    /// the trace-field split point — must parse to `None`, not crash.
     pub fn parse_traceparent(s: &str) -> Option<TraceCtx> {
+        // A traceparent is ASCII by definition; rejecting non-ASCII up
+        // front also guarantees every byte index below is a char
+        // boundary.
+        if !s.is_ascii() {
+            return None;
+        }
         let mut parts = s.split('-');
         let _version = parts.next()?;
         let trace_hex = parts.next()?;
@@ -153,7 +162,8 @@ impl TraceCtx {
         if trace_hex.len() != 32 || span_hex.len() != 16 {
             return None;
         }
-        let trace = u64::from_str_radix(&trace_hex[16..], 16).ok()?;
+        // `get` (not slicing): byte 16 may not be a char boundary.
+        let trace = u64::from_str_radix(trace_hex.get(16..)?, 16).ok()?;
         let span = u64::from_str_radix(span_hex, 16).ok()?;
         if trace == 0 {
             return None;
@@ -223,6 +233,21 @@ mod tests {
         assert!(TraceCtx::parse_traceparent("00-zz-yy-01").is_none());
         let zero = format!("00-{:032x}-{:016x}-01", 0u64, 5u64);
         assert!(TraceCtx::parse_traceparent(&zero).is_none());
+    }
+
+    #[test]
+    fn traceparent_rejects_multibyte_without_panicking() {
+        // 32-byte trace field whose byte 16 falls inside a two-byte
+        // UTF-8 char ('é'): slicing would panic; parsing must not.
+        let field = format!("{}é{}", "a".repeat(15), "b".repeat(15));
+        assert_eq!(field.len(), 32);
+        let header = format!("00-{field}-{:016x}-01", 5u64);
+        assert!(TraceCtx::parse_traceparent(&header).is_none());
+        // Multi-byte chars elsewhere in the field are rejected too.
+        let field = format!("é{}", "c".repeat(30));
+        assert_eq!(field.len(), 32);
+        let header = format!("00-{field}-{:016x}-01", 5u64);
+        assert!(TraceCtx::parse_traceparent(&header).is_none());
     }
 
     #[test]
