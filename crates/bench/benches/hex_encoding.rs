@@ -1,0 +1,42 @@
+//! Hex-encoding micro-bench: the per-byte `format!` encoder that
+//! `pda_svc::rpc::to_hex` used to be, against the LUT encoder
+//! (`pda_crypto::hex_encode`) it now delegates to. Evidence blobs are
+//! hexed on every `submit-evidence` round trip, so this sits on the
+//! service's request path at multi-KiB sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The old encoder, verbatim: one heap-allocated `format!` per byte.
+fn to_hex_format_per_byte(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn bench_hex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hex_encode");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0x5au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("format_per_byte", size), &data, |b, d| {
+            b.iter(|| to_hex_format_per_byte(black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("lut", size), &data, |b, d| {
+            b.iter(|| pda_svc::rpc::to_hex(black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hex
+}
+criterion_main!(benches);

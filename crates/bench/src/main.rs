@@ -127,8 +127,9 @@ fn e15_json(rows: &[E15Row]) -> Json {
     ])
 }
 
-/// Render the E18 rows as the `BENCH_e18.json` document.
-fn e18_json(rows: &[E18Row]) -> Json {
+/// Render the E18 churn rows plus the connection-plane sweep as the
+/// `BENCH_e18.json` document.
+fn e18_json(rows: &[E18Row], sweep: &[E18SweepRow]) -> Json {
     Json::Obj(vec![
         ("experiment".into(), Json::Str("e18".into())),
         ("git_rev".into(), Json::Str(git_rev())),
@@ -152,6 +153,26 @@ fn e18_json(rows: &[E18Row]) -> Json {
                             ("appraisals_per_sec".into(), Json::Num(r.appraisals_per_sec)),
                             ("p50_ns".into(), Json::UInt(r.p50_ns)),
                             ("p99_ns".into(), Json::UInt(r.p99_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "sweep".into(),
+            Json::Arr(
+                sweep
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("variant".into(), Json::Str(r.variant.clone())),
+                            ("keep_alive".into(), Json::Bool(r.keep_alive)),
+                            ("workers".into(), Json::UInt(r.workers as u64)),
+                            ("verdicts".into(), Json::UInt(r.verdicts)),
+                            ("verdicts_per_sec".into(), Json::Num(r.verdicts_per_sec)),
+                            ("p50_ns".into(), Json::UInt(r.p50_ns)),
+                            ("p99_ns".into(), Json::UInt(r.p99_ns)),
+                            ("client_reuses".into(), Json::UInt(r.client_reuses)),
                         ])
                     })
                     .collect(),
@@ -508,8 +529,43 @@ fn main() {
             );
         }
         println!();
+
+        println!("== E18 sweep: connection persistence x workers (pure appraise RPCs) ==");
+        println!(
+            "{:<16} {:>8} {:>9} {:>12} {:>9} {:>9} {:>8}",
+            "variant", "workers", "verdicts", "verdicts/s", "p50-us", "p99-us", "reuses"
+        );
+        let sweep = exp_e18_sweep();
+        for r in &sweep {
+            println!(
+                "{:<16} {:>8} {:>9} {:>12.0} {:>9.1} {:>9.1} {:>8}",
+                r.variant,
+                r.workers,
+                r.verdicts,
+                r.verdicts_per_sec,
+                r.p50_ns as f64 / 1e3,
+                r.p99_ns as f64 / 1e3,
+                r.client_reuses,
+            );
+        }
+        // Keep-alive speedup at equal worker count: the headline delta.
+        for workers in [1usize, 4] {
+            let rate = |ka: bool| {
+                sweep
+                    .iter()
+                    .find(|r| r.keep_alive == ka && r.workers == workers)
+                    .map(|r| r.verdicts_per_sec)
+            };
+            if let (Some(ka), Some(close)) = (rate(true), rate(false)) {
+                println!(
+                    "keep-alive speedup at {workers} worker(s): {:.2}x",
+                    ka / close
+                );
+            }
+        }
+        println!();
         if bench_json.is_some() {
-            bench_docs.push(e18_json(&rows));
+            bench_docs.push(e18_json(&rows, &sweep));
         }
     }
 

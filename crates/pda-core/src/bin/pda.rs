@@ -17,9 +17,11 @@
 //!              run the static analyzer over builtin dataplane programs
 //! pda serve    [--port P] [--hops N] [--appraisers N] [--quorum Q]
 //!              [--corrupt] [--workers W] [--flight-recorder <path>]
-//!              [--slo-target-ns N]
+//!              [--slo-target-ns N] [--no-keep-alive] [--max-requests N]
+//!              [--idle-timeout-ms N]
 //!              run the long-lived appraisal service (pda-svc)
-//! pda client   --addr H:P <health|metrics|submit|appraise|audit|churn|shutdown>
+//! pda client   --addr H:P [--no-keep-alive]
+//!              <health|metrics|submit|appraise|audit|churn|shutdown>
 //!              talk to a running appraisal service
 //! pda trace    <dump.jsonl> [--trace <16-hex id>]
 //!              render flight-recorder dumps as per-trace span trees
@@ -78,7 +80,8 @@ const USAGE: &str = "usage:
   pda serve    [--port P] [--hops N] [--appraisers N]
                [--quorum majority|unanimous|K-of-N] [--corrupt] [--workers W]
                [--flight-recorder <dump.jsonl>] [--slo-target-ns N]
-  pda client   --addr H:P health | metrics | shutdown
+               [--no-keep-alive] [--max-requests N] [--idle-timeout-ms N]
+  pda client   --addr H:P [--no-keep-alive] health | metrics | shutdown
   pda client   --addr H:P submit [--hops N] [--nonce N] [--packets P] [--rogue]
   pda client   --addr H:P appraise --nonce N [--expect ok|reject]
   pda client   --addr H:P audit [--subject S] [--limit N]
@@ -520,10 +523,40 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         ));
         println!("slo: 99% of verdicts within {target} ns (gauges on /metrics)");
     }
+    // Connection-plane knobs: keep-alive is the default; `--no-keep-alive`
+    // restores one-request-per-connection for A/B runs and legacy peers.
+    let mut options = pda_svc::ServeOptions::default();
+    if has_flag(args, "--no-keep-alive") {
+        options = pda_svc::ServeOptions::closing();
+    }
+    if let Some(v) = flag_value(args, "--max-requests") {
+        options.max_requests = v.parse().map_err(|_| "bad --max-requests".to_string())?;
+    }
+    if let Some(v) = flag_value(args, "--idle-timeout-ms") {
+        let ms: u64 = v.parse().map_err(|_| "bad --idle-timeout-ms".to_string())?;
+        options.idle_timeout = std::time::Duration::from_millis(ms);
+    }
+
     let svc = Arc::new(svc);
-    let mut server = pda_svc::serve(&format!("127.0.0.1:{port}"), workers, Arc::clone(&svc))
-        .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+    let mut server = pda_svc::serve_with(
+        &format!("127.0.0.1:{port}"),
+        workers,
+        Arc::clone(&svc),
+        options.clone(),
+    )
+    .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
     println!("pda-svc listening on {}", server.addr);
+    println!(
+        "connections: {}",
+        if options.keep_alive {
+            format!(
+                "keep-alive (cap {} requests, idle timeout {:?})",
+                options.max_requests, options.idle_timeout
+            )
+        } else {
+            "close after each request".to_string()
+        }
+    );
     println!(
         "fleet: {hops} hops; federation: {appraisers} appraisers, quorum {}{}",
         config.quorum,
@@ -572,7 +605,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         .ok_or("--addr H:P is required")?
         .parse()
         .map_err(|_| "bad --addr (want host:port)".to_string())?;
-    let client = SvcClient::new(addr);
+    let client = SvcClient::new(addr).with_keep_alive(!has_flag(args, "--no-keep-alive"));
     let action = positional_after_flags(
         args,
         &[
@@ -653,6 +686,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             };
             let report = pda_svc::run_churn(&client, &cfg)?;
             println!("{report:#?}");
+            println!("client connection reuses: {}", client.reused_connections());
         }
         other => {
             return Err(format!(

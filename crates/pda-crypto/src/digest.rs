@@ -8,8 +8,10 @@ const HEX: &[u8; 16] = b"0123456789abcdef";
 /// Hex-encode via table lookup. The obvious per-byte
 /// `format!("{b:02x}")` routes every byte through the `fmt` machinery
 /// and allocates a fresh `String` each time; this builds one exact-size
-/// buffer with two table lookups per byte.
-fn hex_encode(bytes: &[u8]) -> String {
+/// buffer with two table lookups per byte. Public because callers
+/// outside this crate (evidence submission payloads in `pda-svc`) hex
+/// multi-megabyte buffers through it.
+pub fn hex_encode(bytes: &[u8]) -> String {
     let mut out = Vec::with_capacity(bytes.len() * 2);
     for &b in bytes {
         out.push(HEX[usize::from(b >> 4)]);

@@ -1,9 +1,20 @@
 //! Blocking client for the appraisal service.
 //!
-//! One TCP connection per call (the server speaks
-//! `Connection: close`), so the client is stateless and trivially
-//! thread-safe to clone around.
+//! Persistent by default: the client keeps a small pool of kept-alive
+//! TCP connections to the service and frames responses by
+//! `Content-Length` (not read-to-EOF), so a sustained stream of small
+//! RPCs — exactly the continuous-attestation workload — pays the TCP
+//! handshake once per connection instead of once per call. A pooled
+//! connection that went stale (server restarted, idle-timed out, hit
+//! its request cap) is detected on first use and replaced with a fresh
+//! one, transparently. `with_keep_alive(false)` restores the old
+//! one-connection-per-call behaviour for comparison; it is what the
+//! E18 sweep's `close` rows measure.
+//!
+//! The client is thread-safe: the pool is a mutex-guarded stack, and
+//! concurrent callers simply check out distinct connections.
 
+use crate::http::{parse_response_bytes, ParsedResponse, ResponseParse};
 use crate::rpc::{parse_response, response_traceparent, to_hex, RpcRequest};
 use pda_pera::EvidenceRecord;
 use pda_telemetry::json::Json;
@@ -11,24 +22,53 @@ use pda_telemetry::TraceCtx;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
-/// Per-call I/O timeout.
+/// Per-call I/O timeout — also bounds `connect`, so a blackholed
+/// service address fails within this bound instead of the OS default
+/// (which can be minutes).
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Idle connections kept for reuse. More concurrent callers than this
+/// simply reconnect; fewer and the pool stays warm.
+const POOL_SIZE: usize = 4;
 
 /// A client bound to one service address.
 pub struct SvcClient {
     addr: SocketAddr,
     next_id: AtomicU64,
+    keep_alive: bool,
+    /// Idle kept-alive connections, most recently used last.
+    pool: Mutex<Vec<TcpStream>>,
+    /// Calls that reused a pooled connection (observability for tests
+    /// and the churn driver).
+    reused: AtomicU64,
 }
 
 impl SvcClient {
-    /// Client for the service at `addr`.
+    /// Client for the service at `addr`, with connection reuse on.
     pub fn new(addr: SocketAddr) -> SvcClient {
         SvcClient {
             addr,
             next_id: AtomicU64::new(1),
+            keep_alive: true,
+            pool: Mutex::new(Vec::new()),
+            reused: AtomicU64::new(0),
         }
+    }
+
+    /// Toggle connection reuse. With `false` every call opens (and
+    /// closes) its own TCP connection, as the client did before the
+    /// persistent-connection plane existed.
+    pub fn with_keep_alive(mut self, keep_alive: bool) -> SvcClient {
+        self.keep_alive = keep_alive;
+        self
+    }
+
+    /// Calls so far that reused a pooled connection.
+    pub fn reused_connections(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
     }
 
     /// Issue one JSON-RPC call; returns the `result` value.
@@ -52,12 +92,14 @@ impl SvcClient {
         }
         let body = req.encode();
         let wire = format!(
-            "POST /rpc HTTP/1.1\r\nHost: pda-svc\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            "POST /rpc HTTP/1.1\r\nHost: pda-svc\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
             body.len(),
+            self.connection_header(),
             body
         );
         let reply = self.exchange(wire.as_bytes())?;
-        let body = http_body(&reply)?;
+        let body =
+            std::str::from_utf8(&reply.body).map_err(|_| "reply body is not UTF-8".to_string())?;
         Ok((parse_response(body)?, response_traceparent(body)))
     }
 
@@ -134,28 +176,135 @@ impl SvcClient {
 
     /// Fetch the Prometheus text rendition from GET `/metrics`.
     pub fn metrics_text(&self) -> Result<String, String> {
-        let reply =
-            self.exchange(b"GET /metrics HTTP/1.1\r\nHost: pda-svc\r\nConnection: close\r\n\r\n")?;
-        Ok(http_body(&reply)?.to_string())
+        let wire = format!(
+            "GET /metrics HTTP/1.1\r\nHost: pda-svc\r\nConnection: {}\r\n\r\n",
+            self.connection_header()
+        );
+        let reply = self.exchange(wire.as_bytes())?;
+        String::from_utf8(reply.body).map_err(|_| "reply body is not UTF-8".to_string())
     }
 
-    fn exchange(&self, wire: &[u8]) -> Result<String, String> {
-        let mut conn =
-            TcpStream::connect(self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?;
+    fn connection_header(&self) -> &'static str {
+        if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        }
+    }
+
+    /// One request/response exchange. With keep-alive, a pooled
+    /// connection is tried first; if it went stale (the server closed
+    /// it since last use), the call transparently retries once on a
+    /// fresh connection. The response is `Content-Length`-framed, so
+    /// the connection can go straight back into the pool.
+    fn exchange(&self, wire: &[u8]) -> Result<ParsedResponse, String> {
+        if self.keep_alive {
+            if let Some(conn) = self.checkout() {
+                // A stale pooled connection (the server closed it
+                // since last use) falls through to a reconnect and
+                // retries the (idempotent) exchange on a fresh socket.
+                if let Ok(reply) = self.try_exchange(conn, wire) {
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    return Ok(reply);
+                }
+            }
+        }
+        let conn = self.connect()?;
+        self.try_exchange(conn, wire)
+            .map_err(|e| format!("{e} ({})", self.addr))
+    }
+
+    fn connect(&self) -> Result<TcpStream, String> {
+        let conn = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT)
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
         conn.set_read_timeout(Some(IO_TIMEOUT)).ok();
         conn.set_write_timeout(Some(IO_TIMEOUT)).ok();
+        conn.set_nodelay(true).ok();
+        Ok(conn)
+    }
+
+    /// Write the request and read exactly one framed response. On
+    /// success the connection is returned to the pool unless the
+    /// server announced a close.
+    fn try_exchange(&self, mut conn: TcpStream, wire: &[u8]) -> Result<ParsedResponse, String> {
         conn.write_all(wire).map_err(|e| format!("send: {e}"))?;
-        let mut reply = String::new();
-        conn.read_to_string(&mut reply)
-            .map_err(|e| format!("recv: {e}"))?;
-        Ok(reply)
+        conn.flush().map_err(|e| format!("send: {e}"))?;
+        let mut buf = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 4096];
+        loop {
+            match parse_response_bytes(&buf) {
+                ResponseParse::Complete(reply, _used) => {
+                    if self.keep_alive && !reply.closes_connection() {
+                        self.checkin(conn);
+                    }
+                    return Ok(*reply);
+                }
+                ResponseParse::Incomplete => match conn.read(&mut chunk) {
+                    Ok(0) => return Err("recv: connection closed mid-response".to_string()),
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                    Err(e) => return Err(format!("recv: {e}")),
+                },
+                ResponseParse::Invalid(r) => return Err(format!("recv: bad response: {r}")),
+            }
+        }
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.pool.lock().ok()?.pop()
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        if let Ok(mut pool) = self.pool.lock() {
+            if pool.len() < POOL_SIZE {
+                pool.push(conn);
+            }
+        }
     }
 }
 
-/// Split an HTTP reply at the head/body boundary.
-fn http_body(reply: &str) -> Result<&str, String> {
-    reply
-        .split_once("\r\n\r\n")
-        .map(|(_, body)| body)
-        .ok_or_else(|| "malformed HTTP reply (no body)".to_string())
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Instant;
+
+    /// A blackholed address must fail within the I/O bound, not the
+    /// OS connect default (minutes). 203.0.113.0/24 is TEST-NET-3
+    /// (RFC 5737): reserved, never routed — depending on the network
+    /// stack the connect either times out at our bound or is rejected
+    /// immediately; both are success here.
+    #[test]
+    fn connect_is_bounded_on_a_blackholed_address() {
+        let addr: SocketAddr = "203.0.113.1:9".parse().unwrap();
+        let client = SvcClient::new(addr);
+        let start = Instant::now();
+        let result = client.health();
+        assert!(result.is_err(), "nothing listens on TEST-NET-3");
+        assert!(
+            start.elapsed() < IO_TIMEOUT + Duration::from_secs(5),
+            "connect exceeded its timeout bound: {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// A listener that accepts and immediately closes makes every
+    /// pooled exchange fail; the client must surface the error rather
+    /// than hang, and must not pool dead sockets.
+    #[test]
+    fn slammed_connections_error_cleanly() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for conn in listener.incoming().take(2) {
+                drop(conn); // slam
+            }
+        });
+        let client = SvcClient::new(addr);
+        assert!(client.health().is_err());
+        assert!(client.reused_connections() == 0);
+        drop(client);
+        // Unblock the listener's second accept.
+        let _ = TcpStream::connect(addr);
+        server.join().unwrap();
+    }
 }

@@ -9,6 +9,11 @@
 //! * **Runtime** ([`runtime`]): a dependency-free mini-server — std
 //!   `TcpListener`, a hand-rolled worker pool, graceful shutdown — in
 //!   keeping with this workspace's no-external-crates constraint.
+//!   Connections are persistent (HTTP/1.1 keep-alive with
+//!   pipelining, per-connection request cap, idle timeout,
+//!   `Connection: close` negotiation), and [`SvcClient`] pools its
+//!   side of them, so the sustained small-RPC stream of continuous
+//!   attestation pays per-call work, not per-call TCP setup.
 //! * **API** ([`http`], [`rpc`], [`service`]): JSON-RPC 2.0 over HTTP
 //!   (`submit-evidence`, `appraise`, `query-audit-log`, `metrics`,
 //!   `health`, `shutdown`), plus plain GET `/metrics` (Prometheus
@@ -36,5 +41,5 @@ pub mod service;
 pub use churn::{rogue_reload, run_churn, run_churn_with, ChurnConfig, ChurnReport};
 pub use client::SvcClient;
 pub use federation::{Appraiser, Federation, Quorum, QuorumVerdict};
-pub use runtime::{serve, Handler, ServerHandle};
+pub use runtime::{serve, serve_with, Handler, ServeOptions, ServerHandle};
 pub use service::{AppraisalService, SvcConfig};

@@ -169,13 +169,13 @@ pub fn parse_response(text: &str) -> Result<Json, String> {
 }
 
 /// Lower-case hex encoding of arbitrary bytes (evidence submission
-/// payloads travel as hex strings inside JSON).
+/// payloads travel as hex strings inside JSON). Delegates to the
+/// `pda-crypto` LUT encoder: evidence batches route up to ~16 MiB
+/// through here, and the old per-byte `format!("{b:02x}")` paid one
+/// heap allocation per byte (the `hex_encoding` criterion bench pins
+/// the delta).
 pub fn to_hex(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len() * 2);
-    for b in bytes {
-        s.push_str(&format!("{b:02x}"));
-    }
-    s
+    pda_crypto::hex_encode(bytes)
 }
 
 /// Decode lower/upper-case hex; `None` on odd length or non-hex bytes.

@@ -369,6 +369,19 @@ fn verdict_json(v: &QuorumVerdict, nonce: u64, chain_len: usize, elapsed_ns: u64
 }
 
 impl Handler for AppraisalService {
+    /// Connection-plane accounting: every closed connection bumps
+    /// `svc.http.connections` and adds its request count to
+    /// `svc.http.requests`; connections that served more than one
+    /// request (keep-alive reuse) bump `svc.http.reused_connections`.
+    /// The CI smoke job asserts reuse through these on `/metrics`.
+    fn connection_closed(&self, requests_served: u64) {
+        self.bump("svc.http.connections", 1);
+        self.bump("svc.http.requests", requests_served);
+        if requests_served >= 2 {
+            self.bump("svc.http.reused_connections", 1);
+        }
+    }
+
     fn handle(&self, req: &HttpRequest) -> HttpResponse {
         match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/rpc") => {

@@ -6,10 +6,21 @@
 //! 2. **Canonical round trip**: a well-formed JSON-RPC request
 //!    re-encodes byte-identically after parsing.
 
-use pda_svc::http::{parse_request, HttpParse};
+use pda_svc::http::{parse_request, parse_response_bytes, HttpParse, RequestBuffer};
 use pda_svc::rpc::{from_hex, to_hex, RpcRequest};
 use pda_telemetry::json::Json;
 use proptest::prelude::*;
+
+/// Frame a well-formed request with the given body.
+fn frame_request(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut wire = format!(
+        "POST /{path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    wire.extend_from_slice(body);
+    wire
+}
 
 /// A strategy over JSON-RPC method parameter values (flat objects of
 /// the shapes the service's methods actually take).
@@ -59,6 +70,83 @@ proptest! {
         };
         prop_assert_eq!(used, wire.len());
         prop_assert_eq!(req.body, body);
+    }
+
+    /// Keep-alive framing: N well-formed requests concatenated into
+    /// one stream and fed across an arbitrary split boundary parse to
+    /// exactly N requests, whose consumed-byte counts tile the buffer
+    /// with no gap, overlap, or leftover — the invariant pipelining
+    /// rests on.
+    #[test]
+    fn pipelined_requests_tile_the_buffer(
+        bodies in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256), 1..8),
+        split_seed in any::<usize>(),
+    ) {
+        let wires: Vec<Vec<u8>> = bodies
+            .iter()
+            .enumerate()
+            .map(|(i, b)| frame_request(&format!("r{i}"), b))
+            .collect();
+        let stream: Vec<u8> = wires.concat();
+        let split = split_seed % (stream.len() + 1);
+
+        let mut rb = RequestBuffer::new();
+        let mut parsed = Vec::new();
+        let mut consumed = 0usize;
+        for part in [&stream[..split], &stream[split..]] {
+            rb.extend(part);
+            loop {
+                match rb.next_request() {
+                    HttpParse::Complete(req, used) => {
+                        // Offsets tile: this request's bytes are exactly
+                        // the next `used` bytes of the original stream.
+                        let expect = &wires[parsed.len()];
+                        prop_assert_eq!(used, expect.len(), "consumed-byte count");
+                        prop_assert_eq!(
+                            &stream[consumed..consumed + used],
+                            expect.as_slice()
+                        );
+                        consumed += used;
+                        parsed.push(req);
+                    }
+                    HttpParse::Incomplete => break,
+                    HttpParse::Invalid(r) =>
+                        return Err(TestCaseError::fail(format!("invalid: {r}"))),
+                }
+            }
+        }
+        prop_assert_eq!(parsed.len(), bodies.len(), "exactly N requests");
+        prop_assert_eq!(consumed, stream.len(), "offsets tile the whole buffer");
+        prop_assert!(rb.is_empty());
+        for (req, body) in parsed.iter().zip(&bodies) {
+            prop_assert_eq!(&req.body, body);
+        }
+        // And the scan never went quadratic: each byte is visited O(1)
+        // times (the +3 backoff per read bounds the constant).
+        prop_assert!(rb.bytes_scanned() <= 3 * stream.len() as u64 + 8);
+    }
+
+    /// The incremental buffer never panics on arbitrary bytes fed in
+    /// arbitrary chunkings.
+    #[test]
+    fn request_buffer_never_panics(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512), 0..8),
+    ) {
+        let mut rb = RequestBuffer::new();
+        for c in &chunks {
+            rb.extend(c);
+            // Drain until the buffer needs more bytes or goes invalid.
+            while let HttpParse::Complete(_, _) = rb.next_request() {}
+        }
+    }
+
+    /// The client-side response parser never panics on arbitrary
+    /// bytes.
+    #[test]
+    fn response_parser_never_panics(buf in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = parse_response_bytes(&buf);
     }
 
     /// The JSON-RPC parser never panics on arbitrary text.
