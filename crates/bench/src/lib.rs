@@ -17,8 +17,8 @@ use pda_dataplane::programs;
 use pda_hybrid::ast::table1;
 use pda_hybrid::resolve::{resolve as hybrid_resolve, Composition as HComposition, NodeInfo};
 use pda_hybrid::wire;
-use pda_netkat::ast::{Field, Packet, Policy, Pred};
-use pda_netkat::reach::{can_reach, link, witness_path};
+use pda_netkat::ast::{Field, Packet, Pred};
+use pda_netkat::reach::can_reach;
 use pda_netsim::{
     linear_path, linear_path_bw, ControlRetryPolicy, EvidenceMode, FaultPlan, LinkFaults,
 };
@@ -859,43 +859,92 @@ pub fn exp_wire(path_lengths: &[usize]) -> Vec<WireRow> {
 }
 
 // ---------------------------------------------------------------------
-// NetKAT analysis cost (supporting experiment)
+// E19 — symbolic vs enumerative NetKAT verification scaling
 // ---------------------------------------------------------------------
 
-/// One row of the NetKAT-scaling experiment.
+/// One row of E19: verification time on a spine-leaf fabric of `switches`
+/// leaves, symbolic (hash-consed SPP) vs enumerative (finite-model
+/// oracle) backends. Enumerative columns are `None` above the cap —
+/// the oracle's cost is super-linear in mentioned constants and becomes
+/// impractical long before the symbolic backend does.
 #[derive(Debug)]
-pub struct NetkatRow {
-    /// Line-topology length.
+pub struct E19Row {
+    /// Leaf count of the fabric.
     pub switches: usize,
-    /// Reachability check time (ns).
-    pub reach_ns: u128,
-    /// Witness-path extraction time (ns).
-    pub witness_ns: u128,
-    /// Was the goal reachable?
+    /// AST size of the step policy under verification.
+    pub policy_size: usize,
+    /// Symbolic equivalence check (step vs redundant step), ns.
+    pub sym_equiv_ns: u128,
+    /// Enumerative equivalence check, ns (None above the cap).
+    pub enum_equiv_ns: Option<u128>,
+    /// Symbolic reachability (spine→last leaf), ns.
+    pub sym_reach_ns: u128,
+    /// Enumerative reachability, ns (None above the cap).
+    pub enum_reach_ns: Option<u128>,
+    /// Equivalence verdict (must hold: the redundant fabric is a
+    /// rewriting of the clean one).
+    pub equivalent: bool,
+    /// Reachability verdict (must hold: the fabric connects leaf 1 to
+    /// the last leaf through the spine).
     pub reachable: bool,
 }
 
-/// Reachability and witness extraction on line topologies of growing
-/// size (the resolver's place-binding backend).
-pub fn exp_netkat(sizes: &[usize]) -> Vec<NetkatRow> {
+/// E19 — verify-time scaling, switch count × policy size, symbolic vs
+/// enumerative. For each size the harness checks `fabric_step(n)` ≡
+/// `fabric_step_redundant(n)` (dead/duplicated/reordered clauses added)
+/// and spine-leaf reachability from leaf 1 to leaf `n`, timing both
+/// backends; the enumerative oracle only runs at sizes ≤ `enum_cap`.
+pub fn exp_e19(sizes: &[usize], enum_cap: usize) -> Vec<E19Row> {
+    use pda_netkat::corpus::{fabric_step, fabric_step_redundant};
+    use pda_netkat::equiv::{equivalent_with, Backend};
+    use pda_netkat::reach::can_reach_enumerative;
+
     sizes
         .iter()
         .map(|&n| {
-            let step = Policy::assign(Field::Port, 1)
-                .seq(Policy::any((1..n as u32).map(|i| link(i, 1, i + 1, 0))));
-            let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1)])]);
+            let p = fabric_step(n as u32);
+            let q = fabric_step_redundant(n as u32);
+
+            let t0 = Instant::now();
+            let equivalent = equivalent_with(Backend::Symbolic, &p, &q);
+            let sym_equiv_ns = t0.elapsed().as_nanos();
+            assert!(equivalent, "redundant fabric must stay equivalent");
+
+            let enum_equiv_ns = (n <= enum_cap).then(|| {
+                let t0 = Instant::now();
+                let e = equivalent_with(Backend::Enumerative, &p, &q);
+                assert!(e, "oracle must agree");
+                t0.elapsed().as_nanos()
+            });
+
+            // Reachability: start at leaf 1 with dst = last leaf; the
+            // step policy hops leaf → spine → leaf dst.
+            let init = BTreeSet::from([Packet::of(&[
+                (Field::Switch, 1),
+                (Field::Port, 2),
+                (Field::Dst, n as u32),
+            ])]);
             let goal = Pred::test(Field::Switch, n as u32);
             let t0 = Instant::now();
-            let reachable = can_reach(&step, &init, &goal);
-            let reach_ns = t0.elapsed().as_nanos();
-            let t0 = Instant::now();
-            let w = witness_path(&step, &init, &goal);
-            let witness_ns = t0.elapsed().as_nanos();
-            assert_eq!(w.is_some(), reachable);
-            NetkatRow {
+            let reachable = can_reach(&p, &init, &goal);
+            let sym_reach_ns = t0.elapsed().as_nanos();
+            assert!(reachable, "fabric must connect leaf 1 to leaf {n}");
+
+            let enum_reach_ns = (n <= enum_cap).then(|| {
+                let t0 = Instant::now();
+                let r = can_reach_enumerative(&p, &init, &goal);
+                assert!(r, "oracle must agree");
+                t0.elapsed().as_nanos()
+            });
+
+            E19Row {
                 switches: n,
-                reach_ns,
-                witness_ns,
+                policy_size: p.size(),
+                sym_equiv_ns,
+                enum_equiv_ns,
+                sym_reach_ns,
+                enum_reach_ns,
+                equivalent,
                 reachable,
             }
         })

@@ -2,8 +2,8 @@
 //! the paper as text tables. `cargo run -p bench --bin harness --release`
 //!
 //! Pass experiment ids (`fig1 fig2 eq12 table1 fig3 fig4 uc1 uc3 uc4
-//! enforce crypto wire netkat e15 e16 e17 e18`) to run a subset; no
-//! arguments runs everything.
+//! enforce crypto wire netkat e15 e16 e17 e18 e19`) to run a subset; no
+//! arguments runs everything (`netkat` is an alias for `e19`).
 //!
 //! `--telemetry json|prom|off` (default `off`) collects metrics and the
 //! attestation audit log while the instrumented experiments (`fig1`,
@@ -12,12 +12,12 @@
 //! exit. Under `e18` the same handle is shared by the service and the
 //! churning fleets, so the dump carries end-to-end traces.
 //!
-//! `--bench-json <path>` additionally writes the E15 evidence-path rows
-//! (or the E18 service-under-churn rows, whichever ran) as a
-//! machine-readable JSON document — what CI uploads as the
-//! `BENCH_e15.json` / `BENCH_e18.json` artifacts so regressions are
-//! diffable across commits. When both experiments run, the file holds
-//! an array of both documents.
+//! `--bench-json <path>` additionally writes the E15 evidence-path
+//! rows, the E18 service-under-churn rows, or the E19 verify-scaling
+//! rows (whichever ran) as a machine-readable JSON document — what CI
+//! uploads as the `BENCH_e15.json` / `BENCH_e18.json` / `BENCH_e19.json`
+//! artifacts so regressions are diffable across commits. When several
+//! experiments run, the file holds an array of their documents.
 
 use bench::*;
 use pda_pera::config::Sampling;
@@ -173,6 +173,34 @@ fn e18_json(rows: &[E18Row], sweep: &[E18SweepRow]) -> Json {
                             ("p50_ns".into(), Json::UInt(r.p50_ns)),
                             ("p99_ns".into(), Json::UInt(r.p99_ns)),
                             ("client_reuses".into(), Json::UInt(r.client_reuses)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Render the E19 scaling rows as the `BENCH_e19.json` document.
+fn e19_json(rows: &[E19Row]) -> Json {
+    let opt = |o: Option<u128>| o.map_or(Json::Null, |v| Json::UInt(v as u64));
+    Json::Obj(vec![
+        ("experiment".into(), Json::Str("e19".into())),
+        ("git_rev".into(), Json::Str(git_rev())),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("switches".into(), Json::UInt(r.switches as u64)),
+                            ("policy_size".into(), Json::UInt(r.policy_size as u64)),
+                            ("sym_equiv_ns".into(), Json::UInt(r.sym_equiv_ns as u64)),
+                            ("enum_equiv_ns".into(), opt(r.enum_equiv_ns)),
+                            ("sym_reach_ns".into(), Json::UInt(r.sym_reach_ns as u64)),
+                            ("enum_reach_ns".into(), opt(r.enum_reach_ns)),
+                            ("equivalent".into(), Json::Bool(r.equivalent)),
+                            ("reachable".into(), Json::Bool(r.reachable)),
                         ])
                     })
                     .collect(),
@@ -569,24 +597,41 @@ fn main() {
         }
     }
 
-    if want("netkat") {
-        println!("== NetKAT reachability scaling (resolver backend) ==");
+    if want("e19") || want("netkat") {
+        println!("== E19: NetKAT verify-time scaling, symbolic vs enumerative ==");
         println!(
-            "{:<10} {:>12} {:>12} {:>10}",
-            "switches", "reach-ns", "witness-ns", "reachable"
+            "{:<10} {:>10} {:>14} {:>14} {:>14} {:>14}",
+            "switches", "size", "sym-equiv-ns", "enum-equiv-ns", "sym-reach-ns", "enum-reach-ns"
         );
-        for r in exp_netkat(&[4, 8, 16, 32, 64]) {
+        let rows = exp_e19(&[4, 16, 64, 256, 1024], 256);
+        let fmt_opt = |o: Option<u128>| o.map_or_else(|| "-".into(), |v| v.to_string());
+        for r in &rows {
             println!(
-                "{:<10} {:>12} {:>12} {:>10}",
-                r.switches, r.reach_ns, r.witness_ns, r.reachable
+                "{:<10} {:>10} {:>14} {:>14} {:>14} {:>14}",
+                r.switches,
+                r.policy_size,
+                r.sym_equiv_ns,
+                fmt_opt(r.enum_equiv_ns),
+                r.sym_reach_ns,
+                fmt_opt(r.enum_reach_ns),
+            );
+        }
+        if let Some(r) = rows.iter().rev().find(|r| r.enum_equiv_ns.is_some()) {
+            let speedup = r.enum_equiv_ns.expect("filtered") as f64 / r.sym_equiv_ns.max(1) as f64;
+            println!(
+                "symbolic speedup at {} switches (largest common size): {speedup:.0}x",
+                r.switches
             );
         }
         println!();
+        if bench_json.is_some() {
+            bench_docs.push(e19_json(&rows));
+        }
     }
 
     if let Some(path) = &bench_json {
         if bench_docs.is_empty() {
-            eprintln!("--bench-json has no effect unless the e15 or e18 experiment runs");
+            eprintln!("--bench-json has no effect unless the e15, e18, or e19 experiment runs");
         } else {
             let doc = if bench_docs.len() == 1 {
                 bench_docs.pop().expect("one doc")

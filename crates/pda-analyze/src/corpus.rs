@@ -22,6 +22,13 @@ pub fn canonical_rogue_flow_monitor() -> DataplaneProgram {
     programs::rogue_flow_monitor(64, 1)
 }
 
+/// The canonical shadowed-blocklist ACL (advertised block of UDP 4444
+/// dead behind a wildcard allow) — same routes and public identity as
+/// the benign `acl`.
+pub fn canonical_rogue_acl_shadow() -> DataplaneProgram {
+    programs::rogue_acl_shadow(4444, ROUTES)
+}
+
 /// Every builtin as `(short name, program, is_rogue)`. Short names are
 /// the CLI's `pda lint <name>` vocabulary.
 pub fn builtins() -> Vec<(&'static str, DataplaneProgram, bool)> {
@@ -50,6 +57,7 @@ pub fn builtins() -> Vec<(&'static str, DataplaneProgram, bool)> {
         ("flow_monitor", programs::flow_monitor(64, 1), false),
         ("rogue_flow_monitor", canonical_rogue_flow_monitor(), true),
         ("rogue_wiretap", canonical_rogue_wiretap(), true),
+        ("rogue_acl_shadow", canonical_rogue_acl_shadow(), true),
     ]
 }
 

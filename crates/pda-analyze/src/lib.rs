@@ -6,7 +6,7 @@
 //! program *does*, so a rogue program is rejected even when its hash
 //! has never been seen before and no blacklist entry exists.
 //!
-//! Five passes over [`DataplaneProgram`] (see [`passes`] for the full
+//! Six passes over [`DataplaneProgram`] (see [`passes`] for the full
 //! diagnostic-code table):
 //!
 //! 1. **Parser state-machine checks** — reachability, accept-path
@@ -19,8 +19,12 @@
 //! 4. **Action totality** — hit/miss paths that never decide the
 //!    packet's fate, forwards to undeclared ports, inert tables.
 //! 5. **P4BID-style taint lint** — flow-identifying fields as sources,
-//!    mirror/clone metadata as sinks; fires on both `rogue_*` builtins
+//!    mirror/clone metadata as sinks; fires on the `rogue_*` builtins
 //!    and stays quiet on every benign one.
+//! 6. **Symbolic table reachability** — entry guards as hash-consed
+//!    symbolic packet sets (`pda-netkat`'s SP engine): entries fully
+//!    shadowed by higher-precedence entries, dead `Drop` rules
+//!    (advertised blocks that can never fire), unreachable defaults.
 //!
 //! The sorted findings hash to a **lint verdict digest**
 //! ([`AnalysisReport::verdict_digest`]) that a PERA switch records
@@ -74,8 +78,8 @@ mod tests {
     use pda_dataplane::programs;
 
     /// The headline property: rogue programs carry an Error-severity
-    /// taint diagnostic, benign ones stay below Warning — with zero
-    /// hash-list maintenance.
+    /// taint or symbolic-reachability diagnostic, benign ones stay
+    /// below Warning — with zero hash-list maintenance.
     #[test]
     fn rogue_benign_separation() {
         for (name, program, rogue) in corpus::builtins() {
@@ -85,8 +89,11 @@ mod tests {
                     report
                         .diagnostics
                         .iter()
-                        .any(|d| d.code.starts_with("PDA4") && d.severity == Severity::Error),
-                    "{name} must carry an Error-level taint diagnostic, got: {:?}",
+                        .any(
+                            |d| (d.code.starts_with("PDA4") || d.code.starts_with("PDA5"))
+                                && d.severity == Severity::Error
+                        ),
+                    "{name} must carry an Error-level semantic diagnostic, got: {:?}",
                     report.diagnostics
                 );
             } else {
@@ -129,6 +136,85 @@ mod tests {
         // is quiet: the analyzer separates them semantically.
         let benign = analyze_default(&programs::flow_monitor(64, 1));
         assert!(benign.clean_at(Severity::Info));
+    }
+
+    #[test]
+    fn shadowed_blocklist_fires_the_dead_rule_lint() {
+        let report = analyze_default(&corpus::canonical_rogue_acl_shadow());
+        let hit = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "PDA502")
+            .expect("shadowed ACL must trip PDA502");
+        assert_eq!(hit.severity, Severity::Error);
+        assert_eq!(hit.subject, "acl_ports[1]");
+        // The benign twin — same public identity, genuinely enforcing
+        // entries — carries no PDA5xx above Info.
+        let benign = analyze_default(&programs::acl(&[53, 123], corpus::ROUTES));
+        assert!(benign.clean_at(Severity::Info));
+    }
+
+    #[test]
+    fn dead_rule_diagnostic_changes_the_verdict_digest() {
+        // The attested lint verdict must move when a dead-rule
+        // diagnostic appears: an appraiser pinning the benign ACL's
+        // verdict digest cannot be replayed against the rogue.
+        let benign = analyze_default(&programs::acl(&[53, 123], corpus::ROUTES));
+        let rogue = analyze_default(&corpus::canonical_rogue_acl_shadow());
+        assert!(rogue.diagnostics.iter().any(|d| d.code == "PDA502"));
+        assert_ne!(benign.verdict_digest(), rogue.verdict_digest());
+    }
+
+    #[test]
+    fn shadowing_requires_dominance_not_just_overlap() {
+        // Two overlapping entries where the later one is *more*
+        // specific: nothing is dead — the specific entry wins its
+        // packets despite lower insertion order.
+        use pda_dataplane::actions::Action;
+        use pda_dataplane::parser::standard_parser;
+        use pda_dataplane::pipeline::{DataplaneProgram, Stage};
+        use pda_dataplane::tables::{Entry, KeyCell, KeyCol, MatchKind, Table};
+        let mut table = Table::new(
+            "t",
+            vec![KeyCol {
+                field: "udp.dport".into(),
+                kind: MatchKind::Ternary,
+            }],
+            Action::nop(),
+        );
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Any],
+                priority: 0,
+                action: Action::fwd(1),
+            })
+            .unwrap();
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Ternary {
+                    value: 53,
+                    mask: u64::MAX,
+                }],
+                priority: 0,
+                action: Action::drop_(),
+            })
+            .unwrap();
+        let prog = DataplaneProgram {
+            name: "spec.p4".into(),
+            version: "1".into(),
+            parser: standard_parser(),
+            stages: vec![Stage { table }],
+            registers: vec![],
+        };
+        let report = analyze_default(&prog);
+        assert!(
+            !report
+                .diagnostics
+                .iter()
+                .any(|d| d.code.starts_with("PDA5") && d.severity > Severity::Info),
+            "specificity dominance keeps the drop entry live: {:?}",
+            report.diagnostics
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The five analysis passes. Each takes the program plus shared
+//! The six analysis passes. Each takes the program plus shared
 //! [`ParserFacts`](crate::ir::ParserFacts) and pushes [`Diagnostic`]s.
 //!
 //! Code plan (stable — appraisers and golden snapshots depend on it):
@@ -21,6 +21,9 @@
 //! | PDA303 | info     | totality | inert table (no entries, no-op default) |
 //! | PDA401 | error    | taint | flow-identifying data reaches a mirror/clone sink (second egress) |
 //! | PDA402 | error    | taint | declared register array never written (severed observation path) |
+//! | PDA501 | warning  | symbolic | table entry fully shadowed by higher-precedence entries (can never fire) |
+//! | PDA502 | error    | symbolic | dead **Drop** entry — an advertised block that can never fire |
+//! | PDA503 | info     | symbolic | default action unreachable (entries cover the whole key space) |
 
 use crate::diag::{Diagnostic, Location, Severity};
 use crate::ir::{
@@ -29,7 +32,9 @@ use crate::ir::{
 };
 use crate::AnalyzeConfig;
 use pda_dataplane::phv::meta;
+use pda_dataplane::tables::KeyCell;
 use pda_dataplane::{DataplaneProgram, Primitive};
+use pda_netkat::sym::{Arena, Sp};
 use std::collections::{BTreeMap, BTreeSet};
 
 fn stage_loc(program: &DataplaneProgram, index: usize) -> Location {
@@ -507,6 +512,141 @@ pub fn taint_pass(program: &DataplaneProgram, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Symbolic image of one key cell over the column's dimension, or
+/// `None` when the cell is not an equality constraint over the full
+/// 64-bit value (LPM and partial ternary masks).
+fn cell_sp(ar: &mut Arena, col: u16, cell: &KeyCell) -> Option<Sp> {
+    match cell {
+        KeyCell::Exact(v) => Some(ar.sp_test(col, *v)),
+        KeyCell::Ternary { mask, .. } if *mask == 0 => Some(Sp::FULL),
+        KeyCell::Ternary { value, mask } if *mask == u64::MAX => Some(ar.sp_test(col, *value)),
+        KeyCell::Any => Some(Sp::FULL),
+        KeyCell::Lpm { .. } | KeyCell::Ternary { .. } => None,
+    }
+}
+
+/// Pass 6 — symbolic table-rule reachability (PDA501–PDA503), built on
+/// `pda-netkat`'s hash-consed symbolic packet sets: the table's key
+/// columns span a packet space (one dimension per column), each entry's
+/// guard denotes a set in it, and an entry whose guard is contained in
+/// the union of all higher-precedence guards can never fire.
+///
+/// Precedence mirrors `Table::lookup`: entry `j` dominates entry `i`
+/// iff `(priority_j, specificity_j) > (priority_i, specificity_i)`, or
+/// the pairs are equal and `j` was inserted earlier.
+///
+/// Soundness under partial representability: guards outside the
+/// equality fragment (LPM, partial ternary masks) contribute the
+/// **empty** set to every shadow/cover union (an under-approximation of
+/// what they match), and entries containing them are never themselves
+/// claimed dead. Both directions therefore only ever *miss* findings,
+/// never fabricate them — required, since PDA502 feeds the
+/// `RequireLintClean` appraisal policy.
+pub fn symbolic_pass(program: &DataplaneProgram, out: &mut Vec<Diagnostic>) {
+    for (i, stage) in program.stages.iter().enumerate() {
+        let table = &stage.table;
+        if table.entries.is_empty() {
+            continue;
+        }
+        let mut ar = Arena::new(table.key.len() as u16);
+        let guards: Vec<Option<Sp>> = table
+            .entries
+            .iter()
+            .map(|e| {
+                let mut g = Sp::FULL;
+                for (col, cell) in e.key.iter().enumerate() {
+                    let c = cell_sp(&mut ar, col as u16, cell)?;
+                    g = ar.sp_intersect(g, c);
+                }
+                Some(g)
+            })
+            .collect();
+        let rank: Vec<(i32, u32)> = table
+            .entries
+            .iter()
+            .map(|e| (e.priority, e.key.iter().map(KeyCell::specificity).sum()))
+            .collect();
+
+        for (idx, e) in table.entries.iter().enumerate() {
+            let Some(g) = guards[idx] else {
+                continue; // not claimable without an exact guard
+            };
+            let mut shadow = Sp::EMPTY;
+            for j in 0..table.entries.len() {
+                let dominates = rank[j] > rank[idx] || (rank[j] == rank[idx] && j < idx);
+                if j != idx && dominates {
+                    if let Some(gj) = guards[j] {
+                        shadow = ar.sp_union(shadow, gj);
+                    }
+                }
+            }
+            if ar.sp_diff(g, shadow) == Sp::EMPTY {
+                let drops = e
+                    .action
+                    .primitives
+                    .iter()
+                    .any(|p| matches!(p, Primitive::Drop));
+                if drops {
+                    out.push(Diagnostic {
+                        code: "PDA502",
+                        severity: Severity::Error,
+                        location: stage_loc(program, i),
+                        subject: format!("{}[{idx}]", table.name),
+                        message: format!(
+                            "entry {idx} of table `{}` (action `{}`) drops, but every \
+                             packet it matches is claimed first by higher-precedence \
+                             entries: the advertised block is symbolically dead and \
+                             can never fire",
+                            table.name, e.action.name
+                        ),
+                    });
+                } else {
+                    out.push(Diagnostic {
+                        code: "PDA501",
+                        severity: Severity::Warning,
+                        location: stage_loc(program, i),
+                        subject: format!("{}[{idx}]", table.name),
+                        message: format!(
+                            "entry {idx} of table `{}` (action `{}`) is fully shadowed \
+                             by higher-precedence entries and can never fire",
+                            table.name, e.action.name
+                        ),
+                    });
+                }
+            }
+        }
+
+        // PDA503: the default action can fire only on packets no entry
+        // matches; if representable guards already cover the whole key
+        // space, the default is unreachable. Skipped for no-op defaults
+        // (nothing of substance is lost).
+        let default_noop = table
+            .default_action
+            .primitives
+            .iter()
+            .all(|p| matches!(p, Primitive::NoOp));
+        if !default_noop {
+            let mut cover = Sp::EMPTY;
+            for g in guards.iter().flatten() {
+                cover = ar.sp_union(cover, *g);
+            }
+            if cover == Sp::FULL {
+                out.push(Diagnostic {
+                    code: "PDA503",
+                    severity: Severity::Info,
+                    location: stage_loc(program, i),
+                    subject: table.name.clone(),
+                    message: format!(
+                        "the entries of table `{}` cover the whole key space; its \
+                         default action `{}` is unreachable",
+                        table.name, table.default_action.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Run every pass over `program` and return the sorted diagnostics.
 pub fn run_all(program: &DataplaneProgram, config: &AnalyzeConfig) -> Vec<Diagnostic> {
     let facts = parser_facts(&program.parser);
@@ -516,6 +656,7 @@ pub fn run_all(program: &DataplaneProgram, config: &AnalyzeConfig) -> Vec<Diagno
     defuse_pass(program, &facts, &mut out);
     totality_pass(program, config, &mut out);
     taint_pass(program, &mut out);
+    symbolic_pass(program, &mut out);
     out.sort_by(|a, b| (a.code, &a.location, &a.subject).cmp(&(b.code, &b.location, &b.subject)));
     out
 }

@@ -53,6 +53,12 @@ PDA102 info stage[0]:ipv4_lpm ipv4.dst
 PDA102 info stage[0]:ipv4_lpm ipv4.ttl
 PDA102 info stage[1]:lawful_intercept ipv4.src
 PDA401 error stage[1]:lawful_intercept meta.mirror_to
+
+# rogue_acl_shadow (ACL_v3.p4)
+PDA102 info stage[0]:acl_ports udp.dport
+PDA102 info stage[1]:ipv4_lpm ipv4.dst
+PDA102 info stage[1]:ipv4_lpm ipv4.ttl
+PDA502 error stage[0]:acl_ports acl_ports[1]
 ";
 
 fn render() -> String {
@@ -94,8 +100,9 @@ fn diagnostics_match_the_golden_snapshot() {
 }
 
 /// The acceptance criterion, stated directly over the snapshot corpus:
-/// both rogue builtins trip an Error-severity taint diagnostic, every
-/// benign builtin emits nothing at Warning or above.
+/// every rogue builtin trips an Error-severity taint (PDA4xx) or
+/// symbolic-reachability (PDA5xx) diagnostic, every benign builtin
+/// emits nothing at Warning or above.
 #[test]
 fn rogues_error_benigns_below_warning() {
     use pda_analyze::Severity;
@@ -106,8 +113,11 @@ fn rogues_error_benigns_below_warning() {
                 report
                     .diagnostics
                     .iter()
-                    .any(|d| d.code.starts_with("PDA4") && d.severity >= Severity::Error),
-                "{name}: expected an Error-level PDA4xx taint diagnostic"
+                    .any(
+                        |d| (d.code.starts_with("PDA4") || d.code.starts_with("PDA5"))
+                            && d.severity >= Severity::Error
+                    ),
+                "{name}: expected an Error-level PDA4xx/PDA5xx diagnostic"
             );
         } else {
             assert!(

@@ -13,6 +13,13 @@
 //!              [--telemetry json|prom|off]
 //!              run the linear scenario and appraise
 //! pda netkat   '<policy>' [--equiv '<policy>']  parse / compare NetKAT
+//! pda netkat   equiv '<p>' '<q>' [--backend sym|enum]
+//! pda netkat   equiv --check [--backend sym|enum]
+//!              decide policy equivalence (corpus regression with --check)
+//! pda netkat   reach '<step>' --from 'sw=1,pt=0' --goal '<pred>'
+//!              [--backend sym|enum]          reachability + witness path
+//! pda netkat   slice '<policy>' --switch N [--backend sym|enum]
+//!              per-switch slice, soundness verified symbolically
 //! pda lint     <builtin|all> [--format json] [--check]
 //!              run the static analyzer over builtin dataplane programs
 //! pda serve    [--port P] [--hops N] [--appraisers N] [--quorum Q]
@@ -76,6 +83,10 @@ const USAGE: &str = "usage:
   pda simulate --hops N [--legacy i,j] [--oob] [--packets P]
                [--telemetry json|prom|off]
   pda netkat   '<policy>' [--equiv '<policy>']
+  pda netkat   equiv '<p>' '<q>' | equiv --check   [--backend sym|enum]
+  pda netkat   reach '<step>' --from 'sw=1,pt=0' --goal '<pred>'
+               [--backend sym|enum]
+  pda netkat   slice '<policy>' --switch N [--backend sym|enum]
   pda lint     <builtin|all> [--format json] [--check]
   pda serve    [--port P] [--hops N] [--appraisers N]
                [--quorum majority|unanimous|K-of-N] [--corrupt] [--workers W]
@@ -370,6 +381,16 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_netkat(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("equiv") => cmd_netkat_equiv(&args[1..]),
+        Some("reach") => cmd_netkat_reach(&args[1..]),
+        Some("slice") => cmd_netkat_slice(&args[1..]),
+        _ => cmd_netkat_legacy(args),
+    }
+}
+
+/// Legacy form: `pda netkat '<policy>' [--equiv '<policy>']`.
+fn cmd_netkat_legacy(args: &[String]) -> Result<(), String> {
     let src = first_positional(args)?;
     let p = pda_netkat::parse_policy(src).map_err(|e| e.to_string())?;
     println!("parsed: {p}");
@@ -384,6 +405,162 @@ fn cmd_netkat(args: &[String]) -> Result<(), String> {
             Some(cx) => println!("equivalent: NO — counterexample {cx:?}"),
         }
     }
+    Ok(())
+}
+
+/// `--backend sym|enum` (default: the symbolic decision procedure).
+fn netkat_backend(args: &[String]) -> Result<pda_netkat::Backend, String> {
+    match flag_value(args, "--backend").unwrap_or("sym") {
+        "sym" => Ok(pda_netkat::Backend::Symbolic),
+        "enum" => Ok(pda_netkat::Backend::Enumerative),
+        other => Err(format!("unknown --backend `{other}` (want sym | enum)")),
+    }
+}
+
+/// Positional (non-flag) arguments; `--check` is a bare flag, every other
+/// `--flag` consumes the following value.
+fn netkat_positionals(args: &[String]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--check" {
+            i += 1;
+        } else if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            out.push(args[i].as_str());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn cmd_netkat_equiv(args: &[String]) -> Result<(), String> {
+    let backend = netkat_backend(args)?;
+    if has_flag(args, "--check") {
+        let mut bad = Vec::new();
+        for pair in pda_netkat::corpus::policy_pairs() {
+            let got = pda_netkat::equivalent_with(backend, &pair.p, &pair.q);
+            let ok = got == pair.equivalent;
+            println!(
+                "{} {:30} expected {}, got {}",
+                if ok { "ok  " } else { "FAIL" },
+                pair.name,
+                pair.equivalent,
+                got
+            );
+            if !ok {
+                bad.push(pair.name);
+            }
+        }
+        if !bad.is_empty() {
+            return Err(format!(
+                "corpus equivalence check failed: {}",
+                bad.join(", ")
+            ));
+        }
+        return Ok(());
+    }
+    let pos = netkat_positionals(args);
+    let [p_src, q_src] = pos[..] else {
+        return Err("netkat equiv wants two policies (or --check)".into());
+    };
+    let p = pda_netkat::parse_policy(p_src).map_err(|e| e.to_string())?;
+    let q = pda_netkat::parse_policy(q_src).map_err(|e| e.to_string())?;
+    if p.has_dup() || q.has_dup() {
+        return Err("equivalence works on the dup-free fragment".into());
+    }
+    match pda_netkat::counterexample_with(backend, &p, &q) {
+        None => println!("equivalent: yes"),
+        Some(cx) => println!("equivalent: NO — counterexample {cx:?}"),
+    }
+    Ok(())
+}
+
+/// Parse a `--from` packet spec: comma-separated `field=value` pairs
+/// (unlisted fields are zero), e.g. `sw=1,pt=0,dst=5`.
+fn parse_packet_spec(spec: &str) -> Result<pda_netkat::Packet, String> {
+    use pda_netkat::Field;
+    let mut pkt = pda_netkat::Packet::zero();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        let (name, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad packet component `{part}` (want field=value)"))?;
+        let field = match name.trim() {
+            "sw" | "switch" => Field::Switch,
+            "pt" | "port" => Field::Port,
+            "src" => Field::Src,
+            "dst" => Field::Dst,
+            "proto" => Field::Proto,
+            "tag" => Field::Tag,
+            other => return Err(format!("unknown field `{other}`")),
+        };
+        let v: u32 = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad value `{val}` for field `{name}`"))?;
+        pkt = pkt.with(field, v);
+    }
+    Ok(pkt)
+}
+
+fn cmd_netkat_reach(args: &[String]) -> Result<(), String> {
+    let backend = netkat_backend(args)?;
+    let step = pda_netkat::parse_policy(first_positional(args)?).map_err(|e| e.to_string())?;
+    let from = parse_packet_spec(
+        flag_value(args, "--from").ok_or("netkat reach wants --from 'sw=..,pt=..'")?,
+    )?;
+    let goal = pda_netkat::parse_pred(
+        flag_value(args, "--goal").ok_or("netkat reach wants --goal '<pred>'")?,
+    )
+    .map_err(|e| e.to_string())?;
+    let init = std::collections::BTreeSet::from([from]);
+    let path = match backend {
+        pda_netkat::Backend::Symbolic => pda_netkat::witness_path(&step, &init, &goal),
+        pda_netkat::Backend::Enumerative => {
+            pda_netkat::witness_path_enumerative(&step, &init, &goal)
+        }
+    };
+    match path {
+        Some(path) => {
+            println!("reachable: yes ({} hops)", path.len() - 1);
+            println!("switches:  {:?}", pda_netkat::switches_along(&path));
+            for (i, pkt) in path.iter().enumerate() {
+                println!("  step {i}: {pkt:?}");
+            }
+        }
+        None => println!("reachable: no"),
+    }
+    Ok(())
+}
+
+fn cmd_netkat_slice(args: &[String]) -> Result<(), String> {
+    use pda_netkat::{Field, Policy, Pred};
+    let backend = netkat_backend(args)?;
+    let p = pda_netkat::parse_policy(first_positional(args)?).map_err(|e| e.to_string())?;
+    let sw: u32 = flag_value(args, "--switch")
+        .ok_or("netkat slice wants --switch N")?
+        .parse()
+        .map_err(|_| "bad --switch value".to_string())?;
+    let slice = pda_netkat::slice_for_switch(&p, sw);
+    let guard = Policy::filter(Pred::test(Field::Switch, sw));
+    let verified = !p.has_dup()
+        && pda_netkat::equivalent_with(
+            backend,
+            &guard.clone().seq(p.clone()),
+            &guard.seq(slice.clone()),
+        );
+    println!("slice:    {slice}");
+    println!("size:     {} nodes (network: {})", slice.size(), p.size());
+    println!("verified: {}", if verified { "yes" } else { "NO" });
+    println!(
+        "dead:     {}",
+        if pda_netkat::slice_is_dead(&p, sw) {
+            "yes (no packet at this switch survives)"
+        } else {
+            "no"
+        }
+    );
     Ok(())
 }
 

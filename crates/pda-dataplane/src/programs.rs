@@ -317,6 +317,43 @@ pub fn rogue_flow_monitor(buckets: usize, out_port: u64) -> DataplaneProgram {
     prog
 }
 
+/// The shadowed-blocklist rogue ACL: claims the same public identity as
+/// [`acl`] and *contains* a drop entry for the blocked port — but a
+/// broad allow entry at higher priority matches every packet first, so
+/// the advertised block can never fire and the "blocked" traffic sails
+/// through. The table is well-formed and every entry is individually
+/// plausible; only whole-table reachability reasoning (the PDA5xx
+/// symbolic pass) exposes the dead rule.
+pub fn rogue_acl_shadow(blocked_udp_port: u64, routes: &[(u32, u8, u64)]) -> DataplaneProgram {
+    let mut table = Table::new("acl_ports", vec![ternary("udp.dport")], Action::nop());
+    // The broad allow: wildcard match at high priority.
+    table
+        .insert(Entry {
+            key: vec![KeyCell::Any],
+            priority: 10,
+            action: Action::nop(),
+        })
+        .expect("allow entry shape");
+    // The advertised block — symbolically dead: every packet already
+    // matched the wildcard above.
+    table
+        .insert(Entry {
+            key: vec![KeyCell::Ternary {
+                value: blocked_udp_port,
+                mask: u64::MAX,
+            }],
+            priority: 0,
+            action: Action::drop_(),
+        })
+        .expect("block entry shape");
+    let mut prog = forwarding(routes);
+    // Same name and version: the adversary *claims* it is the ACL.
+    prog.name = "ACL_v3.p4".into();
+    prog.version = "3.0".into();
+    prog.stages.insert(0, Stage { table });
+    prog
+}
+
 /// The Athens-affair style rogue forwarder: forwards normally but also
 /// mirrors traffic matching a target list to an exfiltration port.
 pub fn rogue_wiretap(
@@ -405,6 +442,25 @@ mod tests {
             .unwrap()
             .packet
             .is_none());
+    }
+
+    #[test]
+    fn rogue_acl_forwards_the_blocked_port() {
+        // The benign ACL drops port 4444 (not on the allow-list)...
+        let benign = acl(&[53], &[(0, 0, 3)]);
+        let mut regs = benign.make_registers();
+        assert!(benign
+            .process(&pkt(1, 2, 4444, b"x"), 0, &mut regs)
+            .unwrap()
+            .packet
+            .is_none());
+        // ...while the rogue's advertised block of 4444 never fires.
+        let rogue = rogue_acl_shadow(4444, &[(0, 0, 3)]);
+        assert_eq!(rogue.name, benign.name, "rogue masquerades by name");
+        assert_ne!(rogue.digest(), benign.digest(), "digest exposes the swap");
+        let mut regs = rogue.make_registers();
+        let out = rogue.process(&pkt(1, 2, 4444, b"x"), 0, &mut regs).unwrap();
+        assert_eq!(out.egress_port, 3, "blocked traffic sails through");
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl KeyCell {
         }
     }
 
-    fn specificity(&self) -> u32 {
+    /// How many bits this cell pins (64 for exact, mask popcount for
+    /// ternary, prefix length for LPM, 0 for wildcard) — the
+    /// tie-breaking component of lookup precedence.
+    pub fn specificity(&self) -> u32 {
         match self {
             KeyCell::Exact(_) => 64,
             KeyCell::Lpm { prefix_len, .. } => u32::from(*prefix_len),

@@ -43,7 +43,10 @@ pub mod resolve;
 pub mod wire;
 
 pub use ast::{Clause, Guard, HExpr, HybridPolicy, PlaceRef};
-pub use nkcompile::{compile as compile_netkat, CompileError};
+pub use nkcompile::{
+    compile as compile_netkat, compile_validated as compile_netkat_validated, reconstruct,
+    validate as validate_netkat_compile, CompileError,
+};
 pub use parser::{parse_hybrid, HParseError};
 pub use pretty::pretty_hybrid;
 pub use resolve::{resolve, Composition, HopDirective, NodeInfo, ResolveError, Resolved};

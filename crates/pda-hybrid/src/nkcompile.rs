@@ -32,12 +32,24 @@
 //! The `compiled_agrees_with_semantics` property test in
 //! `tests/prop.rs` checks the compiled pipeline against the reference
 //! semantics over random policies and packets.
+//!
+//! ## Translation validation
+//!
+//! Testing on sampled packets is complemented by a per-compile proof:
+//! [`reconstruct`] decodes the emitted table back into NetKAT (entry
+//! guards in lookup-precedence order, each conjoined with the negation
+//! of every higher-precedence guard) and [`validate`] checks the
+//! decoded policy symbolically equivalent to the source on the `sw = 0`
+//! plane via `pda-netkat`'s SPP engine, returning a concrete
+//! counterexample packet on any mismatch. [`compile_validated`] bundles
+//! both; its successes carry an equivalence proof, so attesting the
+//! program digest transitively attests the reviewed source policy.
 
 use pda_dataplane::actions::{Action, Primitive};
 use pda_dataplane::parser::standard_parser;
 use pda_dataplane::pipeline::{DataplaneProgram, Stage};
 use pda_dataplane::tables::{Entry, KeyCell, KeyCol, MatchKind, Table};
-use pda_netkat::ast::{Field, Packet, Policy};
+use pda_netkat::ast::{Field, Packet, Policy, Pred};
 use pda_netkat::semantics::eval_set;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -60,6 +72,15 @@ pub enum CompileError {
     /// The policy modifies `sw` (switch identity is topological, not a
     /// rewritable header here).
     ModifiesSwitch,
+    /// Translation validation found an input on which the compiled
+    /// program and the source policy disagree (compiler bug).
+    ValidationFailed {
+        /// An input packet distinguishing source from compiled form.
+        witness: Packet,
+    },
+    /// The emitted program uses constructs outside the NetKAT-decodable
+    /// fragment, so its equivalence to the source cannot be checked.
+    Unvalidatable(String),
 }
 
 impl fmt::Display for CompileError {
@@ -71,6 +92,15 @@ impl fmt::Display for CompileError {
                 write!(f, "policy is multicast on {witness:?} ({outputs} outputs)")
             }
             CompileError::ModifiesSwitch => write!(f, "policy modifies sw"),
+            CompileError::ValidationFailed { witness } => {
+                write!(f, "translation validation failed: compiled program disagrees with source on {witness:?}")
+            }
+            CompileError::Unvalidatable(why) => {
+                write!(
+                    f,
+                    "compiled program cannot be decoded for validation: {why}"
+                )
+            }
         }
     }
 }
@@ -294,10 +324,204 @@ pub fn run_compiled(prog: &DataplaneProgram, pkt: Packet) -> Option<Packet> {
     )
 }
 
+// ----------------------------------------------------------------------
+// Translation validation
+// ----------------------------------------------------------------------
+
+/// The NetKAT field a dataplane slot decodes back to (inverse of
+/// [`test_slot`]).
+fn rev_slot(slot: &str) -> Option<Field> {
+    match slot {
+        "meta.switch_id" => Some(Field::Switch),
+        "meta.ingress_port" => Some(Field::Port),
+        "ipv4.src" => Some(Field::Src),
+        "ipv4.dst" => Some(Field::Dst),
+        "ipv4.proto" => Some(Field::Proto),
+        "ipv4.dscp" => Some(Field::Tag),
+        _ => None,
+    }
+}
+
+fn cell_pred(col: &KeyCol, cell: &KeyCell) -> Result<Pred, CompileError> {
+    let f = rev_slot(&col.field)
+        .ok_or_else(|| CompileError::Unvalidatable(format!("key column {}", col.field)))?;
+    let test = |v: u64| -> Result<Pred, CompileError> {
+        let v = u32::try_from(v)
+            .map_err(|_| CompileError::Unvalidatable(format!("64-bit match value {v}")))?;
+        Ok(Pred::test(f, v))
+    };
+    match cell {
+        KeyCell::Exact(v) => test(*v),
+        KeyCell::Ternary { mask, .. } if *mask == 0 => Ok(Pred::True),
+        KeyCell::Ternary { value, mask } if *mask == u64::MAX => test(*value),
+        KeyCell::Ternary { mask, .. } => Err(CompileError::Unvalidatable(format!(
+            "partial ternary mask {mask:#x}"
+        ))),
+        KeyCell::Any => Ok(Pred::True),
+        KeyCell::Lpm { .. } => Err(CompileError::Unvalidatable("LPM match".into())),
+    }
+}
+
+fn action_policy(a: &Action) -> Result<Policy, CompileError> {
+    let mut acc = Policy::id();
+    for prim in &a.primitives {
+        let step = match prim {
+            Primitive::Drop => Policy::drop(),
+            Primitive::Forward { port } => {
+                let p = u32::try_from(*port)
+                    .map_err(|_| CompileError::Unvalidatable("64-bit port".into()))?;
+                Policy::assign(Field::Port, p)
+            }
+            Primitive::SetField { field, value } => {
+                let f = rev_slot(field).ok_or_else(|| {
+                    CompileError::Unvalidatable(format!("SetField target {field}"))
+                })?;
+                let v = u32::try_from(*value)
+                    .map_err(|_| CompileError::Unvalidatable("64-bit value".into()))?;
+                Policy::assign(f, v)
+            }
+            Primitive::CopyField { dst, src }
+                if dst == "meta.egress_port" && src == "meta.ingress_port" =>
+            {
+                // Port passthrough: NetKAT identity on `pt`.
+                Policy::id()
+            }
+            Primitive::NoOp => Policy::id(),
+            other => {
+                return Err(CompileError::Unvalidatable(format!(
+                    "primitive {other:?} has no NetKAT image"
+                )))
+            }
+        };
+        acc = seq_simpl(acc, step);
+    }
+    Ok(acc)
+}
+
+/// `p ; q` with unit/zero laws applied, to keep reconstructions small.
+fn seq_simpl(p: Policy, q: Policy) -> Policy {
+    use pda_netkat::ast::Pred as P;
+    match (&p, &q) {
+        (Policy::Filter(P::True), _) => q,
+        (_, Policy::Filter(P::True)) => p,
+        (Policy::Filter(P::False), _) | (_, Policy::Filter(P::False)) => Policy::drop(),
+        _ => p.seq(q),
+    }
+}
+
+fn table_policy(table: &Table) -> Result<Policy, CompileError> {
+    // Entry guards as predicates, in lookup-precedence order: higher
+    // (priority, specificity) first, insertion order breaking ties —
+    // mirroring `Table::lookup`.
+    let mut order: Vec<usize> = (0..table.entries.len()).collect();
+    let spec = |e: &Entry| -> u64 { e.key.iter().map(|c| u64::from(c.specificity())).sum() };
+    order.sort_by_key(|&i| {
+        let e = &table.entries[i];
+        (std::cmp::Reverse(e.priority), std::cmp::Reverse(spec(e)), i)
+    });
+
+    let mut seen = Pred::False; // union of higher-precedence guards
+    let mut arms: Vec<Policy> = Vec::new();
+    for i in order {
+        let e = &table.entries[i];
+        let mut guard = Pred::True;
+        for (col, cell) in table.key.iter().zip(&e.key) {
+            guard = and_simpl(guard, cell_pred(col, cell)?);
+        }
+        let eff = and_simpl(guard.clone(), not_simpl(seen.clone()));
+        arms.push(seq_simpl(Policy::Filter(eff), action_policy(&e.action)?));
+        seen = or_simpl(seen, guard);
+    }
+    // Miss: the default action fires.
+    arms.push(seq_simpl(
+        Policy::Filter(not_simpl(seen)),
+        action_policy(&table.default_action)?,
+    ));
+    let mut out = Policy::drop();
+    for arm in arms {
+        out = union_simpl(out, arm);
+    }
+    Ok(out)
+}
+
+fn and_simpl(a: Pred, b: Pred) -> Pred {
+    match (&a, &b) {
+        (Pred::True, _) => b,
+        (_, Pred::True) => a,
+        (Pred::False, _) | (_, Pred::False) => Pred::False,
+        _ => a.and(b),
+    }
+}
+
+fn or_simpl(a: Pred, b: Pred) -> Pred {
+    match (&a, &b) {
+        (Pred::False, _) => b,
+        (_, Pred::False) => a,
+        (Pred::True, _) | (_, Pred::True) => Pred::True,
+        _ => a.or(b),
+    }
+}
+
+fn not_simpl(a: Pred) -> Pred {
+    match a {
+        Pred::True => Pred::False,
+        Pred::False => Pred::True,
+        other => other.not(),
+    }
+}
+
+fn union_simpl(a: Policy, b: Policy) -> Policy {
+    match (&a, &b) {
+        (Policy::Filter(Pred::False), _) => b,
+        (_, Policy::Filter(Pred::False)) => a,
+        _ => a.union(b),
+    }
+}
+
+/// Decode a compiled program back into the NetKAT policy it implements:
+/// each stage's table becomes a first-match union (entry guards ordered
+/// by lookup precedence, each conjoined with the negation of every
+/// higher-precedence guard), stages compose sequentially.
+///
+/// Only the fragment `compile` emits is decodable — exact/full-mask
+/// ternary matches over the standard slot mapping, and actions built
+/// from `Forward`/`SetField`/`Drop`/port passthrough. Anything else
+/// yields [`CompileError::Unvalidatable`].
+pub fn reconstruct(prog: &DataplaneProgram) -> Result<Policy, CompileError> {
+    let mut out = Policy::id();
+    for stage in &prog.stages {
+        out = seq_simpl(out, table_policy(&stage.table)?);
+    }
+    Ok(out)
+}
+
+/// Symbolic translation validation: check that `prog` implements
+/// `policy` on the `sw = 0` plane (the compiler evaluates the finite
+/// model at `sw = 0` and never emits switch-identity matches), returning
+/// a counterexample input on disagreement.
+pub fn validate(policy: &Policy, prog: &DataplaneProgram) -> Result<(), CompileError> {
+    let decoded = reconstruct(prog)?;
+    let guard = Policy::filter(Pred::test(Field::Switch, 0));
+    match pda_netkat::equiv::counterexample(&guard.clone().seq(policy.clone()), &guard.seq(decoded))
+    {
+        None => Ok(()),
+        Some(witness) => Err(CompileError::ValidationFailed { witness }),
+    }
+}
+
+/// [`compile`] followed by [`validate`]: the returned program is
+/// symbolically proven equivalent to the source policy, so attesting its
+/// digest transitively attests the reviewed NetKAT source. This is the
+/// entry point `pda-hybrid` callers should prefer.
+pub fn compile_validated(policy: &Policy, name: &str) -> Result<DataplaneProgram, CompileError> {
+    let prog = compile(policy, name)?;
+    validate(policy, &prog)?;
+    Ok(prog)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pda_netkat::ast::Pred;
     use pda_netkat::semantics::eval_packet;
 
     fn agree(policy: &Policy, pkt: Packet) {
@@ -398,6 +622,133 @@ mod tests {
         )
         .unwrap();
         assert_ne!(p1.digest(), p2.digest());
+    }
+
+    #[test]
+    fn translation_validation_accepts_honest_compiles() {
+        let policies = [
+            Policy::id(),
+            Policy::drop(),
+            Policy::filter(Pred::test(Field::Dst, 10)).seq(Policy::assign(Field::Port, 3)),
+            Policy::assign(Field::Tag, 42).seq(Policy::assign(Field::Port, 1)),
+            Policy::filter(Pred::test(Field::Proto, 6))
+                .seq(Policy::assign(Field::Port, 1))
+                .union(
+                    Policy::filter(Pred::test(Field::Proto, 6).not())
+                        .seq(Policy::assign(Field::Port, 2)),
+                ),
+            Policy::filter(Pred::test(Field::Dst, 7).not()).seq(Policy::assign(Field::Port, 9)),
+        ];
+        for p in &policies {
+            compile_validated(p, "tv").unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+
+    #[test]
+    fn translation_validation_catches_tampering() {
+        let p = Policy::filter(Pred::test(Field::Dst, 10)).seq(Policy::assign(Field::Port, 3));
+        let mut prog = compile(&p, "tv").unwrap();
+        // Miscompile: flip the matched class to drop.
+        let table = &mut prog.stages[0].table;
+        let idx = table
+            .entries
+            .iter()
+            .position(|e| e.action.name.starts_with("rewrite"))
+            .expect("some class forwards");
+        table.entries[idx].action = Action::drop_();
+        let err = validate(&p, &prog).unwrap_err();
+        let CompileError::ValidationFailed { witness } = err else {
+            panic!("expected ValidationFailed, got {err}");
+        };
+        // The witness genuinely distinguishes source from compiled form.
+        let decoded = reconstruct(&prog).unwrap();
+        assert_ne!(
+            eval_packet(&p, witness),
+            eval_packet(&decoded, witness),
+            "witness must separate the two"
+        );
+    }
+
+    #[test]
+    fn reconstruct_respects_priority_order() {
+        // Hand-built table where a broad low-priority entry is inserted
+        // before a specific high-priority one: reconstruction must honor
+        // lookup precedence, not insertion order.
+        let mut table = Table::new(
+            "prio_t0",
+            vec![KeyCol {
+                field: "ipv4.dst".into(),
+                kind: MatchKind::Ternary,
+            }],
+            Action::drop_(),
+        );
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Any],
+                priority: 0,
+                action: Action::fwd(1),
+            })
+            .unwrap();
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Ternary {
+                    value: 9,
+                    mask: u64::MAX,
+                }],
+                priority: 1,
+                action: Action::fwd(2),
+            })
+            .unwrap();
+        let prog = DataplaneProgram {
+            name: "prio.p4".into(),
+            version: "nk-1".into(),
+            parser: standard_parser(),
+            stages: vec![Stage { table }],
+            registers: vec![],
+        };
+        let decoded = reconstruct(&prog).unwrap();
+        let want = Policy::filter(Pred::test(Field::Dst, 9))
+            .seq(Policy::assign(Field::Port, 2))
+            .union(
+                Policy::filter(Pred::test(Field::Dst, 9).not()).seq(Policy::assign(Field::Port, 1)),
+            );
+        assert!(
+            pda_netkat::equiv::equivalent(&decoded, &want),
+            "decoded {decoded}"
+        );
+    }
+
+    #[test]
+    fn unvalidatable_constructs_reported() {
+        let mut table = Table::new(
+            "lpm_t0",
+            vec![KeyCol {
+                field: "ipv4.dst".into(),
+                kind: MatchKind::Lpm,
+            }],
+            Action::drop_(),
+        );
+        table
+            .insert(Entry {
+                key: vec![KeyCell::Lpm {
+                    value: 0x0a000000,
+                    prefix_len: 8,
+                }],
+                priority: 0,
+                action: Action::fwd(1),
+            })
+            .unwrap();
+        let prog = DataplaneProgram {
+            name: "lpm.p4".into(),
+            version: "nk-1".into(),
+            parser: standard_parser(),
+            stages: vec![Stage { table }],
+            registers: vec![],
+        };
+        assert!(matches!(
+            reconstruct(&prog),
+            Err(CompileError::Unvalidatable(_))
+        ));
     }
 
     #[test]

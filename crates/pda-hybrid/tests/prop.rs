@@ -170,7 +170,7 @@ proptest! {
 // ---------------------------------------------------------------------
 
 mod nk {
-    use pda_hybrid::nkcompile::{compile, run_compiled};
+    use pda_hybrid::nkcompile::{compile, run_compiled, validate};
     use pda_netkat::ast::{Field, Packet, Policy, Pred};
     use pda_netkat::semantics::eval_packet;
     use proptest::prelude::*;
@@ -244,6 +244,9 @@ mod nk {
                 // a correct (sound) outcome, not a disagreement.
                 return Ok(());
             };
+            // Every successful compile must also pass symbolic
+            // translation validation against the source policy.
+            prop_assert!(validate(&p, &prog).is_ok(), "validation failed for {}", p);
             let reference = eval_packet(&p, pkt);
             let compiled = run_compiled(&prog, pkt);
             match (reference.len(), compiled) {

@@ -1,0 +1,30 @@
+//! Ad-hoc profiling driver for the symbolic engine (not part of the
+//! test suite; run with `cargo run --release -p pda-netkat --example
+//! profile_sym [n]`).
+
+use pda_netkat::corpus::{fabric_step, fabric_step_redundant};
+use pda_netkat::sym::Arena;
+use std::time::Instant;
+
+fn main() {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let p = fabric_step(n);
+    let q = fabric_step_redundant(n);
+    let mut ar = Arena::for_policies(&[&p, &q]);
+    let t0 = Instant::now();
+    let a = ar.spp_from_policy(&p).unwrap();
+    println!("spp_from_policy(step): {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    let b = ar.spp_from_policy(&q).unwrap();
+    println!("spp_from_policy(redundant): {:?}", t0.elapsed());
+    println!("equal: {}", a == b);
+    println!(
+        "sp_nodes={} spp_nodes={} stats={:?}",
+        ar.sp_node_count(),
+        ar.spp_node_count(),
+        ar.stats()
+    );
+}

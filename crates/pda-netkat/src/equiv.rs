@@ -1,29 +1,114 @@
 //! Equivalence checking for dup-free NetKAT policies.
 //!
-//! Dup-free policies denote functions `Packet → Set<Packet>`. Tests and
-//! modifications only ever compare or assign *constants*, so a policy's
-//! behaviour on a field depends only on which of the mentioned constants
-//! the field equals (or "none of them"). Enumerating each field over the
-//! constants mentioned in either policy plus one fresh representative
-//! value is therefore a complete finite model: two policies agree on all
-//! packets iff they agree on this finite set.
+//! Two backends decide `p ≡ q`:
+//!
+//! * **Symbolic** (the default): both policies are converted to canonical
+//!   hash-consed transformers in one [`sym::Arena`]; equivalence is then
+//!   id equality and counterexamples fall out of the first structural
+//!   difference ([`sym::Arena::distinguishing_input`]). Scales to
+//!   thousand-switch fabrics (experiment E19).
+//! * **Enumerative** (the oracle): dup-free policies denote functions
+//!   `Packet → Set<Packet>`; the finite-model construction below
+//!   enumerates per-field domains and compares [`eval_set`] pointwise.
+//!   Kept as the independent differential-testing oracle for the
+//!   symbolic engine (`tests/sym_diff.rs`).
+//!
+//! # Completeness of the enumerative finite model
+//!
+//! Tests and modifications only ever compare or assign *constants*, so a
+//! policy's behaviour on a field depends only on which of the mentioned
+//! constants the field equals — or "none of them". Enumerating each field
+//! over the constants mentioned in **either** policy plus exactly one
+//! *fresh representative* is therefore a complete finite model: any two
+//! unmentioned values are indistinguishable by both policies (no test can
+//! separate them, and any assignment maps both to the same constant), so
+//! one representative suffices, and it must be chosen **outside** the
+//! mentioned set or it would alias a distinguishable value and mask
+//! differences. [`fresh_for`] pins this choice to the smallest value not
+//! mentioned for the field; the regression tests below cover the edge
+//! where mentioned values are adjacent to (or interleaved around) the
+//! chosen representative.
 
 use crate::ast::{Field, Packet, Policy};
 use crate::semantics::eval_set;
+use crate::sym;
 use std::collections::BTreeSet;
 
-/// Decide `p ≡ q` for dup-free policies. Panics on `dup` (histories are
-/// not compared by this routine).
+/// Which decision procedure to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    /// Canonical symbolic transformers ([`sym`]); the default.
+    #[default]
+    Symbolic,
+    /// Finite-model enumeration over [`eval_set`]; the oracle.
+    Enumerative,
+}
+
+/// Decide `p ≡ q` for dup-free policies with the symbolic backend.
+/// Panics on `dup` (histories are not compared by this routine).
 pub fn equivalent(p: &Policy, q: &Policy) -> bool {
+    equivalent_with(Backend::Symbolic, p, q)
+}
+
+/// Find a packet on which the two (dup-free) policies disagree, using the
+/// symbolic backend.
+pub fn counterexample(p: &Policy, q: &Policy) -> Option<Packet> {
+    counterexample_with(Backend::Symbolic, p, q)
+}
+
+/// Decide `p ≡ q` with an explicit backend choice.
+pub fn equivalent_with(backend: Backend, p: &Policy, q: &Policy) -> bool {
+    counterexample_with(backend, p, q).is_none()
+}
+
+/// Find a distinguishing packet with an explicit backend choice.
+pub fn counterexample_with(backend: Backend, p: &Policy, q: &Policy) -> Option<Packet> {
     assert!(
         !p.has_dup() && !q.has_dup(),
         "equivalence checking is implemented for the dup-free fragment"
     );
-    counterexample(p, q).is_none()
+    match backend {
+        Backend::Symbolic => counterexample_symbolic(p, q),
+        Backend::Enumerative => counterexample_enumerative(p, q),
+    }
 }
 
-/// Find a packet on which the two (dup-free) policies disagree.
-pub fn counterexample(p: &Policy, q: &Policy) -> Option<Packet> {
+fn counterexample_symbolic(p: &Policy, q: &Policy) -> Option<Packet> {
+    let mut ar = sym::Arena::for_policies(&[p, q]);
+    let a = ar
+        .spp_from_policy(p)
+        .expect("dup-free policy converts to a transformer");
+    let b = ar
+        .spp_from_policy(q)
+        .expect("dup-free policy converts to a transformer");
+    let witness = ar.distinguishing_input(a, b)?;
+    let pkt = ar.packet_of_values(&witness);
+    debug_assert_ne!(
+        eval_set(p, &BTreeSet::from([pkt])),
+        eval_set(q, &BTreeSet::from([pkt])),
+        "symbolic witness must distinguish the policies"
+    );
+    Some(pkt)
+}
+
+/// Decide `p ≡ q` with the enumerative finite-model oracle.
+pub fn equivalent_enumerative(p: &Policy, q: &Policy) -> bool {
+    counterexample_enumerative(p, q).is_none()
+}
+
+/// The fresh representative for a field: the smallest value not among the
+/// constants mentioned for it. Pinned (and tested) because oracle
+/// completeness requires the representative to lie outside the mentioned
+/// set — see the module docs.
+fn fresh_for(mentioned: &[u32]) -> u32 {
+    (0..)
+        .find(|v| !mentioned.contains(v))
+        .expect("u32 not exhausted")
+}
+
+/// Find a packet on which the two (dup-free) policies disagree by
+/// enumerating the finite model.
+pub fn counterexample_enumerative(p: &Policy, q: &Policy) -> Option<Packet> {
     let mut consts = Vec::new();
     p.constants(&mut consts);
     q.constants(&mut consts);
@@ -38,11 +123,7 @@ pub fn counterexample(p: &Policy, q: &Policy) -> Option<Packet> {
             .collect();
         vals.sort_unstable();
         vals.dedup();
-        // Fresh representative: a value not mentioned for this field.
-        let fresh = (0..)
-            .find(|v| !vals.contains(v))
-            .expect("u32 not exhausted");
-        vals.push(fresh);
+        vals.push(fresh_for(&vals));
         domains.push(vals);
     }
 
@@ -81,8 +162,16 @@ mod tests {
     use super::*;
     use crate::ast::Pred;
 
+    const BACKENDS: [Backend; 2] = [Backend::Symbolic, Backend::Enumerative];
+
     fn f(p: Pred) -> Policy {
         Policy::filter(p)
+    }
+
+    fn both(expect: bool, p: &Policy, q: &Policy) {
+        for b in BACKENDS {
+            assert_eq!(equivalent_with(b, p, q), expect, "backend {b:?}");
+        }
     }
 
     // Kleene-algebra-with-tests axioms, checked semantically.
@@ -90,11 +179,12 @@ mod tests {
     fn union_commutative_and_idempotent() {
         let p = Policy::assign(Field::Port, 1);
         let q = f(Pred::test(Field::Switch, 2));
-        assert!(equivalent(
+        both(
+            true,
             &p.clone().union(q.clone()),
-            &q.clone().union(p.clone())
-        ));
-        assert!(equivalent(&p.clone().union(p.clone()), &p));
+            &q.clone().union(p.clone()),
+        );
+        both(true, &p.clone().union(p.clone()), &p);
     }
 
     #[test]
@@ -102,13 +192,14 @@ mod tests {
         let p = Policy::assign(Field::Port, 1);
         let q = f(Pred::test(Field::Port, 1));
         let r = Policy::assign(Field::Tag, 3);
-        assert!(equivalent(
+        both(
+            true,
             &p.clone().seq(q.clone()).seq(r.clone()),
-            &p.clone().seq(q.clone().seq(r.clone()))
-        ));
-        assert!(equivalent(&Policy::id().seq(p.clone()), &p));
-        assert!(equivalent(&p.clone().seq(Policy::id()), &p));
-        assert!(equivalent(&Policy::drop().seq(p.clone()), &Policy::drop()));
+            &p.clone().seq(q.clone().seq(r.clone())),
+        );
+        both(true, &Policy::id().seq(p.clone()), &p);
+        both(true, &p.clone().seq(Policy::id()), &p);
+        both(true, &Policy::drop().seq(p.clone()), &Policy::drop());
     }
 
     #[test]
@@ -116,10 +207,11 @@ mod tests {
         let p = Policy::assign(Field::Port, 1);
         let q = Policy::assign(Field::Port, 2);
         let r = f(Pred::test(Field::Port, 1));
-        assert!(equivalent(
+        both(
+            true,
             &p.clone().union(q.clone()).seq(r.clone()),
-            &p.seq(r.clone()).union(q.seq(r))
-        ));
+            &p.seq(r.clone()).union(q.seq(r)),
+        );
     }
 
     #[test]
@@ -127,10 +219,11 @@ mod tests {
         let step = f(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
         let star = step.clone().star();
         // p* ≡ id + p ; p*
-        assert!(equivalent(
+        both(
+            true,
             &star,
-            &Policy::id().union(step.clone().seq(star.clone()))
-        ));
+            &Policy::id().union(step.clone().seq(star.clone())),
+        );
     }
 
     #[test]
@@ -138,7 +231,7 @@ mod tests {
         // f := n ; filter f = n ≡ f := n   (PA axiom)
         let lhs = Policy::assign(Field::Dst, 5).seq(f(Pred::test(Field::Dst, 5)));
         let rhs = Policy::assign(Field::Dst, 5);
-        assert!(equivalent(&lhs, &rhs));
+        both(true, &lhs, &rhs);
     }
 
     #[test]
@@ -146,26 +239,25 @@ mod tests {
         // filter f = n ; f := n ≡ filter f = n
         let lhs = f(Pred::test(Field::Dst, 5)).seq(Policy::assign(Field::Dst, 5));
         let rhs = f(Pred::test(Field::Dst, 5));
-        assert!(equivalent(&lhs, &rhs));
+        both(true, &lhs, &rhs);
     }
 
     #[test]
     fn inequivalent_policies_yield_counterexample() {
         let p = Policy::assign(Field::Port, 1);
         let q = Policy::assign(Field::Port, 2);
-        let cx = counterexample(&p, &q).expect("distinct mods must differ");
-        let pin = BTreeSet::from([cx]);
-        assert_ne!(eval_set(&p, &pin), eval_set(&q, &pin));
+        for b in BACKENDS {
+            let cx = counterexample_with(b, &p, &q).expect("distinct mods must differ");
+            let pin = BTreeSet::from([cx]);
+            assert_ne!(eval_set(&p, &pin), eval_set(&q, &pin), "backend {b:?}");
+        }
     }
 
     #[test]
     fn filters_commute_with_each_other() {
         let a = f(Pred::test(Field::Src, 1));
         let b = f(Pred::test(Field::Dst, 2));
-        assert!(equivalent(
-            &a.clone().seq(b.clone()),
-            &b.clone().seq(a.clone())
-        ));
+        both(true, &a.clone().seq(b.clone()), &b.clone().seq(a.clone()));
     }
 
     #[test]
@@ -174,6 +266,37 @@ mod tests {
         // both accept src=2: the fresh-value row catches it.
         let p = f(Pred::test(Field::Src, 1).not());
         let q = f(Pred::test(Field::Src, 2));
-        assert!(!equivalent(&p, &q));
+        both(false, &p, &q);
+    }
+
+    #[test]
+    fn fresh_representative_is_pinned_outside_mentioned_values() {
+        assert_eq!(fresh_for(&[]), 0);
+        assert_eq!(fresh_for(&[0]), 1);
+        assert_eq!(fresh_for(&[1, 2]), 0);
+        // Adjacent/contiguous runs: the representative must skip them all.
+        assert_eq!(fresh_for(&[0, 1, 2]), 3);
+        // A gap between mentioned values is fine to use.
+        assert_eq!(fresh_for(&[0, 2]), 1);
+    }
+
+    #[test]
+    fn adjacent_mentioned_values_do_not_mask_differences() {
+        // p accepts src ∉ {0,1}; q accepts src = 2 only. The mentioned set
+        // for src is the contiguous run {0,1,2}: a buggy fresh choice
+        // inside the run (e.g. reusing 2) would make the oracle see
+        // identical rows and wrongly report equivalence. The pinned fresh
+        // representative 3 distinguishes them.
+        let p = f(Pred::test(Field::Src, 0)
+            .or(Pred::test(Field::Src, 1))
+            .not());
+        let q = f(Pred::test(Field::Src, 2));
+        for b in BACKENDS {
+            let cx = counterexample_with(b, &p, &q).expect("must differ");
+            assert!(
+                cx.get(Field::Src) > 2,
+                "witness must use a value outside the mentioned run, got {cx:?}"
+            );
+        }
     }
 }

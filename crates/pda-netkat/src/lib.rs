@@ -31,15 +31,26 @@
 //! ```
 
 pub mod ast;
+pub mod corpus;
 pub mod equiv;
 pub mod parser;
 pub mod reach;
 pub mod semantics;
 pub mod specialize;
+pub mod sym;
 
 pub use ast::{Field, Packet, Policy, Pred};
-pub use equiv::{counterexample, equivalent};
+pub use equiv::{
+    counterexample, counterexample_enumerative, counterexample_with, equivalent,
+    equivalent_enumerative, equivalent_with, Backend,
+};
 pub use parser::{parse_policy, parse_pred, NkParseError};
-pub use reach::{can_reach, link, reachable, switches_along, witness_path};
+pub use reach::{
+    can_reach, can_reach_enumerative, link, reachable, switches_along, witness_path,
+    witness_path_enumerative,
+};
 pub use semantics::{eval_history, eval_packet, eval_set, History};
-pub use specialize::{slice_for_switch, specialize};
+pub use specialize::{
+    slice_equivalent, slice_for_switch, slice_is_dead, specialize, verified_slice_for_switch,
+};
+pub use sym::{Arena, Sp, Spp, SymError, SymStats};

@@ -11,26 +11,127 @@
 //! * **Path witnesses** (`Prim1`/`Prim2`): concrete hop sequences that
 //!   realize `∗⇒`, used to resolve abstract places (`∀hop`) to the actual
 //!   switches along a forwarding path.
+//!
+//! Both queries default to the **symbolic** backend: the step policy is
+//! converted once to a canonical transformer ([`sym::Arena`]) and the
+//! star fixpoint runs on symbolic packet-*set* frontiers (image under
+//! [`sym::Arena::push`] per layer), so a thousand-switch fabric converges
+//! in topology-diameter many pushes instead of per-packet enumeration.
+//! Witness paths walk the BFS layers backwards through the preimage
+//! operator ([`sym::Arena::pre`]). The original enumerative evaluators
+//! remain as `*_enumerative` and serve as the differential oracle.
 
 use crate::ast::{Field, Packet, Policy, Pred};
 use crate::semantics::eval_set;
+use crate::sym::{Arena, Sp};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// All packets reachable from `init` under zero or more applications of
-/// `step`.
+/// `step` (enumerative: materializes the concrete set).
 pub fn reachable(step: &Policy, init: &BTreeSet<Packet>) -> BTreeSet<Packet> {
     eval_set(&step.clone().star(), init)
 }
 
 /// Does some packet in `init` eventually satisfy `goal` under `step*`?
+/// Symbolic: fixpoint over packet-set images.
 pub fn can_reach(step: &Policy, init: &BTreeSet<Packet>, goal: &Pred) -> bool {
+    assert!(
+        !step.has_dup(),
+        "reachability is implemented for dup-free step policies"
+    );
+    let mut ar = Arena::for_policies(&[step]);
+    let t = ar
+        .spp_from_policy(step)
+        .expect("dup-free policy converts to a transformer");
+    let goal_sp = ar.sp_from_pred(goal);
+    let mut acc = Sp::EMPTY;
+    for pkt in init {
+        let vals = ar.values_of_packet(pkt);
+        let s = ar.sp_singleton(&vals);
+        acc = ar.sp_union(acc, s);
+    }
+    let mut frontier = acc;
+    loop {
+        let hit = ar.sp_intersect(frontier, goal_sp);
+        if !ar.sp_is_empty(hit) {
+            return true;
+        }
+        let next = ar.push(frontier, t);
+        frontier = ar.sp_diff(next, acc);
+        if ar.sp_is_empty(frontier) {
+            return false;
+        }
+        acc = ar.sp_union(acc, frontier);
+    }
+}
+
+/// Enumerative oracle for [`can_reach`].
+pub fn can_reach_enumerative(step: &Policy, init: &BTreeSet<Packet>, goal: &Pred) -> bool {
     reachable(step, init).iter().any(|p| goal.eval(p))
 }
 
-/// Breadth-first search for a shortest witness trace: a sequence of
-/// packets `π₀ … πₖ` with `π₀ ∈ init`, each `πᵢ₊₁` an output of `step` on
-/// `πᵢ`, and `goal(πₖ)`. Returns `None` when unreachable.
+/// Shortest witness trace: a sequence of packets `π₀ … πₖ` with
+/// `π₀ ∈ init`, each `πᵢ₊₁` an output of `step` on `πᵢ`, and `goal(πₖ)`.
+/// Returns `None` when unreachable. Symbolic: BFS layers of packet-set
+/// images, reconstructed backwards through the preimage operator.
 pub fn witness_path(step: &Policy, init: &BTreeSet<Packet>, goal: &Pred) -> Option<Vec<Packet>> {
+    assert!(
+        !step.has_dup(),
+        "reachability is implemented for dup-free step policies"
+    );
+    let mut ar = Arena::for_policies(&[step]);
+    let t = ar
+        .spp_from_policy(step)
+        .expect("dup-free policy converts to a transformer");
+    let goal_sp = ar.sp_from_pred(goal);
+    let mut init_sp = Sp::EMPTY;
+    for pkt in init {
+        let vals = ar.values_of_packet(pkt);
+        let s = ar.sp_singleton(&vals);
+        init_sp = ar.sp_union(init_sp, s);
+    }
+    // Forward BFS layers: layers[i] holds the packets first reached at
+    // distance i.
+    let mut layers = vec![init_sp];
+    let mut acc = init_sp;
+    let hit_layer = loop {
+        let frontier = *layers.last().expect("non-empty");
+        let hit = ar.sp_intersect(frontier, goal_sp);
+        if !ar.sp_is_empty(hit) {
+            break hit;
+        }
+        let next = ar.push(frontier, t);
+        let new = ar.sp_diff(next, acc);
+        if ar.sp_is_empty(new) {
+            return None;
+        }
+        acc = ar.sp_union(acc, new);
+        layers.push(new);
+    };
+    // Backward reconstruction: pick a goal packet, then repeatedly pick a
+    // predecessor from the previous layer via the preimage.
+    let mut cur = ar.sp_witness(hit_layer).expect("non-empty hit layer");
+    let mut path = vec![ar.packet_of_values(&cur)];
+    for i in (0..layers.len() - 1).rev() {
+        let cur_sp = ar.sp_singleton(&cur);
+        let prev = ar.pre(t, cur_sp);
+        let cand = ar.sp_intersect(prev, layers[i]);
+        cur = ar
+            .sp_witness(cand)
+            .expect("every BFS layer packet has a predecessor in the prior layer");
+        path.push(ar.packet_of_values(&cur));
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Enumerative oracle for [`witness_path`] (explicit BFS with a
+/// predecessor map).
+pub fn witness_path_enumerative(
+    step: &Policy,
+    init: &BTreeSet<Packet>,
+    goal: &Pred,
+) -> Option<Vec<Packet>> {
     let mut pred: BTreeMap<Packet, Option<Packet>> = BTreeMap::new();
     let mut queue = VecDeque::new();
     for &p in init {
@@ -108,6 +209,8 @@ mod tests {
         let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1), (Field::Port, 0)])]);
         assert!(can_reach(&step, &init, &at_switch(3)));
         assert!(!can_reach(&step, &init, &at_switch(4)));
+        assert!(can_reach_enumerative(&step, &init, &at_switch(3)));
+        assert!(!can_reach_enumerative(&step, &init, &at_switch(4)));
     }
 
     #[test]
@@ -117,6 +220,14 @@ mod tests {
         let init = BTreeSet::from([Packet::of(&[(Field::Switch, 1), (Field::Port, 0)])]);
         let path = witness_path(&step, &init, &at_switch(3)).unwrap();
         assert_eq!(switches_along(&path), vec![1, 2, 3]);
+        // Each hop must actually be a step output of its predecessor.
+        for w in path.windows(2) {
+            let outs = eval_set(&step, &BTreeSet::from([w[0]]));
+            assert!(outs.contains(&w[1]), "invalid hop {:?} → {:?}", w[0], w[1]);
+        }
+        // Same length as the enumerative BFS (both are shortest).
+        let oracle = witness_path_enumerative(&step, &init, &at_switch(3)).unwrap();
+        assert_eq!(path.len(), oracle.len());
     }
 
     #[test]
@@ -126,6 +237,7 @@ mod tests {
         let init = BTreeSet::from([Packet::of(&[(Field::Switch, 3), (Field::Port, 0)])]);
         // Switch 3 has no outgoing link.
         assert_eq!(witness_path(&step, &init, &at_switch(1)), None);
+        assert_eq!(witness_path_enumerative(&step, &init, &at_switch(1)), None);
     }
 
     #[test]
@@ -185,5 +297,27 @@ mod tests {
         ])]);
         assert!(!can_reach(&step, &blocked, &at_switch(3)));
         assert!(can_reach(&step, &allowed, &at_switch(3)));
+    }
+
+    #[test]
+    fn symbolic_matches_enumerative_on_fabric() {
+        use crate::corpus::fabric_step;
+        let step = fabric_step(6);
+        let init = BTreeSet::from([Packet::of(&[
+            (Field::Switch, 3),
+            (Field::Port, 0),
+            (Field::Dst, 5),
+        ])]);
+        for goal_sw in [0u32, 3, 5, 6] {
+            let goal = at_switch(goal_sw);
+            assert_eq!(
+                can_reach(&step, &init, &goal),
+                can_reach_enumerative(&step, &init, &goal),
+                "goal sw={goal_sw}"
+            );
+        }
+        let p = witness_path(&step, &init, &at_switch(5)).unwrap();
+        let o = witness_path_enumerative(&step, &init, &at_switch(5)).unwrap();
+        assert_eq!(p.len(), o.len());
     }
 }

@@ -8,9 +8,15 @@
 //! (which then collapse conjunctions and unions), while a modification
 //! of `f` invalidates the assumption for the continuation. The
 //! soundness property — `filter f=v ; p ≡ filter f=v ; specialize(p,f,v)`
-//! — is checked by property test for the dup-free fragment.
+//! — is checked by property test for the dup-free fragment, and can be
+//! discharged per-slice with the symbolic engine: [`slice_equivalent`]
+//! verifies it, [`verified_slice_for_switch`] refuses to return an
+//! unverified slice, and [`slice_is_dead`] detects switches whose slice
+//! drops every packet (unreachable slices — surfaced as PDA5xx analyzer
+//! diagnostics when a compiled program carries dead rules).
 
 use crate::ast::{Field, Policy, Pred};
+use crate::sym::{Arena, Spp};
 
 /// Specialize a predicate under the assumption `f = v`. Returns the
 /// simplified predicate.
@@ -120,6 +126,41 @@ pub fn slice_for_switch(p: &Policy, sw: u32) -> Policy {
     specialize(p, Field::Switch, sw)
 }
 
+/// Symbolically verify the slice soundness property:
+/// `filter f=v ; network ≡ filter f=v ; slice`. Dup-free only.
+pub fn slice_equivalent(network: &Policy, slice: &Policy, f: Field, v: u32) -> bool {
+    let guard = Policy::filter(Pred::test(f, v));
+    crate::equiv::equivalent(
+        &guard.clone().seq(network.clone()),
+        &guard.seq(slice.clone()),
+    )
+}
+
+/// [`slice_for_switch`] with the soundness property discharged by the
+/// symbolic engine. If verification fails (or the policy contains `dup`,
+/// which the checker cannot compare), the unspecialized policy — trivially
+/// sound — is returned instead of an unverified slice.
+pub fn verified_slice_for_switch(p: &Policy, sw: u32) -> Policy {
+    let slice = slice_for_switch(p, sw);
+    if !p.has_dup() && slice_equivalent(p, &slice, Field::Switch, sw) {
+        slice
+    } else {
+        p.clone()
+    }
+}
+
+/// Is the per-switch slice symbolically dead — does `filter sw=k ; p`
+/// drop every packet? Dead slices indicate unreachable switches in the
+/// network encoding (nothing the policy does at `sw` is observable).
+pub fn slice_is_dead(p: &Policy, sw: u32) -> bool {
+    let guarded = Policy::filter(Pred::test(Field::Switch, sw)).seq(p.clone());
+    let mut ar = Arena::for_policies(&[&guarded]);
+    match ar.spp_from_policy(&guarded) {
+        Ok(t) => t == Spp::ZERO,
+        Err(_) => false, // dup: cannot decide symbolically; assume live
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +221,29 @@ mod tests {
         let reference = Policy::filter(Pred::test(Field::Switch, 1)).seq(p);
         let guarded = Policy::filter(Pred::test(Field::Switch, 1)).seq(s);
         assert!(equivalent(&reference, &guarded));
+    }
+
+    #[test]
+    fn slices_verify_symbolically() {
+        let network = guarded(1, 10).union(guarded(2, 20)).union(guarded(3, 30));
+        for sw in 0..4 {
+            let slice = slice_for_switch(&network, sw);
+            assert!(slice_equivalent(&network, &slice, Field::Switch, sw));
+            assert_eq!(verified_slice_for_switch(&network, sw), slice);
+        }
+    }
+
+    #[test]
+    fn dead_slice_detected() {
+        let network = guarded(1, 10).union(guarded(2, 20));
+        assert!(!slice_is_dead(&network, 1));
+        assert!(!slice_is_dead(&network, 2));
+        // No rule matches switch 7: its slice drops everything.
+        assert!(slice_is_dead(&network, 7));
+        // A pure filter network keeps packets at the filtered switch: live.
+        let filt = Policy::filter(Pred::test(Field::Switch, 7));
+        assert!(!slice_is_dead(&filt, 7));
+        assert!(slice_is_dead(&filt, 8));
     }
 
     #[test]

@@ -1,0 +1,1511 @@
+//! Symbolic packet sets and packet transformers (KATch-style SP/SPP).
+//!
+//! The enumerative decision procedure in [`crate::equiv`] enumerates a
+//! finite model whose size is the product of the per-field constant
+//! domains — hopeless for thousand-switch fabrics. This module implements
+//! the symbolic representation KATch introduced for NetKAT: BDD-like,
+//! hash-consed, *canonical* decision structures ordered by field, so that
+//! semantic equivalence of two structures built in the same [`Arena`] is
+//! **pointer (id) equality**.
+//!
+//! Two node spaces share one arena:
+//!
+//! * **SP** — a symbolic *packet set* (a predicate denotation). An SP node
+//!   `⟨f, branches, default⟩` tests field `f`: a packet with `pkt[f] = v`
+//!   continues into `branches[v]` when present, `default` otherwise.
+//!   Leaves are [`Sp::EMPTY`] and [`Sp::FULL`].
+//! * **SPP** — a symbolic *packet transformer* (a dup-free policy
+//!   denotation: a relation between input and output packets). An SPP node
+//!   `⟨f, branches, muts, id⟩` relates input value `v` to output value `w`
+//!   as follows: if `v ∈ dom(branches)` the pair continues into
+//!   `branches[v][w]` (absent ⇒ reject); otherwise the *untested* row
+//!   applies — `w = v` continues into `id`, `w ≠ v` into `muts[w]`
+//!   (absent ⇒ reject). Leaves are [`Spp::ZERO`] (the empty relation) and
+//!   [`Spp::ONE`] (identity on all remaining fields).
+//!
+//! # Canonical form
+//!
+//! Constructors enforce, and interning exploits, the following rules:
+//!
+//! 1. children live at strictly greater field indices (field-ordered);
+//! 2. `ZERO` children are erased from SPP output maps and `muts`
+//!    (absence means rejection), and SP branches equal to the node's
+//!    `default` are erased;
+//! 3. an SPP branch equal to the *effective default row* at its value
+//!    (`muts` minus that value, plus `value → id` when `id ≠ ZERO`) is
+//!    erased;
+//! 4. a node with no residual branches (and, for SPP, no `muts`) collapses
+//!    to its default / `id` — an untested field is skipped entirely.
+//!
+//! The `(muts, id)` pair is uniquely determined by the relation's behaviour
+//! on the infinitely many untested values, and the branch set is minimal by
+//! rule 3, so *every dup-free transformer has exactly one representation*:
+//! equivalence checking is `Spp` id comparison. The differential property
+//! tests in `tests/sym_diff.rs` cross-validate this against the
+//! enumerative oracle.
+//!
+//! # Star termination
+//!
+//! [`Arena::spp_star`] iterates squaring: `s₀ = 1 ∪ p`,
+//! `sₖ₊₁ = sₖ ; sₖ`, stopping when the id is stable. `sₖ` denotes paths of
+//! length `≤ 2ᵏ`, and all iterates mention only the field values occurring
+//! in `p`, so the chain lives in a finite lattice and is monotone — after
+//! `⌈log₂ d⌉` rounds (`d` = the longest simple path through the finite
+//! packet space over those values) it is the Kleene closure. The budgeted
+//! variant [`Arena::spp_star_bounded`] surfaces the iteration count and
+//! returns an error instead of looping if the budget is ever exceeded;
+//! iteration counts also feed the `netkat.sym.*` telemetry family via
+//! [`Arena::publish_telemetry`].
+
+use crate::ast::{Field, Packet, Policy, Pred};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A symbolic packet set: an interned index into an [`Arena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sp(u32);
+
+impl Sp {
+    /// The empty packet set.
+    pub const EMPTY: Sp = Sp(0);
+    /// The set of all packets.
+    pub const FULL: Sp = Sp(1);
+}
+
+/// A symbolic packet transformer: an interned index into an [`Arena`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Spp(u32);
+
+impl Spp {
+    /// The empty relation (drop).
+    pub const ZERO: Spp = Spp(0);
+    /// The identity relation (skip).
+    pub const ONE: Spp = Spp(1);
+}
+
+/// Output map of one SPP row: output value → continuation.
+type OutMap = BTreeMap<u64, Spp>;
+/// Tested rows of an SPP node under construction: input value → output map.
+type BranchMap = BTreeMap<u64, OutMap>;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct SpNode {
+    field: u16,
+    branches: Vec<(u64, Sp)>,
+    default: Sp,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct SppNode {
+    field: u16,
+    branches: Vec<(u64, Vec<(u64, Spp)>)>,
+    muts: Vec<(u64, Spp)>,
+    id: Spp,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Memo {
+    SpUnion(u32, u32),
+    SpInter(u32, u32),
+    SpComp(u32),
+    SppUnion(u32, u32),
+    SppSeq(u32, u32),
+    SppTest(u32),
+    Push(u32, u32),
+    Pre(u32, u32),
+}
+
+/// Operation counters for one arena; see [`Arena::stats`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SymStats {
+    /// Memoized operation results served from cache.
+    pub cache_hits: u64,
+    /// Operations that had to be computed.
+    pub cache_misses: u64,
+    /// Total star fixpoint (squaring) iterations across all star runs.
+    pub star_iterations: u64,
+    /// Number of star fixpoints computed.
+    pub star_runs: u64,
+}
+
+/// Star budget used by the panicking convenience wrapper. Squaring reaches
+/// path length `2^128` here, far past any finite packet space a policy can
+/// generate, so exceeding it indicates a broken canonical form.
+pub const DEFAULT_STAR_BUDGET: u32 = 128;
+
+/// Error from [`Arena::spp_star_bounded`]: the squaring fixpoint did not
+/// stabilize within the given iteration budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StarBudgetExceeded {
+    /// Iterations performed before giving up.
+    pub iterations: u32,
+}
+
+impl std::fmt::Display for StarBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "symbolic star fixpoint exceeded its budget after {} iterations",
+            self.iterations
+        )
+    }
+}
+
+impl std::error::Error for StarBudgetExceeded {}
+
+/// Error from converting a policy to symbolic form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymError {
+    /// The policy contains `dup`; only the dup-free fragment has a
+    /// packet-transformer denotation.
+    DupUnsupported,
+    /// A star inside the policy exceeded the fixpoint budget.
+    StarBudget(StarBudgetExceeded),
+}
+
+impl std::fmt::Display for SymError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SymError::DupUnsupported => {
+                write!(f, "dup is not supported by the symbolic backend")
+            }
+            SymError::StarBudget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SymError {}
+
+struct SpView {
+    branches: BTreeMap<u64, Sp>,
+    default: Sp,
+}
+
+struct SppView {
+    branches: BranchMap,
+    muts: OutMap,
+    id: Spp,
+}
+
+/// A hash-consed arena of SP/SPP nodes over `num_fields` packet fields.
+///
+/// All structures built in one arena are canonical relative to it, so `==`
+/// on [`Sp`]/[`Spp`] ids decides semantic equality. The arena is generic in
+/// its field count: NetKAT uses [`Arena::for_netkat`] (the six
+/// [`Field`]s); `pda-analyze` reuses it over table key columns.
+pub struct Arena {
+    num_fields: u16,
+    /// `order[slot]` = external field index stored at arena slot `slot`.
+    /// Children in nodes are ordered by *slot*, so this is the variable
+    /// order of the decision structure — like a BDD's, it decides node
+    /// counts, not semantics. Identity unless built by
+    /// [`Arena::for_policies`].
+    order: Vec<u16>,
+    /// Inverse of `order`: `slot_of[field]` = arena slot of that field.
+    slot_of: Vec<u16>,
+    sp_nodes: Vec<SpNode>,
+    sp_intern: HashMap<SpNode, u32>,
+    spp_nodes: Vec<SppNode>,
+    spp_intern: HashMap<SppNode, u32>,
+    memo: HashMap<Memo, u32>,
+    stats: SymStats,
+}
+
+impl Arena {
+    /// An empty arena over `num_fields` fields (field indices
+    /// `0..num_fields`, identity variable order).
+    pub fn new(num_fields: u16) -> Arena {
+        let identity: Vec<u16> = (0..num_fields).collect();
+        Arena {
+            num_fields,
+            order: identity.clone(),
+            slot_of: identity,
+            sp_nodes: Vec::new(),
+            sp_intern: HashMap::new(),
+            spp_nodes: Vec::new(),
+            spp_intern: HashMap::new(),
+            memo: HashMap::new(),
+            stats: SymStats::default(),
+        }
+    }
+
+    /// An arena over the NetKAT packet fields ([`Field::ALL`]) in their
+    /// declaration order.
+    pub fn for_netkat() -> Arena {
+        Arena::new(Field::ALL.len() as u16)
+    }
+
+    /// A NetKAT arena whose variable order is chosen by inspecting the
+    /// policies it will host.
+    ///
+    /// The order matters the way a BDD's does. A node's untested row can
+    /// express "output = input" only through its single `id` child, so a
+    /// transformer that assigns field `A` values *dispatched on a deeper
+    /// field* `B` (e.g. `filter dst=j; sw:=j` for every `j`, with `sw`
+    /// ordered above `dst`) forces an explicit branch per input value of
+    /// `A`, each carrying the full fan-out — an O(n²)-sized root. Ordering
+    /// `B` first makes the same relation a linear-size dispatch on `B`.
+    ///
+    /// Heuristic: fields are ordered by ascending *assignment fan-out*
+    /// (the number of distinct constants the policies ever assign to the
+    /// field), ties broken by declaration order. Tested-only fields come
+    /// first and high-fan-out rewrite targets sink to the bottom, which
+    /// turns thousand-switch fabric dispatch from quadratic-size nodes
+    /// into linear ones (experiment E19).
+    pub fn for_policies(ps: &[&Policy]) -> Arena {
+        let mut assigned: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); Field::ALL.len()];
+        fn walk(p: &Policy, assigned: &mut [BTreeSet<u32>]) {
+            match p {
+                Policy::Mod(f, v) => {
+                    assigned[f.index()].insert(*v);
+                }
+                Policy::Union(l, r) | Policy::Seq(l, r) => {
+                    walk(l, assigned);
+                    walk(r, assigned);
+                }
+                Policy::Star(x) => walk(x, assigned),
+                Policy::Filter(_) | Policy::Dup => {}
+            }
+        }
+        for p in ps {
+            walk(p, &mut assigned);
+        }
+        let mut order: Vec<u16> = (0..Field::ALL.len() as u16).collect();
+        order.sort_by_key(|&f| (assigned[f as usize].len(), f));
+        let mut ar = Arena::for_netkat();
+        for (slot, &f) in order.iter().enumerate() {
+            ar.slot_of[f as usize] = slot as u16;
+        }
+        ar.order = order;
+        ar
+    }
+
+    /// Number of fields this arena's structures range over.
+    pub fn num_fields(&self) -> u16 {
+        self.num_fields
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn stats(&self) -> SymStats {
+        self.stats
+    }
+
+    /// Interned SP node count (excluding the two leaves).
+    pub fn sp_node_count(&self) -> usize {
+        self.sp_nodes.len()
+    }
+
+    /// Interned SPP node count (excluding the two leaves).
+    pub fn spp_node_count(&self) -> usize {
+        self.spp_nodes.len()
+    }
+
+    /// Publish arena statistics as the `netkat.sym.*` metric family.
+    pub fn publish_telemetry(&self, tel: &pda_telemetry::Telemetry) {
+        if let Some(reg) = tel.registry() {
+            reg.gauge("netkat.sym.sp_nodes")
+                .set(self.sp_nodes.len() as i64);
+            reg.gauge("netkat.sym.spp_nodes")
+                .set(self.spp_nodes.len() as i64);
+            reg.counter("netkat.sym.cache_hits")
+                .add(self.stats.cache_hits);
+            reg.counter("netkat.sym.cache_misses")
+                .add(self.stats.cache_misses);
+            reg.counter("netkat.sym.star_iterations")
+                .add(self.stats.star_iterations);
+            reg.counter("netkat.sym.star_runs")
+                .add(self.stats.star_runs);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Interning and canonical constructors
+    // ------------------------------------------------------------------
+
+    fn intern_sp(&mut self, node: SpNode) -> Sp {
+        if let Some(&id) = self.sp_intern.get(&node) {
+            return Sp(id);
+        }
+        let id = u32::try_from(self.sp_nodes.len() + 2).expect("sp arena overflow");
+        self.sp_nodes.push(node.clone());
+        self.sp_intern.insert(node, id);
+        Sp(id)
+    }
+
+    fn intern_spp(&mut self, node: SppNode) -> Spp {
+        if let Some(&id) = self.spp_intern.get(&node) {
+            return Spp(id);
+        }
+        let id = u32::try_from(self.spp_nodes.len() + 2).expect("spp arena overflow");
+        self.spp_nodes.push(node.clone());
+        self.spp_intern.insert(node, id);
+        Spp(id)
+    }
+
+    fn mk_sp(&mut self, field: u16, branches: BTreeMap<u64, Sp>, default: Sp) -> Sp {
+        let branches: Vec<(u64, Sp)> = branches
+            .into_iter()
+            .filter(|&(_, c)| c != default)
+            .collect();
+        if branches.is_empty() {
+            return default;
+        }
+        self.intern_sp(SpNode {
+            field,
+            branches,
+            default,
+        })
+    }
+
+    /// The effective default row of an SPP node at input value `v`.
+    fn eff_default(muts: &OutMap, id: Spp, v: u64) -> OutMap {
+        let mut m = muts.clone();
+        m.remove(&v);
+        if id != Spp::ZERO {
+            m.insert(v, id);
+        }
+        m
+    }
+
+    fn mk_spp(&mut self, field: u16, branches: BranchMap, muts: OutMap, id: Spp) -> Spp {
+        let muts: OutMap = muts.into_iter().filter(|&(_, c)| c != Spp::ZERO).collect();
+        let mut kept: Vec<(u64, Vec<(u64, Spp)>)> = Vec::new();
+        for (v, m) in branches {
+            let m: OutMap = m.into_iter().filter(|&(_, c)| c != Spp::ZERO).collect();
+            if m != Self::eff_default(&muts, id, v) {
+                kept.push((v, m.into_iter().collect()));
+            }
+        }
+        if kept.is_empty() && muts.is_empty() {
+            return id;
+        }
+        self.intern_spp(SppNode {
+            field,
+            branches: kept,
+            muts: muts.into_iter().collect(),
+            id,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Views (uniform expansion at a given field)
+    // ------------------------------------------------------------------
+
+    fn sp_field(&self, x: Sp) -> u16 {
+        if x == Sp::EMPTY || x == Sp::FULL {
+            u16::MAX
+        } else {
+            self.sp_nodes[(x.0 - 2) as usize].field
+        }
+    }
+
+    fn spp_field(&self, x: Spp) -> u16 {
+        if x == Spp::ZERO || x == Spp::ONE {
+            u16::MAX
+        } else {
+            self.spp_nodes[(x.0 - 2) as usize].field
+        }
+    }
+
+    fn sp_view(&self, x: Sp, field: u16) -> SpView {
+        if self.sp_field(x) == field {
+            let n = &self.sp_nodes[(x.0 - 2) as usize];
+            SpView {
+                branches: n.branches.iter().copied().collect(),
+                default: n.default,
+            }
+        } else {
+            // Leaf or a node at a deeper field: `field` is unconstrained.
+            SpView {
+                branches: BTreeMap::new(),
+                default: x,
+            }
+        }
+    }
+
+    fn spp_view(&self, x: Spp, field: u16) -> SppView {
+        if self.spp_field(x) == field {
+            let n = &self.spp_nodes[(x.0 - 2) as usize];
+            SppView {
+                branches: n
+                    .branches
+                    .iter()
+                    .map(|(v, m)| (*v, m.iter().copied().collect()))
+                    .collect(),
+                muts: n.muts.iter().copied().collect(),
+                id: n.id,
+            }
+        } else {
+            // ZERO: rejects everything. ONE / deeper node: identity here.
+            SppView {
+                branches: BTreeMap::new(),
+                muts: OutMap::new(),
+                id: if x == Spp::ZERO { Spp::ZERO } else { x },
+            }
+        }
+    }
+
+    /// The output map of `view` at input value `v`.
+    fn eff(view: &SppView, v: u64) -> OutMap {
+        if let Some(m) = view.branches.get(&v) {
+            m.clone()
+        } else {
+            Self::eff_default(&view.muts, view.id, v)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SP operations
+    // ------------------------------------------------------------------
+
+    /// Set union.
+    pub fn sp_union(&mut self, a: Sp, b: Sp) -> Sp {
+        if a == b || b == Sp::EMPTY {
+            return a;
+        }
+        if a == Sp::EMPTY {
+            return b;
+        }
+        if a == Sp::FULL || b == Sp::FULL {
+            return Sp::FULL;
+        }
+        let key = Memo::SpUnion(a.min(b).0, a.max(b).0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Sp(r);
+        }
+        self.stats.cache_misses += 1;
+        let f = self.sp_field(a).min(self.sp_field(b));
+        let va = self.sp_view(a, f);
+        let vb = self.sp_view(b, f);
+        let keys: BTreeSet<u64> = va
+            .branches
+            .keys()
+            .chain(vb.branches.keys())
+            .copied()
+            .collect();
+        let mut branches = BTreeMap::new();
+        for v in keys {
+            let ca = va.branches.get(&v).copied().unwrap_or(va.default);
+            let cb = vb.branches.get(&v).copied().unwrap_or(vb.default);
+            let c = self.sp_union(ca, cb);
+            branches.insert(v, c);
+        }
+        let default = self.sp_union(va.default, vb.default);
+        let r = self.mk_sp(f, branches, default);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    /// Set intersection.
+    pub fn sp_intersect(&mut self, a: Sp, b: Sp) -> Sp {
+        if a == b || b == Sp::FULL {
+            return a;
+        }
+        if a == Sp::FULL {
+            return b;
+        }
+        if a == Sp::EMPTY || b == Sp::EMPTY {
+            return Sp::EMPTY;
+        }
+        let key = Memo::SpInter(a.min(b).0, a.max(b).0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Sp(r);
+        }
+        self.stats.cache_misses += 1;
+        let f = self.sp_field(a).min(self.sp_field(b));
+        let va = self.sp_view(a, f);
+        let vb = self.sp_view(b, f);
+        let keys: BTreeSet<u64> = va
+            .branches
+            .keys()
+            .chain(vb.branches.keys())
+            .copied()
+            .collect();
+        let mut branches = BTreeMap::new();
+        for v in keys {
+            let ca = va.branches.get(&v).copied().unwrap_or(va.default);
+            let cb = vb.branches.get(&v).copied().unwrap_or(vb.default);
+            let c = self.sp_intersect(ca, cb);
+            branches.insert(v, c);
+        }
+        let default = self.sp_intersect(va.default, vb.default);
+        let r = self.mk_sp(f, branches, default);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    /// Set complement.
+    pub fn sp_complement(&mut self, a: Sp) -> Sp {
+        if a == Sp::EMPTY {
+            return Sp::FULL;
+        }
+        if a == Sp::FULL {
+            return Sp::EMPTY;
+        }
+        let key = Memo::SpComp(a.0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Sp(r);
+        }
+        self.stats.cache_misses += 1;
+        let n = self.sp_nodes[(a.0 - 2) as usize].clone();
+        let mut branches = BTreeMap::new();
+        for (v, c) in n.branches {
+            let cc = self.sp_complement(c);
+            branches.insert(v, cc);
+        }
+        let default = self.sp_complement(n.default);
+        let r = self.mk_sp(n.field, branches, default);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    /// Set difference `a ∖ b`.
+    pub fn sp_diff(&mut self, a: Sp, b: Sp) -> Sp {
+        let nb = self.sp_complement(b);
+        self.sp_intersect(a, nb)
+    }
+
+    /// Is the set empty? (Canonical form makes this an id test.)
+    pub fn sp_is_empty(&self, a: Sp) -> bool {
+        a == Sp::EMPTY
+    }
+
+    /// Does the set contain the packet `vals` (one value per field)?
+    pub fn sp_contains(&self, a: Sp, vals: &[u64]) -> bool {
+        let mut cur = a;
+        loop {
+            if cur == Sp::EMPTY {
+                return false;
+            }
+            if cur == Sp::FULL {
+                return true;
+            }
+            let n = &self.sp_nodes[(cur.0 - 2) as usize];
+            let v = vals[n.field as usize];
+            cur = n
+                .branches
+                .iter()
+                .find(|&&(w, _)| w == v)
+                .map(|&(_, c)| c)
+                .unwrap_or(n.default);
+        }
+    }
+
+    /// Some packet in the set, if any.
+    pub fn sp_witness(&self, a: Sp) -> Option<Vec<u64>> {
+        let mut out = vec![0u64; self.num_fields as usize];
+        if self.sp_witness_into(a, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn sp_witness_into(&self, a: Sp, out: &mut [u64]) -> bool {
+        if a == Sp::EMPTY {
+            return false;
+        }
+        if a == Sp::FULL {
+            return true;
+        }
+        let n = self.sp_nodes[(a.0 - 2) as usize].clone();
+        // Fields between `field` and `n.field` are unconstrained (left 0).
+        for &(v, c) in &n.branches {
+            out[n.field as usize] = v;
+            if self.sp_witness_into(c, out) {
+                return true;
+            }
+        }
+        let taken: BTreeSet<u64> = n.branches.iter().map(|&(v, _)| v).collect();
+        out[n.field as usize] = fresh_value(&taken);
+        self.sp_witness_into(n.default, out)
+    }
+
+    /// The singleton set containing exactly `vals`.
+    pub fn sp_singleton(&mut self, vals: &[u64]) -> Sp {
+        let mut acc = Sp::FULL;
+        for f in (0..vals.len()).rev() {
+            let branches = BTreeMap::from([(vals[f], acc)]);
+            acc = self.mk_sp(f as u16, branches, Sp::EMPTY);
+        }
+        acc
+    }
+
+    /// The set of packets `{ p | p[field] = value }`.
+    pub fn sp_test(&mut self, field: u16, value: u64) -> Sp {
+        let branches = BTreeMap::from([(value, Sp::FULL)]);
+        self.mk_sp(field, branches, Sp::EMPTY)
+    }
+
+    // ------------------------------------------------------------------
+    // SPP operations
+    // ------------------------------------------------------------------
+
+    fn out_insert_union(&mut self, m: &mut OutMap, w: u64, c: Spp) {
+        if c == Spp::ZERO {
+            return;
+        }
+        let merged = match m.get(&w) {
+            Some(&old) => self.spp_union(old, c),
+            None => c,
+        };
+        m.insert(w, merged);
+    }
+
+    /// Transformer union: `a + b`.
+    pub fn spp_union(&mut self, a: Spp, b: Spp) -> Spp {
+        if a == b || b == Spp::ZERO {
+            return a;
+        }
+        if a == Spp::ZERO {
+            return b;
+        }
+        let key = Memo::SppUnion(a.min(b).0, a.max(b).0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Spp(r);
+        }
+        self.stats.cache_misses += 1;
+        let f = self.spp_field(a).min(self.spp_field(b));
+        let va = self.spp_view(a, f);
+        let vb = self.spp_view(b, f);
+        let tested: BTreeSet<u64> = va
+            .branches
+            .keys()
+            .chain(vb.branches.keys())
+            .copied()
+            .collect();
+        let mut branches = BranchMap::new();
+        for &v in &tested {
+            let ma = Self::eff(&va, v);
+            let mb = Self::eff(&vb, v);
+            let mut out = ma;
+            for (w, c) in mb {
+                self.out_insert_union(&mut out, w, c);
+            }
+            branches.insert(v, out);
+        }
+        let wkeys: BTreeSet<u64> = va.muts.keys().chain(vb.muts.keys()).copied().collect();
+        let mut muts = OutMap::new();
+        for w in wkeys {
+            let ca = va.muts.get(&w).copied().unwrap_or(Spp::ZERO);
+            let cb = vb.muts.get(&w).copied().unwrap_or(Spp::ZERO);
+            let c = self.spp_union(ca, cb);
+            muts.insert(w, c);
+        }
+        let id = self.spp_union(va.id, vb.id);
+        let r = self.mk_spp(f, branches, muts, id);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    /// Sequential composition `a ; b`.
+    pub fn spp_seq(&mut self, a: Spp, b: Spp) -> Spp {
+        if a == Spp::ZERO || b == Spp::ZERO {
+            return Spp::ZERO;
+        }
+        if a == Spp::ONE {
+            return b;
+        }
+        if b == Spp::ONE {
+            return a;
+        }
+        let key = Memo::SppSeq(a.0, b.0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Spp(r);
+        }
+        self.stats.cache_misses += 1;
+        let f = self.spp_field(a).min(self.spp_field(b));
+        let va = self.spp_view(a, f);
+        let vb = self.spp_view(b, f);
+
+        // Behaviour on a *generic* untested input value v: a's muts lead
+        // into b at known constants; a's id leads into b's untested row.
+        let mut gen_muts = OutMap::new();
+        let a_muts: Vec<(u64, Spp)> = va.muts.iter().map(|(&w, &c)| (w, c)).collect();
+        for (w, ca) in a_muts {
+            for (z, cb) in Self::eff(&vb, w) {
+                let c = self.spp_seq(ca, cb);
+                self.out_insert_union(&mut gen_muts, z, c);
+            }
+        }
+        let b_muts: Vec<(u64, Spp)> = vb.muts.iter().map(|(&z, &c)| (z, c)).collect();
+        for (z, cb) in b_muts {
+            let c = self.spp_seq(va.id, cb);
+            self.out_insert_union(&mut gen_muts, z, c);
+        }
+        let gen_id = self.spp_seq(va.id, vb.id);
+
+        // Inputs whose behaviour can differ from the generic row: values
+        // tested or mutated by either side, plus any value the generic row
+        // itself outputs (for those, "output = input" is reachable through
+        // a mut chain, which the untested row cannot express).
+        let tested: BTreeSet<u64> = va
+            .branches
+            .keys()
+            .chain(va.muts.keys())
+            .chain(vb.branches.keys())
+            .chain(vb.muts.keys())
+            .chain(gen_muts.keys())
+            .copied()
+            .collect();
+        let mut branches = BranchMap::new();
+        for &v in &tested {
+            let mut out = OutMap::new();
+            for (w, ca) in Self::eff(&va, v) {
+                for (z, cb) in Self::eff(&vb, w) {
+                    let c = self.spp_seq(ca, cb);
+                    self.out_insert_union(&mut out, z, c);
+                }
+            }
+            branches.insert(v, out);
+        }
+        let r = self.mk_spp(f, branches, gen_muts, gen_id);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    /// Kleene star `a*` with an explicit iteration budget; returns the
+    /// closure and the number of squaring rounds used.
+    pub fn spp_star_bounded(
+        &mut self,
+        a: Spp,
+        budget: u32,
+    ) -> Result<(Spp, u32), StarBudgetExceeded> {
+        self.stats.star_runs += 1;
+        let mut s = self.spp_union(Spp::ONE, a);
+        let mut iters = 0u32;
+        loop {
+            let s2 = self.spp_seq(s, s);
+            iters += 1;
+            self.stats.star_iterations += 1;
+            if s2 == s {
+                return Ok((s, iters));
+            }
+            if iters >= budget {
+                return Err(StarBudgetExceeded { iterations: iters });
+            }
+            s = s2;
+        }
+    }
+
+    /// Kleene star `a*` (squaring fixpoint, [`DEFAULT_STAR_BUDGET`]).
+    pub fn spp_star(&mut self, a: Spp) -> Spp {
+        match self.spp_star_bounded(a, DEFAULT_STAR_BUDGET) {
+            Ok((s, _)) => s,
+            Err(e) => unreachable!("star fixpoint must stabilize on a finite lattice: {e}"),
+        }
+    }
+
+    /// Restrict the identity to a set: the partial-identity transformer
+    /// `{(p, p) | p ∈ a}` (the denotation of `filter`).
+    pub fn spp_test(&mut self, a: Sp) -> Spp {
+        if a == Sp::EMPTY {
+            return Spp::ZERO;
+        }
+        if a == Sp::FULL {
+            return Spp::ONE;
+        }
+        let key = Memo::SppTest(a.0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Spp(r);
+        }
+        self.stats.cache_misses += 1;
+        let n = self.sp_nodes[(a.0 - 2) as usize].clone();
+        let mut branches = BranchMap::new();
+        for (v, c) in n.branches {
+            let t = self.spp_test(c);
+            branches.insert(v, OutMap::from([(v, t)]));
+        }
+        let id = self.spp_test(n.default);
+        let r = self.mk_spp(n.field, branches, OutMap::new(), id);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    /// The transformer `field := value` (identity on the other fields).
+    pub fn spp_assign(&mut self, field: u16, value: u64) -> Spp {
+        let branches = BranchMap::from([(value, OutMap::from([(value, Spp::ONE)]))]);
+        let muts = OutMap::from([(value, Spp::ONE)]);
+        self.mk_spp(field, branches, muts, Spp::ZERO)
+    }
+
+    // ------------------------------------------------------------------
+    // Images
+    // ------------------------------------------------------------------
+
+    /// Forward image: `{ β | ∃ α ∈ s. (α, β) ∈ t }`.
+    pub fn push(&mut self, s: Sp, t: Spp) -> Sp {
+        if s == Sp::EMPTY || t == Spp::ZERO {
+            return Sp::EMPTY;
+        }
+        if t == Spp::ONE {
+            return s;
+        }
+        let key = Memo::Push(s.0, t.0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Sp(r);
+        }
+        self.stats.cache_misses += 1;
+        let f = self.sp_field(s).min(self.spp_field(t));
+        let vs = self.sp_view(s, f);
+        let vt = self.spp_view(t, f);
+        let tested_in: BTreeSet<u64> = vs
+            .branches
+            .keys()
+            .chain(vt.branches.keys())
+            .copied()
+            .collect();
+        // Output buckets. Every tested *input* value is also pinned as an
+        // output bucket: its id-contribution was handled exactly, so the
+        // generic default (which includes the id image) must not apply.
+        let mut buckets: BTreeMap<u64, Sp> = tested_in.iter().map(|&w| (w, Sp::EMPTY)).collect();
+        for &v in &tested_in {
+            let sv = vs.branches.get(&v).copied().unwrap_or(vs.default);
+            if sv == Sp::EMPTY {
+                continue;
+            }
+            for (w, c) in Self::eff(&vt, v) {
+                let img = self.push(sv, c);
+                let cur = buckets.get(&w).copied().unwrap_or(Sp::EMPTY);
+                let merged = self.sp_union(cur, img);
+                buckets.insert(w, merged);
+            }
+        }
+        let t_muts: Vec<(u64, Spp)> = vt.muts.iter().map(|(&w, &c)| (w, c)).collect();
+        for (w, c) in t_muts {
+            // Valid for any untested input v ≠ w; such inputs always exist.
+            let img = self.push(vs.default, c);
+            let cur = buckets.get(&w).copied().unwrap_or(Sp::EMPTY);
+            let merged = self.sp_union(cur, img);
+            buckets.insert(w, merged);
+        }
+        let default = self.push(vs.default, vt.id);
+        // Buckets at values that are *not* tested inputs additionally
+        // receive the generic id image (an untested input equal to that
+        // output value maps onto it through id).
+        let bucket_keys: Vec<u64> = buckets.keys().copied().collect();
+        for w in bucket_keys {
+            if !tested_in.contains(&w) {
+                let cur = buckets[&w];
+                let merged = self.sp_union(cur, default);
+                buckets.insert(w, merged);
+            }
+        }
+        let r = self.mk_sp(f, buckets, default);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    /// Backward image (preimage): `{ α | ∃ β ∈ s. (α, β) ∈ t }`.
+    pub fn pre(&mut self, t: Spp, s: Sp) -> Sp {
+        if s == Sp::EMPTY || t == Spp::ZERO {
+            return Sp::EMPTY;
+        }
+        if t == Spp::ONE {
+            return s;
+        }
+        let key = Memo::Pre(t.0, s.0);
+        if let Some(&r) = self.memo.get(&key) {
+            self.stats.cache_hits += 1;
+            return Sp(r);
+        }
+        self.stats.cache_misses += 1;
+        let f = self.sp_field(s).min(self.spp_field(t));
+        let vs = self.sp_view(s, f);
+        let vt = self.spp_view(t, f);
+        let tested: BTreeSet<u64> = vt
+            .branches
+            .keys()
+            .chain(vt.muts.keys())
+            .chain(vs.branches.keys())
+            .copied()
+            .collect();
+        let mut branches = BTreeMap::new();
+        for &v in &tested {
+            let mut acc = Sp::EMPTY;
+            for (w, c) in Self::eff(&vt, v) {
+                let sw = vs.branches.get(&w).copied().unwrap_or(vs.default);
+                let p = self.pre(c, sw);
+                acc = self.sp_union(acc, p);
+            }
+            branches.insert(v, acc);
+        }
+        let mut default = self.pre(vt.id, vs.default);
+        let t_muts: Vec<(u64, Spp)> = vt.muts.iter().map(|(&w, &c)| (w, c)).collect();
+        for (w, c) in t_muts {
+            let sw = vs.branches.get(&w).copied().unwrap_or(vs.default);
+            let p = self.pre(c, sw);
+            default = self.sp_union(default, p);
+        }
+        let r = self.mk_sp(f, branches, default);
+        self.memo.insert(key, r.0);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation (for testing and witness validation)
+    // ------------------------------------------------------------------
+
+    /// Evaluate the transformer on a concrete input, returning the set of
+    /// outputs (small by construction — used by tests and witnesses).
+    pub fn spp_eval(&self, t: Spp, input: &[u64]) -> BTreeSet<Vec<u64>> {
+        let mut out = BTreeSet::new();
+        self.spp_eval_into(t, input, 0, &[], &mut out);
+        out
+    }
+
+    fn spp_eval_into(
+        &self,
+        t: Spp,
+        input: &[u64],
+        field: u16,
+        prefix: &[u64],
+        out: &mut BTreeSet<Vec<u64>>,
+    ) {
+        if t == Spp::ZERO {
+            return;
+        }
+        if t == Spp::ONE {
+            // Identity on the remaining fields field..num_fields.
+            let mut v = prefix.to_vec();
+            v.extend_from_slice(&input[field as usize..]);
+            out.insert(v);
+            return;
+        }
+        let n = &self.spp_nodes[(t.0 - 2) as usize];
+        // Fields field..n.field are identity (skipped).
+        let skip_start = field as usize;
+        let skipped: Vec<u64> = input[skip_start..n.field as usize].to_vec();
+        let v = input[n.field as usize];
+        let row: OutMap = match n.branches.iter().find(|&&(bv, _)| bv == v) {
+            Some((_, m)) => m.iter().copied().collect(),
+            None => {
+                let muts: OutMap = n.muts.iter().copied().collect();
+                Self::eff_default(&muts, n.id, v)
+            }
+        };
+        for (w, c) in row {
+            let mut p = prefix.to_vec();
+            p.extend_from_slice(&skipped);
+            p.push(w);
+            self.spp_eval_into(c, input, n.field + 1, &p, out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Counterexample extraction
+    // ------------------------------------------------------------------
+
+    /// An input on which `a` and `b` produce different output sets, if the
+    /// two transformers differ. Canonical form guarantees `a != b` (as
+    /// ids) iff such an input exists.
+    pub fn distinguishing_input(&self, a: Spp, b: Spp) -> Option<Vec<u64>> {
+        if a == b {
+            return None;
+        }
+        let mut out = vec![0u64; self.num_fields as usize];
+        if self.distinguish_into(a, b, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    fn distinguish_into(&self, a: Spp, b: Spp, out: &mut [u64]) -> bool {
+        if a == b {
+            return false;
+        }
+        let f = self.spp_field(a).min(self.spp_field(b));
+        if f == u16::MAX {
+            // One leaf is ZERO and the other ONE: any input distinguishes
+            // (fields field.. already hold defaults in `out`).
+            return true;
+        }
+        let va = self.spp_view(a, f);
+        let vb = self.spp_view(b, f);
+        let mut candidates: BTreeSet<u64> = va
+            .branches
+            .keys()
+            .chain(va.muts.keys())
+            .chain(vb.branches.keys())
+            .chain(vb.muts.keys())
+            .copied()
+            .collect();
+        candidates.insert(fresh_value(&candidates));
+        for v in candidates {
+            let ma = Self::eff(&va, v);
+            let mb = Self::eff(&vb, v);
+            // An output value present on one side only is immediately a
+            // difference: drive the extra row to any producing input.
+            for (w, c) in &ma {
+                if !mb.contains_key(w) {
+                    out[f as usize] = v;
+                    self.some_input_into(*c, out);
+                    return true;
+                }
+            }
+            for (w, c) in &mb {
+                if !ma.contains_key(w) {
+                    out[f as usize] = v;
+                    self.some_input_into(*c, out);
+                    return true;
+                }
+            }
+            for (w, ca) in &ma {
+                let cb = mb[w];
+                if *ca != cb && self.distinguish_into(*ca, cb, out) {
+                    out[f as usize] = v;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fill the untouched tail of `out` with an input on which `t` has at least one
+    /// output. `t` must be non-ZERO (canonical non-ZERO ⇒ non-empty).
+    fn some_input_into(&self, t: Spp, out: &mut [u64]) {
+        if t == Spp::ZERO || t == Spp::ONE {
+            return; // ZERO unreachable for cleaned children; ONE: any input.
+        }
+        let n = &self.spp_nodes[(t.0 - 2) as usize];
+        for (v, m) in &n.branches {
+            if let Some(&(_, c)) = m.first() {
+                out[n.field as usize] = *v;
+                self.some_input_into(c, out);
+                return;
+            }
+        }
+        let tested: BTreeSet<u64> = n.branches.iter().map(|&(v, _)| v).collect();
+        if let Some(&(w, c)) = n.muts.first() {
+            let mut avoid = tested;
+            avoid.insert(w);
+            out[n.field as usize] = fresh_value(&avoid);
+            self.some_input_into(c, out);
+            return;
+        }
+        out[n.field as usize] = fresh_value(&tested);
+        self.some_input_into(n.id, out);
+    }
+
+    // ------------------------------------------------------------------
+    // NetKAT conversions
+    // ------------------------------------------------------------------
+
+    /// The symbolic set denoted by a NetKAT predicate.
+    pub fn sp_from_pred(&mut self, p: &Pred) -> Sp {
+        match p {
+            Pred::True => Sp::FULL,
+            Pred::False => Sp::EMPTY,
+            Pred::Test(f, v) => {
+                let slot = self.slot_of[f.index()];
+                self.sp_test(slot, u64::from(*v))
+            }
+            Pred::And(l, r) => {
+                let a = self.sp_from_pred(l);
+                let b = self.sp_from_pred(r);
+                self.sp_intersect(a, b)
+            }
+            Pred::Or(_, _) => {
+                // Flatten the disjunction spine and reduce pairwise so an
+                // n-ary union builds O(log n) large intermediates instead
+                // of an O(n)-deep chain of them.
+                let mut terms = Vec::new();
+                fn spine<'p>(p: &'p Pred, out: &mut Vec<&'p Pred>) {
+                    if let Pred::Or(l, r) = p {
+                        spine(l, out);
+                        spine(r, out);
+                    } else {
+                        out.push(p);
+                    }
+                }
+                spine(p, &mut terms);
+                let sets: Vec<Sp> = terms.iter().map(|t| self.sp_from_pred(t)).collect();
+                self.reduce_balanced(sets, Sp::EMPTY, Arena::sp_union)
+            }
+            Pred::Not(x) => {
+                let a = self.sp_from_pred(x);
+                self.sp_complement(a)
+            }
+        }
+    }
+
+    /// Balanced pairwise reduction of `items` under `op` (empty ⇒ `unit`).
+    fn reduce_balanced<T: Copy>(
+        &mut self,
+        mut items: Vec<T>,
+        unit: T,
+        op: impl Fn(&mut Arena, T, T) -> T,
+    ) -> T {
+        if items.is_empty() {
+            return unit;
+        }
+        while items.len() > 1 {
+            let mut next = Vec::with_capacity(items.len().div_ceil(2));
+            for pair in items.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    op(self, pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            items = next;
+        }
+        items[0]
+    }
+
+    /// The symbolic transformer denoted by a dup-free NetKAT policy.
+    pub fn spp_from_policy(&mut self, p: &Policy) -> Result<Spp, SymError> {
+        match p {
+            Policy::Filter(a) => {
+                let s = self.sp_from_pred(a);
+                Ok(self.spp_test(s))
+            }
+            Policy::Mod(f, v) => {
+                let slot = self.slot_of[f.index()];
+                Ok(self.spp_assign(slot, u64::from(*v)))
+            }
+            Policy::Union(_, _) => {
+                // Balanced reduction over the flattened union spine: a
+                // left- or right-leaning `p₁ + p₂ + … + pₙ` otherwise
+                // rebuilds the (growing) accumulated node n times.
+                let mut terms = Vec::new();
+                fn spine<'p>(p: &'p Policy, out: &mut Vec<&'p Policy>) {
+                    if let Policy::Union(l, r) = p {
+                        spine(l, out);
+                        spine(r, out);
+                    } else {
+                        out.push(p);
+                    }
+                }
+                spine(p, &mut terms);
+                let mut ids = Vec::with_capacity(terms.len());
+                for t in terms {
+                    ids.push(self.spp_from_policy(t)?);
+                }
+                Ok(self.reduce_balanced(ids, Spp::ZERO, Arena::spp_union))
+            }
+            Policy::Seq(l, r) => {
+                let a = self.spp_from_policy(l)?;
+                let b = self.spp_from_policy(r)?;
+                Ok(self.spp_seq(a, b))
+            }
+            Policy::Star(x) => {
+                let a = self.spp_from_policy(x)?;
+                self.spp_star_bounded(a, DEFAULT_STAR_BUDGET)
+                    .map(|(s, _)| s)
+                    .map_err(SymError::StarBudget)
+            }
+            Policy::Dup => Err(SymError::DupUnsupported),
+        }
+    }
+
+    /// Convert a NetKAT [`Packet`] to arena slot values (this arena's
+    /// variable order).
+    pub fn values_of_packet(&self, p: &Packet) -> Vec<u64> {
+        self.order
+            .iter()
+            .map(|&f| u64::from(p.0[f as usize]))
+            .collect()
+    }
+
+    /// Convert arena slot values (as produced by witnesses over a
+    /// six-field arena) back to a NetKAT [`Packet`], undoing this arena's
+    /// variable order. Values must fit u32 — guaranteed for structures
+    /// built from NetKAT policies, whose constants and fresh
+    /// representatives are all small.
+    pub fn packet_of_values(&self, vals: &[u64]) -> Packet {
+        let mut pkt = Packet::zero();
+        for (slot, &v) in vals.iter().enumerate().take(self.order.len()) {
+            let f = self.order[slot] as usize;
+            if f < Field::ALL.len() {
+                pkt.0[f] = u32::try_from(v).expect("netkat field values fit u32");
+            }
+        }
+        pkt
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (test support)
+    // ------------------------------------------------------------------
+
+    /// Verify the structural invariants of every interned node: field
+    /// ordering, branch sortedness, canonical pruning, and interning
+    /// consistency (structurally equal ⇒ same id). Returns a description
+    /// of the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, n) in self.sp_nodes.iter().enumerate() {
+            let id = Sp(u32::try_from(i + 2).expect("id fits"));
+            if n.branches.is_empty() {
+                return Err(format!("sp {id:?}: empty branch list"));
+            }
+            if !n.branches.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("sp {id:?}: branches not strictly sorted"));
+            }
+            for &(v, c) in &n.branches {
+                if c == n.default {
+                    return Err(format!("sp {id:?}: branch {v} equals default"));
+                }
+                if self.sp_field(c) <= n.field {
+                    return Err(format!("sp {id:?}: branch {v} violates field order"));
+                }
+            }
+            if self.sp_field(n.default) <= n.field {
+                return Err(format!("sp {id:?}: default violates field order"));
+            }
+            if self.sp_intern.get(n) != Some(&id.0) {
+                return Err(format!("sp {id:?}: interning inconsistent"));
+            }
+        }
+        for (i, n) in self.spp_nodes.iter().enumerate() {
+            let id = Spp(u32::try_from(i + 2).expect("id fits"));
+            if n.branches.is_empty() && n.muts.is_empty() {
+                return Err(format!("spp {id:?}: collapsible node"));
+            }
+            if !n.branches.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("spp {id:?}: branches not strictly sorted"));
+            }
+            if !n.muts.windows(2).all(|w| w[0].0 < w[1].0) {
+                return Err(format!("spp {id:?}: muts not strictly sorted"));
+            }
+            let muts: OutMap = n.muts.iter().copied().collect();
+            for &(w, c) in &n.muts {
+                if c == Spp::ZERO {
+                    return Err(format!("spp {id:?}: ZERO mut at {w}"));
+                }
+                if self.spp_field(c) <= n.field {
+                    return Err(format!("spp {id:?}: mut {w} violates field order"));
+                }
+            }
+            if n.id != Spp::ZERO && self.spp_field(n.id) <= n.field {
+                return Err(format!("spp {id:?}: id violates field order"));
+            }
+            for (v, m) in &n.branches {
+                if !m.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err(format!("spp {id:?}: branch {v} map not sorted"));
+                }
+                for &(w, c) in m {
+                    if c == Spp::ZERO {
+                        return Err(format!("spp {id:?}: ZERO child at ({v},{w})"));
+                    }
+                    if self.spp_field(c) <= n.field {
+                        return Err(format!("spp {id:?}: ({v},{w}) violates field order"));
+                    }
+                }
+                let row: OutMap = m.iter().copied().collect();
+                if row == Self::eff_default(&muts, n.id, *v) {
+                    return Err(format!("spp {id:?}: branch {v} equals effective default"));
+                }
+            }
+            if self.spp_intern.get(n) != Some(&id.0) {
+                return Err(format!("spp {id:?}: interning inconsistent"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The smallest value not in `taken`.
+fn fresh_value(taken: &BTreeSet<u64>) -> u64 {
+    (0u64..).find(|v| !taken.contains(v)).expect("u64 space")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Field;
+
+    fn f(p: Pred) -> Policy {
+        Policy::filter(p)
+    }
+
+    #[test]
+    fn leaves_are_distinct() {
+        assert_ne!(Sp::EMPTY, Sp::FULL);
+        assert_ne!(Spp::ZERO, Spp::ONE);
+    }
+
+    #[test]
+    fn sp_boolean_algebra() {
+        let mut ar = Arena::for_netkat();
+        let a = ar.sp_test(0, 1);
+        let b = ar.sp_test(1, 2);
+        let ab = ar.sp_intersect(a, b);
+        let ba = ar.sp_intersect(b, a);
+        assert_eq!(ab, ba);
+        let u = ar.sp_union(a, b);
+        let u2 = ar.sp_union(b, a);
+        assert_eq!(u, u2);
+        let na = ar.sp_complement(a);
+        let nna = ar.sp_complement(na);
+        assert_eq!(a, nna);
+        let both = ar.sp_union(a, na);
+        assert_eq!(both, Sp::FULL);
+        let none = ar.sp_intersect(a, na);
+        assert_eq!(none, Sp::EMPTY);
+    }
+
+    #[test]
+    fn sp_witness_and_contains() {
+        let mut ar = Arena::for_netkat();
+        let a = ar.sp_test(0, 7);
+        let na = ar.sp_complement(a);
+        let w = ar.sp_witness(na).unwrap();
+        assert_ne!(w[0], 7);
+        assert!(ar.sp_contains(na, &w));
+        assert!(!ar.sp_contains(a, &w));
+        assert_eq!(ar.sp_witness(Sp::EMPTY), None);
+    }
+
+    #[test]
+    fn assign_then_test_is_assign() {
+        // f := 5 ; filter f = 5 ≡ f := 5
+        let mut ar = Arena::for_netkat();
+        let asg = ar.spp_assign(3, 5);
+        let tst = ar.sp_test(3, 5);
+        let tst = ar.spp_test(tst);
+        let lhs = ar.spp_seq(asg, tst);
+        assert_eq!(lhs, asg);
+    }
+
+    #[test]
+    fn filter_false_is_zero() {
+        let mut ar = Arena::for_netkat();
+        let p = ar.spp_from_policy(&Policy::drop()).unwrap();
+        assert_eq!(p, Spp::ZERO);
+        let q = ar.spp_from_policy(&Policy::id()).unwrap();
+        assert_eq!(q, Spp::ONE);
+    }
+
+    #[test]
+    fn union_commutes_and_idempotent() {
+        let mut ar = Arena::for_netkat();
+        let p = ar.spp_from_policy(&Policy::assign(Field::Port, 1)).unwrap();
+        let q = ar
+            .spp_from_policy(&f(Pred::test(Field::Switch, 2)))
+            .unwrap();
+        let pq = ar.spp_union(p, q);
+        let qp = ar.spp_union(q, p);
+        assert_eq!(pq, qp);
+        assert_eq!(ar.spp_union(p, p), p);
+    }
+
+    #[test]
+    fn star_unrolls() {
+        let mut ar = Arena::for_netkat();
+        let step = f(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
+        let s = ar.spp_from_policy(&step).unwrap();
+        let star = ar.spp_star(s);
+        // p* = 1 + p ; p*
+        let tail = ar.spp_seq(s, star);
+        let unrolled = ar.spp_union(Spp::ONE, tail);
+        assert_eq!(star, unrolled);
+    }
+
+    #[test]
+    fn star_bounded_reports_iterations() {
+        let mut ar = Arena::for_netkat();
+        let step = f(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
+        let s = ar.spp_from_policy(&step).unwrap();
+        let (_, iters) = ar.spp_star_bounded(s, 64).unwrap();
+        assert!((1..=8).contains(&iters), "iters = {iters}");
+        assert!(ar.stats().star_iterations >= u64::from(iters));
+        // A two-hop chain needs more than one squaring round: budget 1
+        // must be reported as exhausted.
+        let chain = f(Pred::test(Field::Switch, 1))
+            .seq(Policy::assign(Field::Switch, 2))
+            .union(f(Pred::test(Field::Switch, 2)).seq(Policy::assign(Field::Switch, 3)));
+        let c = ar.spp_from_policy(&chain).unwrap();
+        assert_eq!(
+            ar.spp_star_bounded(c, 1),
+            Err(StarBudgetExceeded { iterations: 1 })
+        );
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        use crate::semantics::eval_packet;
+        let mut ar = Arena::for_netkat();
+        let pol = f(Pred::test(Field::Switch, 1).not())
+            .seq(Policy::assign(Field::Port, 9))
+            .union(Policy::assign(Field::Tag, 3));
+        let t = ar.spp_from_policy(&pol).unwrap();
+        for sw in 0..3u32 {
+            let pkt = Packet::of(&[(Field::Switch, sw), (Field::Port, 4)]);
+            let sym: BTreeSet<Packet> = ar
+                .spp_eval(t, &ar.values_of_packet(&pkt))
+                .iter()
+                .map(|v| ar.packet_of_values(v))
+                .collect();
+            assert_eq!(sym, eval_packet(&pol, pkt), "sw={sw}");
+        }
+    }
+
+    #[test]
+    fn distinguishing_input_finds_difference() {
+        let mut ar = Arena::for_netkat();
+        let p = ar
+            .spp_from_policy(&f(Pred::test(Field::Src, 1).not()))
+            .unwrap();
+        let q = ar.spp_from_policy(&f(Pred::test(Field::Src, 2))).unwrap();
+        assert_ne!(p, q);
+        let w = ar.distinguishing_input(p, q).unwrap();
+        assert_ne!(ar.spp_eval(p, &w), ar.spp_eval(q, &w));
+        assert_eq!(ar.distinguishing_input(p, p), None);
+    }
+
+    #[test]
+    fn push_and_pre_are_adjoint_on_examples() {
+        let mut ar = Arena::for_netkat();
+        // step: at sw=1 go to sw=2.
+        let step = f(Pred::test(Field::Switch, 1)).seq(Policy::assign(Field::Switch, 2));
+        let t = ar.spp_from_policy(&step).unwrap();
+        let at1 = ar.sp_test(0, 1);
+        let at2 = ar.sp_test(0, 2);
+        let img = ar.push(at1, t);
+        // image of sw=1 is exactly sw=2 (with all other fields preserved).
+        let inter = ar.sp_intersect(img, at2);
+        assert_eq!(inter, img);
+        assert_ne!(img, Sp::EMPTY);
+        let back = ar.pre(t, at2);
+        let onlys1 = ar.sp_intersect(back, at1);
+        assert_eq!(onlys1, back);
+        assert_ne!(back, Sp::EMPTY);
+        // Nothing maps into sw=3.
+        let at3 = ar.sp_test(0, 3);
+        assert_eq!(ar.pre(t, at3), Sp::EMPTY);
+    }
+
+    #[test]
+    fn interning_gives_id_equality() {
+        let mut ar = Arena::for_netkat();
+        let a1 = ar.sp_test(2, 9);
+        let a2 = ar.sp_test(2, 9);
+        assert_eq!(a1, a2);
+        let p1 = ar.spp_assign(1, 4);
+        let p2 = ar.spp_assign(1, 4);
+        assert_eq!(p1, p2);
+        ar.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_hold_after_mixed_workload() {
+        let mut ar = Arena::for_netkat();
+        let pol = f(Pred::test(Field::Switch, 1))
+            .seq(Policy::assign(Field::Port, 2))
+            .union(f(Pred::test(Field::Port, 2).not()).seq(Policy::assign(Field::Tag, 1)))
+            .star();
+        let t = ar.spp_from_policy(&pol).unwrap();
+        let init = ar.sp_singleton(&[1, 0, 0, 0, 0, 0]);
+        let img = ar.push(init, t);
+        let _ = ar.pre(t, img);
+        ar.check_invariants().unwrap();
+        assert!(ar.stats().cache_misses > 0);
+    }
+}

@@ -179,6 +179,47 @@ mod tests {
         assert_eq!(reg.counter("ra.appraisal_failures").get(), 1);
     }
 
+    /// The PDA5xx acceptance scenario: an ACL whose advertised block is
+    /// symbolically dead (shadowed by a wildcard allow) is rejected by
+    /// `RequireLintClean`, and the dead-rule code is visible in the
+    /// audit log — hash lists can't catch it (the program is novel),
+    /// taint can't either (nothing is exfiltrated); only whole-table
+    /// reachability reasoning does.
+    #[test]
+    fn shadowed_blocklist_rejected_with_dead_rule_code_in_audit() {
+        let tel = pda_telemetry::Telemetry::collecting();
+        let env = Environment::new().with_telemetry(tel.clone());
+        let rogue = corpus::canonical_rogue_acl_shadow();
+        assert!(env.golden.is_empty() && env.golden_sources.is_empty());
+        let policy = RequireLintClean::new(Severity::Warning);
+        let out = policy.appraise_program(&env, "Switch", &rogue, None);
+        assert!(!out.result.ok);
+        assert!(
+            out.result.failures.iter().any(|f| matches!(
+                f,
+                Failure::LintViolation { code, severity, .. }
+                    if code == "PDA502" && severity == "error"
+            )),
+            "{:?}",
+            out.result.failures
+        );
+        let audit = tel.audit_log().unwrap().records();
+        let verdict = audit
+            .iter()
+            .find_map(|r| match &r.event {
+                pda_telemetry::AuditEvent::Appraisal {
+                    subject, ok, cause, ..
+                } => Some((subject.clone(), *ok, cause.clone())),
+                _ => None,
+            })
+            .expect("appraisal verdict audited");
+        assert!(!verdict.1);
+        // The rogue masquerades under the legit ACL's name; the audit
+        // subject records the claimed identity, the cause the dead rule.
+        assert!(verdict.0.contains("ACL_v3.p4"));
+        assert!(verdict.2.as_deref().unwrap().contains("PDA502"));
+    }
+
     #[test]
     fn benign_program_passes_and_rogues_fail_across_corpus() {
         let env = Environment::new();

@@ -99,6 +99,103 @@ fn netkat_equivalence() {
 }
 
 #[test]
+fn netkat_equiv_subcommand_with_backends() {
+    for backend in ["sym", "enum"] {
+        let (ok, stdout, _) = pda(&[
+            "netkat",
+            "equiv",
+            "filter sw = 1 ; pt := 2",
+            "(filter sw = 1 ; pt := 2) + drop",
+            "--backend",
+            backend,
+        ]);
+        assert!(ok);
+        assert!(stdout.contains("equivalent: yes"), "{backend}: {stdout}");
+        let (ok, stdout, _) = pda(&[
+            "netkat",
+            "equiv",
+            "pt := 1",
+            "pt := 2",
+            "--backend",
+            backend,
+        ]);
+        assert!(ok);
+        assert!(stdout.contains("equivalent: NO"), "{backend}: {stdout}");
+    }
+    let (ok, _, stderr) = pda(&[
+        "netkat",
+        "equiv",
+        "pt := 1",
+        "pt := 2",
+        "--backend",
+        "bogus",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --backend"), "{stderr}");
+}
+
+#[test]
+fn netkat_equiv_check_runs_the_corpus() {
+    let (ok, stdout, stderr) = pda(&["netkat", "equiv", "--check"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("fabric-4-broken"), "{stdout}");
+    assert!(!stdout.contains("FAIL"), "{stdout}");
+}
+
+#[test]
+fn netkat_reach_subcommand() {
+    let step = "(filter sw = 0 ; filter dst = 2 ; sw := 2) + (filter !(sw = 0) ; sw := 0)";
+    let (ok, stdout, _) = pda(&[
+        "netkat",
+        "reach",
+        step,
+        "--from",
+        "sw=1,dst=2",
+        "--goal",
+        "sw = 2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("reachable: yes"), "{stdout}");
+    assert!(stdout.contains("switches:  [1, 0, 2]"), "{stdout}");
+    let (ok, stdout, _) = pda(&[
+        "netkat",
+        "reach",
+        step,
+        "--from",
+        "sw=1,dst=2",
+        "--goal",
+        "sw = 9",
+        "--backend",
+        "enum",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("reachable: no"), "{stdout}");
+}
+
+#[test]
+fn netkat_slice_subcommand() {
+    let (ok, stdout, _) = pda(&[
+        "netkat",
+        "slice",
+        "(filter sw = 1 ; pt := 10) + (filter sw = 2 ; pt := 20)",
+        "--switch",
+        "2",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("verified: yes"), "{stdout}");
+    assert!(stdout.contains("dead:     no"), "{stdout}");
+    let (ok, stdout, _) = pda(&[
+        "netkat",
+        "slice",
+        "filter sw = 1 ; pt := 10",
+        "--switch",
+        "3",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("dead:     yes"), "{stdout}");
+}
+
+#[test]
 fn lint_flags_rogues_and_passes_benigns() {
     // The acceptance split: both rogues carry an `error` diagnostic,
     // every benign builtin stays at `info` or below.
@@ -108,6 +205,9 @@ fn lint_flags_rogues_and_passes_benigns() {
     let (ok, stdout, _) = pda(&["lint", "rogue_flow_monitor"]);
     assert!(ok);
     assert!(stdout.contains("PDA402 error"), "{stdout}");
+    let (ok, stdout, _) = pda(&["lint", "rogue_acl_shadow"]);
+    assert!(ok);
+    assert!(stdout.contains("PDA502 error"), "{stdout}");
     let (ok, stdout, _) = pda(&["lint", "forwarding"]);
     assert!(ok);
     assert!(stdout.contains("worst: info"), "{stdout}");
@@ -126,13 +226,16 @@ fn lint_json_is_machine_readable() {
     assert!(ok);
     let parsed = pda_telemetry::json::parse(stdout.trim()).expect("valid json");
     let arr = parsed.as_arr().expect("array");
-    assert_eq!(arr.len(), 9);
+    assert_eq!(arr.len(), 10);
     let rogues: Vec<_> = arr
         .iter()
         .filter(|p| p.get("rogue").and_then(|r| r.as_bool()) == Some(true))
         .filter_map(|p| p.get("builtin").and_then(|b| b.as_str()))
         .collect();
-    assert_eq!(rogues, vec!["rogue_flow_monitor", "rogue_wiretap"]);
+    assert_eq!(
+        rogues,
+        vec!["rogue_flow_monitor", "rogue_wiretap", "rogue_acl_shadow"]
+    );
     for p in arr {
         let report = p.get("report").expect("report");
         assert!(report.get("program_digest").is_some());
